@@ -1,0 +1,91 @@
+// Command nemoeval runs the NeMoEval benchmark and regenerates the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	nemoeval -table 2          # accuracy summary (Table 2)
+//	nemoeval -table 3          # traffic-analysis breakdown (Table 3)
+//	nemoeval -table 4          # MALT breakdown (Table 4)
+//	nemoeval -table 5          # error taxonomy (Table 5)
+//	nemoeval -table 6          # pass@k / self-debug case study (Table 6)
+//	nemoeval -figure 4a        # cost CDF (Figure 4a)
+//	nemoeval -figure 4b        # cost vs graph size (Figure 4b)
+//	nemoeval -all              # everything
+//	nemoeval -all -log out.jsonl   # also dump evaluation records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/nemoeval"
+	"repro/internal/synthesis"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate one table (2-6)")
+	figure := flag.String("figure", "", "regenerate one figure (4a, 4b)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	logPath := flag.String("log", "", "write evaluation records as JSON lines")
+	flag.Parse()
+
+	if !*all && *table == "" && *figure == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runner := nemoeval.NewRunner()
+	emit := func(s string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+
+	want := func(id string) bool { return *all || *table == id || *figure == id }
+
+	if want("2") {
+		emit(runner.Table2())
+	}
+	if want("3") {
+		emit(runner.Table3())
+	}
+	if want("4") {
+		emit(runner.Table4())
+	}
+	if want("5") {
+		emit(runner.Table5())
+	}
+	if want("6") {
+		cs, err := synthesis.RunCaseStudy()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Table 6: Improvement Cases with Bard on MALT (NetworkX)\n")
+		fmt.Printf("%-16s %-16s %s\n", "Bard + Pass@1", "Bard + Pass@5", "Bard + Self-debug")
+		fmt.Printf("%-16.2f %-16.2f %.2f\n\n", cs.Pass1, cs.Pass5, cs.SelfDebug)
+	}
+	if want("4a") {
+		emit(nemoeval.Figure4a())
+	}
+	if want("4b") {
+		emit(nemoeval.Figure4b())
+	}
+
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := runner.Log.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%s)\n", runner.Log.Len(), *logPath, runner.Log.Summary())
+	}
+}

@@ -1,0 +1,154 @@
+// Command netquery is an interactive natural-language network management
+// shell: the prototype UX of the paper's Figure 1. Queries are turned into
+// code by the (simulated) LLM, executed in the sandbox against a clone of
+// the network, and shown for inspection; mutations apply only on approval.
+//
+// Usage:
+//
+//	netquery [-app traffic|malt] [-model gpt-4] [-backend networkx]
+//	         [-nodes 80] [-edges 80] [-yes] [query ...]
+//
+// With query arguments it runs them in order and exits; without, it reads
+// queries from stdin (one per line; "approve", "discard", "show", "explain",
+// "dot", "quit").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/explain"
+	"repro/internal/graph"
+	"repro/internal/llm"
+	"repro/internal/malt"
+	"repro/internal/nql"
+	"repro/internal/traffic"
+)
+
+func main() {
+	app := flag.String("app", "traffic", "application: traffic or malt")
+	model := flag.String("model", "gpt-4", "LLM: gpt-4, gpt-3, text-davinci-003, bard")
+	backend := flag.String("backend", "networkx", "code generation backend: networkx, pandas, sql")
+	nodes := flag.Int("nodes", 80, "traffic graph nodes")
+	edges := flag.Int("edges", 80, "traffic graph edges")
+	seed := flag.Int64("seed", 42, "workload seed")
+	autoApprove := flag.Bool("yes", false, "auto-approve state changes")
+	flag.Parse()
+
+	m, err := llm.NewSim(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	var session *core.Session
+	switch *app {
+	case "traffic":
+		g := traffic.Generate(traffic.Config{Nodes: *nodes, Edges: *edges, Seed: *seed})
+		session = core.NewTrafficSession(m, g, core.WithBackend(*backend))
+	case "malt":
+		session = core.NewMALTSession(m, malt.Generate(malt.Config{}), core.WithBackend(*backend))
+	case "diagnosis":
+		w := diagnosis.Generate(diagnosis.Config{
+			Nodes: *nodes, Edges: *edges, Seed: *seed,
+			FailedLinks: 4, Probes: 40,
+		})
+		session = core.NewDiagnosisSession(m, w, core.WithBackend(*backend))
+	default:
+		fmt.Fprintln(os.Stderr, "unknown app:", *app)
+		os.Exit(2)
+	}
+	fmt.Printf("netquery: %s app, %s model, %s backend — %s\n",
+		*app, *model, *backend, session.Graph().String())
+
+	var lastCode string
+	run := func(query string) {
+		ix, err := session.Ask(query)
+		if err != nil {
+			fmt.Println("  generation failed:", err)
+			return
+		}
+		lastCode = ix.Code
+		fmt.Println("--- generated code ---")
+		fmt.Println(indent(ix.Code))
+		fmt.Println("----------------------")
+		if ix.Err != nil {
+			fmt.Println("  execution failed:", ix.Err)
+			return
+		}
+		if ix.Stdout != "" {
+			fmt.Print(ix.Stdout)
+		}
+		fmt.Printf("  result: %s\n  cost: $%.4f\n", nql.Repr(ix.Result), ix.CostUSD)
+		if *autoApprove {
+			if err := session.Approve(); err == nil {
+				fmt.Println("  (state change auto-approved)")
+			}
+		} else {
+			fmt.Println("  (type 'approve' to commit state changes)")
+		}
+	}
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			fmt.Println("> " + q)
+			run(q)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+		case "quit", "exit":
+			return
+		case "approve":
+			if err := session.Approve(); err != nil {
+				fmt.Println(" ", err)
+			} else {
+				fmt.Println("  approved:", session.Graph().String())
+			}
+		case "discard":
+			session.Discard()
+			fmt.Println("  discarded")
+		case "show":
+			fmt.Println(" ", session.Graph().String())
+		case "explain":
+			// Plain-English narration of the last generated program (§5
+			// code-comprehension aid).
+			if lastCode == "" {
+				fmt.Println("  nothing to explain yet")
+				break
+			}
+			if text, err := explain.Program(lastCode); err != nil {
+				fmt.Println("  cannot explain:", err)
+			} else {
+				fmt.Print(text)
+			}
+		case "dot":
+			// Render the committed graph as Graphviz DOT (Figure 1's
+			// colored-graph view: node colors follow the "color" attribute).
+			fmt.Print(session.Graph().DOT(graph.DOTOptions{
+				ColorAttr: "color", LabelAttr: "ip",
+			}))
+		default:
+			run(line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}

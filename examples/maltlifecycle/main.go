@@ -1,0 +1,73 @@
+// Network lifecycle management over a MALT topology: operational queries,
+// WAN capacity planning, and a topology-design mutation (switch removal
+// with port rebalancing) — the paper's second application.
+//
+//	go run ./examples/maltlifecycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/malt"
+	"repro/internal/nql"
+)
+
+func main() {
+	top := malt.Generate(malt.Config{}) // 5493 entities, 6424 relationships
+	model, err := llm.NewSim("gpt-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := core.NewMALTSession(model, top)
+	fmt.Println("topology:", session.Graph().String())
+
+	// Operational management.
+	for _, q := range []string{
+		"List all ports that are contained by packet switch ps.ju1.a1.m1.s2c1, sorted by id.",
+		"How many chassis does datacenter ju2 contain?",
+		"For each datacenter, count the ports whose admin_state is down; return a map from datacenter id to count, datacenters in ascending order.",
+	} {
+		ix, err := session.Ask(q)
+		if err != nil || ix.Err != nil {
+			log.Fatalf("query %q failed: %v %v", q, err, ix.Err)
+		}
+		fmt.Printf("Q: %s\nA: %s\n\n", q, trim(nql.Repr(ix.Result), 120))
+	}
+
+	// WAN capacity planning.
+	q := "Plan a capacity doubling between datacenters ju1 and ju2: compute the current total chassis capacity of each, and return a map from datacenter name (ju1, ju2) to the minimum number of additional chassis of capacity 300 needed to double its total capacity."
+	ix, err := session.Ask(q)
+	if err != nil || ix.Err != nil {
+		log.Fatalf("capacity query failed: %v %v", err, ix.Err)
+	}
+	fmt.Printf("capacity plan: %s\n\n", nql.Repr(ix.Result))
+
+	// Topology design: remove a switch and rebalance its ports. This is a
+	// hard query — the model's first program trips an argument error, so we
+	// use the self-debugging loop: the session feeds the error back and the
+	// corrected program succeeds. Inspect the plan before committing.
+	q = "Remove packet switch ps.ju1.a4.m1.s1c1 from chassis ch.ju1.a4 and rebalance: reassign its ports (sorted by id) in round-robin order to the remaining switches of the same chassis (sorted by id), adding RK_CONTAINS edges and updating each switch's ports attribute to its new port count. Remove the switch entity afterwards."
+	ix, err = session.SelfDebugAsk(q)
+	if err != nil || ix.Err != nil {
+		log.Fatalf("rebalance failed: %v %v", err, ix.Err)
+	}
+	fmt.Println("rebalance program generated (", len(ix.Code), "bytes ); approving...")
+	if err := session.Approve(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology after rebalance:", session.Graph().String())
+	if session.Graph().HasNode("ps.ju1.a4.m1.s1c1") {
+		log.Fatal("switch still present!")
+	}
+	fmt.Println("switch ps.ju1.a4.m1.s1c1 removed; ports redistributed.")
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

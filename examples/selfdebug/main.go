@@ -1,0 +1,53 @@
+// Self-debug walkthrough: a weaker model (Bard) fails a lifecycle query,
+// the error message is fed back, and the repaired program succeeds — the
+// paper's §4.4 case study, as an operator would experience it.
+//
+//	go run ./examples/selfdebug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/malt"
+	"repro/internal/nql"
+)
+
+func main() {
+	model, err := llm.NewSim("bard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := malt.Generate(malt.Config{})
+
+	query := "For each datacenter, count the ports whose admin_state is down; return a map from datacenter id to count, datacenters in ascending order."
+
+	// First, watch it fail without self-debug.
+	plain := core.NewMALTSession(model, top)
+	ix, err := plain.Ask(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ix.Err == nil {
+		log.Fatal("expected the first attempt to fail for this model")
+	}
+	fmt.Println("first attempt failed as expected:")
+	fmt.Println(" ", ix.Err)
+	fmt.Println()
+
+	// Now with one self-debug round: the session feeds the error back to
+	// the model and retries.
+	debugged := core.NewMALTSession(model, top)
+	ix, err = debugged.SelfDebugAsk(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ix.Err != nil {
+		log.Fatal("self-debug did not recover: ", ix.Err)
+	}
+	fmt.Println("self-debug recovered; corrected program output:")
+	fmt.Printf("  %s\n", nql.Repr(ix.Result))
+	fmt.Printf("\ninteraction history: %d rounds (initial attempt + repair)\n", len(debugged.History))
+}

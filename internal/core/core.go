@@ -1,0 +1,278 @@
+// Package core wires the paper's full framework together (Figure 2): the
+// application wrapper supplies context, the prompt generators build the
+// LLM request, the model emits code, the sandbox executes it against a
+// *clone* of the live network state, and the operator inspects the code
+// and result before approving the state change (the UX sync loop).
+//
+// This is the library a downstream user embeds: create a Session over an
+// application, Ask natural-language questions, inspect the returned code
+// and result, and Approve mutations to commit them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataframe"
+	"repro/internal/diagnosis"
+	"repro/internal/graph"
+	"repro/internal/llm"
+	"repro/internal/malt"
+	"repro/internal/nemoeval"
+	"repro/internal/nql"
+	"repro/internal/prompt"
+	"repro/internal/sandbox"
+	"repro/internal/sqldb"
+	"repro/internal/tokens"
+	"repro/internal/traffic"
+)
+
+// Session is a natural-language network management session over one
+// application instance.
+type Session struct {
+	model   llm.Model
+	backend string
+	policy  sandbox.Policy
+
+	wrapper prompt.AppWrapper
+	// live state (committed); pending holds the post-run clone awaiting
+	// approval.
+	live    *state
+	pending *state
+
+	// History of every interaction for audit (the paper's record of
+	// input/output for future prompt enhancement).
+	History []*Interaction
+
+	invariants []Invariant
+}
+
+type state struct {
+	graph        *graph.Graph
+	nodes, edges *dataframe.Frame
+	db           *sqldb.DB
+	// probes (diagnosis app): read-only observation data.
+	probes     *dataframe.Frame
+	probesList nql.Value
+}
+
+func (s *state) clone() *state {
+	c := &state{probesList: s.probesList}
+	if s.graph != nil {
+		c.graph = s.graph.Clone()
+	}
+	if s.nodes != nil {
+		c.nodes = s.nodes.Clone()
+	}
+	if s.edges != nil {
+		c.edges = s.edges.Clone()
+	}
+	if s.db != nil {
+		c.db = s.db.Clone()
+	}
+	if s.probes != nil {
+		c.probes = s.probes.Clone()
+	}
+	return c
+}
+
+// Interaction is one Ask round: the prompt, generated code, execution
+// outcome and cost.
+type Interaction struct {
+	Query    string
+	Prompt   string
+	Code     string
+	Result   nql.Value
+	Stdout   string
+	Err      error
+	CostUSD  float64
+	Approved bool
+}
+
+// Option configures a session.
+type Option func(*Session)
+
+// WithBackend selects the code-generation backend (default NetworkX).
+func WithBackend(b string) Option { return func(s *Session) { s.backend = b } }
+
+// WithPolicy overrides the sandbox resource policy.
+func WithPolicy(p sandbox.Policy) Option { return func(s *Session) { s.policy = p } }
+
+// Invariant is a network safety property checked against the post-run
+// graph before a state change may be approved — the paper's §3 execution
+// sandbox "validating network invariants" hook. Return an error describing
+// the violation.
+type Invariant struct {
+	Name  string
+	Check func(g *graph.Graph) error
+}
+
+// WithInvariants installs invariants enforced at Approve time.
+func WithInvariants(invs ...Invariant) Option {
+	return func(s *Session) { s.invariants = append(s.invariants, invs...) }
+}
+
+// InvariantViolation is returned by Approve when a pending change breaks a
+// configured invariant; the pending state is retained so the operator can
+// inspect it and Discard.
+type InvariantViolation struct {
+	Invariant string
+	Err       error
+}
+
+func (e *InvariantViolation) Error() string {
+	return fmt.Sprintf("core: invariant %q violated: %v", e.Invariant, e.Err)
+}
+
+// NewTrafficSession creates a session over a communication graph.
+func NewTrafficSession(model llm.Model, g *graph.Graph, opts ...Option) *Session {
+	nodes, edges := traffic.Frames(g)
+	s := &Session{
+		model:   model,
+		backend: prompt.BackendNetworkX,
+		policy:  sandbox.DefaultPolicy,
+		wrapper: traffic.NewWrapper(g),
+		live:    &state{graph: g, nodes: nodes, edges: edges, db: traffic.Database(g)},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewMALTSession creates a session over a MALT topology.
+func NewMALTSession(model llm.Model, t *malt.Topology, opts ...Option) *Session {
+	nodes, edges := t.Frames()
+	s := &Session{
+		model:   model,
+		backend: prompt.BackendNetworkX,
+		policy:  sandbox.DefaultPolicy,
+		wrapper: malt.NewWrapper(t),
+		live:    &state{graph: t.Graph(), nodes: nodes, edges: edges, db: t.Database()},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewDiagnosisSession creates a session over a failure-diagnosis workload
+// (the §5 extension application).
+func NewDiagnosisSession(model llm.Model, w *diagnosis.Workload, opts ...Option) *Session {
+	nodes, edges, probes := w.Frames()
+	s := &Session{
+		model:   model,
+		backend: prompt.BackendNetworkX,
+		policy:  sandbox.DefaultPolicy,
+		wrapper: diagnosis.NewWrapper(w),
+		live: &state{
+			graph: w.G, nodes: nodes, edges: edges, db: w.Database(),
+			probes: probes, probesList: nemoeval.ProbesListValue(w),
+		},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Graph exposes the committed network graph (read-only by convention).
+func (s *Session) Graph() *graph.Graph { return s.live.graph }
+
+// Backend reports the active code-generation backend.
+func (s *Session) Backend() string { return s.backend }
+
+func (s *Session) bindings(st *state) map[string]nql.Value {
+	inst := &nemoeval.Instance{
+		Graph: st.graph, Nodes: st.nodes, Edges: st.edges, DB: st.db,
+		Probes: st.probes, ProbesList: st.probesList,
+	}
+	return inst.Bindings(s.backend)
+}
+
+// Ask runs one natural-language query through the full pipeline. The
+// generated code executes against a clone of the live state; inspect the
+// returned Interaction (Code, Result, Err) and call Approve to commit.
+func (s *Session) Ask(query string) (*Interaction, error) {
+	p := prompt.BuildCodePrompt(s.wrapper, s.backend, query)
+	ix := &Interaction{Query: query, Prompt: p}
+	s.History = append(s.History, ix)
+	resp, err := s.model.Generate(llm.Request{Prompt: p})
+	if err != nil {
+		ix.Err = err
+		return ix, err
+	}
+	ix.Code = resp.Text
+	if cost, cerr := tokens.Cost(s.model.Name(), resp.PromptTokens, resp.CompletionTokens); cerr == nil {
+		ix.CostUSD = cost
+	}
+	trial := s.live.clone()
+	res := sandbox.Run(resp.Text, s.bindings(trial), s.policy)
+	ix.Stdout = res.Stdout
+	if !res.OK() {
+		ix.Err = res.Err
+		return ix, nil
+	}
+	ix.Result = res.Value
+	s.pending = trial
+	return ix, nil
+}
+
+// Approve commits the most recent Ask's state changes to the live state
+// (the UX "sync state" edge in Figure 2). It is a no-op error when there
+// is nothing pending.
+func (s *Session) Approve() error {
+	if s.pending == nil {
+		return fmt.Errorf("core: no pending result to approve")
+	}
+	if s.pending.graph != nil {
+		for _, inv := range s.invariants {
+			if err := inv.Check(s.pending.graph); err != nil {
+				return &InvariantViolation{Invariant: inv.Name, Err: err}
+			}
+		}
+	}
+	s.live = s.pending
+	s.pending = nil
+	if len(s.History) > 0 {
+		s.History[len(s.History)-1].Approved = true
+	}
+	// Refresh the wrapper over the new graph so subsequent prompts see
+	// up-to-date context.
+	if s.live.graph != nil {
+		if _, ok := s.wrapper.(*traffic.Wrapper); ok {
+			s.wrapper = traffic.NewWrapper(s.live.graph)
+		}
+	}
+	return nil
+}
+
+// Discard drops the pending state.
+func (s *Session) Discard() {
+	s.pending = nil
+}
+
+// SelfDebugAsk asks once and, if execution fails, performs one self-debug
+// repair round before giving up.
+func (s *Session) SelfDebugAsk(query string) (*Interaction, error) {
+	first, err := s.Ask(query)
+	if err != nil || first.Err == nil {
+		return first, err
+	}
+	repair := prompt.BuildRepairPrompt(first.Prompt, first.Code, first.Err.Error())
+	resp, gerr := s.model.Generate(llm.Request{Prompt: repair})
+	if gerr != nil {
+		return first, nil
+	}
+	ix := &Interaction{Query: query, Prompt: repair, Code: resp.Text}
+	s.History = append(s.History, ix)
+	trial := s.live.clone()
+	res := sandbox.Run(resp.Text, s.bindings(trial), s.policy)
+	ix.Stdout = res.Stdout
+	if !res.OK() {
+		ix.Err = res.Err
+		return ix, nil
+	}
+	ix.Result = res.Value
+	s.pending = trial
+	return ix, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/malt"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+	"repro/internal/traffic"
+)
+
+func newTrafficSession(t *testing.T, model string, opts ...Option) *Session {
+	t.Helper()
+	m, err := llm.NewSim(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := traffic.Generate(traffic.Config{Nodes: 80, Edges: 80, Seed: 42})
+	return NewTrafficSession(m, g, opts...)
+}
+
+func TestAskReadOnlyQuery(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	q, _ := queries.ByID("ta-e2")
+	ix, err := s.Ask(q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Err != nil {
+		t.Fatalf("execution error: %v", ix.Err)
+	}
+	if ix.Result != int64(80) {
+		t.Fatalf("result = %v", ix.Result)
+	}
+	if ix.Code == "" || !strings.Contains(ix.Code, "number_of_nodes") {
+		t.Fatalf("code not surfaced for inspection: %q", ix.Code)
+	}
+	if ix.CostUSD <= 0 {
+		t.Fatalf("cost = %v", ix.CostUSD)
+	}
+}
+
+func TestAskMutationRequiresApproval(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	q, _ := queries.ByID("ta-e1") // labels 15.76.* nodes
+	ix, err := s.Ask(q.Text)
+	if err != nil || ix.Err != nil {
+		t.Fatalf("ask: %v %v", err, ix.Err)
+	}
+	// Before approval the live graph is untouched.
+	labeled := 0
+	for _, n := range s.Graph().Nodes() {
+		if s.Graph().NodeAttrs(n)["label"] == "app:production" {
+			labeled++
+		}
+	}
+	if labeled != 0 {
+		t.Fatal("mutation applied before approval")
+	}
+	if err := s.Approve(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range s.Graph().Nodes() {
+		if s.Graph().NodeAttrs(n)["label"] == "app:production" {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Fatal("approval did not commit the mutation")
+	}
+	if !s.History[0].Approved {
+		t.Fatal("history not marked approved")
+	}
+}
+
+func TestDiscardDropsPending(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	q, _ := queries.ByID("ta-e1")
+	if _, err := s.Ask(q.Text); err != nil {
+		t.Fatal(err)
+	}
+	s.Discard()
+	if err := s.Approve(); err == nil {
+		t.Fatal("approve after discard should error")
+	}
+}
+
+func TestApproveWithoutAsk(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	if err := s.Approve(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAskFailingGeneration(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	q, _ := queries.ByID("ta-h6") // calibrated gpt-4 syntax failure
+	ix, err := s.Ask(q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Err == nil {
+		t.Fatal("expected execution error surfaced to operator")
+	}
+	if err := s.Approve(); err == nil {
+		t.Fatal("failed interaction must not be approvable")
+	}
+}
+
+func TestSelfDebugAskRecovers(t *testing.T) {
+	m, _ := llm.NewSim("bard")
+	top := malt.Generate(malt.Config{})
+	s := NewMALTSession(m, top)
+	q, _ := queries.ByID("malt-m2") // bard fails, self-debug fixes
+	ix, err := s.SelfDebugAsk(q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Err != nil {
+		t.Fatalf("self-debug did not recover: %v", ix.Err)
+	}
+	if len(s.History) != 2 {
+		t.Fatalf("history = %d entries, want 2 (attempt + repair)", len(s.History))
+	}
+}
+
+func TestBackendOption(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4", WithBackend(prompt.BackendSQL))
+	if s.Backend() != prompt.BackendSQL {
+		t.Fatal("backend option ignored")
+	}
+	q, _ := queries.ByID("ta-e2")
+	ix, err := s.Ask(q.Text)
+	if err != nil || ix.Err != nil {
+		t.Fatalf("ask: %v %v", err, ix.Err)
+	}
+	if ix.Result != int64(80) {
+		t.Fatalf("result = %v", ix.Result)
+	}
+	if !strings.Contains(ix.Code, "SELECT") {
+		t.Fatalf("sql backend should generate SQL, got %q", ix.Code)
+	}
+}
+
+func TestHistoryAccumulates(t *testing.T) {
+	s := newTrafficSession(t, "gpt-4")
+	for _, id := range []string{"ta-e2", "ta-e3", "ta-e5"} {
+		q, _ := queries.ByID(id)
+		if _, err := s.Ask(q.Text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.History) != 3 {
+		t.Fatalf("history = %d", len(s.History))
+	}
+	for _, ix := range s.History {
+		if ix.Prompt == "" || ix.Code == "" {
+			t.Fatal("history entries must retain prompt and code for audit")
+		}
+	}
+}

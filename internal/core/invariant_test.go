@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/llm"
+	"repro/internal/queries"
+	"repro/internal/traffic"
+)
+
+// minEdgesInvariant refuses changes that drop the edge count below n.
+func minEdgesInvariant(n int) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("at-least-%d-edges", n),
+		Check: func(g *graph.Graph) error {
+			if g.NumEdges() < n {
+				return fmt.Errorf("edge count %d below floor %d", g.NumEdges(), n)
+			}
+			return nil
+		},
+	}
+}
+
+func TestInvariantBlocksApproval(t *testing.T) {
+	m, _ := llm.NewSim("gpt-4")
+	g := traffic.Generate(traffic.Config{Nodes: 80, Edges: 80, Seed: 42})
+	// A change-freeze invariant: no node may carry a "label" attribute.
+	// The ta-e1 labeling mutation is guaranteed to violate it (the fixed
+	// 15.76 prefix always has members).
+	freeze := Invariant{Name: "label-freeze", Check: func(g *graph.Graph) error {
+		for _, n := range g.Nodes() {
+			if _, ok := g.NodeAttrs(n)["label"]; ok {
+				return fmt.Errorf("node %s acquired a label during freeze", n)
+			}
+		}
+		return nil
+	}}
+	s := NewTrafficSession(m, g, WithInvariants(freeze))
+	q, _ := queries.ByID("ta-e1")
+	ix, err := s.Ask(q.Text)
+	if err != nil || ix.Err != nil {
+		t.Fatalf("ask: %v %v", err, ix.Err)
+	}
+	err = s.Approve()
+	var viol *InvariantViolation
+	if !errors.As(err, &viol) {
+		t.Fatalf("err = %v, want InvariantViolation", err)
+	}
+	if viol.Invariant != "label-freeze" {
+		t.Fatalf("invariant = %s", viol.Invariant)
+	}
+	// Live state untouched; pending retained for inspection, then discard.
+	for _, n := range s.Graph().Nodes() {
+		if _, ok := s.Graph().NodeAttrs(n)["label"]; ok {
+			t.Fatal("violation leaked into live state")
+		}
+	}
+	s.Discard()
+	if err := s.Approve(); err == nil {
+		t.Fatal("approve after discard should fail")
+	}
+}
+
+func TestInvariantAllowsSafeChange(t *testing.T) {
+	m, _ := llm.NewSim("gpt-4")
+	g := traffic.Generate(traffic.Config{Nodes: 80, Edges: 80, Seed: 42})
+	s := NewTrafficSession(m, g, WithInvariants(minEdgesInvariant(1)))
+	q, _ := queries.ByID("ta-e1") // labeling mutation keeps all edges
+	ix, err := s.Ask(q.Text)
+	if err != nil || ix.Err != nil {
+		t.Fatalf("ask: %v %v", err, ix.Err)
+	}
+	if err := s.Approve(); err != nil {
+		t.Fatalf("safe change blocked: %v", err)
+	}
+}
+
+func TestMultipleInvariantsAllChecked(t *testing.T) {
+	m, _ := llm.NewSim("gpt-4")
+	g := traffic.Generate(traffic.Config{Nodes: 80, Edges: 80, Seed: 42})
+	called := 0
+	counting := Invariant{Name: "counting", Check: func(*graph.Graph) error {
+		called++
+		return nil
+	}}
+	s := NewTrafficSession(m, g, WithInvariants(counting, minEdgesInvariant(1)))
+	q, _ := queries.ByID("ta-e1")
+	if _, err := s.Ask(q.Text); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Approve(); err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("counting invariant called %d times", called)
+	}
+}

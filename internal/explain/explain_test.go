@@ -1,0 +1,122 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func TestExplainSimpleProgram(t *testing.T) {
+	out, err := Program(`
+let total = 0
+for e in graph.edges() {
+  total = total + e.attrs["bytes"]
+}
+return total`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"define total as 0",
+		"for each e in all edges of graph:",
+		"set total to",
+		"answer with total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainControlFlow(t *testing.T) {
+	out, err := Program(`
+let x = 5
+if x > 3 {
+  print("big")
+} else {
+  print("small")
+}
+while x > 0 {
+  x = x - 1
+  if x == 2 { break }
+}
+return nil`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"if x exceeds 3:",
+		"otherwise:",
+		"repeat while x exceeds 0:",
+		"stop the loop",
+		"answer with nothing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDomainPhrases(t *testing.T) {
+	out, err := Program(`
+graph.remove_node("h001")
+let f = db.query("SELECT 1")
+let cl = kmeans([1.0, 2.0], 2)
+return sorted(keys(cl))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`Remove node "h001"`,
+		`run the SQL query "SELECT 1"`,
+		"k-means clustering",
+		"sorted form of the keys of cl",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainSyntaxErrorPropagates(t *testing.T) {
+	if _, err := Program("let = broken"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// TestExplainEveryGolden: every golden program in the benchmark must be
+// explainable — the operator-comprehension path covers the whole corpus.
+func TestExplainEveryGolden(t *testing.T) {
+	for _, q := range queries.All() {
+		for backend, src := range q.Golden {
+			out, err := Program(src)
+			if err != nil {
+				t.Errorf("%s/%s: %v", q.ID, backend, err)
+				continue
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Errorf("%s/%s: empty explanation", q.ID, backend)
+			}
+		}
+	}
+}
+
+func TestExplainLambdasAndMaps(t *testing.T) {
+	out, err := Program(`
+let f = fn(x) => x * 2
+let m = {"a": 1}
+return [f, m, []]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"a function of (x) computing x * 2",
+		`{"a": 1}`,
+		"an empty list",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}

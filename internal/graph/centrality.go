@@ -1,0 +1,255 @@
+package graph
+
+import "sort"
+
+// DegreeCentrality returns degree/(n-1) for every node (NetworkX semantics).
+func (g *Graph) DegreeCentrality() map[string]float64 {
+	out := make(map[string]float64, g.NumNodes())
+	n := g.NumNodes()
+	if n <= 1 {
+		for _, id := range g.nodeOrder {
+			out[id] = 0
+		}
+		return out
+	}
+	scale := 1.0 / float64(n-1)
+	for _, id := range g.nodeOrder {
+		out[id] = float64(g.Degree(id)) * scale
+	}
+	return out
+}
+
+// ClosenessCentrality returns, for each node, (r-1)/total_dist * (r-1)/(n-1)
+// where r is the number of nodes reachable *to* the node (NetworkX uses
+// incoming distance for directed graphs; we use outgoing BFS on the reversed
+// graph which is equivalent).
+func (g *Graph) ClosenessCentrality() map[string]float64 {
+	out := make(map[string]float64, g.NumNodes())
+	work := g
+	if g.directed {
+		work = g.Reverse()
+	}
+	n := g.NumNodes()
+	for _, id := range g.nodeOrder {
+		dist := work.bfsDistances(id)
+		total := 0
+		for _, d := range dist {
+			total += d
+		}
+		r := len(dist) // includes self
+		if total > 0 && n > 1 {
+			c := float64(r-1) / float64(total)
+			c *= float64(r-1) / float64(n-1)
+			out[id] = c
+		} else {
+			out[id] = 0
+		}
+	}
+	return out
+}
+
+// BetweennessCentrality computes exact betweenness via Brandes' algorithm
+// (unweighted). When normalized, values are scaled by 1/((n-1)(n-2)) for
+// directed graphs and 2/((n-1)(n-2)) for undirected graphs.
+func (g *Graph) BetweennessCentrality(normalized bool) map[string]float64 {
+	bc := make(map[string]float64, g.NumNodes())
+	for _, n := range g.nodeOrder {
+		bc[n] = 0
+	}
+	for _, s := range g.nodeOrder {
+		// Single-source shortest paths (BFS).
+		var stack []string
+		preds := map[string][]string{}
+		sigma := map[string]float64{s: 1}
+		dist := map[string]int{s: 0}
+		queue := []string{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Accumulation.
+		delta := map[string]float64{}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	n := g.NumNodes()
+	if !g.directed {
+		for k := range bc {
+			bc[k] /= 2
+		}
+	}
+	if normalized && n > 2 {
+		scale := 1.0 / (float64(n-1) * float64(n-2))
+		if !g.directed {
+			scale *= 2
+		}
+		for k := range bc {
+			bc[k] *= scale
+		}
+	}
+	return bc
+}
+
+// PageRank computes PageRank with damping factor d until the L1 change drops
+// below tol or maxIter iterations elapse. Dangling nodes distribute their
+// rank uniformly, matching NetworkX.
+func (g *Graph) PageRank(d float64, maxIter int, tol float64) map[string]float64 {
+	n := g.NumNodes()
+	out := make(map[string]float64, n)
+	if n == 0 {
+		return out
+	}
+	rank := make(map[string]float64, n)
+	for _, id := range g.nodeOrder {
+		rank[id] = 1.0 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next := make(map[string]float64, n)
+		dangling := 0.0
+		for _, id := range g.nodeOrder {
+			outdeg := len(g.succ[id])
+			if outdeg == 0 {
+				dangling += rank[id]
+				continue
+			}
+			share := rank[id] / float64(outdeg)
+			for nb := range g.succ[id] {
+				next[nb] += share
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		change := 0.0
+		for _, id := range g.nodeOrder {
+			v := base + d*next[id]
+			diff := v - rank[id]
+			if diff < 0 {
+				diff = -diff
+			}
+			change += diff
+			rank[id] = v
+		}
+		if change < tol {
+			break
+		}
+	}
+	for k, v := range rank {
+		out[k] = v
+	}
+	return out
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of each
+// node treating the graph as undirected (standard triangle-based formula).
+func (g *Graph) ClusteringCoefficient() map[string]float64 {
+	und := g
+	if g.directed {
+		und = g.AsUndirected()
+	}
+	out := make(map[string]float64, g.NumNodes())
+	for _, id := range g.nodeOrder {
+		nbrs := und.Neighbors(id)
+		// Exclude self-loops from neighborhood.
+		filtered := nbrs[:0:0]
+		for _, nb := range nbrs {
+			if nb != id {
+				filtered = append(filtered, nb)
+			}
+		}
+		k := len(filtered)
+		if k < 2 {
+			out[id] = 0
+			continue
+		}
+		links := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if und.HasEdge(filtered[i], filtered[j]) {
+					links++
+				}
+			}
+		}
+		out[id] = 2 * float64(links) / float64(k*(k-1))
+	}
+	return out
+}
+
+// AverageClustering returns the mean local clustering coefficient.
+func (g *Graph) AverageClustering() float64 {
+	cc := g.ClusteringCoefficient()
+	if len(cc) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range cc {
+		total += v
+	}
+	return total / float64(len(cc))
+}
+
+// AsUndirected returns an undirected copy of the graph. Edge attributes of
+// anti-parallel directed edges are merged, later edge winning per key.
+func (g *Graph) AsUndirected() *Graph {
+	u := New()
+	u.attrs = g.attrs.Clone()
+	for _, n := range g.nodeOrder {
+		u.AddNode(n, g.nodes[n].Clone())
+	}
+	for _, k := range g.edgeOrder {
+		u.AddEdge(k.U, k.V, g.edges[k].Clone())
+	}
+	return u
+}
+
+// TopNByDegree returns the n nodes with the highest degree, ties broken by
+// node ID, as (node, degree) pairs in descending order.
+func (g *Graph) TopNByDegree(n int) []struct {
+	Node   string
+	Degree int
+} {
+	type nd struct {
+		Node   string
+		Degree int
+	}
+	all := make([]nd, 0, g.NumNodes())
+	for _, id := range g.nodeOrder {
+		all = append(all, nd{id, g.Degree(id)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Degree != all[j].Degree {
+			return all[i].Degree > all[j].Degree
+		}
+		return all[i].Node < all[j].Node
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Node   string
+		Degree int
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Node   string
+			Degree int
+		}{all[i].Node, all[i].Degree}
+	}
+	return out
+}

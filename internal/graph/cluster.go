@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KMeans1D clusters scalar values into k groups using deterministic 1-D
+// k-means: initial centroids are evenly spaced quantiles of the sorted
+// values, and Lloyd iterations run until assignment fixpoint (or maxIter).
+// It returns the cluster index (0..k-1, ordered by ascending centroid) for
+// each input value, aligned with the input slice.
+//
+// The benchmark's "cluster nodes into 5 groups by total byte weight" query
+// uses this; determinism matters so golden answers are stable.
+func KMeans1D(values []float64, k int, maxIter int) []int {
+	n := len(values)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	centroids := make([]float64, k)
+	for i := 0; i < k; i++ {
+		// Quantile midpoints: deterministic and spread across the range.
+		idx := (2*i + 1) * n / (2 * k)
+		if idx >= n {
+			idx = n - 1
+		}
+		centroids[i] = sorted[idx]
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range values {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				d := math.Abs(v - ctr)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centroids[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Relabel clusters so that index order follows ascending centroid.
+	type cw struct {
+		idx int
+		ctr float64
+	}
+	order := make([]cw, k)
+	for i := range order {
+		order[i] = cw{i, centroids[i]}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ctr < order[j].ctr })
+	remap := make([]int, k)
+	for newIdx, o := range order {
+		remap[o.idx] = newIdx
+	}
+	out := make([]int, n)
+	for i, a := range assign {
+		out[i] = remap[a]
+	}
+	return out
+}
+
+// ClusterNodesBy clusters all nodes into k groups keyed by fn(node) and
+// returns node -> cluster index (0..k-1 by ascending cluster centroid).
+func (g *Graph) ClusterNodesBy(k int, fn func(id string) float64) map[string]int {
+	nodes := g.Nodes()
+	vals := make([]float64, len(nodes))
+	for i, n := range nodes {
+		vals[i] = fn(n)
+	}
+	assign := KMeans1D(vals, k, 100)
+	out := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		out[n] = assign[i]
+	}
+	return out
+}

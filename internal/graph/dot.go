@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOTOptions controls Graphviz rendering.
+type DOTOptions struct {
+	Name string // graph name (default "G")
+	// ColorAttr names a node attribute whose string value becomes the
+	// node's fill color (the paper's Figure 1 color-by-prefix view uses
+	// the "color" attribute).
+	ColorAttr string
+	// LabelAttr names a node attribute appended to the node label.
+	LabelAttr string
+	// EdgeLabelAttr names an edge attribute rendered as the edge label.
+	EdgeLabelAttr string
+}
+
+// DOT renders the graph in Graphviz DOT format with deterministic ordering
+// (nodes and edges sorted), suitable for `dot -Tsvg`.
+func (g *Graph) DOT(opts DOTOptions) string {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	var sb strings.Builder
+	kind, arrow := "graph", " -- "
+	if g.directed {
+		kind, arrow = "digraph", " -> "
+	}
+	fmt.Fprintf(&sb, "%s %s {\n", kind, name)
+	sb.WriteString("  node [shape=ellipse, style=filled, fillcolor=white];\n")
+
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		attrs := g.nodes[n]
+		var parts []string
+		label := dotQuote(n)
+		if opts.LabelAttr != "" {
+			if v, ok := attrs[opts.LabelAttr]; ok {
+				// \n is a DOT escape (line break inside the node label).
+				label = dotQuote(fmt.Sprintf("%s\\n%v", n, v))
+			}
+		}
+		parts = append(parts, "label="+label)
+		if opts.ColorAttr != "" {
+			if c, ok := attrs[opts.ColorAttr].(string); ok && c != "" {
+				parts = append(parts, fmt.Sprintf("fillcolor=%q", c))
+			}
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", n, strings.Join(parts, ", "))
+	}
+
+	keys := make([]EdgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
+	for _, k := range keys {
+		attr := ""
+		if opts.EdgeLabelAttr != "" {
+			if v, ok := g.edges[k][opts.EdgeLabelAttr]; ok {
+				attr = fmt.Sprintf(" [label=%q]", fmt.Sprintf("%v", v))
+			}
+		}
+		fmt.Fprintf(&sb, "  %q%s%q%s;\n", k.U, arrow, k.V, attr)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotQuote wraps s in DOT double quotes, escaping embedded quotes but
+// preserving DOT escape sequences like \n.
+func dotQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTDirected(t *testing.T) {
+	g := NewDirected()
+	g.AddNode("a", Attrs{"color": "red", "ip": "10.0.0.1"})
+	g.AddEdge("a", "b", Attrs{"bytes": 100})
+	out := g.DOT(DOTOptions{ColorAttr: "color", LabelAttr: "ip", EdgeLabelAttr: "bytes"})
+	for _, want := range []string{
+		"digraph G {",
+		`"a" -> "b" [label="100"];`,
+		`fillcolor="red"`,
+		`10.0.0.1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTUndirected(t *testing.T) {
+	g := New()
+	g.AddEdge("x", "y", nil)
+	out := g.DOT(DOTOptions{Name: "net"})
+	if !strings.Contains(out, "graph net {") || !strings.Contains(out, `"x" -- "y";`) {
+		t.Fatalf("DOT:\n%s", out)
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	a := New()
+	a.AddEdge("b", "a", nil)
+	a.AddNode("c", nil)
+	b := New()
+	b.AddNode("c", nil)
+	b.AddEdge("a", "b", nil)
+	if a.DOT(DOTOptions{}) != b.DOT(DOTOptions{}) {
+		t.Fatal("DOT output should be insertion-order independent")
+	}
+}
+
+func TestDOTNoColorWhenAbsent(t *testing.T) {
+	g := New()
+	g.AddNode("plain", nil)
+	out := g.DOT(DOTOptions{ColorAttr: "color"})
+	if strings.Contains(out, "fillcolor=\"") && !strings.Contains(out, "fillcolor=white") {
+		t.Fatalf("unexpected fillcolor:\n%s", out)
+	}
+}

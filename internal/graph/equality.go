@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Equal reports whether two graphs are identical: same directedness, node
+// set, edge set, and attribute maps (deep value equality after
+// normalization). Insertion order is deliberately ignored.
+func Equal(a, b *Graph) bool {
+	return Diff(a, b) == ""
+}
+
+// Diff returns a human-readable description of the first few differences
+// between two graphs, or "" when they are equal. The benchmark evaluator
+// uses this to explain "graphs are not identical" failures.
+func Diff(a, b *Graph) string {
+	var diffs []string
+	add := func(format string, args ...any) {
+		if len(diffs) < 8 {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		}
+	}
+	if a.directed != b.directed {
+		add("directedness differs: %v vs %v", a.directed, b.directed)
+	}
+	if !ValueEqual(map[string]any(a.attrs), map[string]any(b.attrs)) {
+		add("graph attributes differ")
+	}
+	for _, n := range a.nodeOrder {
+		battrs, ok := b.nodes[n]
+		if !ok {
+			add("node %q missing from second graph", n)
+			continue
+		}
+		if !ValueEqual(map[string]any(a.nodes[n]), map[string]any(battrs)) {
+			add("node %q attributes differ: %v vs %v", n, a.nodes[n], battrs)
+		}
+	}
+	for _, n := range b.nodeOrder {
+		if _, ok := a.nodes[n]; !ok {
+			add("node %q missing from first graph", n)
+		}
+	}
+	for k, av := range a.edges {
+		bv, ok := b.edges[k]
+		if !ok {
+			add("edge (%q,%q) missing from second graph", k.U, k.V)
+			continue
+		}
+		if !ValueEqual(map[string]any(av), map[string]any(bv)) {
+			add("edge (%q,%q) attributes differ: %v vs %v", k.U, k.V, av, bv)
+		}
+	}
+	for k := range b.edges {
+		if _, ok := a.edges[k]; !ok {
+			add("edge (%q,%q) missing from first graph", k.U, k.V)
+		}
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// ValueEqual compares two attribute-style values deeply after normalization.
+// Numeric comparison treats int64 and float64 with equal magnitude as equal
+// (generated code frequently mixes them). Lists compare element-wise; maps
+// compare key-wise.
+func ValueEqual(a, b any) bool {
+	a, b = Normalize(a), Normalize(b)
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y
+		case float64:
+			return float64(x) == y
+		}
+		return false
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return x == float64(y)
+		case float64:
+			return x == y
+		}
+		return false
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !ValueEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		y, ok := toStringMap(b)
+		if !ok {
+			return false
+		}
+		if len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			w, ok := y[k]
+			if !ok || !ValueEqual(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Attrs and other map aliases.
+		if m, ok := toStringMap(a); ok {
+			return ValueEqual(m, b)
+		}
+		return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b)
+	}
+}
+
+func toStringMap(v any) (map[string]any, bool) {
+	switch m := v.(type) {
+	case map[string]any:
+		return m, true
+	case Attrs:
+		return map[string]any(m), true
+	default:
+		return nil, false
+	}
+}
+
+// Fingerprint returns a canonical string capturing the full graph content:
+// useful in tests and for hashing results.
+func (g *Graph) Fingerprint() string {
+	var sb strings.Builder
+	if g.directed {
+		sb.WriteString("digraph\n")
+	} else {
+		sb.WriteString("graph\n")
+	}
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sb.WriteString("n ")
+		sb.WriteString(n)
+		sb.WriteString(" ")
+		sb.WriteString(canonAttrs(g.nodes[n]))
+		sb.WriteString("\n")
+	}
+	keys := make([]EdgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "e %s %s %s\n", k.U, k.V, canonAttrs(g.edges[k]))
+	}
+	return sb.String()
+}
+
+func canonAttrs(a Attrs) string {
+	if len(a) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, CanonValue(a[k]))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// CanonValue renders a value canonically (maps sorted by key, floats that
+// are integral rendered without decimals) for fingerprinting.
+func CanonValue(v any) string {
+	switch x := Normalize(v).(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return fmt.Sprintf("%v", x)
+	case string:
+		return fmt.Sprintf("%q", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	case []any:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = CanonValue(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case map[string]any:
+		return canonAttrs(Attrs(x))
+	case Attrs:
+		return canonAttrs(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

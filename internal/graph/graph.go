@@ -1,0 +1,392 @@
+// Package graph implements an attributed multigraph library in the spirit of
+// NetworkX. It is the primary execution substrate for LLM-generated network
+// management programs: nodes and edges carry free-form attribute maps, the
+// graph may be directed or undirected, and iteration order is deterministic
+// (insertion order) so that benchmark runs are reproducible.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attrs is a free-form attribute map attached to nodes, edges and the graph
+// itself. Values should be one of: nil, bool, int64, float64, string,
+// []any, or map[string]any so that equality and JSON round-trips are
+// well-defined. The convenience setters normalize Go ints to int64.
+type Attrs map[string]any
+
+// Clone returns a shallow copy of the attribute map (nested values are
+// shared; callers that mutate nested values should copy them explicitly).
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	out := make(Attrs, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Normalize converts int-kind values to int64 and float32 to float64 so
+// attribute comparisons behave uniformly regardless of the caller's types.
+func Normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int8:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint:
+		return int64(x)
+	case uint8:
+		return int64(x)
+	case uint16:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+// EdgeKey identifies an edge by its endpoints. In an undirected graph the
+// canonical key orders the endpoints lexicographically.
+type EdgeKey struct {
+	U, V string
+}
+
+// Edge is a materialized view of one edge and its attributes.
+type Edge struct {
+	U, V  string
+	Attrs Attrs
+}
+
+// Graph is an attributed simple graph (at most one edge per ordered node
+// pair; an undirected graph stores each edge once under its canonical key).
+// The zero value is not usable; construct with New or NewDirected.
+type Graph struct {
+	directed bool
+	attrs    Attrs
+
+	nodeOrder []string
+	nodes     map[string]Attrs
+
+	edgeOrder []EdgeKey
+	edges     map[EdgeKey]Attrs
+
+	succ map[string]map[string]struct{} // out-neighbors (or neighbors if undirected)
+	pred map[string]map[string]struct{} // in-neighbors (mirror of succ if undirected)
+}
+
+// New returns an empty undirected graph.
+func New() *Graph { return newGraph(false) }
+
+// NewDirected returns an empty directed graph.
+func NewDirected() *Graph { return newGraph(true) }
+
+func newGraph(directed bool) *Graph {
+	return &Graph{
+		directed: directed,
+		attrs:    Attrs{},
+		nodes:    map[string]Attrs{},
+		edges:    map[EdgeKey]Attrs{},
+		succ:     map[string]map[string]struct{}{},
+		pred:     map[string]map[string]struct{}{},
+	}
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// GraphAttrs returns the graph-level attribute map (mutable).
+func (g *Graph) GraphAttrs() Attrs { return g.attrs }
+
+func (g *Graph) key(u, v string) EdgeKey {
+	if !g.directed && u > v {
+		u, v = v, u
+	}
+	return EdgeKey{U: u, V: v}
+}
+
+// AddNode inserts a node if absent and merges attrs into its attribute map.
+func (g *Graph) AddNode(id string, attrs Attrs) {
+	cur, ok := g.nodes[id]
+	if !ok {
+		cur = Attrs{}
+		g.nodes[id] = cur
+		g.nodeOrder = append(g.nodeOrder, id)
+		g.succ[id] = map[string]struct{}{}
+		g.pred[id] = map[string]struct{}{}
+	}
+	for k, v := range attrs {
+		cur[k] = Normalize(v)
+	}
+}
+
+// HasNode reports whether id exists in the graph.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// NodeAttrs returns the attribute map for id, or nil if id is absent. The
+// returned map is live: mutations are visible in the graph.
+func (g *Graph) NodeAttrs(id string) Attrs { return g.nodes[id] }
+
+// SetNodeAttr sets one attribute on an existing node. It returns an error if
+// the node does not exist — mirroring the "imaginary attribute/node" failure
+// mode the benchmark must surface.
+func (g *Graph) SetNodeAttr(id, key string, value any) error {
+	a, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: node %q does not exist", id)
+	}
+	a[key] = Normalize(value)
+	return nil
+}
+
+// RemoveNode deletes a node and every incident edge. Removing an absent node
+// is an error (NetworkX raises too).
+func (g *Graph) RemoveNode(id string) error {
+	if !g.HasNode(id) {
+		return fmt.Errorf("graph: node %q does not exist", id)
+	}
+	// Collect incident edges first to avoid mutating while iterating.
+	var doomed []EdgeKey
+	for k := range g.edges {
+		if k.U == id || k.V == id {
+			doomed = append(doomed, k)
+		}
+	}
+	for _, k := range doomed {
+		g.removeEdgeKey(k)
+	}
+	delete(g.nodes, id)
+	delete(g.succ, id)
+	delete(g.pred, id)
+	for i, n := range g.nodeOrder {
+		if n == id {
+			g.nodeOrder = append(g.nodeOrder[:i], g.nodeOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// AddEdge inserts an edge (creating endpoints if necessary) and merges attrs.
+func (g *Graph) AddEdge(u, v string, attrs Attrs) {
+	g.AddNode(u, nil)
+	g.AddNode(v, nil)
+	k := g.key(u, v)
+	cur, ok := g.edges[k]
+	if !ok {
+		cur = Attrs{}
+		g.edges[k] = cur
+		g.edgeOrder = append(g.edgeOrder, k)
+	}
+	for a, val := range attrs {
+		cur[a] = Normalize(val)
+	}
+	g.succ[u][v] = struct{}{}
+	g.pred[v][u] = struct{}{}
+	if !g.directed {
+		g.succ[v][u] = struct{}{}
+		g.pred[u][v] = struct{}{}
+	}
+}
+
+// HasEdge reports whether the edge u->v (or u—v when undirected) exists.
+func (g *Graph) HasEdge(u, v string) bool {
+	_, ok := g.edges[g.key(u, v)]
+	return ok
+}
+
+// EdgeAttrs returns the live attribute map of edge u,v or nil if absent.
+func (g *Graph) EdgeAttrs(u, v string) Attrs { return g.edges[g.key(u, v)] }
+
+// SetEdgeAttr sets one attribute on an existing edge.
+func (g *Graph) SetEdgeAttr(u, v, key string, value any) error {
+	a, ok := g.edges[g.key(u, v)]
+	if !ok {
+		return fmt.Errorf("graph: edge (%q,%q) does not exist", u, v)
+	}
+	a[key] = Normalize(value)
+	return nil
+}
+
+// RemoveEdge deletes the edge u,v. Removing an absent edge is an error.
+func (g *Graph) RemoveEdge(u, v string) error {
+	k := g.key(u, v)
+	if _, ok := g.edges[k]; !ok {
+		return fmt.Errorf("graph: edge (%q,%q) does not exist", u, v)
+	}
+	g.removeEdgeKey(k)
+	return nil
+}
+
+func (g *Graph) removeEdgeKey(k EdgeKey) {
+	delete(g.edges, k)
+	for i, e := range g.edgeOrder {
+		if e == k {
+			g.edgeOrder = append(g.edgeOrder[:i], g.edgeOrder[i+1:]...)
+			break
+		}
+	}
+	delete(g.succ[k.U], k.V)
+	delete(g.pred[k.V], k.U)
+	if !g.directed {
+		delete(g.succ[k.V], k.U)
+		delete(g.pred[k.U], k.V)
+	}
+}
+
+// Nodes returns node IDs in insertion order. The slice is a copy.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.nodeOrder))
+	copy(out, g.nodeOrder)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns materialized edges in insertion order. Attribute maps are
+// live references.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edgeOrder))
+	for _, k := range g.edgeOrder {
+		out = append(out, Edge{U: k.U, V: k.V, Attrs: g.edges[k]})
+	}
+	return out
+}
+
+// Neighbors returns the out-neighbors of id (all neighbors when undirected),
+// sorted lexicographically for determinism.
+func (g *Graph) Neighbors(id string) []string {
+	return sortedKeys(g.succ[id])
+}
+
+// Predecessors returns the in-neighbors of id (same as Neighbors when
+// undirected), sorted.
+func (g *Graph) Predecessors(id string) []string {
+	return sortedKeys(g.pred[id])
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the degree of id: total degree for undirected graphs,
+// in+out degree for directed graphs.
+func (g *Graph) Degree(id string) int {
+	if !g.HasNode(id) {
+		return 0
+	}
+	if g.directed {
+		return len(g.succ[id]) + len(g.pred[id])
+	}
+	d := len(g.succ[id])
+	if _, self := g.succ[id][id]; self {
+		d++ // NetworkX counts self-loops twice in undirected degree.
+	}
+	return d
+}
+
+// InDegree returns the in-degree (undirected graphs: same as Degree).
+func (g *Graph) InDegree(id string) int {
+	if !g.directed {
+		return g.Degree(id)
+	}
+	return len(g.pred[id])
+}
+
+// OutDegree returns the out-degree (undirected graphs: same as Degree).
+func (g *Graph) OutDegree(id string) int {
+	if !g.directed {
+		return g.Degree(id)
+	}
+	return len(g.succ[id])
+}
+
+// Clone returns a deep copy of the graph (attribute maps are copied one
+// level deep, matching Attrs.Clone).
+func (g *Graph) Clone() *Graph {
+	c := newGraph(g.directed)
+	c.attrs = g.attrs.Clone()
+	if c.attrs == nil {
+		c.attrs = Attrs{}
+	}
+	for _, n := range g.nodeOrder {
+		c.AddNode(n, g.nodes[n].Clone())
+	}
+	for _, k := range g.edgeOrder {
+		c.AddEdge(k.U, k.V, g.edges[k].Clone())
+	}
+	return c
+}
+
+// Subgraph returns a new graph induced by keep: it contains every listed
+// node present in g and every edge whose endpoints are both kept.
+func (g *Graph) Subgraph(keep []string) *Graph {
+	in := make(map[string]bool, len(keep))
+	for _, n := range keep {
+		if g.HasNode(n) {
+			in[n] = true
+		}
+	}
+	s := newGraph(g.directed)
+	for _, n := range g.nodeOrder {
+		if in[n] {
+			s.AddNode(n, g.nodes[n].Clone())
+		}
+	}
+	for _, k := range g.edgeOrder {
+		if in[k.U] && in[k.V] {
+			s.AddEdge(k.U, k.V, g.edges[k].Clone())
+		}
+	}
+	return s
+}
+
+// Reverse returns a copy of a directed graph with all edges reversed; for an
+// undirected graph it is equivalent to Clone.
+func (g *Graph) Reverse() *Graph {
+	if !g.directed {
+		return g.Clone()
+	}
+	r := newGraph(true)
+	r.attrs = g.attrs.Clone()
+	for _, n := range g.nodeOrder {
+		r.AddNode(n, g.nodes[n].Clone())
+	}
+	for _, k := range g.edgeOrder {
+		r.AddEdge(k.V, k.U, g.edges[k].Clone())
+	}
+	return r
+}
+
+// String summarizes the graph, e.g. "DiGraph(12 nodes, 30 edges)".
+func (g *Graph) String() string {
+	kind := "Graph"
+	if g.directed {
+		kind = "DiGraph"
+	}
+	return fmt.Sprintf("%s(%d nodes, %d edges)", kind, g.NumNodes(), g.NumEdges())
+}

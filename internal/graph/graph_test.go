@@ -1,0 +1,911 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildLine(t *testing.T, directed bool, n int) *Graph {
+	t.Helper()
+	var g *Graph
+	if directed {
+		g = NewDirected()
+	} else {
+		g = New()
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(fmt.Sprintf("n%02d", i), fmt.Sprintf("n%02d", i+1), Attrs{"w": i + 1})
+	}
+	return g
+}
+
+func TestAddNodeIdempotentMerge(t *testing.T) {
+	g := New()
+	g.AddNode("a", Attrs{"x": 1})
+	g.AddNode("a", Attrs{"y": 2})
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	a := g.NodeAttrs("a")
+	if a["x"] != int64(1) || a["y"] != int64(2) {
+		t.Fatalf("attrs not merged: %v", a)
+	}
+}
+
+func TestAddEdgeCreatesEndpoints(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("u", "v", Attrs{"bytes": 100})
+	if !g.HasNode("u") || !g.HasNode("v") {
+		t.Fatal("endpoints not auto-created")
+	}
+	if !g.HasEdge("u", "v") {
+		t.Fatal("edge missing")
+	}
+	if g.HasEdge("v", "u") {
+		t.Fatal("directed graph should not have reverse edge")
+	}
+}
+
+func TestUndirectedEdgeSymmetric(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "a", Attrs{"w": 3})
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Fatal("undirected edge should match both orders")
+	}
+	if got := g.EdgeAttrs("a", "b")["w"]; got != int64(3) {
+		t.Fatalf("attrs via reversed key = %v", got)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveNodeRemovesIncidentEdges(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	g.AddEdge("a", "c", nil)
+	if err := g.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("after removal: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.HasEdge("a", "b") || g.HasEdge("b", "c") {
+		t.Fatal("incident edges not removed")
+	}
+}
+
+func TestRemoveMissingNodeErrors(t *testing.T) {
+	g := New()
+	if err := g.RemoveNode("ghost"); err == nil {
+		t.Fatal("expected error removing absent node")
+	}
+	if err := g.RemoveEdge("x", "y"); err == nil {
+		t.Fatal("expected error removing absent edge")
+	}
+}
+
+func TestSetNodeAttrMissingNode(t *testing.T) {
+	g := New()
+	if err := g.SetNodeAttr("ghost", "k", 1); err == nil {
+		t.Fatal("expected error on imaginary node")
+	}
+	g.AddNode("real", nil)
+	if err := g.SetNodeAttr("real", "k", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeDirectedVsUndirected(t *testing.T) {
+	d := NewDirected()
+	d.AddEdge("a", "b", nil)
+	d.AddEdge("c", "a", nil)
+	if got := d.Degree("a"); got != 2 {
+		t.Fatalf("directed total degree = %d, want 2", got)
+	}
+	if d.InDegree("a") != 1 || d.OutDegree("a") != 1 {
+		t.Fatalf("in/out = %d/%d, want 1/1", d.InDegree("a"), d.OutDegree("a"))
+	}
+	u := New()
+	u.AddEdge("a", "b", nil)
+	u.AddEdge("a", "c", nil)
+	if got := u.Degree("a"); got != 2 {
+		t.Fatalf("undirected degree = %d, want 2", got)
+	}
+}
+
+func TestSelfLoopDegree(t *testing.T) {
+	u := New()
+	u.AddEdge("a", "a", nil)
+	if got := u.Degree("a"); got != 2 {
+		t.Fatalf("undirected self-loop degree = %d, want 2", got)
+	}
+	d := NewDirected()
+	d.AddEdge("a", "a", nil)
+	if got := d.Degree("a"); got != 2 {
+		t.Fatalf("directed self-loop degree = %d, want 2 (1 in + 1 out)", got)
+	}
+}
+
+func TestBFSOrderAndReachability(t *testing.T) {
+	g := buildLine(t, true, 5)
+	got := g.BFS("n00")
+	want := []string{"n00", "n01", "n02", "n03", "n04"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BFS = %v, want %v", got, want)
+	}
+	if got := g.BFS("n04"); len(got) != 1 {
+		t.Fatalf("BFS from sink = %v", got)
+	}
+	if g.BFS("ghost") != nil {
+		t.Fatal("BFS from missing node should be nil")
+	}
+}
+
+func TestDFSVisitsAllReachable(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("a", "c", nil)
+	g.AddEdge("c", "d", nil)
+	got := g.DFS("a")
+	if len(got) != 4 || got[0] != "a" {
+		t.Fatalf("DFS = %v", got)
+	}
+}
+
+func TestShortestPathAndHops(t *testing.T) {
+	g := buildLine(t, false, 6)
+	p, err := g.ShortestPath("n00", "n05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 6 {
+		t.Fatalf("path = %v", p)
+	}
+	h, err := g.HopCount("n00", "n05")
+	if err != nil || h != 5 {
+		t.Fatalf("hops = %d err=%v, want 5", h, err)
+	}
+	if _, err := g.ShortestPath("n00", "ghost"); err == nil {
+		t.Fatal("expected missing-node error")
+	}
+	g2 := New()
+	g2.AddNode("x", nil)
+	g2.AddNode("y", nil)
+	if _, err := g2.ShortestPath("x", "y"); err == nil {
+		t.Fatal("expected no-path error")
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := New()
+	g.AddNode("a", nil)
+	p, err := g.ShortestPath("a", "a")
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self path = %v err=%v", p, err)
+	}
+}
+
+func TestDijkstraPrefersLightPath(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("s", "t", Attrs{"w": 10})
+	g.AddEdge("s", "m", Attrs{"w": 1})
+	g.AddEdge("m", "t", Attrs{"w": 2})
+	p, cost, err := g.DijkstraPath("s", "t", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 || len(p) != 3 {
+		t.Fatalf("path=%v cost=%v", p, cost)
+	}
+}
+
+func TestDijkstraMissingWeightDefaultsToOne(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	_, cost, err := g.DijkstraPath("a", "c", "w")
+	if err != nil || cost != 2 {
+		t.Fatalf("cost=%v err=%v", cost, err)
+	}
+}
+
+func TestDijkstraNegativeWeightRejected(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", Attrs{"w": -1})
+	if _, _, err := g.DijkstraPath("a", "b", "w"); err == nil {
+		t.Fatal("expected negative-weight error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("c", "d", nil)
+	g.AddEdge("d", "e", nil)
+	g.AddNode("lone", nil)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 { // largest first
+		t.Fatalf("largest component = %v", comps[0])
+	}
+}
+
+func TestConnectedComponentsIgnoreDirection(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("c", "b", nil) // b has two in-edges; still one weak component
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("weak components = %v", comps)
+	}
+}
+
+func TestStronglyConnectedComponents(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	g.AddEdge("c", "a", nil)
+	g.AddEdge("c", "d", nil)
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 2 {
+		t.Fatalf("sccs = %v", sccs)
+	}
+	if !reflect.DeepEqual(sccs[0], []string{"a", "b", "c"}) {
+		t.Fatalf("big scc = %v", sccs[0])
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	acyclic := NewDirected()
+	acyclic.AddEdge("a", "b", nil)
+	acyclic.AddEdge("b", "c", nil)
+	if acyclic.HasCycle() {
+		t.Fatal("DAG misreported as cyclic")
+	}
+	cyclic := NewDirected()
+	cyclic.AddEdge("a", "b", nil)
+	cyclic.AddEdge("b", "a", nil)
+	if !cyclic.HasCycle() {
+		t.Fatal("2-cycle not detected")
+	}
+	selfloop := NewDirected()
+	selfloop.AddEdge("a", "a", nil)
+	if !selfloop.HasCycle() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+	tree := New()
+	tree.AddEdge("a", "b", nil)
+	tree.AddEdge("a", "c", nil)
+	if tree.HasCycle() {
+		t.Fatal("tree misreported as cyclic")
+	}
+	triangle := New()
+	triangle.AddEdge("a", "b", nil)
+	triangle.AddEdge("b", "c", nil)
+	triangle.AddEdge("c", "a", nil)
+	if !triangle.HasCycle() {
+		t.Fatal("triangle not detected")
+	}
+}
+
+func TestTopologicalSort(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("b", "d", nil)
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("a", "c", nil)
+	g.AddEdge("c", "d", nil)
+	order, err := g.TopologicalSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.U] >= pos[e.V] {
+			t.Fatalf("order violates edge %s->%s: %v", e.U, e.V, order)
+		}
+	}
+	cyc := NewDirected()
+	cyc.AddEdge("x", "y", nil)
+	cyc.AddEdge("y", "x", nil)
+	if _, err := cyc.TopologicalSort(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestSubgraphInduced(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", Attrs{"w": 1})
+	g.AddEdge("b", "c", Attrs{"w": 2})
+	g.AddEdge("c", "a", Attrs{"w": 3})
+	s := g.Subgraph([]string{"a", "b", "ghost"})
+	if s.NumNodes() != 2 || s.NumEdges() != 1 {
+		t.Fatalf("subgraph = %v", s)
+	}
+	if s.EdgeAttrs("a", "b")["w"] != int64(1) {
+		t.Fatal("subgraph lost edge attrs")
+	}
+	// Mutating the subgraph must not affect the original.
+	s.AddNode("z", nil)
+	if g.HasNode("z") {
+		t.Fatal("subgraph mutation leaked")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", Attrs{"w": 1})
+	c := g.Clone()
+	c.AddEdge("b", "c", nil)
+	if err := c.SetNodeAttr("a", "color", "red"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("clone edge mutation leaked")
+	}
+	if _, ok := g.NodeAttrs("a")["color"]; ok {
+		t.Fatal("clone attr mutation leaked")
+	}
+	if !Equal(g, g.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", Attrs{"w": 7})
+	r := g.Reverse()
+	if !r.HasEdge("b", "a") || r.HasEdge("a", "b") {
+		t.Fatal("reverse wrong")
+	}
+	if r.EdgeAttrs("b", "a")["w"] != int64(7) {
+		t.Fatal("reverse lost attrs")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	g.AddEdge("c", "a", nil)
+	if d := g.Density(); d != 1.0 {
+		t.Fatalf("triangle density = %v, want 1", d)
+	}
+	d := NewDirected()
+	d.AddEdge("a", "b", nil)
+	if got := d.Density(); got != 0.5 {
+		t.Fatalf("directed density = %v, want 0.5", got)
+	}
+	empty := New()
+	if empty.Density() != 0 {
+		t.Fatal("empty density should be 0")
+	}
+}
+
+func TestIsolatedNodesAndSelfLoops(t *testing.T) {
+	g := New()
+	g.AddNode("alone", nil)
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("c", "c", nil)
+	if got := g.IsolatedNodes(); !reflect.DeepEqual(got, []string{"alone"}) {
+		t.Fatalf("isolated = %v", got)
+	}
+	if loops := g.SelfLoops(); len(loops) != 1 || loops[0].U != "c" {
+		t.Fatalf("self loops = %v", loops)
+	}
+}
+
+func TestDiameterAndAvgPath(t *testing.T) {
+	g := buildLine(t, false, 4) // path of 4 nodes, diameter 3
+	if d := g.Diameter(); d != 3 {
+		t.Fatalf("diameter = %d, want 3", d)
+	}
+	// Avg over ordered pairs of a 2-node line = 1.
+	g2 := buildLine(t, false, 2)
+	if a := g2.AverageShortestPathLength(); a != 1 {
+		t.Fatalf("avg = %v, want 1", a)
+	}
+}
+
+func TestWeightedDegree(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", Attrs{"bytes": 100})
+	g.AddEdge("c", "a", Attrs{"bytes": 50})
+	g.AddEdge("a", "d", nil) // missing attr counts 0
+	got, err := g.WeightedDegree("a", "bytes")
+	if err != nil || got != 150 {
+		t.Fatalf("weighted degree = %v err=%v, want 150", got, err)
+	}
+	if _, err := g.WeightedDegree("ghost", "bytes"); err == nil {
+		t.Fatal("expected error for missing node")
+	}
+	g.AddEdge("a", "e", Attrs{"bytes": "lots"})
+	if _, err := g.WeightedDegree("a", "bytes"); err == nil {
+		t.Fatal("expected error for non-numeric attr")
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := New() // star: center degree 3, leaves 1, n-1 = 3
+	g.AddEdge("c", "l1", nil)
+	g.AddEdge("c", "l2", nil)
+	g.AddEdge("c", "l3", nil)
+	dc := g.DegreeCentrality()
+	if dc["c"] != 1.0 {
+		t.Fatalf("center centrality = %v", dc["c"])
+	}
+	if dc["l1"] != 1.0/3.0 {
+		t.Fatalf("leaf centrality = %v", dc["l1"])
+	}
+}
+
+func TestBetweennessCentralityPath(t *testing.T) {
+	g := buildLine(t, false, 3) // middle node lies on the single s-t path
+	bc := g.BetweennessCentrality(false)
+	if bc["n01"] != 1 {
+		t.Fatalf("middle betweenness = %v, want 1", bc["n01"])
+	}
+	if bc["n00"] != 0 || bc["n02"] != 0 {
+		t.Fatalf("endpoints = %v", bc)
+	}
+	norm := g.BetweennessCentrality(true)
+	if norm["n01"] != 1 { // (n-1)(n-2)/2 = 1 for n=3
+		t.Fatalf("normalized middle = %v", norm["n01"])
+	}
+}
+
+func TestClosenessCentrality(t *testing.T) {
+	g := buildLine(t, false, 3)
+	cc := g.ClosenessCentrality()
+	if cc["n01"] <= cc["n00"] {
+		t.Fatalf("middle should be most central: %v", cc)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	g.AddEdge("c", "a", nil)
+	g.AddEdge("a", "c", nil)
+	pr := g.PageRank(0.85, 100, 1e-9)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("pagerank sum = %v", sum)
+	}
+	if pr["c"] <= pr["b"] {
+		t.Fatalf("c has two in-edges, should outrank b: %v", pr)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := New()
+	// Triangle plus a pendant.
+	g.AddEdge("a", "b", nil)
+	g.AddEdge("b", "c", nil)
+	g.AddEdge("c", "a", nil)
+	g.AddEdge("a", "d", nil)
+	cc := g.ClusteringCoefficient()
+	if cc["b"] != 1 {
+		t.Fatalf("b clustering = %v, want 1", cc["b"])
+	}
+	if cc["a"] != 1.0/3.0 {
+		t.Fatalf("a clustering = %v, want 1/3", cc["a"])
+	}
+	if cc["d"] != 0 {
+		t.Fatalf("pendant clustering = %v", cc["d"])
+	}
+	avg := g.AverageClustering()
+	want := (1.0/3.0 + 1 + 1 + 0) / 4
+	if diff := avg - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("avg clustering = %v, want %v", avg, want)
+	}
+}
+
+func TestTopNByDegree(t *testing.T) {
+	g := New()
+	g.AddEdge("hub", "a", nil)
+	g.AddEdge("hub", "b", nil)
+	g.AddEdge("hub", "c", nil)
+	g.AddEdge("a", "b", nil)
+	top := g.TopNByDegree(2)
+	if len(top) != 2 || top[0].Node != "hub" || top[0].Degree != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[1].Node != "a" { // a and b both degree 2; tie broken by ID
+		t.Fatalf("tie break = %v", top)
+	}
+	if got := g.TopNByDegree(99); len(got) != 4 {
+		t.Fatalf("clamped top = %v", got)
+	}
+}
+
+func TestMaxBy(t *testing.T) {
+	g := New()
+	g.AddNode("a", Attrs{"v": 5})
+	g.AddNode("b", Attrs{"v": 9})
+	g.AddNode("c", Attrs{"v": 9})
+	n, v, ok := g.MaxBy(func(id string) float64 {
+		f, _ := ToFloat(g.NodeAttrs(id)["v"])
+		return f
+	})
+	if !ok || n != "b" || v != 9 {
+		t.Fatalf("MaxBy = %v %v %v", n, v, ok)
+	}
+	empty := New()
+	if _, _, ok := empty.MaxBy(func(string) float64 { return 0 }); ok {
+		t.Fatal("MaxBy on empty should report !ok")
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	vals := []float64{1, 2, 3, 100, 101, 102, 1000, 1001}
+	got := KMeans1D(vals, 3, 50)
+	if len(got) != len(vals) {
+		t.Fatalf("len = %d", len(got))
+	}
+	// First three in cluster 0, middle in 1, last two in 2.
+	for i := 0; i < 3; i++ {
+		if got[i] != 0 {
+			t.Fatalf("assign = %v", got)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if got[i] != 1 {
+			t.Fatalf("assign = %v", got)
+		}
+	}
+	for i := 6; i < 8; i++ {
+		if got[i] != 2 {
+			t.Fatalf("assign = %v", got)
+		}
+	}
+	if KMeans1D(nil, 3, 10) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	one := KMeans1D([]float64{5}, 3, 10)
+	if len(one) != 1 || one[0] != 0 {
+		t.Fatalf("single value = %v", one)
+	}
+}
+
+func TestClusterNodesBy(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), Attrs{"v": i * i * 10})
+	}
+	cl := g.ClusterNodesBy(3, func(id string) float64 {
+		f, _ := ToFloat(g.NodeAttrs(id)["v"])
+		return f
+	})
+	if len(cl) != 10 {
+		t.Fatalf("clusters = %v", cl)
+	}
+	seen := map[int]bool{}
+	for _, c := range cl {
+		if c < 0 || c > 2 {
+			t.Fatalf("cluster index out of range: %v", cl)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected all 3 clusters used: %v", cl)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := NewDirected()
+	g.GraphAttrs()["name"] = "test"
+	g.AddNode("a", Attrs{"ip": "10.0.0.1", "load": 0.5})
+	g.AddEdge("a", "b", Attrs{"bytes": 1024, "proto": "tcp"})
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, &back) {
+		t.Fatalf("round trip diff: %s", Diff(g, &back))
+	}
+}
+
+func TestJSONRejectsBadEntries(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes":[{"noid":1}],"links":[]}`), &g); err == nil {
+		t.Fatal("expected error on node without id")
+	}
+	var g2 Graph
+	if err := json.Unmarshal([]byte(`{"nodes":[],"links":[{"source":"a"}]}`), &g2); err == nil {
+		t.Fatal("expected error on link without target")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a := New()
+	a.AddEdge("x", "y", Attrs{"w": 1})
+	b := New()
+	b.AddEdge("x", "y", Attrs{"w": 1})
+	if !Equal(a, b) {
+		t.Fatalf("diff: %s", Diff(a, b))
+	}
+	b.SetEdgeAttr("x", "y", "w", 2)
+	if Equal(a, b) {
+		t.Fatal("attr change not detected")
+	}
+	c := NewDirected()
+	if Equal(a, c) {
+		t.Fatal("directedness ignored")
+	}
+	d := New()
+	d.AddEdge("x", "y", Attrs{"w": 1})
+	d.AddNode("extra", nil)
+	if s := Diff(a, d); s == "" {
+		t.Fatal("extra node not reported")
+	}
+}
+
+func TestValueEqualMixedNumerics(t *testing.T) {
+	if !ValueEqual(int64(3), float64(3)) {
+		t.Fatal("3 == 3.0 should hold")
+	}
+	if ValueEqual(int64(3), float64(3.5)) {
+		t.Fatal("3 != 3.5")
+	}
+	if !ValueEqual([]any{1, "a"}, []any{int64(1), "a"}) {
+		t.Fatal("list equality with normalization")
+	}
+	if !ValueEqual(map[string]any{"k": 1}, Attrs{"k": int64(1)}) {
+		t.Fatal("map vs Attrs equality")
+	}
+	if ValueEqual(map[string]any{"k": 1}, map[string]any{"k": 1, "j": 2}) {
+		t.Fatal("size mismatch should differ")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := New()
+	a.AddEdge("b", "a", Attrs{"w": 1})
+	a.AddNode("c", Attrs{"tag": "t"})
+	b := New()
+	b.AddNode("c", Attrs{"tag": "t"})
+	b.AddEdge("a", "b", Attrs{"w": 1})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint should be insertion-order independent")
+	}
+}
+
+// --- property-based tests ---
+
+func randomGraph(r *rand.Rand, directed bool, n, e int) *Graph {
+	var g *Graph
+	if directed {
+		g = NewDirected()
+	} else {
+		g = New()
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%03d", i), Attrs{"v": r.Intn(100)})
+	}
+	for i := 0; i < e; i++ {
+		u := fmt.Sprintf("n%03d", r.Intn(n))
+		v := fmt.Sprintf("n%03d", r.Intn(n))
+		g.AddEdge(u, v, Attrs{"w": r.Intn(50) + 1})
+	}
+	return g
+}
+
+func TestPropDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, false, 3+r.Intn(30), r.Intn(60))
+		sum := 0
+		for _, n := range g.Nodes() {
+			sum += g.Degree(n)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDirectedInOutSums(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, true, 3+r.Intn(30), r.Intn(60))
+		in, out := 0, 0
+		for _, n := range g.Nodes() {
+			in += g.InDegree(n)
+			out += g.OutDegree(n)
+		}
+		return in == g.NumEdges() && out == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, seed%2 == 0, 2+r.Intn(20), r.Intn(40))
+		return Equal(g, g.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJSONRoundTripEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, seed%2 == 0, 2+r.Intn(15), r.Intn(30))
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return Equal(g, &back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSubgraphIsInduced(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, false, 5+r.Intn(20), r.Intn(50))
+		nodes := g.Nodes()
+		keep := nodes[:len(nodes)/2]
+		s := g.Subgraph(keep)
+		// Every subgraph edge exists in g with both endpoints kept.
+		kept := map[string]bool{}
+		for _, n := range keep {
+			kept[n] = true
+		}
+		for _, e := range s.Edges() {
+			if !kept[e.U] || !kept[e.V] || !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		// Every g edge with both endpoints kept appears in s.
+		for _, e := range g.Edges() {
+			if kept[e.U] && kept[e.V] && !s.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropComponentsPartitionNodes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, seed%2 == 0, 2+r.Intn(25), r.Intn(30))
+		seen := map[string]int{}
+		for _, comp := range g.ConnectedComponents() {
+			for _, n := range comp {
+				seen[n]++
+			}
+		}
+		if len(seen) != g.NumNodes() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropReverseTwiceIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, true, 2+r.Intn(20), r.Intn(40))
+		return Equal(g, g.Reverse().Reverse())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSCCRefinesWeakComponents(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, true, 3+r.Intn(20), r.Intn(40))
+		// Each SCC must lie within one weak component.
+		compOf := map[string]int{}
+		for i, comp := range g.ConnectedComponents() {
+			for _, n := range comp {
+				compOf[n] = i
+			}
+		}
+		for _, scc := range g.StronglyConnectedComponents() {
+			for _, n := range scc[1:] {
+				if compOf[n] != compOf[scc[0]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropKMeansAssignsAll(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if v != v || v > 1e12 || v < -1e12 { // NaN/huge guard
+				raw[i] = float64(i)
+			}
+		}
+		k := int(kRaw%5) + 1
+		got := KMeans1D(raw, k, 30)
+		if len(got) != len(raw) {
+			return false
+		}
+		for _, c := range got {
+			if c < 0 || c >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDijkstraNeverBeatenByBFSWeights(t *testing.T) {
+	// With all weights equal to 1, Dijkstra's cost equals BFS hop count.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, false, 4+r.Intn(15), 5+r.Intn(30))
+		nodes := g.Nodes()
+		src, dst := nodes[0], nodes[len(nodes)-1]
+		hops, err1 := g.HopCount(src, dst)
+		_, cost, err2 := g.DijkstraPath(src, dst, "nonexistent")
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return float64(hops) == cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

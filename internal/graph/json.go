@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeLink is the node-link JSON schema (the same shape NetworkX's
+// node_link_data produces), used by the strawman baseline to serialize the
+// whole graph into the LLM prompt and by the benchmark for persistence.
+type nodeLink struct {
+	Directed bool             `json:"directed"`
+	Graph    map[string]any   `json:"graph"`
+	Nodes    []map[string]any `json:"nodes"`
+	Links    []map[string]any `json:"links"`
+}
+
+// MarshalJSON encodes the graph in node-link format with nodes and edges in
+// insertion order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	nl := nodeLink{
+		Directed: g.directed,
+		Graph:    map[string]any(g.attrs),
+		Nodes:    make([]map[string]any, 0, g.NumNodes()),
+		Links:    make([]map[string]any, 0, g.NumEdges()),
+	}
+	for _, n := range g.nodeOrder {
+		entry := map[string]any{"id": n}
+		for k, v := range g.nodes[n] {
+			entry[k] = v
+		}
+		nl.Nodes = append(nl.Nodes, entry)
+	}
+	for _, k := range g.edgeOrder {
+		entry := map[string]any{"source": k.U, "target": k.V}
+		for a, v := range g.edges[k] {
+			entry[a] = v
+		}
+		nl.Links = append(nl.Links, entry)
+	}
+	return json.Marshal(nl)
+}
+
+// UnmarshalJSON decodes node-link JSON produced by MarshalJSON (or by
+// NetworkX's node_link_data with default keys).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var nl nodeLink
+	if err := json.Unmarshal(data, &nl); err != nil {
+		return fmt.Errorf("graph: decoding node-link JSON: %w", err)
+	}
+	*g = *newGraph(nl.Directed)
+	for k, v := range nl.Graph {
+		g.attrs[k] = normalizeJSON(v)
+	}
+	for _, n := range nl.Nodes {
+		id, ok := n["id"].(string)
+		if !ok {
+			return fmt.Errorf("graph: node entry missing string id: %v", n)
+		}
+		attrs := Attrs{}
+		for k, v := range n {
+			if k != "id" {
+				attrs[k] = normalizeJSON(v)
+			}
+		}
+		g.AddNode(id, attrs)
+	}
+	for _, e := range nl.Links {
+		src, ok1 := e["source"].(string)
+		dst, ok2 := e["target"].(string)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("graph: link entry missing source/target: %v", e)
+		}
+		attrs := Attrs{}
+		for k, v := range e {
+			if k != "source" && k != "target" {
+				attrs[k] = normalizeJSON(v)
+			}
+		}
+		g.AddEdge(src, dst, attrs)
+	}
+	return nil
+}
+
+// normalizeJSON converts json.Unmarshal's generic values into the graph's
+// normalized attribute domain: float64 that holds an integral value becomes
+// int64 (JSON has no integer type; network weights are semantically ints).
+func normalizeJSON(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeJSON(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = normalizeJSON(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

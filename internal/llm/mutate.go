@@ -1,0 +1,172 @@
+package llm
+
+import (
+	"strings"
+
+	"repro/internal/queries"
+)
+
+// Mutate derives a faulty generation from the golden program. Mechanical
+// classes inject a fault whose runtime behaviour is guaranteed to land in
+// the intended error class; the two semantic classes (wrong-calc,
+// graph-diff) use hand-written plausible-but-wrong programs from the
+// variant catalog. seed only varies cosmetic details so repeated attempts
+// differ textually.
+func Mutate(golden, class, backend string, q queries.Query, seed string) string {
+	switch class {
+	case FaultSyntax:
+		// Drop the final closing brace (the classic truncated-generation
+		// failure); programs without braces get an unterminated expression.
+		if i := strings.LastIndex(golden, "}"); i >= 0 {
+			return golden[:i] + golden[i+1:]
+		}
+		return golden + "\nreturn ("
+	case FaultAttr:
+		return imaginaryAttrLine(backend, q.App) + "\n" + golden
+	case FaultName:
+		return `let raw = read_csv("network_data.csv")` + "\n" + golden
+	case FaultArgument:
+		return argumentErrorLine(backend) + "\n" + golden
+	case FaultOperation:
+		return `let banner = "total nodes: " + 0` + "\n" + golden
+	case FaultWrongCalc, FaultGraphDiff:
+		if v, ok := wrongVariants[q.ID+"|"+backend]; ok {
+			return v
+		}
+		// No hand-written variant: degrade to an operation fault so the
+		// cell still fails (tests assert every calibrated variant exists).
+		return `let banner = "total nodes: " + 0` + "\n" + golden
+	default:
+		return golden
+	}
+}
+
+func imaginaryAttrLine(backend, app string) string {
+	switch backend {
+	case "networkx":
+		if app == queries.AppMALT {
+			return `let check = graph.node(graph.nodes()[0])["uptime"]`
+		}
+		return `let check = graph.node(graph.nodes()[0])["bandwidth"]`
+	case "pandas":
+		if app == queries.AppMALT {
+			return `let check = nodes_df.column("power_draw")`
+		}
+		return `let check = edges_df.column("weight")`
+	case "sql":
+		if app == queries.AppMALT {
+			return `let check = db.query("SELECT power_draw FROM entities")`
+		}
+		return `let check = db.query("SELECT weight FROM edges")`
+	default:
+		return `let check = graph.node(graph.nodes()[0])["bandwidth"]`
+	}
+}
+
+func argumentErrorLine(backend string) string {
+	switch backend {
+	case "networkx":
+		return `let check = graph.degree()`
+	case "pandas":
+		return `let check = nodes_df.head()`
+	case "sql":
+		return `let check = db.query()`
+	default:
+		return `let check = graph.degree()`
+	}
+}
+
+// wrongVariants are hand-written generations that execute successfully but
+// produce a wrong value (wrong-calc) or a wrong final state (graph-diff).
+// Keys are "<queryID>|<backend>"; only the cells calibrated to those
+// classes need entries.
+var wrongVariants = map[string]string{
+	// ta-m6 (GPT-3, networkx): averages per-edge ratios instead of dividing
+	// the totals — the textbook aggregation slip.
+	"ta-m6|networkx": `let ratios = []
+for e in graph.edges() {
+  push(ratios, e.attrs["packets"] / (e.attrs["connections"] * 1.0))
+}
+if len(ratios) == 0 { return 0 }
+return sum(ratios) / len(ratios)`,
+
+	// ta-m7 (Bard, networkx): counts /24 prefixes instead of /16.
+	"ta-m7|networkx": `func prefix_of(ip) {
+  let parts = split(ip, ".")
+  return parts[0] + "." + parts[1] + "." + parts[2]
+}
+let seen = {}
+for n in graph.nodes() { seen[prefix_of(graph.node(n)["ip"])] = true }
+return len(seen)`,
+
+	// ta-e7 (Bard, networkx): misreads the byte threshold by two orders of
+	// magnitude, leaving a visibly different graph.
+	"ta-e7|networkx": `let doomed = []
+for e in graph.edges() {
+  if e.attrs["bytes"] < 100000 { push(doomed, [e.src, e.dst]) }
+}
+for p in doomed { graph.remove_edge(p[0], p[1]) }
+return nil`,
+
+	// malt-h2 (GPT-3 and Bard, networkx): doubles the wrong quantity —
+	// computes chassis needed for 2x *additional* capacity.
+	"malt-h2|networkx": `let out = {}
+for dcname in ["ju1", "ju2"] {
+  let dc = "dc." + dcname
+  let total = 0
+  for ch in graph.neighbors(dc) {
+    if graph.edge(dc, ch)["relation"] == "RK_CONTAINS" and graph.node(ch)["kind"] == "EK_CHASSIS" {
+      total = total + graph.node(ch)["capacity"]
+    }
+  }
+  out[dcname] = int((total * 2 + 299) / 300)
+}
+return out`,
+
+	// malt-h3 (GPT-4, networkx): flags every controller of a ju1 switch as
+	// a single point of failure, not just sole controllers.
+	"malt-h3|networkx": `let spof = {}
+for sw in graph.nodes() {
+  if graph.node(sw)["kind"] != "EK_PACKET_SWITCH" { continue }
+  if not startswith(sw, "ps.ju1.") { continue }
+  for pred in graph.predecessors(sw) {
+    if graph.node(pred)["kind"] == "EK_CONTROL_POINT" and graph.edge(pred, sw)["relation"] == "RK_CONTROLS" {
+      spof[pred] = true
+    }
+  }
+}
+return sorted(keys(spof))`,
+
+	// malt-h1 (Bard, networkx): performs the rebalance but forgets to
+	// update the switches' ports attribute, leaving a non-identical graph.
+	"malt-h1|networkx": `let victim = "ps.ju1.a4.m1.s1c1"
+let chassis = "ch.ju1.a4"
+let orphan_ports = []
+for p in graph.neighbors(victim) {
+  if graph.edge(victim, p)["relation"] == "RK_CONTAINS" and graph.node(p)["kind"] == "EK_PORT" {
+    push(orphan_ports, p)
+  }
+}
+orphan_ports = sorted(orphan_ports)
+let targets = []
+for sw in graph.neighbors(chassis) {
+  if sw != victim and graph.edge(chassis, sw)["relation"] == "RK_CONTAINS" and graph.node(sw)["kind"] == "EK_PACKET_SWITCH" {
+    push(targets, sw)
+  }
+}
+targets = sorted(targets)
+let i = 0
+for p in orphan_ports {
+  let tgt = targets[i % len(targets)]
+  graph.add_edge(tgt, p, {"relation": "RK_CONTAINS"})
+  i = i + 1
+}
+graph.remove_node(victim)
+return nil`,
+}
+
+// WrongVariant exposes catalog entries to tests.
+func WrongVariant(queryID, backend string) (string, bool) {
+	v, ok := wrongVariants[queryID+"|"+backend]
+	return v, ok
+}

@@ -1,0 +1,100 @@
+package nemoeval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// TestMeasuredAccuracyMatchesCalibration runs the full matrix and checks
+// the *measured* pass fraction of every (model, backend, app) cell equals
+// the calibrated expectation — i.e. the paper's Table 2. A mutated "fail"
+// program that accidentally passes, or a golden emitted for a "pass" cell
+// that trips the sandbox, both surface here.
+func TestMeasuredAccuracyMatchesCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix run")
+	}
+	for _, app := range []string{queries.AppTraffic, queries.AppMALT} {
+		ev := NewEvaluator(DatasetFor(app))
+		var suite []queries.Query
+		if app == queries.AppTraffic {
+			suite = queries.Traffic()
+		} else {
+			suite = queries.MALT()
+		}
+		for _, modelName := range llm.ModelNames {
+			model, err := llm.NewSim(modelName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, backend := range prompt.Backends {
+				pass := 0
+				for _, q := range suite {
+					rec := ev.EvaluateModel(model, q, backend, 1, 0)
+					if rec.Pass {
+						pass++
+					}
+				}
+				got := float64(pass) / float64(len(suite))
+				want := llm.ExpectedAccuracy(modelName, backend, app)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s/%s/%s measured accuracy %.4f, calibrated %.4f",
+						modelName, backend, app, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEveryFailCellFailsWithIntendedLabel asserts that each calibrated
+// NetworkX failure is measured in the matching Table 5 bucket.
+func TestEveryFailCellFailsWithIntendedLabel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix run")
+	}
+	wantLabel := map[string]string{
+		llm.FaultSyntax:    LabelSyntax,
+		llm.FaultAttr:      LabelAttr,
+		llm.FaultName:      LabelName,
+		llm.FaultArgument:  LabelArgument,
+		llm.FaultOperation: LabelOperation,
+		llm.FaultWrongCalc: LabelWrongCalc,
+		llm.FaultGraphDiff: LabelGraphDiff,
+	}
+	for _, app := range []string{queries.AppTraffic, queries.AppMALT} {
+		ev := NewEvaluator(DatasetFor(app))
+		var suite []queries.Query
+		if app == queries.AppTraffic {
+			suite = queries.Traffic()
+		} else {
+			suite = queries.MALT()
+		}
+		for _, modelName := range llm.ModelNames {
+			model, err := llm.NewSim(modelName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range suite {
+				out := llm.OutcomeOf(modelName, app, prompt.BackendNetworkX, q.ID)
+				rec := ev.EvaluateModel(model, q, prompt.BackendNetworkX, 1, 0)
+				if out.Pass {
+					if !rec.Pass {
+						t.Errorf("%s/%s calibrated pass but measured fail: %s %s", modelName, q.ID, rec.ErrClass, rec.Err)
+					}
+					continue
+				}
+				if rec.Pass {
+					t.Errorf("%s/%s calibrated fail(%s) but measured pass", modelName, q.ID, out.Class)
+					continue
+				}
+				if want := wantLabel[out.Class]; rec.ErrClass != want {
+					t.Errorf("%s/%s expected label %q, measured %q (%s)", modelName, q.ID, want, rec.ErrClass, rec.Err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package nemoeval
+
+// Table 5 error-class labels. The classifier maps *measured* sandbox
+// failures onto the paper's taxonomy — labels are derived from what the
+// generated program actually did, never from the calibration data.
+const (
+	LabelSyntax     = "Syntax error"
+	LabelAttr       = "Imaginary graph attributes"
+	LabelName       = "Imaginary files/function arguments"
+	LabelArgument   = "Arguments error"
+	LabelOperation  = "Operation error"
+	LabelWrongCalc  = "Wrong calculation logic"
+	LabelGraphDiff  = "Graphs are not identical"
+	LabelTokenLimit = "Token limit exceeded"
+	LabelHarness    = "Harness error"
+)
+
+// ErrorLabels lists the Table 5 rows in the paper's order.
+var ErrorLabels = []string{
+	LabelSyntax,
+	LabelAttr,
+	LabelName,
+	LabelArgument,
+	LabelOperation,
+	LabelWrongCalc,
+	LabelGraphDiff,
+}
+
+// LabelForClass maps an NQL error class (nql.ClassOf) to its Table 5
+// label.
+func LabelForClass(class string) string {
+	switch class {
+	case "syntax":
+		return LabelSyntax
+	case "attribute":
+		return LabelAttr
+	case "name":
+		return LabelName
+	case "argument":
+		return LabelArgument
+	case "operation", "value", "index", "limit", "internal":
+		return LabelOperation
+	default:
+		return LabelOperation
+	}
+}

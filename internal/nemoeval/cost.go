@@ -1,0 +1,138 @@
+package nemoeval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+	"repro/internal/traffic"
+)
+
+// CostPoint is one per-query LLM cost sample.
+type CostPoint struct {
+	QueryID string
+	CostUSD float64
+	// OverLimit marks prompts that exceeded the model's token window
+	// (cost undefined).
+	OverLimit bool
+}
+
+// CostAnalysis collects the Figure 4 data for one approach at one graph
+// scale.
+type CostAnalysis struct {
+	Approach string // "strawman" or "codegen"
+	Nodes    int
+	Points   []CostPoint
+}
+
+// costSamples computes GPT-4 per-query costs for the traffic suite at the
+// given scale, for either approach. Costs depend only on prompt/completion
+// token counts, so this is exact, not sampled.
+func costSamples(approach string, nodes, edges int) (*CostAnalysis, error) {
+	build := TrafficDataset(traffic.Config{Nodes: nodes, Edges: edges, Seed: 42})
+	ev := NewEvaluator(build)
+	model, err := llm.NewSim("gpt-4")
+	if err != nil {
+		return nil, err
+	}
+	out := &CostAnalysis{Approach: approach, Nodes: nodes}
+	for _, q := range queries.Traffic() {
+		var rec *Record
+		if approach == "strawman" {
+			rec = ev.EvaluateStrawman(model, q)
+		} else {
+			rec = ev.EvaluateModel(model, q, prompt.BackendNetworkX, 1, 0)
+		}
+		pt := CostPoint{QueryID: q.ID, CostUSD: rec.CostUSD}
+		if rec.ErrClass == LabelTokenLimit {
+			pt.OverLimit = true
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Figure4a renders the CDF of per-query GPT-4 cost at the paper's small
+// scale (80 nodes and edges) for the strawman and code-generation
+// approaches.
+func Figure4a() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Figure 4a: CDF of LLM cost per query (80 nodes and edges, GPT-4 pricing)\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-12s %s\n", "CDF", "strawman($)", "codegen($)"))
+	straw, err := costSamples("strawman", 80, 80)
+	if err != nil {
+		return "", err
+	}
+	code, err := costSamples("codegen", 80, 80)
+	if err != nil {
+		return "", err
+	}
+	sc := sortedCosts(straw)
+	cc := sortedCosts(code)
+	n := len(sc)
+	for i := 0; i < n; i++ {
+		cdf := float64(i+1) / float64(n)
+		sb.WriteString(fmt.Sprintf("%-10.2f %-12.4f %.4f\n", cdf, sc[i], cc[i]))
+	}
+	sb.WriteString(fmt.Sprintf("median strawman/codegen cost ratio: %.1fx\n", sc[n/2]/cc[n/2]))
+	return sb.String(), nil
+}
+
+func sortedCosts(a *CostAnalysis) []float64 {
+	out := make([]float64, 0, len(a.Points))
+	for _, p := range a.Points {
+		if !p.OverLimit {
+			out = append(out, p.CostUSD)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Figure4bSizes is the graph-size sweep (nodes = edges at each point).
+var Figure4bSizes = []int{20, 40, 80, 120, 150, 200, 300, 400}
+
+// Figure4b renders mean per-query cost versus graph size for both
+// approaches, marking where the strawman exceeds the token limit.
+func Figure4b() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Figure 4b: cost analysis vs graph size (GPT-4 pricing, mean over 24 queries)\n")
+	sb.WriteString(fmt.Sprintf("%-8s %-14s %s\n", "size", "strawman($)", "codegen($)"))
+	for _, n := range Figure4bSizes {
+		straw, err := costSamples("strawman", n, n)
+		if err != nil {
+			return "", err
+		}
+		code, err := costSamples("codegen", n, n)
+		if err != nil {
+			return "", err
+		}
+		sMean, sOver := meanCost(straw)
+		cMean, _ := meanCost(code)
+		sCol := fmt.Sprintf("%.4f", sMean)
+		if sOver {
+			sCol = "over-token-limit"
+		}
+		sb.WriteString(fmt.Sprintf("%-8d %-14s %.4f\n", n, sCol, cMean))
+	}
+	return sb.String(), nil
+}
+
+func meanCost(a *CostAnalysis) (mean float64, anyOver bool) {
+	total, n := 0.0, 0
+	for _, p := range a.Points {
+		if p.OverLimit {
+			anyOver = true
+			continue
+		}
+		total += p.CostUSD
+		n++
+	}
+	if n == 0 {
+		return 0, anyOver
+	}
+	return total / float64(n), anyOver
+}

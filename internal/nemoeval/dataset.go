@@ -1,0 +1,191 @@
+// Package nemoeval implements the NeMoEval benchmark (Figure 3 of the
+// paper): golden-answer execution, sandboxed evaluation of LLM-generated
+// code, result comparison, error classification and logging, plus the
+// accuracy/cost analyses behind every table and figure in the evaluation.
+package nemoeval
+
+import (
+	"repro/internal/dataframe"
+	"repro/internal/diagnosis"
+	"repro/internal/graph"
+	"repro/internal/malt"
+	"repro/internal/nql"
+	"repro/internal/nqlbind"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+	"repro/internal/sqldb"
+	"repro/internal/traffic"
+)
+
+// Instance is one fresh copy of an application's state in all three
+// representations. Every sandboxed run gets its own instance so buggy
+// generated code cannot contaminate the comparison. Probes fields are set
+// only for the diagnosis extension application.
+type Instance struct {
+	App     string
+	Wrapper prompt.AppWrapper
+	Graph   *graph.Graph
+	Nodes   *dataframe.Frame
+	Edges   *dataframe.Frame
+	DB      *sqldb.DB
+
+	Probes     *dataframe.Frame // probes table (pandas backend)
+	ProbesList nql.Value        // probes list-of-maps (networkx backend)
+}
+
+// Bindings returns the host globals for one backend, wrapping this
+// instance's state.
+func (inst *Instance) Bindings(backend string) map[string]nql.Value {
+	switch backend {
+	case prompt.BackendNetworkX:
+		extra := map[string]nql.Value{}
+		if inst.ProbesList != nil {
+			extra["probes"] = inst.ProbesList
+		}
+		return nqlbind.Globals(inst.Graph, extra)
+	case prompt.BackendPandas:
+		extra := map[string]nql.Value{
+			"nodes_df": nqlbind.NewFrameObject(inst.Nodes),
+			"edges_df": nqlbind.NewFrameObject(inst.Edges),
+		}
+		if inst.Probes != nil {
+			extra["probes_df"] = nqlbind.NewFrameObject(inst.Probes)
+		}
+		return nqlbind.Globals(nil, extra)
+	case prompt.BackendSQL:
+		return nqlbind.Globals(nil, map[string]nql.Value{
+			"db": nqlbind.NewDBObject(inst.DB),
+		})
+	default:
+		return nqlbind.Globals(nil, nil)
+	}
+}
+
+// StateEqual compares the post-run state of two instances for one backend.
+func StateEqual(backend string, a, b *Instance) bool {
+	switch backend {
+	case prompt.BackendNetworkX:
+		return graph.Equal(a.Graph, b.Graph)
+	case prompt.BackendPandas:
+		return dataframe.Equal(a.Nodes, b.Nodes) && dataframe.Equal(a.Edges, b.Edges)
+	case prompt.BackendSQL:
+		an, bn := a.DB.TableNames(), b.DB.TableNames()
+		if len(an) != len(bn) {
+			return false
+		}
+		for i, name := range an {
+			if bn[i] != name {
+				return false
+			}
+			at, err1 := a.DB.Table(name)
+			bt, err2 := b.DB.Table(name)
+			if err1 != nil || err2 != nil || !dataframe.Equal(at, bt) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// InstanceBuilder produces fresh, identical instances on demand.
+type InstanceBuilder func() *Instance
+
+// TrafficDataset returns a builder for the traffic-analysis application at
+// the given scale. The default benchmark scale follows the paper's small
+// graph: 80 nodes and 80 edges ("80 nodes and edges").
+func TrafficDataset(cfg traffic.Config) InstanceBuilder {
+	// Generate once, then clone per instance: cloning is cheap and keeps
+	// every instance bit-identical.
+	master := traffic.Generate(cfg)
+	return func() *Instance {
+		g := master.Clone()
+		nodes, edges := traffic.Frames(g)
+		return &Instance{
+			App:     queries.AppTraffic,
+			Wrapper: traffic.NewWrapper(g),
+			Graph:   g,
+			Nodes:   nodes,
+			Edges:   edges,
+			DB:      traffic.Database(g),
+		}
+	}
+}
+
+// DefaultTrafficConfig is the benchmark's standard traffic workload.
+var DefaultTrafficConfig = traffic.Config{Nodes: 80, Edges: 80, Seed: 42}
+
+// MALTDataset returns a builder for the lifecycle-management application
+// using the example-scale synthetic MALT topology.
+func MALTDataset() InstanceBuilder {
+	master := malt.Generate(malt.Config{})
+	return func() *Instance {
+		// Rebuild all three representations from the (immutable) topology.
+		g := master.Graph()
+		nodes, edges := master.Frames()
+		return &Instance{
+			App:     queries.AppMALT,
+			Wrapper: malt.NewWrapper(master),
+			Graph:   g,
+			Nodes:   nodes,
+			Edges:   edges,
+			DB:      master.Database(),
+		}
+	}
+}
+
+// ProbesListValue converts a workload's probes into the list-of-maps value
+// bound as `probes` for the NetworkX backend.
+func ProbesListValue(w *diagnosis.Workload) nql.Value {
+	plist := nql.NewList()
+	for _, p := range w.Probes {
+		m := nql.NewMap()
+		path := nql.NewList()
+		for _, n := range p.Path {
+			path.Items = append(path.Items, n)
+		}
+		_ = m.Set("id", p.ID)
+		_ = m.Set("path", path)
+		_ = m.Set("ok", p.OK)
+		plist.Items = append(plist.Items, m)
+	}
+	return plist
+}
+
+// DiagnosisDataset returns a builder for the failure-diagnosis extension
+// application at the given scenario scale.
+func DiagnosisDataset(cfg diagnosis.Config) InstanceBuilder {
+	return DiagnosisDatasetFromWorkload(diagnosis.Generate(cfg))
+}
+
+// DiagnosisDatasetFromWorkload builds instances by cloning a caller-owned
+// workload.
+func DiagnosisDatasetFromWorkload(master *diagnosis.Workload) InstanceBuilder {
+	return func() *Instance {
+		w := master.Clone()
+		nodes, edges, probes := w.Frames()
+		return &Instance{
+			App:        queries.AppDiagnosis,
+			Wrapper:    diagnosis.NewWrapper(w),
+			Graph:      w.G,
+			Nodes:      nodes,
+			Edges:      edges,
+			DB:         w.Database(),
+			Probes:     probes,
+			ProbesList: ProbesListValue(w),
+		}
+	}
+}
+
+// DatasetFor returns the standard builder for an app name.
+func DatasetFor(app string) InstanceBuilder {
+	switch app {
+	case queries.AppMALT:
+		return MALTDataset()
+	case queries.AppDiagnosis:
+		return DiagnosisDataset(diagnosis.DefaultConfig)
+	default:
+		return TrafficDataset(DefaultTrafficConfig)
+	}
+}

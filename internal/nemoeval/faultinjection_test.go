@@ -1,0 +1,131 @@
+package nemoeval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// TestFaultInjectionAllBackends drives every mechanical mutator class
+// through every backend and asserts the measured classification matches —
+// the full Table 5 taxonomy is reproducible on any backend, not just
+// NetworkX.
+func TestFaultInjectionAllBackends(t *testing.T) {
+	classes := map[string]string{
+		llm.FaultSyntax:    LabelSyntax,
+		llm.FaultAttr:      LabelAttr,
+		llm.FaultName:      LabelName,
+		llm.FaultArgument:  LabelArgument,
+		llm.FaultOperation: LabelOperation,
+	}
+	apps := map[string]string{
+		queries.AppTraffic: "ta-e2",
+		queries.AppMALT:    "malt-e3",
+	}
+	for app, qid := range apps {
+		ev := NewEvaluator(DatasetFor(app))
+		q, _ := queries.ByID(qid)
+		for _, backend := range prompt.Backends {
+			golden := q.Golden[backend]
+			for class, wantLabel := range classes {
+				code := llm.Mutate(golden, class, backend, q, "t")
+				rec := ev.EvaluateCode(q, backend, code)
+				if rec.Pass {
+					t.Errorf("%s/%s/%s: mutated code passed", app, backend, class)
+					continue
+				}
+				if rec.ErrClass != wantLabel {
+					t.Errorf("%s/%s/%s: classified %q, want %q (err: %s)",
+						app, backend, class, rec.ErrClass, wantLabel, rec.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestWrongVariantsMeasurablyWrong executes every hand-written
+// wrong-calculation / graph-diff variant and asserts it (a) runs cleanly
+// and (b) is measured as the intended comparison failure.
+func TestWrongVariantsMeasurablyWrong(t *testing.T) {
+	variants := []struct {
+		qid   string
+		label string
+	}{
+		{"ta-m6", LabelWrongCalc},
+		{"ta-m7", LabelWrongCalc},
+		{"ta-e7", LabelGraphDiff},
+		{"malt-h2", LabelWrongCalc},
+		{"malt-h3", LabelWrongCalc},
+		{"malt-h1", LabelGraphDiff},
+	}
+	evs := map[string]*Evaluator{}
+	for _, v := range variants {
+		q, ok := queries.ByID(v.qid)
+		if !ok {
+			t.Fatalf("unknown query %s", v.qid)
+		}
+		code, ok := llm.WrongVariant(v.qid, prompt.BackendNetworkX)
+		if !ok {
+			t.Errorf("no variant for %s", v.qid)
+			continue
+		}
+		ev, ok := evs[q.App]
+		if !ok {
+			ev = NewEvaluator(DatasetFor(q.App))
+			evs[q.App] = ev
+		}
+		rec := ev.EvaluateCode(q, prompt.BackendNetworkX, code)
+		if rec.Pass {
+			t.Errorf("%s wrong variant passed — not wrong enough", v.qid)
+			continue
+		}
+		if rec.Stage != StageCompare {
+			t.Errorf("%s variant failed at %s (%s) — should run cleanly and miscompare",
+				v.qid, rec.Stage, rec.Err)
+			continue
+		}
+		if rec.ErrClass != v.label {
+			t.Errorf("%s classified %q, want %q", v.qid, rec.ErrClass, v.label)
+		}
+	}
+}
+
+func TestCostAnalyses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost sweeps")
+	}
+	a, err := Figure4a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a, "median strawman/codegen cost ratio") {
+		t.Fatalf("Figure 4a output malformed:\n%s", a)
+	}
+	b, err := Figure4b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b, "over-token-limit") {
+		t.Fatalf("Figure 4b should show the strawman exceeding the window:\n%s", b)
+	}
+	// Codegen column must be constant across sizes (the scalability claim).
+	lines := strings.Split(strings.TrimSpace(b), "\n")
+	var codegenVals []string
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) == 3 {
+			codegenVals = append(codegenVals, fields[2])
+		}
+	}
+	if len(codegenVals) < 2 {
+		t.Fatalf("no sweep rows parsed:\n%s", b)
+	}
+	for _, v := range codegenVals[1:] {
+		if v != codegenVals[0] {
+			t.Fatalf("codegen cost varies with size: %v", codegenVals)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package nemoeval
+
+import (
+	"testing"
+
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// TestGoldenSelfConsistency executes every golden program on every backend
+// and asserts it passes its own evaluation — the benchmark's ground truth
+// must be internally consistent (golden answers were "verified by human
+// experts" in the paper; here the machine checks them).
+func TestGoldenSelfConsistency(t *testing.T) {
+	suites := map[string][]queries.Query{
+		queries.AppTraffic:   queries.Traffic(),
+		queries.AppMALT:      queries.MALT(),
+		queries.AppDiagnosis: queries.Diagnosis(),
+	}
+	for app, suite := range suites {
+		ev := NewEvaluator(DatasetFor(app))
+		for _, q := range suite {
+			for _, backend := range prompt.Backends {
+				golden, ok := q.Golden[backend]
+				if !ok {
+					t.Errorf("%s missing golden for %s", q.ID, backend)
+					continue
+				}
+				rec := ev.EvaluateCode(q, backend, golden)
+				if !rec.Pass {
+					t.Errorf("%s/%s golden fails its own evaluation: stage=%s class=%s err=%s",
+						q.ID, backend, rec.Stage, rec.ErrClass, rec.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteShape checks the suite sizes and complexity split match the
+// paper (24 traffic = 8/8/8, 9 MALT = 3/3/3).
+func TestSuiteShape(t *testing.T) {
+	tr := queries.Traffic()
+	if len(tr) != 24 {
+		t.Fatalf("traffic suite = %d queries, want 24", len(tr))
+	}
+	ml := queries.MALT()
+	if len(ml) != 9 {
+		t.Fatalf("malt suite = %d queries, want 9", len(ml))
+	}
+	for _, tc := range []struct {
+		suite []queries.Query
+		level string
+		want  int
+	}{
+		{tr, queries.Easy, 8}, {tr, queries.Medium, 8}, {tr, queries.Hard, 8},
+		{ml, queries.Easy, 3}, {ml, queries.Medium, 3}, {ml, queries.Hard, 3},
+	} {
+		if got := len(queries.OfComplexity(tc.suite, tc.level)); got != tc.want {
+			t.Errorf("level %s: %d queries, want %d", tc.level, got, tc.want)
+		}
+	}
+	seen := map[string]bool{}
+	for _, q := range queries.All() {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
+		if q.Text == "" {
+			t.Errorf("%s has empty text", q.ID)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package nemoeval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Logger is the results logger of Figure 3: it retains every evaluation
+// record for post-hoc analysis and can dump them as JSON lines.
+type Logger struct {
+	mu      sync.Mutex
+	records []*Record
+}
+
+// NewLogger creates an empty logger.
+func NewLogger() *Logger { return &Logger{} }
+
+// Add appends one record.
+func (l *Logger) Add(rec *Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, rec)
+}
+
+// Records returns a snapshot of all records.
+func (l *Logger) Records() []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Record(nil), l.records...)
+}
+
+// Len returns the record count.
+func (l *Logger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Failures returns the records that did not pass.
+func (l *Logger) Failures() []*Record {
+	var out []*Record
+	for _, r := range l.Records() {
+		if !r.Pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteJSONL dumps all records as JSON lines.
+func (l *Logger) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range l.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line overview.
+func (l *Logger) Summary() string {
+	recs := l.Records()
+	pass := 0
+	for _, r := range recs {
+		if r.Pass {
+			pass++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d records, %d pass, %d fail", len(recs), pass, len(recs)-pass)
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package nemoeval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func TestRunAppCellCompleteness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	r := NewRunner()
+	cells, err := r.RunApp(queries.AppMALT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Models {
+		for _, b := range []string{"sql", "pandas", "networkx"} {
+			c, ok := cells[m+"|"+b]
+			if !ok {
+				t.Fatalf("missing cell %s|%s", m, b)
+			}
+			if c.Accuracy < 0 || c.Accuracy > 1 {
+				t.Errorf("%s|%s accuracy = %v", m, b, c.Accuracy)
+			}
+			for _, lv := range []string{queries.Easy, queries.Medium, queries.Hard} {
+				if _, ok := c.ByComplexity[lv]; !ok {
+					t.Errorf("%s|%s missing level %s", m, b, lv)
+				}
+			}
+			wantRecords := len(queries.MALT()) * r.TrialsFor(m)
+			if len(c.Records) != wantRecords {
+				t.Errorf("%s|%s records = %d, want %d", m, b, len(c.Records), wantRecords)
+			}
+		}
+	}
+	// Bard averaged over 5 trials; per-query fractions are multiples of 1/5.
+	bard := cells["bard|networkx"]
+	if got := len(bard.Records); got != 45 {
+		t.Fatalf("bard records = %d, want 45 (9 queries x 5 trials)", got)
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	r := NewRunner()
+	out, err := r.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range ErrorLabels {
+		if !strings.Contains(out, label) {
+			t.Errorf("Table 5 missing row %q:\n%s", label, out)
+		}
+	}
+	if strings.Contains(out, LabelHarness) {
+		t.Errorf("Table 5 contains harness errors — a golden or binding broke:\n%s", out)
+	}
+	// Headline totals from the calibrated reproduction.
+	if !strings.Contains(out, "Traffic Analysis (31)") || !strings.Contains(out, "MALT (16)") {
+		t.Errorf("Table 5 totals drifted:\n%s", out)
+	}
+}
+
+func TestStrawmanScalesToModelWindow(t *testing.T) {
+	for _, m := range []string{"gpt-4", "gpt-3", "text-davinci-003", "bard"} {
+		cfg := strawmanConfigFor(m)
+		if cfg.Nodes <= 0 || cfg.Nodes > 80 {
+			t.Errorf("%s strawman config = %+v", m, cfg)
+		}
+	}
+	if strawmanConfigFor("gpt-3").Nodes >= strawmanConfigFor("gpt-4").Nodes {
+		t.Error("smaller-window model should get a smaller graph")
+	}
+}

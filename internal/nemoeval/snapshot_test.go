@@ -1,0 +1,110 @@
+package nemoeval
+
+import (
+	"testing"
+
+	"repro/internal/nql"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// TestGoldenResultSnapshots pins the exact results of representative golden
+// programs on the standard datasets. These values were produced by this
+// harness and eyeballed for plausibility; the test exists to catch silent
+// regressions in any layer (generator seeds, graph algorithms, NQL
+// semantics, SQL engine) — if one of these changes, something changed the
+// benchmark's ground truth.
+func TestGoldenResultSnapshots(t *testing.T) {
+	cases := []struct {
+		app     string
+		queryID string
+		backend string
+		want    string
+	}{
+		// Traffic (80 nodes / 80 edges / seed 42).
+		{queries.AppTraffic, "ta-e2", "networkx", "80"},
+		{queries.AppTraffic, "ta-e3", "sql", "80"},
+		{queries.AppTraffic, "ta-e5", "pandas", "36529430"},
+		{queries.AppTraffic, "ta-e6", "networkx", `"h049"`},
+		{queries.AppTraffic, "ta-m7", "networkx", "4"},
+		{queries.AppTraffic, "ta-m4", "sql", "-1"},
+		{queries.AppTraffic, "ta-h4", "networkx", "13"},
+
+		// MALT (5493 entities / 6424 relationships).
+		{queries.AppMALT, "malt-e2", "networkx", "16"},
+		{queries.AppMALT, "malt-e3", "pandas", "448"},
+		{queries.AppMALT, "malt-e3", "sql", "448"},
+		{queries.AppMALT, "malt-h2", "networkx", `{"ju1": 9, "ju2": 10}`},
+		{queries.AppMALT, "malt-m2", "sql", `{"dc.ju1": 296, "dc.ju2": 322, "dc.ju3": 302, "dc.ju4": 302}`},
+
+		// Diagnosis extension (60 nodes / 120 edges / seed 11).
+		{queries.AppDiagnosis, "diag-e1", "networkx", "4"},
+		{queries.AppDiagnosis, "diag-e2", "pandas", `["p004", "p021"]`},
+		{queries.AppDiagnosis, "diag-h2", "sql", "[]"},
+	}
+	evs := map[string]*Evaluator{}
+	for _, c := range cases {
+		ev, ok := evs[c.app]
+		if !ok {
+			ev = NewEvaluator(DatasetFor(c.app))
+			evs[c.app] = ev
+		}
+		q, ok := queries.ByID(c.queryID)
+		if !ok {
+			t.Fatalf("unknown query %s", c.queryID)
+		}
+		val, _, err := ev.RunGolden(q, c.backend)
+		if err != nil {
+			t.Errorf("%s/%s: %v", c.queryID, c.backend, err)
+			continue
+		}
+		if got := nql.Repr(val); got != c.want {
+			t.Errorf("%s/%s = %s, want %s", c.queryID, c.backend, got, c.want)
+		}
+	}
+}
+
+// TestCrossBackendAgreement: for pure read-only queries whose result shape
+// is backend-independent, all three goldens must produce the same value on
+// the same logical dataset — the backends are three views of one network.
+func TestCrossBackendAgreement(t *testing.T) {
+	agree := []string{
+		// Read-only traffic queries with backend-independent contracts.
+		"ta-e2", "ta-e3", "ta-e4", "ta-e5", "ta-e6", "ta-e8",
+		"ta-m3", "ta-m4", "ta-m5", "ta-m6", "ta-m7",
+		"ta-h4", "ta-h6", "ta-h7", "ta-h8",
+		// MALT read-only queries.
+		"malt-e1", "malt-e2", "malt-e3", "malt-m1", "malt-m2", "malt-m3",
+		"malt-h2", "malt-h3",
+		// All diagnosis queries are read-only.
+		"diag-e1", "diag-e2", "diag-m1", "diag-m2", "diag-h1", "diag-h2",
+	}
+	evs := map[string]*Evaluator{}
+	for _, id := range agree {
+		q, ok := queries.ByID(id)
+		if !ok {
+			t.Fatalf("unknown query %s", id)
+		}
+		ev, ok := evs[q.App]
+		if !ok {
+			ev = NewEvaluator(DatasetFor(q.App))
+			evs[q.App] = ev
+		}
+		var ref nql.Value
+		for i, backend := range prompt.Backends {
+			val, _, err := ev.RunGolden(q, backend)
+			if err != nil {
+				t.Errorf("%s/%s: %v", id, backend, err)
+				continue
+			}
+			if i == 0 {
+				ref = val
+				continue
+			}
+			if !ResultEqual(ref, val) {
+				t.Errorf("%s: %s disagrees: %s vs %s", id, backend,
+					nql.Repr(ref), nql.Repr(val))
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package nql
+
+import "fmt"
+
+// SyntaxError reports malformed NQL source with a 1-based line number. The
+// benchmark's error classifier maps it to the paper's "Syntax error" class.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("nql syntax error on line %d: %s", e.Line, e.Msg)
+}
+
+// ErrClass categorizes runtime failures; the classes mirror the paper's
+// Table 5 error taxonomy so failures of generated code can be bucketed.
+type ErrClass string
+
+// Runtime error classes.
+const (
+	ErrName     ErrClass = "name"      // unknown variable or function (imaginary functions/files)
+	ErrAttr     ErrClass = "attribute" // imaginary graph/node/edge attribute or object member
+	ErrArg      ErrClass = "argument"  // wrong number or type of call arguments
+	ErrOp       ErrClass = "operation" // unsupported operation on operand types
+	ErrIndex    ErrClass = "index"     // index out of range / bad key
+	ErrValue    ErrClass = "value"     // domain error (e.g. negative k)
+	ErrLimit    ErrClass = "limit"     // sandbox resource budget exceeded
+	ErrInternal ErrClass = "internal"
+)
+
+// RuntimeError is a categorized NQL execution failure.
+type RuntimeError struct {
+	Class ErrClass
+	Line  int
+	Msg   string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("nql %s error on line %d: %s", e.Class, e.Line, e.Msg)
+}
+
+func errf(class ErrClass, line int, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Class: class, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ClassOf extracts the error class from an error, defaulting to internal.
+// Syntax errors report class "syntax".
+func ClassOf(err error) string {
+	switch e := err.(type) {
+	case *RuntimeError:
+		return string(e.Class)
+	case *SyntaxError:
+		return "syntax"
+	default:
+		return string(ErrInternal)
+	}
+}

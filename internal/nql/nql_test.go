@@ -1,0 +1,626 @@
+package nql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func run(t *testing.T, src string) Value {
+	t.Helper()
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("run error: %v\nsource:\n%s", err, src)
+	}
+	return v
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	in := NewInterp(Limits{}, nil)
+	_, err := in.Run(src)
+	if err == nil {
+		t.Fatalf("expected error for:\n%s", src)
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"return 1 + 2 * 3", int64(7)},
+		{"return (1 + 2) * 3", int64(9)},
+		{"return 10 / 4", 2.5},
+		{"return 10 % 3", int64(1)},
+		{"return -5 + 2", int64(-3)},
+		{"return 2.5 * 2", 5.0},
+		{"return 1 + 2.0", 3.0},
+		{`return "a" + "b"`, "ab"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); !ValuesEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"return 1 < 2", true},
+		{"return 2 <= 2", true},
+		{"return 3 > 4", false},
+		{"return 1 == 1.0", true},
+		{`return "a" != "b"`, true},
+		{"return true and false", false},
+		{"return true or false", true},
+		{"return not false", true},
+		{"return 1 < 2 and 2 < 3", true},
+		{`return "b" in ["a", "b"]`, true},
+		{`return "z" in ["a", "b"]`, false},
+		{`return "ell" in "hello"`, true},
+		{`return "k" in {"k": 1}`, true},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndScope(t *testing.T) {
+	v := run(t, `
+let x = 10
+let y = x * 2
+x = x + 1
+return x + y`)
+	if v != int64(31) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestAssignUndefinedFails(t *testing.T) {
+	err := runErr(t, "x = 1")
+	if ClassOf(err) != "name" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestUndefinedNameFails(t *testing.T) {
+	err := runErr(t, "return nonexistent_variable")
+	if ClassOf(err) != "name" {
+		t.Fatalf("class = %s, err = %v", ClassOf(err), err)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	v := run(t, `
+let x = 5
+if x > 10 {
+  return "big"
+} else if x > 3 {
+  return "medium"
+} else {
+  return "small"
+}`)
+	if v != "medium" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	v := run(t, `
+let total = 0
+for i in range(5) {
+  total = total + i
+}
+return total`)
+	if v != int64(10) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestForOverListAndMap(t *testing.T) {
+	v := run(t, `
+let words = []
+for w in ["x", "y"] { push(words, w) }
+let m = {"a": 1, "b": 2}
+let ksum = ""
+let vsum = 0
+for k, val in m {
+  ksum = ksum + k
+  vsum = vsum + val
+}
+return [join("", words), ksum, vsum]`)
+	l := v.(*List)
+	if l.Items[0] != "xy" || l.Items[1] != "ab" || l.Items[2] != int64(3) {
+		t.Fatalf("got %v", Repr(v))
+	}
+}
+
+func TestForOverString(t *testing.T) {
+	v := run(t, `
+let n = 0
+for ch in "abc" { n = n + 1 }
+return n`)
+	if v != int64(3) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	v := run(t, `
+let i = 0
+let total = 0
+while true {
+  i = i + 1
+  if i > 10 { break }
+  if i % 2 == 0 { continue }
+  total = total + i
+}
+return total`)
+	if v != int64(25) { // 1+3+5+7+9
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	v := run(t, `
+func fib(n) {
+  if n < 2 { return n }
+  return fib(n - 1) + fib(n - 2)
+}
+return fib(10)`)
+	if v != int64(55) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFunctionArity(t *testing.T) {
+	err := runErr(t, `
+func f(a, b) { return a + b }
+return f(1)`)
+	if ClassOf(err) != "argument" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestClosuresCapture(t *testing.T) {
+	v := run(t, `
+func make_adder(n) {
+  return fn(x) => x + n
+}
+let add5 = make_adder(5)
+return add5(10)`)
+	if v != int64(15) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestLambdaWithSorted(t *testing.T) {
+	v := run(t, `
+let xs = [[1, "b"], [3, "a"], [2, "c"]]
+let bysecond = sorted(xs, fn(p) => p[1])
+return bysecond[0][0]`)
+	if v != int64(3) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestListOps(t *testing.T) {
+	v := run(t, `
+let l = [3, 1, 2]
+push(l, 4)
+let s = sorted(l)
+let r = sorted(l, true)
+return [len(l), s[0], r[0], sum(l), min(l), max(l)]`)
+	l := v.(*List)
+	want := []Value{int64(4), int64(1), int64(4), int64(10), int64(1), int64(4)}
+	for i, w := range want {
+		if !ValuesEqual(l.Items[i], w) {
+			t.Fatalf("item %d = %v, want %v (all: %s)", i, l.Items[i], w, Repr(v))
+		}
+	}
+}
+
+func TestListIndexing(t *testing.T) {
+	if v := run(t, "return [10, 20, 30][-1]"); v != int64(30) {
+		t.Fatalf("negative index = %v", v)
+	}
+	err := runErr(t, "return [1][5]")
+	if ClassOf(err) != "index" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestMapOps(t *testing.T) {
+	v := run(t, `
+let m = {}
+m["a"] = 1
+m["b"] = 2
+m["a"] = 10
+let d = get(m, "c", 99)
+return [len(m), m["a"], d, contains(m, "b")]`)
+	l := v.(*List)
+	if l.Items[0] != int64(2) || l.Items[1] != int64(10) || l.Items[2] != int64(99) || l.Items[3] != true {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+func TestMapMissingKey(t *testing.T) {
+	err := runErr(t, `return {"a": 1}["z"]`)
+	if ClassOf(err) != "index" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestMapDotAccess(t *testing.T) {
+	if v := run(t, `return {"name": "sw1"}.name`); v != "sw1" {
+		t.Fatalf("got %v", v)
+	}
+	err := runErr(t, `return {"name": "sw1"}.ghost`)
+	if ClassOf(err) != "attribute" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	v := run(t, `
+let ip = "15.76.1.2"
+let parts = split(ip, ".")
+return [parts[0] + "." + parts[1], startswith(ip, "15."), upper("ab"), replace("a-b", "-", "_")]`)
+	l := v.(*List)
+	if l.Items[0] != "15.76" || l.Items[1] != true || l.Items[2] != "AB" || l.Items[3] != "a_b" {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+func TestConversions(t *testing.T) {
+	v := run(t, `return [int("42"), float("2.5"), str(7), int(3.9), round(2.7), round(2.345, 2)]`)
+	l := v.(*List)
+	if l.Items[0] != int64(42) || l.Items[1] != 2.5 || l.Items[2] != "7" || l.Items[3] != int64(3) || l.Items[4] != int64(3) {
+		t.Fatalf("got %s", Repr(v))
+	}
+	if l.Items[5].(float64) < 2.33 || l.Items[5].(float64) > 2.36 {
+		t.Fatalf("round 2 digits = %v", l.Items[5])
+	}
+	err := runErr(t, `return int("abc")`)
+	if ClassOf(err) != "value" {
+		t.Fatalf("class = %s", ClassOf(err))
+	}
+}
+
+func TestMapFilterBuiltins(t *testing.T) {
+	v := run(t, `
+let xs = range(10)
+let evens = filter(xs, fn(x) => x % 2 == 0)
+let doubled = map(evens, fn(x) => x * 2)
+return sum(doubled)`)
+	if v != int64(40) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestUniqueZipEnumerate(t *testing.T) {
+	v := run(t, `
+let u = unique([1, 2, 2, 3, 1])
+let z = zip(["a", "b"], [1, 2])
+let e = enumerate(["x", "y"])
+return [len(u), z[1][0], e[1][0]]`)
+	l := v.(*List)
+	if l.Items[0] != int64(3) || l.Items[1] != "b" || l.Items[2] != int64(1) {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+func TestPrintCapture(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	_, err := in.Run(`print("hello", 42)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Stdout() != "hello 42\n" {
+		t.Fatalf("stdout = %q", in.Stdout())
+	}
+}
+
+func TestGlobalsInjection(t *testing.T) {
+	in := NewInterp(Limits{}, map[string]Value{"answer": int64(42)})
+	v, err := in.Run("return answer")
+	if err != nil || v != int64(42) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"let = 5",
+		"if { }",
+		"for in x { }",
+		"return (1 + ",
+		"let x = [1, 2",
+		`let s = "unterminated`,
+		"func f( { }",
+		"1 +",
+		"let x = 5 !",
+		"fn(x) x + 1", // missing =>
+		"x.+",
+		"while { }",
+	}
+	for _, src := range bad {
+		in := NewInterp(Limits{}, nil)
+		_, err := in.Run(src)
+		if err == nil {
+			t.Errorf("expected syntax error for %q", src)
+			continue
+		}
+		if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("expected *SyntaxError for %q, got %T (%v)", src, err, err)
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	_, err := in.Run("let a = 1\nlet b = 2\nlet = 3")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if se.Line != 3 {
+		t.Fatalf("line = %d, want 3", se.Line)
+	}
+}
+
+func TestRuntimeErrorClasses(t *testing.T) {
+	cases := []struct {
+		src   string
+		class string
+	}{
+		{"return ghost_fn()", "name"},
+		{"return 1 + []", "operation"},
+		{`return "a" - "b"`, "operation"},
+		{"return 1 / 0", "value"},
+		{"return len(5)", "operation"},
+		{"return [1][99]", "index"},
+		{"return sum(5)", "argument"},
+		{"return min([])", "value"},
+		{"let f = 5 f(1)", "operation"},
+		{"for x in 5 { }", "operation"},
+	}
+	for _, c := range cases {
+		in := NewInterp(Limits{}, nil)
+		_, err := in.Run(c.src)
+		if err == nil {
+			t.Errorf("expected error for %q", c.src)
+			continue
+		}
+		if got := ClassOf(err); got != c.class {
+			t.Errorf("%q class = %s, want %s (%v)", c.src, got, c.class, err)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	in := NewInterp(Limits{MaxSteps: 1000}, nil)
+	_, err := in.Run("while true { }")
+	if err == nil || ClassOf(err) != "limit" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	in := NewInterp(Limits{MaxDepth: 10}, nil)
+	_, err := in.Run("func f(n) { return f(n + 1) }\nreturn f(0)")
+	if err == nil || ClassOf(err) != "limit" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllocLimit(t *testing.T) {
+	in := NewInterp(Limits{MaxAllocs: 100}, nil)
+	_, err := in.Run("let l = []\nwhile true { push(l, 1) }")
+	if err == nil || ClassOf(err) != "limit" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	in := NewInterp(Limits{MaxDuration: 10 * time.Millisecond, MaxSteps: 1 << 60}, nil)
+	start := time.Now()
+	_, err := in.Run("while true { }")
+	if err == nil || ClassOf(err) != "limit" {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline enforcement too slow")
+	}
+}
+
+func TestReprDeterministic(t *testing.T) {
+	v := run(t, `return {"b": 1, "a": [1, 2.5, "x", nil, true]}`)
+	want := `{"b": 1, "a": [1, 2.5, "x", nil, true]}`
+	if got := Repr(v); got != want {
+		t.Fatalf("repr = %s", got)
+	}
+}
+
+func TestReprFloatInt(t *testing.T) {
+	if got := Repr(2.0); got != "2.0" {
+		t.Fatalf("repr(2.0) = %s", got)
+	}
+	if got := Repr(int64(2)); got != "2" {
+		t.Fatalf("repr(2) = %s", got)
+	}
+}
+
+func TestValuesEqualDeep(t *testing.T) {
+	a := run(t, `return {"k": [1, {"n": 2}]}`)
+	b := run(t, `return {"k": [1.0, {"n": 2.0}]}`)
+	if !ValuesEqual(a, b) {
+		t.Fatal("deep numeric equality failed")
+	}
+	c := run(t, `return {"k": [1, {"n": 3}]}`)
+	if ValuesEqual(a, c) {
+		t.Fatal("difference not detected")
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	v := run(t, `
+# setup
+let x = 1 # inline
+# return early?
+return x`)
+	if v != int64(1) {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestSliceBuiltin(t *testing.T) {
+	v := run(t, `return [slice([1,2,3,4], 1, 3), slice("hello", 0, 2), slice([1,2], -1, 99)]`)
+	l := v.(*List)
+	first := l.Items[0].(*List)
+	if len(first.Items) != 2 || first.Items[0] != int64(2) {
+		t.Fatalf("slice list = %s", Repr(v))
+	}
+	if l.Items[1] != "he" {
+		t.Fatalf("slice string = %s", Repr(v))
+	}
+}
+
+func TestNestedDataStructures(t *testing.T) {
+	v := run(t, `
+let groups = {}
+for e in [["a", 1], ["b", 2], ["a", 3]] {
+  let k = e[0]
+  if not contains(groups, k) { groups[k] = [] }
+  push(groups[k], e[1])
+}
+return groups`)
+	m := v.(*Map)
+	av, _ := m.Get("a")
+	if len(av.(*List).Items) != 2 {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+// --- property-based tests ---
+
+func TestPropParseReprRoundTrip(t *testing.T) {
+	// Any list of small ints: Repr parses back to an equal value.
+	f := func(xs []int8) bool {
+		items := make([]Value, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		l := NewList(items...)
+		in := NewInterp(Limits{}, nil)
+		v, err := in.Run("return " + Repr(l))
+		if err != nil {
+			return false
+		}
+		return ValuesEqual(v, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSortedIsSorted(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		sb.WriteString("return sorted([")
+		for i, x := range xs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(Repr(int64(x)))
+		}
+		sb.WriteString("])")
+		in := NewInterp(Limits{}, nil)
+		v, err := in.Run(sb.String())
+		if err != nil {
+			return false
+		}
+		l := v.(*List)
+		if len(l.Items) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(l.Items); i++ {
+			if l.Items[i-1].(int64) > l.Items[i].(int64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSumMatchesGo(t *testing.T) {
+	f := func(xs []int16) bool {
+		var want int64
+		var sb strings.Builder
+		sb.WriteString("return sum([")
+		for i, x := range xs {
+			want += int64(x)
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(Repr(int64(x)))
+		}
+		sb.WriteString("])")
+		in := NewInterp(Limits{}, nil)
+		v, err := in.Run(sb.String())
+		if err != nil {
+			return false
+		}
+		return v == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMapSetGet(t *testing.T) {
+	f := func(keys []string) bool {
+		m := NewMap()
+		for i, k := range keys {
+			if err := m.Set(k, int64(i)); err != nil {
+				return false
+			}
+		}
+		for i, k := range keys {
+			v, ok := m.Get(k)
+			if !ok {
+				return false
+			}
+			// Later duplicate keys overwrite; accept any index matching the
+			// last occurrence.
+			last := i
+			for j := i + 1; j < len(keys); j++ {
+				if keys[j] == k {
+					last = j
+				}
+			}
+			if v != int64(last) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package nql
+
+import (
+	"testing"
+)
+
+func evalExprTest(t *testing.T, src string) Value {
+	t.Helper()
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run("return " + src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"2 + 3 * 4", int64(14)},
+		{"(2 + 3) * 4", int64(20)},
+		{"10 - 4 - 3", int64(3)},     // left associative
+		{"2 * 3 % 4", int64(2)},      // same tier, left assoc
+		{"100 / 10 / 2", float64(5)}, // division left assoc
+		{"-2 * 3", int64(-6)},
+		{"-(2 + 3)", int64(-5)},
+		{"1 + 2 < 4", true},            // additive binds tighter than comparison
+		{"1 < 2 and 3 < 2", false},     // comparison binds tighter than and
+		{"false and false or true", true}, // and binds tighter than or
+		{"not 1 == 2", true},           // not applies to the comparison
+		{"not true or true", true},
+		{"1 + 2 == 3 and 4 < 5", true},
+		{"3 in [1, 2, 3] and true", true},
+	}
+	for _, c := range cases {
+		if got := evalExprTest(t, c.src); !ValuesEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestChainedPostfix(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`
+let m = {"xs": [[1, 2], [3, 4]]}
+return m["xs"][1][0]`)
+	if err != nil || v != int64(3) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestCallChaining(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`
+func make() { return fn(x) => x * 2 }
+return make()(21)`)
+	if err != nil || v != int64(42) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestLambdaInExpression(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`return (fn(a, b) => a + b)(20, 22)`)
+	if err != nil || v != int64(42) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestNestedFunctionScoping(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`
+let x = 1
+func outer() {
+  let x = 2
+  func inner() { return x }
+  return inner()
+}
+return [outer(), x]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*List)
+	if l.Items[0] != int64(2) || l.Items[1] != int64(1) {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+func TestBlockScopeShadowing(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`
+let x = 1
+if true {
+  let x = 2
+}
+return x`)
+	if err != nil || v != int64(1) {
+		t.Fatalf("let in block should shadow, not overwrite: v=%v err=%v", v, err)
+	}
+	// Assignment (no let) reaches the outer binding.
+	v2, err := in.Run(`
+let y = 1
+if true {
+  y = 2
+}
+return y`)
+	if err != nil || v2 != int64(2) {
+		t.Fatalf("assignment should mutate outer: v=%v err=%v", v2, err)
+	}
+}
+
+func TestLoopVariableFreshPerIteration(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run(`
+let fns = []
+for i in range(3) {
+  push(fns, fn(x) => x + i)
+}
+return [fns[0](0), fns[1](0), fns[2](0)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*List)
+	if l.Items[0] != int64(0) || l.Items[1] != int64(1) || l.Items[2] != int64(2) {
+		t.Fatalf("closures should capture per-iteration bindings: %s", Repr(v))
+	}
+}
+
+func TestFloatLiteralForms(t *testing.T) {
+	cases := map[string]float64{
+		"1.5":    1.5,
+		"0.25":   0.25,
+		"2e3":    2000,
+		"1.5e2":  150,
+		"1e-2":   0.01,
+		"3E+2":   300,
+	}
+	for src, want := range cases {
+		if got := evalExprTest(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	if got := evalExprTest(t, `"a\nb\t\"c\"\\"`); got != "a\nb\t\"c\"\\" {
+		t.Fatalf("got %q", got)
+	}
+	if got := evalExprTest(t, `'single \'quoted\''`); got != "single 'quoted'" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTrailingCommas(t *testing.T) {
+	if got := evalExprTest(t, "[1, 2, 3,]"); len(got.(*List).Items) != 3 {
+		t.Fatalf("list trailing comma: %s", Repr(got))
+	}
+	m := evalExprTest(t, `{"a": 1, "b": 2,}`)
+	if m.(*Map).Len() != 2 {
+		t.Fatalf("map trailing comma: %s", Repr(m))
+	}
+}
+
+func TestErrorLineFidelity(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	_, err := in.Run(`let a = 1
+let b = 2
+let c = a + nope
+return c`)
+	re, ok := err.(*RuntimeError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if re.Line != 3 {
+		t.Fatalf("line = %d, want 3", re.Line)
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// 60 levels of parentheses should parse without issue.
+	src := "return "
+	for i := 0; i < 60; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 60; i++ {
+		src += ")"
+	}
+	in := NewInterp(Limits{}, nil)
+	if v, err := in.Run(src); err != nil || v != int64(1) {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestKeywordsNotIdentifiers(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	if _, err := in.Run("let for = 1"); err == nil {
+		t.Fatal("keyword as identifier should fail")
+	}
+	if _, err := in.Run("let iff = 1\nreturn iff"); err != nil {
+		t.Fatalf("keyword-prefixed identifier should work: %v", err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run("")
+	if err != nil || v != nil {
+		t.Fatalf("empty program: v=%v err=%v", v, err)
+	}
+	v, err = in.Run("# only a comment")
+	if err != nil || v != nil {
+		t.Fatalf("comment-only: v=%v err=%v", v, err)
+	}
+}
+
+func TestBareReturn(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	v, err := in.Run("return")
+	if err != nil || v != nil {
+		t.Fatalf("bare return: v=%v err=%v", v, err)
+	}
+	// Bare return followed by another statement inside a function.
+	v2, err := in.Run(`
+func f(x) {
+  if x { return }
+  return 1
+}
+return [f(true), f(false)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v2.(*List)
+	if l.Items[0] != nil || l.Items[1] != int64(1) {
+		t.Fatalf("got %s", Repr(v2))
+	}
+}

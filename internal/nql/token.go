@@ -1,0 +1,196 @@
+// Package nql implements NQL ("network query language"), the small
+// imperative scripting language in which the simulated LLM emits programs.
+// NQL plays the role Python plays in the paper: generated code is plain
+// text, parsed and executed inside the sandbox against graph, dataframe and
+// SQL host objects. The language is deliberately compact — assignments,
+// control flow, functions, lambdas, lists/maps and method calls — but its
+// failure modes are faithful: syntax errors, unknown names, imaginary
+// attributes, bad arguments and unsupported operations are all first-class,
+// categorized runtime errors so the benchmark can reproduce the paper's
+// error taxonomy (Table 5).
+package nql
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokOp      // + - * / % == != < <= > >= = =>
+	TokPunct   // ( ) [ ] { } , : .
+	TokKeyword // let if else for in while func return break continue and or not true false nil fn
+)
+
+// Token is one lexical token with its source line (1-based) for error
+// reporting.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var nqlKeywords = map[string]bool{
+	"let": true, "if": true, "else": true, "for": true, "in": true,
+	"while": true, "func": true, "return": true, "break": true,
+	"continue": true, "and": true, "or": true, "not": true,
+	"true": true, "false": true, "nil": true, "fn": true,
+}
+
+// Lex tokenizes NQL source. It returns a *SyntaxError on malformed input.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if nqlKeywords[word] {
+				toks = append(toks, Token{TokKeyword, word, line})
+			} else {
+				toks = append(toks, Token{TokIdent, word, line})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			if i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					isFloat = true
+					i = j
+					for i < n && (src[i] >= '0' && src[i] <= '9') {
+						i++
+					}
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{kind, src[start:i], line})
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb []byte
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					switch src[i+1] {
+					case 'n':
+						sb = append(sb, '\n')
+					case 't':
+						sb = append(sb, '\t')
+					case '\\':
+						sb = append(sb, '\\')
+					case '"':
+						sb = append(sb, '"')
+					case '\'':
+						sb = append(sb, '\'')
+					default:
+						return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unknown escape \\%c", src[i+1])}
+					}
+					i += 2
+					continue
+				}
+				if src[i] == quote {
+					i++
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, &SyntaxError{Line: line, Msg: "newline in string literal"}
+				}
+				sb = append(sb, src[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Line: line, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{TokString, string(sb), line})
+		case c == '=':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "==", line})
+				i += 2
+			} else if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, Token{TokOp, "=>", line})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, "=", line})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "!=", line})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Line: line, Msg: "unexpected '!' (use 'not')"}
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokOp, src[i : i+2], line})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, string(c), line})
+				i++
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+			toks = append(toks, Token{TokOp, string(c), line})
+			i++
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == '{' || c == '}' || c == ',' || c == ':' || c == '.':
+			toks = append(toks, Token{TokPunct, string(c), line})
+			i++
+		default:
+			return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,285 @@
+package nql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is any NQL runtime value: nil, bool, int64, float64, string, *List,
+// *Map, *Closure, *Builtin, or an Object (host binding).
+type Value = any
+
+// List is a mutable ordered sequence.
+type List struct {
+	Items []Value
+}
+
+// NewList wraps items into a List.
+func NewList(items ...Value) *List { return &List{Items: items} }
+
+// Map is an insertion-ordered map with scalar keys (string, int64, float64,
+// bool). Generated programs use maps pervasively (attribute dicts, grouped
+// results), and insertion order keeps outputs deterministic.
+type Map struct {
+	keys  []Value
+	index map[string]int
+	vals  []Value
+}
+
+// NewMap returns an empty Map.
+func NewMap() *Map { return &Map{index: map[string]int{}} }
+
+func mapKey(k Value) (string, error) {
+	switch x := k.(type) {
+	case string:
+		return "s:" + x, nil
+	case int64:
+		return fmt.Sprintf("n:%v", float64(x)), nil
+	case float64:
+		return fmt.Sprintf("n:%v", x), nil
+	case bool:
+		return fmt.Sprintf("b:%v", x), nil
+	default:
+		return "", fmt.Errorf("unhashable map key of type %s", TypeName(k))
+	}
+}
+
+// Set inserts or replaces a key.
+func (m *Map) Set(k, v Value) error {
+	ks, err := mapKey(k)
+	if err != nil {
+		return err
+	}
+	if i, ok := m.index[ks]; ok {
+		m.vals[i] = v
+		return nil
+	}
+	m.index[ks] = len(m.keys)
+	m.keys = append(m.keys, k)
+	m.vals = append(m.vals, v)
+	return nil
+}
+
+// Get fetches a key; ok is false when absent.
+func (m *Map) Get(k Value) (Value, bool) {
+	ks, err := mapKey(k)
+	if err != nil {
+		return nil, false
+	}
+	i, ok := m.index[ks]
+	if !ok {
+		return nil, false
+	}
+	return m.vals[i], true
+}
+
+// Delete removes a key if present.
+func (m *Map) Delete(k Value) {
+	ks, err := mapKey(k)
+	if err != nil {
+		return
+	}
+	i, ok := m.index[ks]
+	if !ok {
+		return
+	}
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	delete(m.index, ks)
+	for j := i; j < len(m.keys); j++ {
+		js, _ := mapKey(m.keys[j])
+		m.index[js] = j
+	}
+}
+
+// Len returns the entry count.
+func (m *Map) Len() int { return len(m.keys) }
+
+// Keys returns the keys in insertion order (copy).
+func (m *Map) Keys() []Value { return append([]Value(nil), m.keys...) }
+
+// Values returns the values in insertion order (copy).
+func (m *Map) Values() []Value { return append([]Value(nil), m.vals...) }
+
+// Closure is a user-defined function or lambda with its captured scope.
+type Closure struct {
+	Name   string // "" for lambdas
+	Params []string
+	Body   []Stmt // nil for lambdas
+	Expr   Expr   // lambda body
+	Env    *Env
+}
+
+// Builtin is a native function exposed to scripts.
+type Builtin struct {
+	Name string
+	Fn   func(in *Interp, line int, args []Value) (Value, error)
+}
+
+// Object is a host-provided value (graph, frame, database, views). Member
+// returns an attribute or bound method; returning ok=false produces an
+// ErrAttr runtime error, which is how "imaginary attribute" failures of
+// generated code surface.
+type Object interface {
+	TypeName() string
+	Member(name string) (Value, bool)
+}
+
+// TypeName reports the NQL-visible type of a value.
+func TypeName(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case *List:
+		return "list"
+	case *Map:
+		return "map"
+	case *Closure:
+		return "function"
+	case *Builtin:
+		return "builtin"
+	case Object:
+		return x.TypeName()
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// Truthy implements NQL truthiness: nil/false/0/""/empty containers are
+// false.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case *List:
+		return len(x.Items) > 0
+	case *Map:
+		return x.Len() > 0
+	default:
+		return true
+	}
+}
+
+// Repr renders a value for display and result comparison: deterministic,
+// with maps in insertion order and floats minimized.
+func Repr(v Value) string {
+	var sb strings.Builder
+	writeRepr(&sb, v)
+	return sb.String()
+}
+
+func writeRepr(sb *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("nil")
+	case bool:
+		fmt.Fprintf(sb, "%v", x)
+	case int64:
+		fmt.Fprintf(sb, "%d", x)
+	case float64:
+		if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+			fmt.Fprintf(sb, "%d.0", int64(x))
+		} else {
+			fmt.Fprintf(sb, "%g", x)
+		}
+	case string:
+		fmt.Fprintf(sb, "%q", x)
+	case *List:
+		sb.WriteString("[")
+		for i, it := range x.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeRepr(sb, it)
+		}
+		sb.WriteString("]")
+	case *Map:
+		sb.WriteString("{")
+		for i, k := range x.keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeRepr(sb, k)
+			sb.WriteString(": ")
+			writeRepr(sb, x.vals[i])
+		}
+		sb.WriteString("}")
+	case *Closure:
+		name := x.Name
+		if name == "" {
+			name = "<lambda>"
+		}
+		fmt.Fprintf(sb, "<function %s>", name)
+	case *Builtin:
+		fmt.Fprintf(sb, "<builtin %s>", x.Name)
+	case Object:
+		if s, ok := x.(fmt.Stringer); ok {
+			sb.WriteString(s.String())
+		} else {
+			fmt.Fprintf(sb, "<%s>", x.TypeName())
+		}
+	default:
+		fmt.Fprintf(sb, "%v", x)
+	}
+}
+
+// ToStr renders a value the way str() and print() do: like Repr but without
+// quotes around top-level strings.
+func ToStr(v Value) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return Repr(v)
+}
+
+// Env is a lexical scope chain.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv creates a scope with an optional parent.
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Get resolves a name up the scope chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define binds a name in this scope (shadowing outer scopes).
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Assign updates an existing binding, searching up the chain; ok is false
+// when the name is not bound anywhere.
+func (e *Env) Assign(name string, v Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return true
+		}
+	}
+	return false
+}

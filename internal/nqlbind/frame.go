@@ -1,0 +1,486 @@
+package nqlbind
+
+import (
+	"fmt"
+
+	"repro/internal/dataframe"
+	"repro/internal/nql"
+)
+
+// FrameObject wraps a dataframe.Frame for NQL scripts. Method names follow
+// pandas ergonomics (filter, sort_values, groupby/agg, merge, head, ...).
+type FrameObject struct {
+	F *dataframe.Frame
+}
+
+// NewFrameObject wraps f.
+func NewFrameObject(f *dataframe.Frame) *FrameObject { return &FrameObject{F: f} }
+
+// TypeName implements nql.Object.
+func (o *FrameObject) TypeName() string { return "frame" }
+
+// String renders the frame as a table.
+func (o *FrameObject) String() string { return o.F.String() }
+
+// Size implements nql.Sizer: len(frame) is the row count.
+func (o *FrameObject) Size() int { return o.F.NumRows() }
+
+func rowToMap(row map[string]any, cols []string) *nql.Map {
+	m := nql.NewMap()
+	for _, c := range cols {
+		_ = m.Set(c, fromGoValue(row[c]))
+	}
+	return m
+}
+
+func colsFromArgs(line int, name string, args []nql.Value) ([]string, error) {
+	var cols []string
+	for _, a := range args {
+		switch x := a.(type) {
+		case string:
+			cols = append(cols, x)
+		case *nql.List:
+			for _, it := range x.Items {
+				s, err := wantString(line, name, "column", it)
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, s)
+			}
+		default:
+			return nil, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+				Msg: fmt.Sprintf("%s() expects column names, got %s", name, nql.TypeName(a))}
+		}
+	}
+	return cols, nil
+}
+
+// Member implements nql.Object.
+func (o *FrameObject) Member(name string) (nql.Value, bool) {
+	f := o.F
+	switch name {
+	case "columns":
+		return method("columns", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			return stringsToList(f.Columns()), nil
+		}), true
+	case "num_rows", "count":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			return int64(f.NumRows()), nil
+		}), true
+	case "records", "to_records":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			cols := f.Columns()
+			items := make([]nql.Value, f.NumRows())
+			for i := 0; i < f.NumRows(); i++ {
+				items[i] = rowToMap(f.Row(i), cols)
+			}
+			return nql.NewList(items...), nil
+		}), true
+	case "row":
+		return method("row", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "row", "1", len(args))
+			}
+			i, err := wantInt(line, "row", "index", args[0])
+			if err != nil {
+				return nil, err
+			}
+			if i < 0 || int(i) >= f.NumRows() {
+				return nil, &nql.RuntimeError{Class: nql.ErrIndex, Line: line,
+					Msg: fmt.Sprintf("row %d out of range (%d rows)", i, f.NumRows())}
+			}
+			return rowToMap(f.Row(int(i)), f.Columns()), nil
+		}), true
+	case "cell":
+		return method("cell", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 2 {
+				return nil, argCount(line, "cell", "2", len(args))
+			}
+			i, err := wantInt(line, "cell", "row", args[0])
+			if err != nil {
+				return nil, err
+			}
+			col, err := wantString(line, "cell", "column", args[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := f.Cell(int(i), col)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return fromGoValue(v), nil
+		}), true
+	case "column", "col":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, name, "1", len(args))
+			}
+			col, err := wantString(line, name, "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			vals, err := f.Column(col)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			items := make([]nql.Value, len(vals))
+			for i, v := range vals {
+				items[i] = fromGoValue(v)
+			}
+			return nql.NewList(items...), nil
+		}), true
+	case "filter":
+		return method("filter", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "filter", "1", len(args))
+			}
+			cols := f.Columns()
+			out, err := f.Filter(func(row map[string]any) (bool, error) {
+				v, err := in.Call(args[0], []nql.Value{rowToMap(row, cols)}, line)
+				if err != nil {
+					return false, err
+				}
+				return nql.Truthy(v), nil
+			})
+			if err != nil {
+				if _, ok := err.(*nql.RuntimeError); ok {
+					return nil, err
+				}
+				return nil, runtimeErr(nql.ErrOp, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "filter_eq":
+		return method("filter_eq", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 2 {
+				return nil, argCount(line, "filter_eq", "2", len(args))
+			}
+			col, err := wantString(line, "filter_eq", "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.FilterEq(col, toGoValue(args[1]))
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "sort_values", "sort_by":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) < 1 {
+				return nil, argCount(line, name, "1+", len(args))
+			}
+			ascending := true
+			colArgs := args
+			if b, ok := args[len(args)-1].(bool); ok {
+				ascending = b
+				colArgs = args[:len(args)-1]
+			}
+			cols, err := colsFromArgs(line, name, colArgs)
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.SortBy(ascending, cols...)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "select":
+		return method("select", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			cols, err := colsFromArgs(line, "select", args)
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.Select(cols...)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "drop":
+		return method("drop", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			cols, err := colsFromArgs(line, "drop", args)
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.Drop(cols...)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "rename":
+		return method("rename", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 2 {
+				return nil, argCount(line, "rename", "2", len(args))
+			}
+			oldName, err := wantString(line, "rename", "old", args[0])
+			if err != nil {
+				return nil, err
+			}
+			newName, err := wantString(line, "rename", "new", args[1])
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.Rename(oldName, newName)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "head":
+		return method("head", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "head", "1", len(args))
+			}
+			n, err := wantInt(line, "head", "n", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return NewFrameObject(f.Head(int(n))), nil
+		}), true
+	case "mutate", "assign":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 2 {
+				return nil, argCount(line, name, "2", len(args))
+			}
+			col, err := wantString(line, name, "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			cols := f.Columns()
+			out, err := f.Mutate(col, func(row map[string]any) (any, error) {
+				v, err := in.Call(args[1], []nql.Value{rowToMap(row, cols)}, line)
+				if err != nil {
+					return nil, err
+				}
+				return toGoValue(v), nil
+			})
+			if err != nil {
+				if _, ok := err.(*nql.RuntimeError); ok {
+					return nil, err
+				}
+				return nil, runtimeErr(nql.ErrOp, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "unique":
+		return method("unique", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "unique", "1", len(args))
+			}
+			col, err := wantString(line, "unique", "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			vals, err := f.Unique(col)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			items := make([]nql.Value, len(vals))
+			for i, v := range vals {
+				items[i] = fromGoValue(v)
+			}
+			return nql.NewList(items...), nil
+		}), true
+	case "value_counts":
+		return method("value_counts", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "value_counts", "1", len(args))
+			}
+			col, err := wantString(line, "value_counts", "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := f.ValueCounts(col)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "sum", "mean", "min", "max":
+		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, name, "1", len(args))
+			}
+			col, err := wantString(line, name, "column", args[0])
+			if err != nil {
+				return nil, err
+			}
+			var v any
+			switch name {
+			case "sum":
+				v, err = f.Sum(col)
+			case "mean":
+				v, err = f.Mean(col)
+			case "min":
+				v, err = f.Min(col)
+			case "max":
+				v, err = f.Max(col)
+			}
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return fromGoValue(v), nil
+		}), true
+	case "groupby":
+		return method("groupby", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			cols, err := colsFromArgs(line, "groupby", args)
+			if err != nil {
+				return nil, err
+			}
+			g, err := f.GroupBy(cols...)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return &GroupedObject{G: g}, nil
+		}), true
+	case "merge":
+		return method("merge", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 3 && len(args) != 4 {
+				return nil, argCount(line, "merge", "3 or 4", len(args))
+			}
+			other, ok := args[0].(*FrameObject)
+			if !ok {
+				return nil, &nql.RuntimeError{Class: nql.ErrArg, Line: line, Msg: "merge() first argument must be a frame"}
+			}
+			lk, err := wantString(line, "merge", "left key", args[1])
+			if err != nil {
+				return nil, err
+			}
+			rk, err := wantString(line, "merge", "right key", args[2])
+			if err != nil {
+				return nil, err
+			}
+			kind := dataframe.InnerJoin
+			if len(args) == 4 {
+				ks, err := wantString(line, "merge", "kind", args[3])
+				if err != nil {
+					return nil, err
+				}
+				kind = dataframe.JoinKind(ks)
+			}
+			out, err := dataframe.Merge(f, other.F, lk, rk, kind)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrArg, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "append_row":
+		return method("append_row", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != int(f.NumCols()) {
+				return nil, argCount(line, "append_row", fmt.Sprintf("%d", f.NumCols()), len(args))
+			}
+			vals := make([]any, len(args))
+			for i, a := range args {
+				vals[i] = toGoValue(a)
+			}
+			f.AppendRow(vals...)
+			return nil, nil
+		}), true
+	case "set_cell":
+		return method("set_cell", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 3 {
+				return nil, argCount(line, "set_cell", "3", len(args))
+			}
+			i, err := wantInt(line, "set_cell", "row", args[0])
+			if err != nil {
+				return nil, err
+			}
+			col, err := wantString(line, "set_cell", "column", args[1])
+			if err != nil {
+				return nil, err
+			}
+			if err := f.SetCell(int(i), col, toGoValue(args[2])); err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return nil, nil
+		}), true
+	case "clone":
+		return method("clone", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			return NewFrameObject(f.Clone()), nil
+		}), true
+	default:
+		return nil, false
+	}
+}
+
+// GroupedObject wraps a dataframe grouping; its agg() accepts [col, fn] or
+// [col, fn, name] specs.
+type GroupedObject struct {
+	G *dataframe.Grouped
+}
+
+// TypeName implements nql.Object.
+func (o *GroupedObject) TypeName() string { return "grouped" }
+
+// Member implements nql.Object.
+func (o *GroupedObject) Member(name string) (nql.Value, bool) {
+	switch name {
+	case "num_groups":
+		return method("num_groups", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			return int64(o.G.NumGroups()), nil
+		}), true
+	case "agg":
+		return method("agg", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) == 0 {
+				return nil, argCount(line, "agg", "1+", len(args))
+			}
+			var specs []dataframe.AggSpec
+			for _, a := range args {
+				spec, err := parseAggSpec(line, a)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
+			}
+			out, err := o.G.Agg(specs...)
+			if err != nil {
+				return nil, runtimeErr(nql.ErrAttr, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	case "count":
+		return method("count", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			out, err := o.G.Agg(dataframe.AggSpec{Func: dataframe.AggCount})
+			if err != nil {
+				return nil, runtimeErr(nql.ErrOp, line, err)
+			}
+			return NewFrameObject(out), nil
+		}), true
+	default:
+		return nil, false
+	}
+}
+
+func parseAggSpec(line int, v nql.Value) (dataframe.AggSpec, error) {
+	l, ok := v.(*nql.List)
+	if !ok || len(l.Items) < 2 || len(l.Items) > 3 {
+		return dataframe.AggSpec{}, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+			Msg: "agg() specs must be [column, func] or [column, func, name] lists"}
+	}
+	col, ok1 := l.Items[0].(string)
+	fn, ok2 := l.Items[1].(string)
+	if !ok1 || !ok2 {
+		return dataframe.AggSpec{}, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+			Msg: "agg() spec elements must be strings"}
+	}
+	spec := dataframe.AggSpec{Col: col, Func: dataframe.AggFunc(fn)}
+	if len(l.Items) == 3 {
+		name, ok := l.Items[2].(string)
+		if !ok {
+			return dataframe.AggSpec{}, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+				Msg: "agg() output name must be a string"}
+		}
+		spec.Name = name
+	}
+	switch spec.Func {
+	case dataframe.AggSum, dataframe.AggMean, dataframe.AggMin, dataframe.AggMax,
+		dataframe.AggCount, dataframe.AggFirst, dataframe.AggLast:
+	default:
+		return dataframe.AggSpec{}, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+			Msg: fmt.Sprintf("unknown aggregation %q (want sum/mean/min/max/count/first/last)", spec.Func)}
+	}
+	return spec, nil
+}

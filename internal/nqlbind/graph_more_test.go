@@ -1,0 +1,158 @@
+package nqlbind
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nql"
+)
+
+func chainGraph() *graph.Graph {
+	g := graph.NewDirected()
+	g.AddEdge("a", "b", graph.Attrs{"w": 1})
+	g.AddEdge("b", "c", graph.Attrs{"w": 1})
+	g.AddEdge("c", "d", graph.Attrs{"w": 1})
+	g.AddNode("island", nil)
+	return g
+}
+
+func TestHasPathBinding(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `return [graph.has_path("a", "d"), graph.has_path("d", "a"), graph.has_path("a", "island"), graph.has_path("ghost", "a")]`)
+	l := v.(*nql.List)
+	want := []bool{true, false, false, false}
+	for i, w := range want {
+		if l.Items[i] != w {
+			t.Fatalf("has_path[%d] = %v, want %v (%s)", i, l.Items[i], w, nql.Repr(v))
+		}
+	}
+}
+
+func TestComponentsBinding(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+let comps = graph.connected_components()
+return [len(comps), len(comps[0]), comps[1][0]]`)
+	l := v.(*nql.List)
+	if l.Items[0] != int64(2) || l.Items[1] != int64(4) || l.Items[2] != "island" {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}
+
+func TestSCCAndTopoBindings(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+let order = graph.topological_sort()
+let sccs = graph.strongly_connected_components()
+return [order[0], len(sccs)]`)
+	l := v.(*nql.List)
+	if l.Items[0] != "a" && l.Items[0] != "island" {
+		t.Fatalf("topo head = %v", l.Items[0])
+	}
+	if l.Items[1] != int64(5) { // all singletons in a DAG
+		t.Fatalf("sccs = %v", l.Items[1])
+	}
+	// Cycle makes topological_sort error with value class.
+	g.AddEdge("d", "a", nil)
+	_, err := runWithGraph(t, g, `return graph.topological_sort()`)
+	if err == nil || nql.ClassOf(err) != "value" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReverseToUndirectedBindings(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+let r = graph.reverse()
+let u = graph.to_undirected()
+return [r.has_edge("b", "a"), u.directed, graph.directed]`)
+	l := v.(*nql.List)
+	if l.Items[0] != true || l.Items[1] != false || l.Items[2] != true {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}
+
+func TestDensityIsolatesSelfLoops(t *testing.T) {
+	g := chainGraph()
+	g.AddEdge("d", "d", nil)
+	v := mustRun(t, g, `
+return [graph.isolated_nodes(), len(graph.self_loops()), graph.has_cycle(), graph.density() > 0]`)
+	l := v.(*nql.List)
+	iso := l.Items[0].(*nql.List)
+	if len(iso.Items) != 1 || iso.Items[0] != "island" {
+		t.Fatalf("isolates = %s", nql.Repr(l.Items[0]))
+	}
+	if l.Items[1] != int64(1) || l.Items[2] != true || l.Items[3] != true {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}
+
+func TestDiameterAvgPathBindings(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `return [graph.diameter(), graph.average_shortest_path_length() > 0]`)
+	l := v.(*nql.List)
+	if l.Items[0] != int64(3) || l.Items[1] != true {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}
+
+func TestCentralityBindings(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+let bc = graph.betweenness_centrality()
+let cc = graph.closeness_centrality()
+let cl = graph.clustering()
+let avg = graph.average_clustering()
+return [len(keys(bc)), len(keys(cc)), len(keys(cl)), avg]`)
+	l := v.(*nql.List)
+	if l.Items[0] != int64(5) || l.Items[1] != int64(5) || l.Items[2] != int64(5) {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+	if l.Items[3] != 0.0 { // chain has no triangles
+		t.Fatalf("avg clustering = %v", l.Items[3])
+	}
+}
+
+func TestLenOfGraphAndFrame(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `return len(graph)`)
+	if v != int64(5) {
+		t.Fatalf("len(graph) = %v", v)
+	}
+}
+
+func TestRemoveEdgeBinding(t *testing.T) {
+	g := chainGraph()
+	mustRun(t, g, `graph.remove_edge("a", "b")`)
+	if g.HasEdge("a", "b") {
+		t.Fatal("edge not removed")
+	}
+	_, err := runWithGraph(t, g, `graph.remove_edge("a", "b")`)
+	if err == nil || nql.ClassOf(err) != "value" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddNodeWithBadAttrs(t *testing.T) {
+	g := chainGraph()
+	_, err := runWithGraph(t, g, `graph.add_node("x", "not-a-map")`)
+	if err == nil || nql.ClassOf(err) != "argument" {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = runWithGraph(t, g, `graph.add_edge("x", "y", {1: "bad-key"})`)
+	if err == nil || nql.ClassOf(err) != "argument" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNestedAttrValues(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+graph.node("a")["tags"] = ["x", "y"]
+graph.node("a")["meta"] = {"k": 1}
+return [graph.node("a")["tags"][1], graph.node("a")["meta"]["k"]]`)
+	l := v.(*nql.List)
+	if l.Items[0] != "y" || l.Items[1] != int64(1) {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}

@@ -1,0 +1,169 @@
+// Package prompt implements the two-stage prompt generation framework of
+// the paper (boxes 2 and 3 in Figure 2): an application prompt generator
+// that combines the user query with the application wrapper's
+// domain-specific context, and a general code-gen prompt generator that
+// appends program-synthesis instructions (output language, libraries,
+// answer conventions). Keeping the two stages separate is the paper's key
+// architectural claim — either can evolve independently.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AppWrapper is the application wrapper interface (framework box 1): it
+// names the application and describes its data model for a given backend.
+type AppWrapper interface {
+	Name() string
+	Describe(backend string) string
+}
+
+// Backends supported by the code generator.
+const (
+	BackendNetworkX = "networkx"
+	BackendPandas   = "pandas"
+	BackendSQL      = "sql"
+)
+
+// Backends lists all code-generation backends in evaluation order.
+var Backends = []string{BackendSQL, BackendPandas, BackendNetworkX}
+
+// codeGenInstructions is the general program-synthesis suffix (box 3),
+// independent of the application.
+const codeGenInstructions = `Write a complete NQL program that answers the query.
+Rules:
+- NQL is a small imperative language: let/if/else/for/while/func/return,
+  lists [..], maps {..}, lambdas fn(x) => expr, and method calls obj.m(a).
+- Use only the documented bindings and the standard builtins (len, range,
+  sorted, sum, min, max, keys, values, push, split, join, contains, str,
+  int, float, round, map, filter, unique, kmeans, print).
+- End the program with a return statement carrying the answer. For pure
+  manipulation tasks, perform the mutation and return nil.
+- Do not fabricate attributes, columns or methods that are not documented.
+Respond with only the program text.
+
+Few-shot examples of query -> program:
+
+Example 1. Query: "How many elements are in the collection?"
+Program:
+    return len(items)
+
+Example 2. Query: "Sum the weight attribute over all records."
+Program:
+    let total = 0
+    for r in records {
+      total = total + r["weight"]
+    }
+    return total
+
+Example 3. Query: "Group records by key and report the largest group."
+Program:
+    let groups = {}
+    for r in records {
+      let k = r["key"]
+      if not contains(groups, k) { groups[k] = 0 }
+      groups[k] = groups[k] + 1
+    }
+    let best = nil
+    let bestn = -1
+    for k, n in groups {
+      if n > bestn { best = k bestn = n }
+    }
+    return [best, bestn]
+
+Example 4. Query: "Mark every record whose value exceeds a threshold."
+Program:
+    for r in records {
+      if r["value"] > threshold {
+        r["flagged"] = true
+      }
+    }
+    return nil
+
+Checklist before you answer: verify every attribute you reference is in the
+data model; verify every method you call is documented; verify the program
+parses (balanced braces, complete expressions); verify the final statement
+returns the value the query asks for, in the shape the query specifies
+(list, map, single value); prefer deterministic ordering (sorted output)
+whenever the query asks for lists.`
+
+// BuildCodePrompt assembles the full prompt for a code-generation request:
+// application context (box 2) + query + synthesis instructions (box 3).
+func BuildCodePrompt(app AppWrapper, backend, query string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "You are assisting a network operator with %s.\n\n", app.Name())
+	sb.WriteString("Data model:\n")
+	sb.WriteString(app.Describe(backend))
+	sb.WriteString("\n\nUser query: ")
+	sb.WriteString(query)
+	sb.WriteString("\n\n")
+	sb.WriteString(codeGenInstructions)
+	return sb.String()
+}
+
+// BuildStrawmanPrompt assembles the baseline prompt that inlines the whole
+// network as JSON and asks the model to answer directly — the approach the
+// paper shows fails on explainability, scalability and privacy.
+func BuildStrawmanPrompt(app AppWrapper, graphJSON, query string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "You are assisting a network operator with %s.\n\n", app.Name())
+	sb.WriteString("The complete network data in node-link JSON format:\n")
+	sb.WriteString(graphJSON)
+	sb.WriteString("\n\nUser query: ")
+	sb.WriteString(query)
+	sb.WriteString("\n\nAnswer the query directly and concisely. If the query asks for a " +
+		"modification, output the full updated network JSON.")
+	return sb.String()
+}
+
+// BuildRepairPrompt assembles the self-debug follow-up: the original
+// prompt, the failing program and its error, asking for a corrected
+// program (Chen et al.'s self-debugging loop, applied as in the paper's
+// case study).
+func BuildRepairPrompt(original, failedCode, errMsg string) string {
+	var sb strings.Builder
+	sb.WriteString(original)
+	sb.WriteString("\n\nYour previous program:\n")
+	sb.WriteString(failedCode)
+	sb.WriteString("\n\nIt failed with error:\n")
+	sb.WriteString(errMsg)
+	sb.WriteString("\n\nPlease return a corrected program. Respond with only the program text.")
+	return sb.String()
+}
+
+// QueryOf extracts the user query embedded in a prompt built by this
+// package; ok is false when the marker is absent. The simulated LLM uses
+// this to look up its generation catalog — a real LLM reads the same text.
+func QueryOf(p string) (string, bool) {
+	const marker = "User query: "
+	i := strings.Index(p, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := p[i+len(marker):]
+	if j := strings.Index(rest, "\n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// IsRepairPrompt reports whether p is a self-debug follow-up.
+func IsRepairPrompt(p string) bool {
+	return strings.Contains(p, "It failed with error:")
+}
+
+// BackendOf sniffs which backend a code prompt was built for by looking at
+// the data-model section; ok is false for strawman prompts.
+func BackendOf(p string) (string, bool) {
+	switch {
+	case strings.Contains(p, "`graph` is bound"):
+		return BackendNetworkX, true
+	case strings.Contains(p, "`nodes_df`"):
+		return BackendPandas, true
+	case strings.Contains(p, "`db` is bound"):
+		return BackendSQL, true
+	default:
+		return "", false
+	}
+}

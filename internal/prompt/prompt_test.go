@@ -1,0 +1,104 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeWrapper struct{}
+
+func (fakeWrapper) Name() string { return "test app" }
+func (fakeWrapper) Describe(backend string) string {
+	switch backend {
+	case BackendNetworkX:
+		return "A variable `graph` is bound to the graph."
+	case BackendPandas:
+		return "Dataframes `nodes_df` and `edges_df` are bound."
+	case BackendSQL:
+		return "A variable `db` is bound to a SQL database."
+	}
+	return "generic"
+}
+
+func TestBuildCodePromptStructure(t *testing.T) {
+	p := BuildCodePrompt(fakeWrapper{}, BackendNetworkX, "How many nodes?")
+	for _, want := range []string{"test app", "Data model:", "User query: How many nodes?", "NQL", "return statement"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestQueryOfRoundTrip(t *testing.T) {
+	for _, q := range []string{"Count nodes.", "Remove all isolated nodes (nodes with no incoming or outgoing edges) from the network."} {
+		p := BuildCodePrompt(fakeWrapper{}, BackendPandas, q)
+		got, ok := QueryOf(p)
+		if !ok || got != q {
+			t.Errorf("QueryOf = %q ok=%v, want %q", got, ok, q)
+		}
+	}
+	if _, ok := QueryOf("no marker here"); ok {
+		t.Fatal("QueryOf on plain text should fail")
+	}
+}
+
+func TestBackendOf(t *testing.T) {
+	for _, backend := range Backends {
+		p := BuildCodePrompt(fakeWrapper{}, backend, "q")
+		got, ok := BackendOf(p)
+		if !ok || got != backend {
+			t.Errorf("BackendOf = %q ok=%v, want %q", got, ok, backend)
+		}
+	}
+	straw := BuildStrawmanPrompt(fakeWrapper{}, `{"nodes":[]}`, "q")
+	if _, ok := BackendOf(straw); ok {
+		t.Fatal("strawman prompt should have no backend")
+	}
+}
+
+func TestStrawmanPromptEmbedsData(t *testing.T) {
+	p := BuildStrawmanPrompt(fakeWrapper{}, `{"nodes":[{"id":"a"}]}`, "Count nodes.")
+	if !strings.Contains(p, `{"nodes":[{"id":"a"}]}`) {
+		t.Fatal("graph JSON not embedded")
+	}
+	if q, ok := QueryOf(p); !ok || q != "Count nodes." {
+		t.Fatalf("QueryOf = %q", q)
+	}
+}
+
+func TestRepairPrompt(t *testing.T) {
+	orig := BuildCodePrompt(fakeWrapper{}, BackendSQL, "q")
+	rep := BuildRepairPrompt(orig, "bad code", "nql attribute error on line 1: boom")
+	if !IsRepairPrompt(rep) {
+		t.Fatal("repair prompt not detected")
+	}
+	if IsRepairPrompt(orig) {
+		t.Fatal("original misdetected as repair")
+	}
+	for _, want := range []string{"bad code", "boom", "corrected program"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("repair prompt missing %q", want)
+		}
+	}
+	// The embedded query survives.
+	if q, ok := QueryOf(rep); !ok || q != "q" {
+		t.Fatalf("QueryOf(repair) = %q", q)
+	}
+	// Backend detection survives.
+	if b, ok := BackendOf(rep); !ok || b != BackendSQL {
+		t.Fatalf("BackendOf(repair) = %q", b)
+	}
+}
+
+func TestCodePromptGrowsWithoutData(t *testing.T) {
+	// The code prompt must not embed network data — its length is
+	// independent of graph size (the paper's scalability property).
+	p1 := BuildCodePrompt(fakeWrapper{}, BackendNetworkX, "q")
+	p2 := BuildCodePrompt(fakeWrapper{}, BackendNetworkX, "q")
+	if p1 != p2 {
+		t.Fatal("code prompt should be deterministic")
+	}
+	if strings.Contains(p1, "{\"nodes\"") {
+		t.Fatal("code prompt must not contain graph JSON")
+	}
+}

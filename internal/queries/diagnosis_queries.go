@@ -1,0 +1,175 @@
+package queries
+
+// AppDiagnosis is the failure-diagnosis extension application (paper §5
+// "expanding benchmarks"). Its queries are part of the registry — the
+// framework, prompts, sandbox and evaluator treat them exactly like the
+// paper's two applications — but they are not part of the paper's tables,
+// so the simulated models have no calibrated failures for them.
+const AppDiagnosis = "diagnosis"
+
+// Diagnosis returns the extension suite (2 easy / 2 medium / 2 hard).
+func Diagnosis() []Query { return diagnosisQueries }
+
+// Shared NQL fragments for the diagnosis goldens.
+
+// probeRecords normalizes the three backends' probe representations into a
+// list of {id, path(list), ok} maps bound to `plist`.
+const probesFromFrame = `let plist = []
+for r in probes_df.records() {
+  push(plist, {"id": r["pid"], "path": split(r["path"], ">"), "ok": r["ok"]})
+}
+`
+
+const probesFromDB = `let plist = []
+for r in db.query("SELECT pid, path, ok FROM probes ORDER BY pid").records() {
+  push(plist, {"id": r["pid"], "path": split(r["path"], ">"), "ok": r["ok"]})
+}
+`
+
+const probesFromGraphBinding = `let plist = probes
+`
+
+// linkCountsBody tallies, per directed link "u>v", the number of failed and
+// successful probes that traverse it, into maps `bad` and `good`.
+const linkCountsBody = `let bad = {}
+let good = {}
+for p in plist {
+  let path = p["path"]
+  for i in range(len(path) - 1) {
+    let k = path[i] + ">" + path[i + 1]
+    if p["ok"] {
+      if not contains(good, k) { good[k] = 0 }
+      good[k] = good[k] + 1
+    } else {
+      if not contains(bad, k) { bad[k] = 0 }
+      bad[k] = bad[k] + 1
+    }
+  }
+}
+`
+
+func diagGolden(body string) map[string]string {
+	return map[string]string{
+		"networkx": probesFromGraphBinding + body,
+		"pandas":   probesFromFrame + body,
+		"sql":      probesFromDB + body,
+	}
+}
+
+var diagnosisQueries = []Query{
+	{
+		ID: "diag-e1", App: AppDiagnosis, Complexity: Easy,
+		Text: `How many links are currently marked down?`,
+		Golden: map[string]string{
+			"networkx": `let n = 0
+for e in graph.edges() {
+  if e.attrs["status"] == "down" { n = n + 1 }
+}
+return n`,
+			"pandas": `return edges_df.filter_eq("status", "down").num_rows()`,
+			"sql":    `return db.query("SELECT COUNT(*) AS n FROM edges WHERE status = 'down'").cell(0, "n")`,
+		},
+	},
+	{
+		ID: "diag-e2", App: AppDiagnosis, Complexity: Easy,
+		Text: `List the ids of the probes that failed, sorted.`,
+		Golden: diagGolden(`let out = []
+for p in plist {
+  if not p["ok"] { push(out, p["id"]) }
+}
+return sorted(out)`),
+	},
+	{
+		ID: "diag-m1", App: AppDiagnosis, Complexity: Medium,
+		Text: `Which directed links appear in at least one failed probe but in no successful probe? Return them as [src, dst] pairs, sorted.`,
+		Golden: diagGolden(linkCountsBody + `let out = []
+for k in keys(bad) {
+  if not contains(good, k) {
+    push(out, split(k, ">"))
+  }
+}
+return sorted(out)`),
+	},
+	{
+		ID: "diag-m2", App: AppDiagnosis, Complexity: Medium,
+		Text: `For each node, count the failed probes whose path traverses it; return the top 3 as [node, count] pairs in descending count order, ties by node id.`,
+		Golden: diagGolden(`let counts = {}
+for p in plist {
+  if p["ok"] { continue }
+  let seen = {}
+  for n in p["path"] {
+    if contains(seen, n) { continue }
+    seen[n] = true
+    if not contains(counts, n) { counts[n] = 0 }
+    counts[n] = counts[n] + 1
+  }
+}
+let pairs = []
+for n, c in counts { push(pairs, [n, c]) }
+let ranked = sorted(pairs, fn(p) => [0 - p[1], p[0]])
+return slice(ranked, 0, 3)`),
+	},
+	{
+		ID: "diag-h1", App: AppDiagnosis, Complexity: Hard,
+		Text: `Rank candidate faulty links by suspicion score, defined as the number of failed probes containing the link divided by one plus the number of successful probes containing it. Return the top 5 as [src, dst] pairs in descending score order, ties by source then destination id.`,
+		Golden: diagGolden(linkCountsBody + `let scored = []
+for k, b in bad {
+  let g = 0
+  if contains(good, k) { g = good[k] }
+  let score = b / (1.0 + g)
+  let parts = split(k, ">")
+  push(scored, [0.0 - score, parts[0], parts[1]])
+}
+scored = sorted(scored)
+let out = []
+for s in slice(scored, 0, 5) { push(out, [s[1], s[2]]) }
+return out`),
+	},
+	{
+		ID: "diag-h2", App: AppDiagnosis, Complexity: Hard,
+		Text: `Cross-check the probe observations against the link status attributes: a probe should fail if and only if its path traverses a link whose status is down. Return the ids of probes whose observation contradicts the link states, sorted.`,
+		Golden: map[string]string{
+			"networkx": probesFromGraphBinding + `let out = []
+for p in plist {
+  let path = p["path"]
+  let shouldfail = false
+  for i in range(len(path) - 1) {
+    if graph.edge(path[i], path[i + 1])["status"] == "down" { shouldfail = true }
+  }
+  let expected = not shouldfail
+  if expected != p["ok"] { push(out, p["id"]) }
+}
+return sorted(out)`,
+			"pandas": probesFromFrame + `let down = {}
+for r in edges_df.records() {
+  if r["status"] == "down" { down[r["src"] + ">" + r["dst"]] = true }
+}
+let out = []
+for p in plist {
+  let path = p["path"]
+  let shouldfail = false
+  for i in range(len(path) - 1) {
+    if contains(down, path[i] + ">" + path[i + 1]) { shouldfail = true }
+  }
+  let expected = not shouldfail
+  if expected != p["ok"] { push(out, p["id"]) }
+}
+return sorted(out)`,
+			"sql": probesFromDB + `let down = {}
+for r in db.query("SELECT src, dst FROM edges WHERE status = 'down'").records() {
+  down[r["src"] + ">" + r["dst"]] = true
+}
+let out = []
+for p in plist {
+  let path = p["path"]
+  let shouldfail = false
+  for i in range(len(path) - 1) {
+    if contains(down, path[i] + ">" + path[i + 1]) { shouldfail = true }
+  }
+  let expected = not shouldfail
+  if expected != p["ok"] { push(out, p["id"]) }
+}
+return sorted(out)`,
+		},
+	},
+}

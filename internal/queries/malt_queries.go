@@ -1,0 +1,405 @@
+package queries
+
+// Shared MALT helpers (pandas/SQL backends): kind lookup and containment
+// adjacency maps rebuilt from the tabular form.
+
+const maltPandasMaps = `let kind = {}
+for r in nodes_df.records() { kind[r["id"]] = r["kind"] }
+let children = {}
+let parents = {}
+for r in edges_df.records() {
+  if r["relation"] == "RK_CONTAINS" {
+    if not contains(children, r["src"]) { children[r["src"]] = [] }
+    push(children[r["src"]], r["dst"])
+    parents[r["dst"]] = r["src"]
+  }
+}
+`
+
+const maltSQLMaps = `let kind = {}
+for r in db.query("SELECT id, kind FROM entities").records() { kind[r["id"]] = r["kind"] }
+let children = {}
+let parents = {}
+for r in db.query("SELECT src, dst FROM relationships WHERE relation = 'RK_CONTAINS'").records() {
+  if not contains(children, r["src"]) { children[r["src"]] = [] }
+  push(children[r["src"]], r["dst"])
+  parents[r["dst"]] = r["src"]
+}
+`
+
+// dcOfSwitch resolves a switch's datacenter by walking parents (switch →
+// chassis → datacenter).
+const dcOfHelper = `func dc_of(sw) {
+  return parents[parents[sw]]
+}
+`
+
+var maltQueries = []Query{
+	{
+		ID: "malt-e1", App: AppMALT, Complexity: Easy,
+		Text: `List all ports that are contained by packet switch ps.ju1.a1.m1.s2c1, sorted by id.`,
+		Golden: map[string]string{
+			"networkx": `let sw = "ps.ju1.a1.m1.s2c1"
+let out = []
+for nb in graph.neighbors(sw) {
+  if graph.edge(sw, nb)["relation"] == "RK_CONTAINS" and graph.node(nb)["kind"] == "EK_PORT" {
+    push(out, nb)
+  }
+}
+return sorted(out)`,
+			"pandas": `let kind = {}
+for r in nodes_df.records() { kind[r["id"]] = r["kind"] }
+let out = []
+for r in edges_df.records() {
+  if r["src"] == "ps.ju1.a1.m1.s2c1" and r["relation"] == "RK_CONTAINS" and kind[r["dst"]] == "EK_PORT" {
+    push(out, r["dst"])
+  }
+}
+return sorted(out)`,
+			"sql": `let out = []
+for r in db.query("SELECT e.dst AS port FROM relationships e JOIN entities n ON e.dst = n.id WHERE e.src = 'ps.ju1.a1.m1.s2c1' AND e.relation = 'RK_CONTAINS' AND n.kind = 'EK_PORT' ORDER BY port").records() {
+  push(out, r["port"])
+}
+return out`,
+		},
+	},
+	{
+		ID: "malt-e2", App: AppMALT, Complexity: Easy,
+		Text: `How many chassis does datacenter ju2 contain?`,
+		Golden: map[string]string{
+			"networkx": `let dc = "dc.ju2"
+let n = 0
+for nb in graph.neighbors(dc) {
+  if graph.edge(dc, nb)["relation"] == "RK_CONTAINS" and graph.node(nb)["kind"] == "EK_CHASSIS" {
+    n = n + 1
+  }
+}
+return n`,
+			"pandas": `let kind = {}
+for r in nodes_df.records() { kind[r["id"]] = r["kind"] }
+let n = 0
+for r in edges_df.records() {
+  if r["src"] == "dc.ju2" and r["relation"] == "RK_CONTAINS" and kind[r["dst"]] == "EK_CHASSIS" {
+    n = n + 1
+  }
+}
+return n`,
+			"sql": `return db.query("SELECT COUNT(*) AS n FROM relationships e JOIN entities c ON e.dst = c.id WHERE e.src = 'dc.ju2' AND e.relation = 'RK_CONTAINS' AND c.kind = 'EK_CHASSIS'").cell(0, "n")`,
+		},
+	},
+	{
+		ID: "malt-e3", App: AppMALT, Complexity: Easy,
+		Text: `How many packet switches are in the whole network?`,
+		Golden: map[string]string{
+			"networkx": `let n = 0
+for v in graph.nodes() {
+  if graph.node(v)["kind"] == "EK_PACKET_SWITCH" { n = n + 1 }
+}
+return n`,
+			"pandas": `return nodes_df.filter_eq("kind", "EK_PACKET_SWITCH").num_rows()`,
+			"sql":    `return db.query("SELECT COUNT(*) AS n FROM entities WHERE kind = 'EK_PACKET_SWITCH'").cell(0, "n")`,
+		},
+	},
+	{
+		ID: "malt-m1", App: AppMALT, Complexity: Medium,
+		Text: `Find the first and the second largest chassis by capacity (ties by id); return [[id, capacity], [id, capacity]].`,
+		Golden: map[string]string{
+			"networkx": `let chs = []
+for v in graph.nodes() {
+  if graph.node(v)["kind"] == "EK_CHASSIS" {
+    push(chs, [0 - graph.node(v)["capacity"], v])
+  }
+}
+let ranked = sorted(chs)
+let out = []
+for p in slice(ranked, 0, 2) { push(out, [p[1], 0 - p[0]]) }
+return out`,
+			"pandas": `let chs = nodes_df.filter_eq("kind", "EK_CHASSIS")
+let ranked = []
+for r in chs.records() { push(ranked, [0 - r["capacity"], r["id"]]) }
+ranked = sorted(ranked)
+let out = []
+for p in slice(ranked, 0, 2) { push(out, [p[1], 0 - p[0]]) }
+return out`,
+			"sql": `let out = []
+for r in db.query("SELECT id, capacity FROM entities WHERE kind = 'EK_CHASSIS' ORDER BY capacity DESC, id ASC LIMIT 2").records() {
+  push(out, [r["id"], r["capacity"]])
+}
+return out`,
+		},
+	},
+	{
+		ID: "malt-m2", App: AppMALT, Complexity: Medium,
+		Text: `For each datacenter, count the ports whose admin_state is down; return a map from datacenter id to count, datacenters in ascending order.`,
+		Golden: map[string]string{
+			"networkx": `let out = {}
+for dc in sorted(graph.nodes()) {
+  if graph.node(dc)["kind"] != "EK_DATACENTER" { continue }
+  let n = 0
+  for ch in graph.neighbors(dc) {
+    if graph.edge(dc, ch)["relation"] != "RK_CONTAINS" { continue }
+    for sw in graph.neighbors(ch) {
+      if graph.edge(ch, sw)["relation"] != "RK_CONTAINS" { continue }
+      for p in graph.neighbors(sw) {
+        if graph.edge(sw, p)["relation"] != "RK_CONTAINS" { continue }
+        if graph.node(p)["kind"] == "EK_PORT" and graph.node(p)["admin_state"] == "down" {
+          n = n + 1
+        }
+      }
+    }
+  }
+  out[dc] = n
+}
+return out`,
+			"pandas": maltPandasMaps + dcOfHelper + `let state = {}
+for r in nodes_df.records() {
+  if r["kind"] == "EK_PORT" { state[r["id"]] = r["admin_state"] }
+}
+let counts = {}
+for r in nodes_df.records() {
+  if r["kind"] == "EK_DATACENTER" { counts[r["id"]] = 0 }
+}
+for p, st in state {
+  if st != "down" { continue }
+  let dc = dc_of(parents[p])
+  counts[dc] = counts[dc] + 1
+}
+let out = {}
+for dc in sorted(keys(counts)) { out[dc] = counts[dc] }
+return out`,
+			"sql": maltSQLMaps + dcOfHelper + `let counts = {}
+for r in db.query("SELECT id FROM entities WHERE kind = 'EK_DATACENTER' ORDER BY id").records() { counts[r["id"]] = 0 }
+for r in db.query("SELECT id FROM entities WHERE kind = 'EK_PORT' AND admin_state = 'down'").records() {
+  let dc = dc_of(parents[r["id"]])
+  counts[dc] = counts[dc] + 1
+}
+return counts`,
+		},
+	},
+	{
+		ID: "malt-m3", App: AppMALT, Complexity: Medium,
+		Text: `Which control points control packet switches in more than one datacenter? Return their ids sorted.`,
+		Golden: map[string]string{
+			"networkx": `let out = []
+for cp in graph.nodes() {
+  if graph.node(cp)["kind"] != "EK_CONTROL_POINT" { continue }
+  let dcs = {}
+  for sw in graph.neighbors(cp) {
+    if graph.edge(cp, sw)["relation"] != "RK_CONTROLS" { continue }
+    let ch = graph.predecessors(sw)[0]
+    if graph.node(ch)["kind"] != "EK_CHASSIS" {
+      for pred in graph.predecessors(sw) {
+        if graph.node(pred)["kind"] == "EK_CHASSIS" { ch = pred }
+      }
+    }
+    for dc in graph.predecessors(ch) {
+      if graph.node(dc)["kind"] == "EK_DATACENTER" { dcs[dc] = true }
+    }
+  }
+  if len(dcs) > 1 { push(out, cp) }
+}
+return sorted(out)`,
+			"pandas": maltPandasMaps + dcOfHelper + `let dcs_of = {}
+for r in edges_df.records() {
+  if r["relation"] != "RK_CONTROLS" { continue }
+  if not contains(dcs_of, r["src"]) { dcs_of[r["src"]] = {} }
+  let d = dcs_of[r["src"]]
+  d[dc_of(r["dst"])] = true
+}
+let out = []
+for cp, dcs in dcs_of {
+  if len(dcs) > 1 { push(out, cp) }
+}
+return sorted(out)`,
+			"sql": maltSQLMaps + dcOfHelper + `let dcs_of = {}
+for r in db.query("SELECT src, dst FROM relationships WHERE relation = 'RK_CONTROLS'").records() {
+  if not contains(dcs_of, r["src"]) { dcs_of[r["src"]] = {} }
+  let d = dcs_of[r["src"]]
+  d[dc_of(r["dst"])] = true
+}
+let out = []
+for cp, dcs in dcs_of {
+  if len(dcs) > 1 { push(out, cp) }
+}
+return sorted(out)`,
+		},
+	},
+	{
+		ID: "malt-h1", App: AppMALT, Complexity: Hard,
+		Text: `Remove packet switch ps.ju1.a4.m1.s1c1 from chassis ch.ju1.a4 and rebalance: reassign its ports (sorted by id) in round-robin order to the remaining switches of the same chassis (sorted by id), adding RK_CONTAINS edges and updating each switch's ports attribute to its new port count. Remove the switch entity afterwards.`,
+		Golden: map[string]string{
+			"networkx": `let victim = "ps.ju1.a4.m1.s1c1"
+let chassis = "ch.ju1.a4"
+let orphan_ports = []
+for p in graph.neighbors(victim) {
+  if graph.edge(victim, p)["relation"] == "RK_CONTAINS" and graph.node(p)["kind"] == "EK_PORT" {
+    push(orphan_ports, p)
+  }
+}
+orphan_ports = sorted(orphan_ports)
+let targets = []
+for sw in graph.neighbors(chassis) {
+  if sw != victim and graph.edge(chassis, sw)["relation"] == "RK_CONTAINS" and graph.node(sw)["kind"] == "EK_PACKET_SWITCH" {
+    push(targets, sw)
+  }
+}
+targets = sorted(targets)
+let i = 0
+for p in orphan_ports {
+  let tgt = targets[i % len(targets)]
+  graph.add_edge(tgt, p, {"relation": "RK_CONTAINS"})
+  i = i + 1
+}
+graph.remove_node(victim)
+for sw in targets {
+  let n = 0
+  for p in graph.neighbors(sw) {
+    if graph.edge(sw, p)["relation"] == "RK_CONTAINS" and graph.node(p)["kind"] == "EK_PORT" { n = n + 1 }
+  }
+  graph.node(sw)["ports"] = n
+}
+return nil`,
+			"pandas": maltPandasMaps + `let victim = "ps.ju1.a4.m1.s1c1"
+let chassis = "ch.ju1.a4"
+let orphan_ports = []
+for p in children[victim] {
+  if kind[p] == "EK_PORT" { push(orphan_ports, p) }
+}
+orphan_ports = sorted(orphan_ports)
+let targets = []
+for sw in children[chassis] {
+  if sw != victim and kind[sw] == "EK_PACKET_SWITCH" { push(targets, sw) }
+}
+targets = sorted(targets)
+let assign = {}
+let i = 0
+for p in orphan_ports {
+  assign[p] = targets[i % len(targets)]
+  i = i + 1
+}
+let new_edges = edges_df.filter(fn(r) => r["src"] != victim and r["dst"] != victim)
+for p, tgt in assign { new_edges.append_row(tgt, p, "RK_CONTAINS") }
+let new_counts = {}
+for sw in targets { new_counts[sw] = 0 }
+for r in new_edges.records() {
+  if r["relation"] == "RK_CONTAINS" and contains(new_counts, r["src"]) and kind[r["dst"]] == "EK_PORT" {
+    new_counts[r["src"]] = new_counts[r["src"]] + 1
+  }
+}
+let new_nodes = nodes_df.filter(fn(r) => r["id"] != victim)
+func upd(r) {
+  if contains(new_counts, r["id"]) { return new_counts[r["id"]] }
+  return r["ports"]
+}
+new_nodes = new_nodes.mutate("ports", upd)
+return {"nodes": new_nodes, "edges": new_edges}`,
+			"sql": maltSQLMaps + `let victim = "ps.ju1.a4.m1.s1c1"
+let chassis = "ch.ju1.a4"
+let orphan_ports = []
+for p in children[victim] {
+  if kind[p] == "EK_PORT" { push(orphan_ports, p) }
+}
+orphan_ports = sorted(orphan_ports)
+let targets = []
+for sw in children[chassis] {
+  if sw != victim and kind[sw] == "EK_PACKET_SWITCH" { push(targets, sw) }
+}
+targets = sorted(targets)
+db.exec("DELETE FROM relationships WHERE src = '" + victim + "'")
+db.exec("DELETE FROM relationships WHERE dst = '" + victim + "'")
+db.exec("DELETE FROM entities WHERE id = '" + victim + "'")
+let i = 0
+for p in orphan_ports {
+  let tgt = targets[i % len(targets)]
+  db.exec("INSERT INTO relationships (src, dst, relation) VALUES ('" + tgt + "', '" + p + "', 'RK_CONTAINS')")
+  i = i + 1
+}
+for sw in targets {
+  let f = db.query("SELECT COUNT(*) AS n FROM relationships e JOIN entities p ON e.dst = p.id WHERE e.src = '" + sw + "' AND e.relation = 'RK_CONTAINS' AND p.kind = 'EK_PORT'")
+  db.exec("UPDATE entities SET ports = " + str(f.cell(0, "n")) + " WHERE id = '" + sw + "'")
+}
+return nil`,
+		},
+	},
+	{
+		ID: "malt-h2", App: AppMALT, Complexity: Hard,
+		Text: `Plan a capacity doubling between datacenters ju1 and ju2: compute the current total chassis capacity of each, and return a map from datacenter name (ju1, ju2) to the minimum number of additional chassis of capacity 300 needed to double its total capacity.`,
+		Golden: map[string]string{
+			"networkx": `let out = {}
+for dcname in ["ju1", "ju2"] {
+  let dc = "dc." + dcname
+  let total = 0
+  for ch in graph.neighbors(dc) {
+    if graph.edge(dc, ch)["relation"] == "RK_CONTAINS" and graph.node(ch)["kind"] == "EK_CHASSIS" {
+      total = total + graph.node(ch)["capacity"]
+    }
+  }
+  out[dcname] = int((total + 299) / 300)
+}
+return out`,
+			"pandas": maltPandasMaps + `let cap = {}
+for r in nodes_df.records() {
+  if r["kind"] == "EK_CHASSIS" { cap[r["id"]] = r["capacity"] }
+}
+let out = {}
+for dcname in ["ju1", "ju2"] {
+  let dc = "dc." + dcname
+  let total = 0
+  for ch in children[dc] {
+    if contains(cap, ch) { total = total + cap[ch] }
+  }
+  out[dcname] = int((total + 299) / 300)
+}
+return out`,
+			"sql": `let out = {}
+for dcname in ["ju1", "ju2"] {
+  let f = db.query("SELECT SUM(c.capacity) AS total FROM relationships e JOIN entities c ON e.dst = c.id WHERE e.src = 'dc." + dcname + "' AND e.relation = 'RK_CONTAINS' AND c.kind = 'EK_CHASSIS'")
+  let total = f.cell(0, "total")
+  if total == nil { total = 0 }
+  out[dcname] = int((total + 299) / 300)
+}
+return out`,
+		},
+	},
+	{
+		ID: "malt-h3", App: AppMALT, Complexity: Hard,
+		Text: `Find single points of failure among control points: a control point is a single point of failure if some packet switch in datacenter ju1 is controlled by that control point and no other. Return the ids of such control points, sorted.`,
+		Golden: map[string]string{
+			"networkx": `let spof = {}
+for sw in graph.nodes() {
+  if graph.node(sw)["kind"] != "EK_PACKET_SWITCH" { continue }
+  if not startswith(sw, "ps.ju1.") { continue }
+  let controllers = []
+  for pred in graph.predecessors(sw) {
+    if graph.node(pred)["kind"] == "EK_CONTROL_POINT" and graph.edge(pred, sw)["relation"] == "RK_CONTROLS" {
+      push(controllers, pred)
+    }
+  }
+  if len(controllers) == 1 { spof[controllers[0]] = true }
+}
+return sorted(keys(spof))`,
+			"pandas": `let controllers = {}
+for r in edges_df.records() {
+  if r["relation"] != "RK_CONTROLS" { continue }
+  if not startswith(r["dst"], "ps.ju1.") { continue }
+  if not contains(controllers, r["dst"]) { controllers[r["dst"]] = [] }
+  push(controllers[r["dst"]], r["src"])
+}
+let spof = {}
+for sw, cps in controllers {
+  if len(cps) == 1 { spof[cps[0]] = true }
+}
+return sorted(keys(spof))`,
+			"sql": `let controllers = {}
+for r in db.query("SELECT src, dst FROM relationships WHERE relation = 'RK_CONTROLS' AND dst LIKE 'ps.ju1.%'").records() {
+  if not contains(controllers, r["dst"]) { controllers[r["dst"]] = [] }
+  push(controllers[r["dst"]], r["src"])
+}
+let spof = {}
+for sw, cps in controllers {
+  if len(cps) == 1 { spof[cps[0]] = true }
+}
+return sorted(keys(spof))`,
+		},
+	},
+}

@@ -1,0 +1,81 @@
+// Package queries defines the NeMoEval benchmark's query suites: 24
+// network traffic analysis queries and 9 MALT network lifecycle management
+// queries, each with a human-expert golden NQL program per code-generation
+// backend (the paper's "golden answer selector" content). Complexity
+// levels follow the paper: traffic has 8 easy / 8 medium / 8 hard, MALT has
+// 3 / 3 / 3.
+package queries
+
+// Complexity levels.
+const (
+	Easy   = "easy"
+	Medium = "medium"
+	Hard   = "hard"
+)
+
+// Apps.
+const (
+	AppTraffic = "traffic"
+	AppMALT    = "malt"
+)
+
+// Query is one benchmark query with its golden programs.
+type Query struct {
+	ID         string
+	App        string
+	Complexity string
+	Text       string
+	// Golden maps backend ("networkx", "pandas", "sql") to the golden NQL
+	// program. Contracts differ per backend where natural (e.g. the SQL
+	// backend cannot add graph attributes, so its golden returns the
+	// computed mapping instead); the evaluator always compares a generated
+	// program against the golden of the same backend.
+	Golden map[string]string
+}
+
+// Traffic returns the 24 traffic-analysis queries.
+func Traffic() []Query { return trafficQueries }
+
+// MALT returns the 9 lifecycle-management queries.
+func MALT() []Query { return maltQueries }
+
+// All returns every query: the paper's two suites plus the diagnosis
+// extension suite.
+func All() []Query {
+	out := make([]Query, 0, len(trafficQueries)+len(maltQueries)+len(diagnosisQueries))
+	out = append(out, trafficQueries...)
+	out = append(out, maltQueries...)
+	out = append(out, diagnosisQueries...)
+	return out
+}
+
+// ByID finds a query by its ID; ok is false when absent.
+func ByID(id string) (Query, bool) {
+	for _, q := range All() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// ByText finds a query whose natural-language text matches exactly.
+func ByText(text string) (Query, bool) {
+	for _, q := range All() {
+		if q.Text == text {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// OfComplexity filters a suite by level.
+func OfComplexity(qs []Query, level string) []Query {
+	var out []Query
+	for _, q := range qs {
+		if q.Complexity == level {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nql"
+)
+
+func TestEveryGoldenParses(t *testing.T) {
+	for _, q := range All() {
+		for backend, src := range q.Golden {
+			if _, err := nql.Parse(src); err != nil {
+				t.Errorf("%s/%s golden does not parse: %v", q.ID, backend, err)
+			}
+		}
+	}
+}
+
+func TestEveryQueryHasAllBackends(t *testing.T) {
+	for _, q := range All() {
+		for _, backend := range []string{"networkx", "pandas", "sql"} {
+			if strings.TrimSpace(q.Golden[backend]) == "" {
+				t.Errorf("%s missing golden for %s", q.ID, backend)
+			}
+		}
+	}
+}
+
+func TestGoldenEndsWithReturn(t *testing.T) {
+	// The code-gen prompt instructs programs to end with a return; goldens
+	// must model that convention.
+	for _, q := range All() {
+		for backend, src := range q.Golden {
+			if !strings.Contains(src, "return") {
+				t.Errorf("%s/%s golden has no return statement", q.ID, backend)
+			}
+		}
+	}
+}
+
+func TestByIDAndByText(t *testing.T) {
+	q, ok := ByID("ta-e1")
+	if !ok || q.ID != "ta-e1" {
+		t.Fatal("ByID failed")
+	}
+	q2, ok := ByText(q.Text)
+	if !ok || q2.ID != q.ID {
+		t.Fatal("ByText failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID should miss")
+	}
+	if _, ok := ByText("nope"); ok {
+		t.Fatal("ByText should miss")
+	}
+}
+
+func TestTextsAreUnique(t *testing.T) {
+	seen := map[string]string{}
+	for _, q := range All() {
+		if prev, dup := seen[q.Text]; dup {
+			t.Errorf("query text shared by %s and %s", prev, q.ID)
+		}
+		seen[q.Text] = q.ID
+	}
+}
+
+func TestComplexityValues(t *testing.T) {
+	for _, q := range All() {
+		switch q.Complexity {
+		case Easy, Medium, Hard:
+		default:
+			t.Errorf("%s has invalid complexity %q", q.ID, q.Complexity)
+		}
+		switch q.App {
+		case AppTraffic, AppMALT, AppDiagnosis:
+		default:
+			t.Errorf("%s has invalid app %q", q.ID, q.App)
+		}
+	}
+}
+
+func TestGoldenReferencesOnlyDocumentedGlobals(t *testing.T) {
+	// Cheap lint: networkx goldens must not reference db/nodes_df and vice
+	// versa — catches copy-paste mistakes across backends.
+	for _, q := range All() {
+		if src := q.Golden["networkx"]; strings.Contains(src, "nodes_df") || strings.Contains(src, "db.query") {
+			t.Errorf("%s/networkx references tabular globals", q.ID)
+		}
+		if src := q.Golden["pandas"]; strings.Contains(src, "graph.") || strings.Contains(src, "db.query") {
+			t.Errorf("%s/pandas references foreign globals", q.ID)
+		}
+		if src := q.Golden["sql"]; strings.Contains(src, "graph.") || strings.Contains(src, "edges_df") {
+			t.Errorf("%s/sql references foreign globals", q.ID)
+		}
+	}
+}

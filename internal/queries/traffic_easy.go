@@ -1,0 +1,149 @@
+package queries
+
+// Shared NQL preludes for the pandas and SQL backends: graph-shaped
+// computations rebuild adjacency from the tabular form, exactly as a human
+// expert writing a golden answer against those libraries would.
+
+const pandasUndirectedAdj = `let adj = {}
+for r in edges_df.records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  if not contains(adj, r["dst"]) { adj[r["dst"]] = [] }
+  push(adj[r["src"]], r["dst"])
+  push(adj[r["dst"]], r["src"])
+}
+`
+
+const pandasDirectedAdj = `let adj = {}
+for r in edges_df.records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  push(adj[r["src"]], r["dst"])
+}
+`
+
+const sqlUndirectedAdj = `let adj = {}
+for r in db.query("SELECT src, dst FROM edges").records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  if not contains(adj, r["dst"]) { adj[r["dst"]] = [] }
+  push(adj[r["src"]], r["dst"])
+  push(adj[r["dst"]], r["src"])
+}
+`
+
+const sqlDirectedAdj = `let adj = {}
+for r in db.query("SELECT src, dst FROM edges").records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  push(adj[r["src"]], r["dst"])
+}
+`
+
+var trafficEasy = []Query{
+	{
+		ID: "ta-e1", App: AppTraffic, Complexity: Easy,
+		Text: `Add a label app:production to all nodes with IP address prefix 15.76.`,
+		Golden: map[string]string{
+			"networkx": `for n in graph.nodes() {
+  if startswith(graph.node(n)["ip"], "15.76.") {
+    graph.node(n)["label"] = "app:production"
+  }
+}
+return nil`,
+			"pandas": `func lab(r) {
+  if startswith(r["ip"], "15.76.") { return "app:production" }
+  return nil
+}
+return nodes_df.mutate("label", lab)`,
+			"sql": `let out = []
+for r in db.query("SELECT id FROM nodes WHERE ip LIKE '15.76.%' ORDER BY id").records() {
+  push(out, r["id"])
+}
+return {"label": "app:production", "nodes": out}`,
+		},
+	},
+	{
+		ID: "ta-e2", App: AppTraffic, Complexity: Easy,
+		Text: `How many nodes are in the communication graph?`,
+		Golden: map[string]string{
+			"networkx": `return graph.number_of_nodes()`,
+			"pandas":   `return nodes_df.num_rows()`,
+			"sql":      `return db.query("SELECT COUNT(*) AS n FROM nodes").cell(0, "n")`,
+		},
+	},
+	{
+		ID: "ta-e3", App: AppTraffic, Complexity: Easy,
+		Text: `How many communication edges are in the graph?`,
+		Golden: map[string]string{
+			"networkx": `return graph.number_of_edges()`,
+			"pandas":   `return edges_df.num_rows()`,
+			"sql":      `return db.query("SELECT COUNT(*) AS n FROM edges").cell(0, "n")`,
+		},
+	},
+	{
+		ID: "ta-e4", App: AppTraffic, Complexity: Easy,
+		Text: `List the IP addresses of all nodes in ascending order.`,
+		Golden: map[string]string{
+			"networkx": `let ips = []
+for n in graph.nodes() { push(ips, graph.node(n)["ip"]) }
+return sorted(ips)`,
+			"pandas": `return sorted(nodes_df.column("ip"))`,
+			"sql": `let ips = []
+for r in db.query("SELECT ip FROM nodes ORDER BY ip").records() { push(ips, r["ip"]) }
+return ips`,
+		},
+	},
+	{
+		ID: "ta-e5", App: AppTraffic, Complexity: Easy,
+		Text: `What is the total number of bytes transferred across all edges?`,
+		Golden: map[string]string{
+			"networkx": `let total = 0
+for e in graph.edges() { total = total + e.attrs["bytes"] }
+return total`,
+			"pandas": `return edges_df.sum("bytes")`,
+			"sql":    `return db.query("SELECT SUM(bytes) AS s FROM edges").cell(0, "s")`,
+		},
+	},
+	{
+		ID: "ta-e6", App: AppTraffic, Complexity: Easy,
+		Text: `Which node has the highest out-degree? Break ties by choosing the smallest node id.`,
+		Golden: map[string]string{
+			"networkx": `let best = nil
+let bestd = -1
+for n in graph.nodes() {
+  let d = graph.out_degree(n)
+  if d > bestd { best = n bestd = d }
+}
+return best`,
+			"pandas": `let vc = edges_df.value_counts("src")
+if vc.num_rows() == 0 { return nil }
+return vc.cell(0, "src")`,
+			"sql": `let f = db.query("SELECT src, COUNT(*) AS n FROM edges GROUP BY src ORDER BY n DESC, src ASC LIMIT 1")
+if f.num_rows() == 0 { return nil }
+return f.cell(0, "src")`,
+		},
+	},
+	{
+		ID: "ta-e7", App: AppTraffic, Complexity: Easy,
+		Text: `Remove all edges that carry fewer than 1000 bytes.`,
+		Golden: map[string]string{
+			"networkx": `let doomed = []
+for e in graph.edges() {
+  if e.attrs["bytes"] < 1000 { push(doomed, [e.src, e.dst]) }
+}
+for p in doomed { graph.remove_edge(p[0], p[1]) }
+return nil`,
+			"pandas": `return edges_df.filter(fn(r) => r["bytes"] >= 1000)`,
+			"sql": `db.exec("DELETE FROM edges WHERE bytes < 1000")
+return nil`,
+		},
+	},
+	{
+		ID: "ta-e8", App: AppTraffic, Complexity: Easy,
+		Text: `Does a direct communication edge exist between h001 and h002 in either direction?`,
+		Golden: map[string]string{
+			"networkx": `return graph.has_edge("h001", "h002") or graph.has_edge("h002", "h001")`,
+			"pandas": `let hit = edges_df.filter(fn(r) => (r["src"] == "h001" and r["dst"] == "h002") or (r["src"] == "h002" and r["dst"] == "h001"))
+return hit.num_rows() > 0`,
+			"sql": `let f = db.query("SELECT COUNT(*) AS n FROM edges WHERE (src = 'h001' AND dst = 'h002') OR (src = 'h002' AND dst = 'h001')")
+return f.cell(0, "n") > 0`,
+		},
+	},
+}

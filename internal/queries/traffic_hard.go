@@ -1,0 +1,430 @@
+package queries
+
+// nodeTotalsPandas computes per-node total bytes (in+out) into `totals`.
+const nodeTotalsPandas = `let totals = {}
+for n in nodes_df.column("id") { totals[n] = 0 }
+for r in edges_df.records() {
+  totals[r["src"]] = totals[r["src"]] + r["bytes"]
+  totals[r["dst"]] = totals[r["dst"]] + r["bytes"]
+}
+`
+
+const nodeTotalsSQL = `let totals = {}
+let ids = []
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() {
+  totals[r["id"]] = 0
+  push(ids, r["id"])
+}
+for r in db.query("SELECT src, SUM(bytes) AS b FROM edges GROUP BY src").records() {
+  totals[r["src"]] = totals[r["src"]] + r["b"]
+}
+for r in db.query("SELECT dst, SUM(bytes) AS b FROM edges GROUP BY dst").records() {
+  totals[r["dst"]] = totals[r["dst"]] + r["b"]
+}
+`
+
+// componentsBody runs BFS component discovery over an `adj` map and a list
+// `ids`, leaving `comps` as a list of sorted member lists ordered by size
+// descending then first member ascending.
+const componentsBody = `let seen = {}
+let comps = []
+for start in ids {
+  if contains(seen, start) { continue }
+  seen[start] = true
+  let queue = [start]
+  let members = []
+  while len(queue) > 0 {
+    let cur = queue[0]
+    queue = slice(queue, 1, len(queue))
+    push(members, cur)
+    if contains(adj, cur) {
+      for nb in adj[cur] {
+        if not contains(seen, nb) {
+          seen[nb] = true
+          push(queue, nb)
+        }
+      }
+    }
+  }
+  push(comps, sorted(members))
+}
+comps = sorted(comps, fn(c) => [0 - len(c), c[0]])
+`
+
+// pagerankBody computes 50 damped iterations over `adj`/`ids` into `rank`.
+const pagerankBody = `let n = len(ids)
+let rank = {}
+for v in ids { rank[v] = 1.0 / n }
+let d = 0.85
+for iter in range(50) {
+  let next = {}
+  for v in ids { next[v] = 0.0 }
+  let dangling = 0.0
+  for v in ids {
+    if contains(adj, v) and len(adj[v]) > 0 {
+      let share = rank[v] / len(adj[v])
+      for nb in adj[v] { next[nb] = next[nb] + share }
+    } else {
+      dangling = dangling + rank[v]
+    }
+  }
+  let base = (1.0 - d) / n + d * dangling / n
+  for v in ids { rank[v] = base + d * next[v] }
+}
+`
+
+var trafficHard = []Query{
+	{
+		ID: "ta-h1", App: AppTraffic, Complexity: Hard,
+		Text: `Calculate the total byte weight on each node and cluster the nodes into 5 groups by this weight; store the group index (0-4, ordered by ascending group centroid) as node attribute cluster.`,
+		Golden: map[string]string{
+			"networkx": `let ids = graph.nodes()
+let weights = []
+for n in ids { push(weights, graph.weighted_degree(n, "bytes")) }
+let assign = kmeans(weights, 5)
+let i = 0
+for n in ids {
+  graph.node(n)["cluster"] = assign[i]
+  i = i + 1
+}
+return nil`,
+			"pandas": nodeTotalsPandas + `let ids = nodes_df.column("id")
+let weights = []
+for n in ids { push(weights, totals[n] * 1.0) }
+let assign = kmeans(weights, 5)
+let cl = {}
+let i = 0
+for n in ids {
+  cl[n] = assign[i]
+  i = i + 1
+}
+func f(r) { return cl[r["id"]] }
+return nodes_df.mutate("cluster", f)`,
+			"sql": nodeTotalsSQL + `let weights = []
+for n in ids { push(weights, totals[n] * 1.0) }
+let assign = kmeans(weights, 5)
+let cl = {}
+let i = 0
+for n in ids {
+  cl[n] = assign[i]
+  i = i + 1
+}
+return cl`,
+		},
+	},
+	{
+		ID: "ta-h2", App: AppTraffic, Complexity: Hard,
+		Text: `Find the connected components of the network ignoring edge direction; label each node with the component index (0 for the largest component, ties by smallest member id) as node attribute component.`,
+		Golden: map[string]string{
+			"networkx": `let comps = graph.connected_components()
+let i = 0
+for comp in comps {
+  for n in comp { graph.node(n)["component"] = i }
+  i = i + 1
+}
+return nil`,
+			"pandas": pandasUndirectedAdj + `let ids = nodes_df.column("id")
+` + componentsBody + `let compof = {}
+let i = 0
+for comp in comps {
+  for n in comp { compof[n] = i }
+  i = i + 1
+}
+func f(r) { return compof[r["id"]] }
+return nodes_df.mutate("component", f)`,
+			"sql": sqlUndirectedAdj + `let ids = []
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() { push(ids, r["id"]) }
+` + componentsBody + `let compof = {}
+let i = 0
+for comp in comps {
+  for n in comp { compof[n] = i }
+  i = i + 1
+}
+return compof`,
+		},
+	},
+	{
+		ID: "ta-h3", App: AppTraffic, Complexity: Hard,
+		Text: `Compute PageRank over the directed communication graph and return the 5 highest-ranked node ids in descending rank order (ties by node id).`,
+		Golden: map[string]string{
+			"networkx": `let pr = graph.pagerank()
+let ranked = sorted(keys(pr), fn(v) => [0.0 - pr[v], v])
+return slice(ranked, 0, 5)`,
+			"pandas": pandasDirectedAdj + `let ids = nodes_df.column("id")
+` + pagerankBody + `let ranked = sorted(ids, fn(v) => [0.0 - rank[v], v])
+return slice(ranked, 0, 5)`,
+			"sql": sqlDirectedAdj + `let ids = []
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() { push(ids, r["id"]) }
+` + pagerankBody + `let ranked = sorted(ids, fn(v) => [0.0 - rank[v], v])
+return slice(ranked, 0, 5)`,
+		},
+	},
+	{
+		ID: "ta-h4", App: AppTraffic, Complexity: Hard,
+		Text: `Simulate removing the node with the highest total degree (ties by smallest id): how many connected components (ignoring direction) does the remaining graph have?`,
+		Golden: map[string]string{
+			"networkx": `let top = graph.top_n_by_degree(1)
+if len(top) == 0 { return 0 }
+let sim = graph.clone()
+sim.remove_node(top[0][0])
+return len(sim.connected_components())`,
+			"pandas": `let deg = {}
+for n in nodes_df.column("id") { deg[n] = 0 }
+for r in edges_df.records() {
+  deg[r["src"]] = deg[r["src"]] + 1
+  deg[r["dst"]] = deg[r["dst"]] + 1
+}
+let target = nil
+let bestd = -1
+for n, d in deg {
+  if d > bestd or (d == bestd and n < target) { target = n bestd = d }
+}
+if target == nil { return 0 }
+let adj = {}
+for r in edges_df.records() {
+  if r["src"] == target or r["dst"] == target { continue }
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  if not contains(adj, r["dst"]) { adj[r["dst"]] = [] }
+  push(adj[r["src"]], r["dst"])
+  push(adj[r["dst"]], r["src"])
+}
+let ids = []
+for n in nodes_df.column("id") {
+  if n != target { push(ids, n) }
+}
+` + componentsBody + `return len(comps)`,
+			"sql": `let deg = {}
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() { deg[r["id"]] = 0 }
+for r in db.query("SELECT src, dst FROM edges").records() {
+  deg[r["src"]] = deg[r["src"]] + 1
+  deg[r["dst"]] = deg[r["dst"]] + 1
+}
+let target = nil
+let bestd = -1
+for n, d in deg {
+  if d > bestd or (d == bestd and n < target) { target = n bestd = d }
+}
+if target == nil { return 0 }
+let adj = {}
+for r in db.query("SELECT src, dst FROM edges").records() {
+  if r["src"] == target or r["dst"] == target { continue }
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  if not contains(adj, r["dst"]) { adj[r["dst"]] = [] }
+  push(adj[r["src"]], r["dst"])
+  push(adj[r["dst"]], r["src"])
+}
+let ids = []
+for n, d in deg {
+  if n != target { push(ids, n) }
+}
+` + componentsBody + `return len(comps)`,
+		},
+	},
+	{
+		ID: "ta-h5", App: AppTraffic, Complexity: Hard,
+		Text: `Find the path from h000 to h010 that minimizes the total bytes carried along its edges (treat bytes as the edge weight, following edge directions). Return a map with keys path and cost, or -1 if no path exists.`,
+		Golden: map[string]string{
+			"networkx": `if not graph.has_path("h000", "h010") { return -1 }
+return graph.dijkstra_path("h000", "h010", "bytes")`,
+			"pandas": `let adj = {}
+for r in edges_df.records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  push(adj[r["src"]], [r["dst"], r["bytes"]])
+}
+` + dijkstraBody,
+			"sql": `let adj = {}
+for r in db.query("SELECT src, dst, bytes FROM edges").records() {
+  if not contains(adj, r["src"]) { adj[r["src"]] = [] }
+  push(adj[r["src"]], [r["dst"], r["bytes"]])
+}
+` + dijkstraBody,
+		},
+	},
+	{
+		ID: "ta-h6", App: AppTraffic, Complexity: Hard,
+		Text: `For each /16 prefix compute the total bytes of intra-prefix traffic (both endpoints in the prefix) and inter-prefix traffic (exactly one endpoint in the prefix, counted for that prefix). Return a map from prefix to [intra, inter], prefixes in ascending order.`,
+		Golden: map[string]string{
+			"networkx": prefixHelper + `let intra = {}
+let inter = {}
+for n in graph.nodes() {
+  let p = prefix_of(graph.node(n)["ip"])
+  intra[p] = 0
+  inter[p] = 0
+}
+for e in graph.edges() {
+  let ps = prefix_of(graph.node(e.src)["ip"])
+  let pd = prefix_of(graph.node(e.dst)["ip"])
+  let b = e.attrs["bytes"]
+  if ps == pd {
+    intra[ps] = intra[ps] + b
+  } else {
+    inter[ps] = inter[ps] + b
+    inter[pd] = inter[pd] + b
+  }
+}
+let out = {}
+for p in sorted(keys(intra)) { out[p] = [intra[p], inter[p]] }
+return out`,
+			"pandas": prefixHelper + `let ipof = {}
+for r in nodes_df.records() { ipof[r["id"]] = r["ip"] }
+let intra = {}
+let inter = {}
+for n, ip in ipof {
+  let p = prefix_of(ip)
+  intra[p] = 0
+  inter[p] = 0
+}
+for r in edges_df.records() {
+  let ps = prefix_of(ipof[r["src"]])
+  let pd = prefix_of(ipof[r["dst"]])
+  let b = r["bytes"]
+  if ps == pd {
+    intra[ps] = intra[ps] + b
+  } else {
+    inter[ps] = inter[ps] + b
+    inter[pd] = inter[pd] + b
+  }
+}
+let out = {}
+for p in sorted(keys(intra)) { out[p] = [intra[p], inter[p]] }
+return out`,
+			"sql": prefixHelper + `let ipof = {}
+for r in db.query("SELECT id, ip FROM nodes").records() { ipof[r["id"]] = r["ip"] }
+let intra = {}
+let inter = {}
+for n, ip in ipof {
+  let p = prefix_of(ip)
+  intra[p] = 0
+  inter[p] = 0
+}
+for r in db.query("SELECT src, dst, bytes FROM edges").records() {
+  let ps = prefix_of(ipof[r["src"]])
+  let pd = prefix_of(ipof[r["dst"]])
+  let b = r["bytes"]
+  if ps == pd {
+    intra[ps] = intra[ps] + b
+  } else {
+    inter[ps] = inter[ps] + b
+    inter[pd] = inter[pd] + b
+  }
+}
+let out = {}
+for p in sorted(keys(intra)) { out[p] = [intra[p], inter[p]] }
+return out`,
+		},
+	},
+	{
+		ID: "ta-h7", App: AppTraffic, Complexity: Hard,
+		Text: `Detect potential scanners: nodes with out-degree at least 3 whose average bytes per outgoing edge is below 500000. Return their ids sorted.`,
+		Golden: map[string]string{
+			"networkx": `let out = []
+for n in graph.nodes() {
+  let d = graph.out_degree(n)
+  if d < 3 { continue }
+  let total = 0
+  for nb in graph.neighbors(n) { total = total + graph.edge(n, nb)["bytes"] }
+  if total / (d * 1.0) < 500000 { push(out, n) }
+}
+return sorted(out)`,
+			"pandas": `let stats = edges_df.groupby("src").agg(["bytes", "sum", "total"], ["bytes", "count", "n"])
+let out = []
+for r in stats.records() {
+  if r["n"] >= 3 and r["total"] / (r["n"] * 1.0) < 500000 { push(out, r["src"]) }
+}
+return sorted(out)`,
+			"sql": `let out = []
+for r in db.query("SELECT src, SUM(bytes) AS total, COUNT(*) AS n FROM edges GROUP BY src HAVING COUNT(*) >= 3 ORDER BY src").records() {
+  if r["total"] / (r["n"] * 1.0) < 500000 { push(out, r["src"]) }
+}
+return out`,
+		},
+	},
+	{
+		ID: "ta-h8", App: AppTraffic, Complexity: Hard,
+		Text: `Build the heavy-hitter subgraph: keep the top 10 percent of edges by bytes (at least one edge; ties by source then destination id) and the nodes incident to them. Return [number_of_nodes, number_of_edges] of that subgraph.`,
+		Golden: map[string]string{
+			"networkx": `let all = []
+for e in graph.edges() { push(all, [0 - e.attrs["bytes"], e.src, e.dst]) }
+let ranked = sorted(all)
+let k = int(len(ranked) / 10)
+if k * 10 < len(ranked) { k = k + 1 }
+if k < 1 { k = 1 }
+if k > len(ranked) { k = len(ranked) }
+let keep = slice(ranked, 0, k)
+let nodes = {}
+for e in keep {
+  nodes[e[1]] = true
+  nodes[e[2]] = true
+}
+return [len(nodes), len(keep)]`,
+			"pandas": `let all = []
+for r in edges_df.records() { push(all, [0 - r["bytes"], r["src"], r["dst"]]) }
+let ranked = sorted(all)
+let k = int(len(ranked) / 10)
+if k * 10 < len(ranked) { k = k + 1 }
+if k < 1 { k = 1 }
+if k > len(ranked) { k = len(ranked) }
+let keep = slice(ranked, 0, k)
+let nodes = {}
+for e in keep {
+  nodes[e[1]] = true
+  nodes[e[2]] = true
+}
+return [len(nodes), len(keep)]`,
+			"sql": `let all = []
+for r in db.query("SELECT src, dst, bytes FROM edges").records() { push(all, [0 - r["bytes"], r["src"], r["dst"]]) }
+let ranked = sorted(all)
+let k = int(len(ranked) / 10)
+if k * 10 < len(ranked) { k = k + 1 }
+if k < 1 { k = 1 }
+if k > len(ranked) { k = len(ranked) }
+let keep = slice(ranked, 0, k)
+let nodes = {}
+for e in keep {
+  nodes[e[1]] = true
+  nodes[e[2]] = true
+}
+return [len(nodes), len(keep)]`,
+		},
+	},
+}
+
+// dijkstraBody: O(V^2) Dijkstra over adj of [neighbor, weight] pairs from
+// h000 to h010 (shared by the pandas and SQL goldens of ta-h5).
+const dijkstraBody = `let dist = {"h000": 0.0}
+let prev = {}
+let done = {}
+while true {
+  let best = nil
+  let bestd = 0.0
+  for v, dv in dist {
+    if not contains(done, v) and (best == nil or dv < bestd) { best = v bestd = dv }
+  }
+  if best == nil { break }
+  if best == "h010" { break }
+  done[best] = true
+  if contains(adj, best) {
+    for p in adj[best] {
+      let nd = bestd + p[1]
+      if not contains(dist, p[0]) or nd < dist[p[0]] {
+        dist[p[0]] = nd
+        prev[p[0]] = best
+      }
+    }
+  }
+}
+if not contains(dist, "h010") { return -1 }
+let path = ["h010"]
+let cur = "h010"
+while cur != "h000" {
+  cur = prev[cur]
+  push(path, cur)
+}
+return {"path": reversed(path), "cost": dist["h010"]}`
+
+var trafficQueries = func() []Query {
+	out := append([]Query{}, trafficEasy...)
+	out = append(out, trafficMedium...)
+	out = append(out, trafficHard...)
+	return out
+}()

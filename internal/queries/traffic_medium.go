@@ -1,0 +1,243 @@
+package queries
+
+// prefixOf extracts the /16 prefix ("a.b") of a dotted IP in NQL.
+const prefixHelper = `func prefix_of(ip) {
+  let parts = split(ip, ".")
+  return parts[0] + "." + parts[1]
+}
+`
+
+var trafficMedium = []Query{
+	{
+		ID: "ta-m1", App: AppTraffic, Complexity: Medium,
+		Text: `Assign a unique color for each /16 IP address prefix.`,
+		Golden: map[string]string{
+			"networkx": prefixHelper + `let palette = ["red", "green", "blue", "orange", "purple", "cyan", "magenta", "yellow"]
+let color_of = {}
+let next = 0
+for n in graph.nodes() {
+  let p = prefix_of(graph.node(n)["ip"])
+  if not contains(color_of, p) {
+    color_of[p] = palette[next % len(palette)]
+    next = next + 1
+  }
+  graph.node(n)["color"] = color_of[p]
+}
+return nil`,
+			"pandas": prefixHelper + `let palette = ["red", "green", "blue", "orange", "purple", "cyan", "magenta", "yellow"]
+let color_of = {}
+let next = 0
+for ip in nodes_df.column("ip") {
+  let p = prefix_of(ip)
+  if not contains(color_of, p) {
+    color_of[p] = palette[next % len(palette)]
+    next = next + 1
+  }
+}
+func col(r) { return color_of[prefix_of(r["ip"])] }
+return nodes_df.mutate("color", col)`,
+			"sql": prefixHelper + `let palette = ["red", "green", "blue", "orange", "purple", "cyan", "magenta", "yellow"]
+let color_of = {}
+let next = 0
+let assign = {}
+for r in db.query("SELECT id, ip FROM nodes ORDER BY id").records() {
+  let p = prefix_of(r["ip"])
+  if not contains(color_of, p) {
+    color_of[p] = palette[next % len(palette)]
+    next = next + 1
+  }
+  assign[r["id"]] = color_of[p]
+}
+return assign`,
+		},
+	},
+	{
+		ID: "ta-m2", App: AppTraffic, Complexity: Medium,
+		Text: `Compute the total byte weight on each node (sum of bytes over incoming and outgoing edges) and store it as node attribute total_bytes.`,
+		Golden: map[string]string{
+			"networkx": `for n in graph.nodes() {
+  graph.node(n)["total_bytes"] = int(graph.weighted_degree(n, "bytes"))
+}
+return nil`,
+			"pandas": `let totals = {}
+for n in nodes_df.column("id") { totals[n] = 0 }
+for r in edges_df.records() {
+  totals[r["src"]] = totals[r["src"]] + r["bytes"]
+  totals[r["dst"]] = totals[r["dst"]] + r["bytes"]
+}
+func tot(r) { return totals[r["id"]] }
+return nodes_df.mutate("total_bytes", tot)`,
+			"sql": `let totals = {}
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() { totals[r["id"]] = 0 }
+for r in db.query("SELECT src, SUM(bytes) AS b FROM edges GROUP BY src").records() {
+  totals[r["src"]] = totals[r["src"]] + r["b"]
+}
+for r in db.query("SELECT dst, SUM(bytes) AS b FROM edges GROUP BY dst").records() {
+  totals[r["dst"]] = totals[r["dst"]] + r["b"]
+}
+return totals`,
+		},
+	},
+	{
+		ID: "ta-m3", App: AppTraffic, Complexity: Medium,
+		Text: `Find the top 3 nodes by total traffic volume in bytes (incoming plus outgoing), returning [node, bytes] pairs in descending order; break ties by node id.`,
+		Golden: map[string]string{
+			"networkx": `let ids = graph.nodes()
+let pairs = []
+for n in ids { push(pairs, [n, int(graph.weighted_degree(n, "bytes"))]) }
+let ranked = sorted(pairs, fn(p) => [0 - p[1], p[0]])
+return slice(ranked, 0, 3)`,
+			"pandas": `let totals = {}
+for n in nodes_df.column("id") { totals[n] = 0 }
+for r in edges_df.records() {
+  totals[r["src"]] = totals[r["src"]] + r["bytes"]
+  totals[r["dst"]] = totals[r["dst"]] + r["bytes"]
+}
+let pairs = []
+for n, b in totals { push(pairs, [n, b]) }
+let ranked = sorted(pairs, fn(p) => [0 - p[1], p[0]])
+return slice(ranked, 0, 3)`,
+			"sql": `let totals = {}
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() { totals[r["id"]] = 0 }
+for r in db.query("SELECT src, SUM(bytes) AS b FROM edges GROUP BY src").records() {
+  totals[r["src"]] = totals[r["src"]] + r["b"]
+}
+for r in db.query("SELECT dst, SUM(bytes) AS b FROM edges GROUP BY dst").records() {
+  totals[r["dst"]] = totals[r["dst"]] + r["b"]
+}
+let pairs = []
+for n, b in totals { push(pairs, [n, b]) }
+let ranked = sorted(pairs, fn(p) => [0 - p[1], p[0]])
+return slice(ranked, 0, 3)`,
+		},
+	},
+	{
+		ID: "ta-m4", App: AppTraffic, Complexity: Medium,
+		Text: `How many hops are required to transmit data from h000 to h005 following edge directions? Return -1 if no path exists.`,
+		Golden: map[string]string{
+			"networkx": `if not graph.has_path("h000", "h005") { return -1 }
+return graph.hop_count("h000", "h005")`,
+			"pandas": pandasDirectedAdj + `let dist = {"h000": 0}
+let queue = ["h000"]
+while len(queue) > 0 {
+  let cur = queue[0]
+  queue = slice(queue, 1, len(queue))
+  if cur == "h005" { return dist[cur] }
+  if contains(adj, cur) {
+    for nb in adj[cur] {
+      if not contains(dist, nb) {
+        dist[nb] = dist[cur] + 1
+        push(queue, nb)
+      }
+    }
+  }
+}
+return -1`,
+			"sql": sqlDirectedAdj + `let dist = {"h000": 0}
+let queue = ["h000"]
+while len(queue) > 0 {
+  let cur = queue[0]
+  queue = slice(queue, 1, len(queue))
+  if cur == "h005" { return dist[cur] }
+  if contains(adj, cur) {
+    for nb in adj[cur] {
+      if not contains(dist, nb) {
+        dist[nb] = dist[cur] + 1
+        push(queue, nb)
+      }
+    }
+  }
+}
+return -1`,
+		},
+	},
+	{
+		ID: "ta-m5", App: AppTraffic, Complexity: Medium,
+		Text: `List all node pairs that communicate in both directions, as [a, b] pairs with a < b, sorted.`,
+		Golden: map[string]string{
+			"networkx": `let pairs = []
+for e in graph.edges() {
+  if e.src < e.dst and graph.has_edge(e.dst, e.src) {
+    push(pairs, [e.src, e.dst])
+  }
+}
+return sorted(pairs)`,
+			"pandas": `let seen = {}
+for r in edges_df.records() { seen[r["src"] + ">" + r["dst"]] = true }
+let pairs = []
+for r in edges_df.records() {
+  if r["src"] < r["dst"] and contains(seen, r["dst"] + ">" + r["src"]) {
+    push(pairs, [r["src"], r["dst"]])
+  }
+}
+return sorted(pairs)`,
+			"sql": `let pairs = []
+for r in db.query("SELECT a.src AS x, a.dst AS y FROM edges a JOIN edges b ON a.src = b.dst AND a.dst = b.src WHERE a.src < a.dst ORDER BY x, y").records() {
+  push(pairs, [r["x"], r["y"]])
+}
+return pairs`,
+		},
+	},
+	{
+		ID: "ta-m6", App: AppTraffic, Complexity: Medium,
+		Text: `What is the average number of packets per connection across the whole network (total packets divided by total connections)?`,
+		Golden: map[string]string{
+			"networkx": `let packets = 0
+let conns = 0
+for e in graph.edges() {
+  packets = packets + e.attrs["packets"]
+  conns = conns + e.attrs["connections"]
+}
+if conns == 0 { return 0 }
+return packets / (conns * 1.0)`,
+			"pandas": `let packets = edges_df.sum("packets")
+let conns = edges_df.sum("connections")
+if conns == 0 { return 0 }
+return packets / (conns * 1.0)`,
+			"sql": `let f = db.query("SELECT SUM(packets) AS p, SUM(connections) AS c FROM edges")
+let conns = f.cell(0, "c")
+if conns == nil or conns == 0 { return 0 }
+return f.cell(0, "p") / (conns * 1.0)`,
+		},
+	},
+	{
+		ID: "ta-m7", App: AppTraffic, Complexity: Medium,
+		Text: `How many distinct /16 IP prefixes are present among the nodes?`,
+		Golden: map[string]string{
+			"networkx": prefixHelper + `let seen = {}
+for n in graph.nodes() { seen[prefix_of(graph.node(n)["ip"])] = true }
+return len(seen)`,
+			"pandas": prefixHelper + `let seen = {}
+for ip in nodes_df.column("ip") { seen[prefix_of(ip)] = true }
+return len(seen)`,
+			"sql": prefixHelper + `let seen = {}
+for r in db.query("SELECT ip FROM nodes").records() { seen[prefix_of(r["ip"])] = true }
+return len(seen)`,
+		},
+	},
+	{
+		ID: "ta-m8", App: AppTraffic, Complexity: Medium,
+		Text: `Remove all isolated nodes (nodes with no incoming or outgoing edges) from the network.`,
+		Golden: map[string]string{
+			"networkx": `for n in graph.isolated_nodes() { graph.remove_node(n) }
+return nil`,
+			"pandas": `let used = {}
+for r in edges_df.records() {
+  used[r["src"]] = true
+  used[r["dst"]] = true
+}
+return nodes_df.filter(fn(r) => contains(used, r["id"]))`,
+			"sql": `let used = {}
+for r in db.query("SELECT src, dst FROM edges").records() {
+  used[r["src"]] = true
+  used[r["dst"]] = true
+}
+for r in db.query("SELECT id FROM nodes ORDER BY id").records() {
+  if not contains(used, r["id"]) {
+    db.exec("DELETE FROM nodes WHERE id = '" + r["id"] + "'")
+  }
+}
+return nil`,
+		},
+	},
+}

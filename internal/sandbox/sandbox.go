@@ -1,0 +1,82 @@
+// Package sandbox executes LLM-generated NQL programs in isolation
+// (framework box 5 in the paper). The sandbox owns the resource budget,
+// captures stdout, recovers panics from host bindings, and — critically —
+// runs code against *cloned* state so a buggy generated program can never
+// corrupt the golden copies the evaluator compares against. Host I/O is
+// impossible by construction: the interpreter has no file, network or
+// process bindings.
+package sandbox
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nql"
+)
+
+// Policy configures a sandboxed execution.
+type Policy struct {
+	MaxSteps    int
+	MaxDepth    int
+	MaxAllocs   int
+	MaxDuration time.Duration
+}
+
+// DefaultPolicy matches nql.DefaultLimits.
+var DefaultPolicy = Policy{
+	MaxSteps:    nql.DefaultLimits.MaxSteps,
+	MaxDepth:    nql.DefaultLimits.MaxDepth,
+	MaxAllocs:   nql.DefaultLimits.MaxAllocs,
+	MaxDuration: nql.DefaultLimits.MaxDuration,
+}
+
+// Result captures one sandboxed run.
+type Result struct {
+	Value    nql.Value // script return value (nil when none)
+	Stdout   string    // captured print() output
+	Err      error     // nil on success
+	ErrClass string    // categorized error class ("" on success)
+	Duration time.Duration
+	Steps    int // reserved for future accounting
+}
+
+// OK reports whether the run completed without error.
+func (r *Result) OK() bool { return r.Err == nil }
+
+// Run executes src with the given host globals under the policy. The caller
+// is responsible for passing cloned state in globals; Run never mutates the
+// policy or retains the globals.
+func Run(src string, globals map[string]nql.Value, policy Policy) *Result {
+	res := &Result{}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("sandbox: panic during execution: %v", p)
+			res.ErrClass = string(nql.ErrInternal)
+		}
+	}()
+	in := nql.NewInterp(nql.Limits{
+		MaxSteps:    policy.MaxSteps,
+		MaxDepth:    policy.MaxDepth,
+		MaxAllocs:   policy.MaxAllocs,
+		MaxDuration: policy.MaxDuration,
+	}, globals)
+	v, err := in.Run(src)
+	res.Stdout = in.Stdout()
+	if err != nil {
+		res.Err = err
+		res.ErrClass = nql.ClassOf(err)
+		return res
+	}
+	res.Value = v
+	return res
+}
+
+// CheckSyntax parses src without executing it; returns nil when the program
+// is syntactically valid. The self-debug loop uses this to give fast
+// feedback before paying for execution.
+func CheckSyntax(src string) error {
+	_, err := nql.Parse(src)
+	return err
+}

@@ -1,0 +1,250 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataframe"
+)
+
+// DB is an in-memory relational database whose tables are dataframes.
+type DB struct {
+	tables map[string]*dataframe.Frame
+	order  []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*dataframe.Frame{}}
+}
+
+// CreateTable registers a frame under a name, replacing any previous table.
+func (db *DB) CreateTable(name string, f *dataframe.Frame) {
+	if _, ok := db.tables[name]; !ok {
+		db.order = append(db.order, name)
+	}
+	db.tables[name] = f
+}
+
+// Table returns the named table; the error names available tables so that
+// generated-code failures are self-explanatory.
+func (db *DB) Table(name string) (*dataframe.Frame, error) {
+	f, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: table %q does not exist (have %v)", name, db.TableNames())
+	}
+	return f, nil
+}
+
+// TableNames lists tables in creation order.
+func (db *DB) TableNames() []string { return append([]string(nil), db.order...) }
+
+// Clone deep-copies the database (used so sandboxed runs cannot corrupt the
+// golden copy).
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	for _, n := range db.order {
+		c.CreateTable(n, db.tables[n].Clone())
+	}
+	return c
+}
+
+// Result is the outcome of Exec: a frame for SELECT, or an affected-row
+// count for writes.
+type Result struct {
+	Frame    *dataframe.Frame // non-nil for SELECT
+	Affected int64            // rows touched by INSERT/UPDATE/DELETE
+}
+
+// Exec parses and executes one SQL statement against the database.
+func (db *DB) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		f, err := db.execSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Frame: f}, nil
+	case *InsertStmt:
+		n, err := db.execInsert(s)
+		return &Result{Affected: n}, err
+	case *UpdateStmt:
+		n, err := db.execUpdate(s)
+		return &Result{Affected: n}, err
+	case *DeleteStmt:
+		n, err := db.execDelete(s)
+		return &Result{Affected: n}, err
+	case *CreateTableStmt:
+		db.CreateTable(s.Table, dataframe.New(s.Cols...))
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// Query executes a SELECT and returns its frame; non-SELECT statements are
+// an error.
+func (db *DB) Query(sql string) (*dataframe.Frame, error) {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Frame == nil {
+		return nil, fmt.Errorf("sql: statement is not a query")
+	}
+	return res.Frame, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (int64, error) {
+	f, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	cols := s.Cols
+	if len(cols) == 0 {
+		cols = f.Columns()
+	}
+	for _, c := range cols {
+		if !f.HasColumn(c) {
+			return 0, fmt.Errorf("sql: column %q does not exist in table %q", c, s.Table)
+		}
+	}
+	var n int64
+	for _, row := range s.Rows {
+		if len(row) != len(cols) {
+			return n, fmt.Errorf("sql: INSERT has %d values for %d columns", len(row), len(cols))
+		}
+		vals := make(map[string]any, len(cols))
+		for i, c := range cols {
+			v, err := evalExpr(row[i], nil)
+			if err != nil {
+				return n, err
+			}
+			vals[c] = v
+		}
+		all := make([]any, 0, f.NumCols())
+		for _, c := range f.Columns() {
+			all = append(all, vals[c])
+		}
+		f.AppendRow(all...)
+		n++
+	}
+	return n, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (int64, error) {
+	f, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	for _, set := range s.Sets {
+		if !f.HasColumn(set.Col) {
+			return 0, fmt.Errorf("sql: column %q does not exist in table %q (have %v)", set.Col, s.Table, f.Columns())
+		}
+	}
+	var n int64
+	for i := 0; i < f.NumRows(); i++ {
+		row := f.Row(i)
+		if s.Where != nil {
+			ok, err := evalBool(s.Where, scopeFromRow(row))
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for _, set := range s.Sets {
+			v, err := evalExpr(set.Expr, scopeFromRow(row))
+			if err != nil {
+				return n, err
+			}
+			if err := f.SetCell(i, set.Col, v); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (int64, error) {
+	f, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	kept, err := f.Filter(func(row map[string]any) (bool, error) {
+		if s.Where == nil {
+			return false, nil
+		}
+		ok, err := evalBool(s.Where, scopeFromRow(row))
+		return !ok, err
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := int64(f.NumRows() - kept.NumRows())
+	db.CreateTable(s.Table, kept)
+	return n, nil
+}
+
+// scope resolves column references during evaluation. Keys are stored both
+// unqualified and qualified ("alias.col").
+type scope map[string]any
+
+func scopeFromRow(row map[string]any) scope {
+	s := make(scope, len(row))
+	for k, v := range row {
+		s[k] = v
+	}
+	return s
+}
+
+func (s scope) lookup(ref *ColumnRef) (any, error) {
+	if ref.Table != "" {
+		if v, ok := s[ref.Table+"."+ref.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("sql: unknown column %s.%s (available: %v)", ref.Table, ref.Name, s.keys())
+	}
+	if v, ok := s[ref.Name]; ok {
+		return v, nil
+	}
+	// Unqualified name that is unique among qualified entries.
+	var found []string
+	for k := range s {
+		if idx := lastDot(k); idx >= 0 && k[idx+1:] == ref.Name {
+			found = append(found, k)
+		}
+	}
+	if len(found) == 1 {
+		return s[found[0]], nil
+	}
+	if len(found) > 1 {
+		sort.Strings(found)
+		return nil, fmt.Errorf("sql: ambiguous column %q (matches %v)", ref.Name, found)
+	}
+	return nil, fmt.Errorf("sql: unknown column %q (available: %v)", ref.Name, s.keys())
+}
+
+func (s scope) keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

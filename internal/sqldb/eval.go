@@ -1,0 +1,435 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataframe"
+)
+
+// evalExpr evaluates a non-aggregate expression against a row scope (nil
+// scope allows only constants).
+func evalExpr(e Expr, s scope) (any, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return normalizeVal(x.Value), nil
+	case *ColumnRef:
+		if s == nil {
+			return nil, fmt.Errorf("sql: column reference %q outside row context", x.Name)
+		}
+		return s.lookup(x)
+	case *UnaryExpr:
+		v, err := evalExpr(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			default:
+				return nil, fmt.Errorf("sql: cannot negate %T", v)
+			}
+		case "NOT":
+			return !truthy(v), nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary op %q", x.Op)
+	case *BinaryExpr:
+		return evalBinary(x, s)
+	case *InExpr:
+		v, err := evalExpr(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, ve := range x.Values {
+			w, err := evalExpr(ve, s)
+			if err != nil {
+				return nil, err
+			}
+			if dataframe.CompareValues(v, w) == 0 && sameKind(v, w) {
+				found = true
+				break
+			}
+		}
+		return found != x.Not, nil
+	case *IsNullExpr:
+		v, err := evalExpr(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Not, nil
+	case *BetweenExpr:
+		v, err := evalExpr(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := evalExpr(x.Lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := evalExpr(x.Hi, s)
+		if err != nil {
+			return nil, err
+		}
+		in := dataframe.CompareValues(v, lo) >= 0 && dataframe.CompareValues(v, hi) <= 0
+		return in != x.Not, nil
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			ok, err := evalBool(w.Cond, s)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return evalExpr(w.Then, s)
+			}
+		}
+		if x.Else != nil {
+			return evalExpr(x.Else, s)
+		}
+		return nil, nil
+	case *FuncCall:
+		return evalScalarFunc(x, s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func normalizeVal(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	default:
+		return v
+	}
+}
+
+func sameKind(a, b any) bool {
+	isNum := func(v any) bool {
+		switch v.(type) {
+		case int64, float64:
+			return true
+		}
+		return false
+	}
+	if isNum(a) && isNum(b) {
+		return true
+	}
+	return fmt.Sprintf("%T", a) == fmt.Sprintf("%T", b)
+}
+
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+func evalBool(e Expr, s scope) (bool, error) {
+	v, err := evalExpr(e, s)
+	if err != nil {
+		return false, err
+	}
+	return truthy(v), nil
+}
+
+func evalBinary(x *BinaryExpr, s scope) (any, error) {
+	// Short-circuit logic ops.
+	switch x.Op {
+	case "AND":
+		l, err := evalBool(x.Left, s)
+		if err != nil {
+			return nil, err
+		}
+		if !l {
+			return false, nil
+		}
+		return evalBool(x.Right, s)
+	case "OR":
+		l, err := evalBool(x.Left, s)
+		if err != nil {
+			return nil, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalBool(x.Right, s)
+	}
+	l, err := evalExpr(x.Left, s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(x.Right, s)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "=":
+		return dataframe.CompareValues(l, r) == 0 && sameKind(l, r), nil
+	case "!=":
+		return !(dataframe.CompareValues(l, r) == 0 && sameKind(l, r)), nil
+	case "<":
+		return dataframe.CompareValues(l, r) < 0, nil
+	case "<=":
+		return dataframe.CompareValues(l, r) <= 0, nil
+	case ">":
+		return dataframe.CompareValues(l, r) > 0, nil
+	case ">=":
+		return dataframe.CompareValues(l, r) >= 0, nil
+	case "LIKE":
+		ls, ok1 := l.(string)
+		rs, ok2 := r.(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: LIKE requires strings, got %T and %T", l, r)
+		}
+		return likeMatch(ls, rs), nil
+	case "+":
+		if ls, ok := l.(string); ok {
+			if rs, ok := r.(string); ok {
+				return ls + rs, nil // string concatenation convenience
+			}
+		}
+		return arith(l, r, x.Op)
+	case "-", "*", "/", "%":
+		return arith(l, r, x.Op)
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+	}
+}
+
+func arith(l, r any, op string) (any, error) {
+	lf, lok := numAsFloat(l)
+	rf, rok := numAsFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("sql: arithmetic %q on non-numeric values %v (%T) and %v (%T)", op, l, l, r, r)
+	}
+	_, lInt := l.(int64)
+	_, rInt := r.(int64)
+	bothInt := lInt && rInt
+	switch op {
+	case "+":
+		if bothInt {
+			return int64(lf) + int64(rf), nil
+		}
+		return lf + rf, nil
+	case "-":
+		if bothInt {
+			return int64(lf) - int64(rf), nil
+		}
+		return lf - rf, nil
+	case "*":
+		if bothInt {
+			return int64(lf) * int64(rf), nil
+		}
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("sql: division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		if !bothInt {
+			return nil, fmt.Errorf("sql: %% requires integers")
+		}
+		if int64(rf) == 0 {
+			return nil, fmt.Errorf("sql: division by zero")
+		}
+		return int64(lf) % int64(rf), nil
+	}
+	return nil, fmt.Errorf("sql: unknown arithmetic op %q", op)
+}
+
+func numAsFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern/string.
+	memo := map[[2]int]bool{}
+	var match func(i, j int) bool
+	match = func(i, j int) bool {
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var res bool
+		switch {
+		case j == len(pattern):
+			res = i == len(s)
+		case pattern[j] == '%':
+			res = match(i, j+1) || (i < len(s) && match(i+1, j))
+		case i < len(s) && (pattern[j] == '_' || pattern[j] == s[i]):
+			res = match(i+1, j+1)
+		default:
+			res = false
+		}
+		memo[key] = res
+		return res
+	}
+	return match(0, 0)
+}
+
+// evalScalarFunc evaluates non-aggregate SQL functions.
+func evalScalarFunc(f *FuncCall, s scope) (any, error) {
+	if isAggregate(f.Name) {
+		return nil, fmt.Errorf("sql: aggregate %s() not allowed here", f.Name)
+	}
+	args := make([]any, len(f.Args))
+	for i, a := range f.Args {
+		v, err := evalExpr(a, s)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	wantArgs := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sql: %s() takes %d argument(s), got %d", f.Name, n, len(args))
+		}
+		return nil
+	}
+	switch f.Name {
+	case "LENGTH":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: LENGTH() requires a string")
+		}
+		return int64(len(str)), nil
+	case "UPPER":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: UPPER() requires a string")
+		}
+		return strings.ToUpper(str), nil
+	case "LOWER":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: LOWER() requires a string")
+		}
+		return strings.ToLower(str), nil
+	case "ABS":
+		if err := wantArgs(1); err != nil {
+			return nil, err
+		}
+		switch n := args[0].(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			return math.Abs(n), nil
+		}
+		return nil, fmt.Errorf("sql: ABS() requires a number")
+	case "ROUND":
+		if len(args) == 1 {
+			n, ok := numAsFloat(args[0])
+			if !ok {
+				return nil, fmt.Errorf("sql: ROUND() requires a number")
+			}
+			return math.Round(n), nil
+		}
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		n, ok1 := numAsFloat(args[0])
+		d, ok2 := args[1].(int64)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: ROUND(x, digits) requires (number, int)")
+		}
+		scale := math.Pow(10, float64(d))
+		return math.Round(n*scale) / scale, nil
+	case "SUBSTR":
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("sql: SUBSTR() takes 2 or 3 arguments")
+		}
+		str, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: SUBSTR() requires a string")
+		}
+		start, ok := args[1].(int64)
+		if !ok {
+			return nil, fmt.Errorf("sql: SUBSTR() start must be an integer")
+		}
+		// SQL is 1-based.
+		idx := int(start) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(str) {
+			idx = len(str)
+		}
+		rest := str[idx:]
+		if len(args) == 3 {
+			n, ok := args[2].(int64)
+			if !ok {
+				return nil, fmt.Errorf("sql: SUBSTR() length must be an integer")
+			}
+			if int(n) < len(rest) {
+				if n < 0 {
+					n = 0
+				}
+				rest = rest[:n]
+			}
+		}
+		return rest, nil
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "INSTR":
+		if err := wantArgs(2); err != nil {
+			return nil, err
+		}
+		str, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: INSTR() requires strings")
+		}
+		return int64(strings.Index(str, sub) + 1), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown function %s()", f.Name)
+	}
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

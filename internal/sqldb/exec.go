@@ -1,0 +1,751 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataframe"
+)
+
+// workingSet is the intermediate relation a SELECT pipeline operates on:
+// rows are scopes with qualified keys, plus ordered output metadata so star
+// expansion is deterministic.
+type workingSet struct {
+	rows []scope
+	// qualified column names in deterministic order, e.g. "n.id".
+	cols []string
+}
+
+func (db *DB) execSelect(s *SelectStmt) (*dataframe.Frame, error) {
+	ws, err := db.buildFrom(s)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE
+	if s.Where != nil {
+		filtered := ws.rows[:0:0]
+		for _, row := range ws.rows {
+			ok, err := evalBool(s.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+		ws.rows = filtered
+	}
+
+	aggregated := len(s.GroupBy) > 0 || s.Having != nil || selectHasAggregate(s.Items)
+	var out *dataframe.Frame
+	if aggregated {
+		out, err = projectAggregate(s, ws)
+	} else {
+		out, err = projectPlain(s, ws)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY operates on output columns (by name) or fresh expressions
+	// against the pre-projection rows for plain selects; for simplicity and
+	// predictability we order by output column references and fall back to
+	// expression text lookup.
+	if len(s.OrderBy) > 0 {
+		out, err = orderResult(s, ws, out, aggregated)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Distinct {
+		out = distinctRows(out)
+	}
+	if s.Offset != nil || s.Limit != nil {
+		start := 0
+		if s.Offset != nil {
+			start = int(*s.Offset)
+		}
+		if start > out.NumRows() {
+			start = out.NumRows()
+		}
+		end := out.NumRows()
+		if s.Limit != nil && start+int(*s.Limit) < end {
+			end = start + int(*s.Limit)
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		trimmed := dataframe.New(out.Columns()...)
+		for _, i := range idx {
+			row := out.Row(i)
+			vals := make([]any, 0, out.NumCols())
+			for _, c := range out.Columns() {
+				vals = append(vals, row[c])
+			}
+			trimmed.AppendRow(vals...)
+		}
+		out = trimmed
+	}
+	return out, nil
+}
+
+// buildFrom materializes the FROM clause (with joins) into a working set.
+func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
+	ws := &workingSet{}
+	if s.From == nil {
+		// SELECT without FROM: one empty row so constant expressions work.
+		ws.rows = []scope{{}}
+		return ws, nil
+	}
+	base, err := db.Table(s.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	alias := s.From.Alias
+	if alias == "" {
+		alias = s.From.Name
+	}
+	for i := 0; i < base.NumRows(); i++ {
+		ws.rows = append(ws.rows, qualify(base.Row(i), alias))
+	}
+	if base.NumRows() == 0 {
+		// keep schema for star expansion even with zero rows
+	}
+	for _, c := range base.Columns() {
+		ws.cols = append(ws.cols, alias+"."+c)
+	}
+	for _, j := range s.Joins {
+		right, err := db.Table(j.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		ralias := j.Table.Alias
+		if ralias == "" {
+			ralias = j.Table.Name
+		}
+		rightRows := make([]scope, 0, right.NumRows())
+		for i := 0; i < right.NumRows(); i++ {
+			rightRows = append(rightRows, qualify(right.Row(i), ralias))
+		}
+		// Hash-join fast path: when the ON clause contains an equality
+		// between a left column and a right column, bucket the right side
+		// by that key and probe instead of the quadratic nested loop. Any
+		// remaining ON conjuncts are still evaluated per candidate pair.
+		leftKey, rightKey, residual := equiJoinKeys(j.On, ws.cols, right.Columns(), ralias)
+		var rightIndex map[string][]scope
+		if leftKey != nil {
+			rightIndex = make(map[string][]scope, len(rightRows))
+			for _, r := range rightRows {
+				v, err := r.lookup(rightKey)
+				if err != nil {
+					return nil, err
+				}
+				k := keyString(v)
+				rightIndex[k] = append(rightIndex[k], r)
+			}
+		}
+		var joined []scope
+		for _, l := range ws.rows {
+			candidates := rightRows
+			if rightIndex != nil {
+				lv, err := l.lookup(leftKey)
+				if err != nil {
+					return nil, err
+				}
+				candidates = rightIndex[keyString(lv)]
+			}
+			matched := false
+			for _, r := range candidates {
+				merged := mergeScopes(l, r)
+				cond := residual
+				if rightIndex == nil {
+					cond = j.On
+				}
+				ok := true
+				if cond != nil {
+					var err error
+					ok, err = evalBool(cond, merged)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if ok {
+					joined = append(joined, merged)
+					matched = true
+				}
+			}
+			if !matched && j.Kind == "left" {
+				nulls := scope{}
+				for _, c := range right.Columns() {
+					nulls[ralias+"."+c] = nil
+				}
+				joined = append(joined, mergeScopes(l, nulls))
+			}
+		}
+		ws.rows = joined
+		for _, c := range right.Columns() {
+			ws.cols = append(ws.cols, ralias+"."+c)
+		}
+	}
+	return ws, nil
+}
+
+// equiJoinKeys extracts one "left.col = right.col" equality from an ON
+// expression, returning column refs for both sides plus the residual
+// condition (nil when the equality was the whole clause). It returns nils
+// when no usable equality is found, in which case the caller falls back to
+// the nested-loop join.
+func equiJoinKeys(on Expr, leftCols, rightCols []string, ralias string) (leftKey, rightKey *ColumnRef, residual Expr) {
+	conjuncts := splitAnd(on)
+	isRight := func(ref *ColumnRef) bool {
+		if ref.Table != "" {
+			return ref.Table == ralias
+		}
+		for _, c := range rightCols {
+			if c == ref.Name {
+				// Unqualified: right-side only if no left column shadows it.
+				for _, lc := range leftCols {
+					if lc[lastDot(lc)+1:] == ref.Name {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	isLeft := func(ref *ColumnRef) bool {
+		if ref.Table != "" {
+			for _, lc := range leftCols {
+				if lc == ref.Table+"."+ref.Name {
+					return true
+				}
+			}
+			return false
+		}
+		for _, lc := range leftCols {
+			if lc[lastDot(lc)+1:] == ref.Name {
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range conjuncts {
+		be, ok := c.(*BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		l, lok := be.Left.(*ColumnRef)
+		r, rok := be.Right.(*ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		var lk, rk *ColumnRef
+		switch {
+		case isLeft(l) && isRight(r):
+			lk, rk = l, r
+		case isRight(l) && isLeft(r):
+			lk, rk = r, l
+		default:
+			continue
+		}
+		rest := append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return lk, rk, joinAnd(rest)
+	}
+	return nil, nil, nil
+}
+
+func splitAnd(e Expr) []Expr {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+func joinAnd(es []Expr) Expr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &BinaryExpr{Op: "AND", Left: out, Right: e}
+	}
+	return out
+}
+
+// keyString produces a hash key for join/distinct bucketing, treating
+// int64 and float64 of equal magnitude as the same key.
+func keyString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "\x00"
+	case bool:
+		return fmt.Sprintf("b%v", x)
+	case int64:
+		return fmt.Sprintf("n%v", float64(x))
+	case float64:
+		return fmt.Sprintf("n%v", x)
+	case string:
+		return "s" + x
+	default:
+		return fmt.Sprintf("o%v", x)
+	}
+}
+
+func qualify(row map[string]any, alias string) scope {
+	s := make(scope, len(row))
+	for k, v := range row {
+		s[alias+"."+k] = v
+	}
+	return s
+}
+
+func mergeScopes(a, b scope) scope {
+	out := make(scope, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func selectHasAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if isAggregate(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprHasAggregate(x.Left) || exprHasAggregate(x.Right)
+	case *UnaryExpr:
+		return exprHasAggregate(x.X)
+	case *InExpr:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, v := range x.Values {
+			if exprHasAggregate(v) {
+				return true
+			}
+		}
+	case *IsNullExpr:
+		return exprHasAggregate(x.X)
+	case *BetweenExpr:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Lo) || exprHasAggregate(x.Hi)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return exprHasAggregate(x.Else)
+		}
+	}
+	return false
+}
+
+// outputName derives the result column name for a select item.
+func outputName(it SelectItem, pos int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch e := it.Expr.(type) {
+	case *ColumnRef:
+		return e.Name
+	case *FuncCall:
+		name := strings.ToLower(e.Name)
+		if e.Star {
+			return name
+		}
+		if len(e.Args) == 1 {
+			if c, ok := e.Args[0].(*ColumnRef); ok {
+				return name + "_" + c.Name
+			}
+		}
+		return name
+	default:
+		return fmt.Sprintf("col%d", pos+1)
+	}
+}
+
+func projectPlain(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
+	// Expand stars into column refs.
+	var names []string
+	var exprs []Expr
+	for i, it := range s.Items {
+		if it.Star {
+			for _, qc := range ws.cols {
+				names = append(names, unqualifiedName(qc, ws.cols))
+				dot := lastDot(qc)
+				exprs = append(exprs, &ColumnRef{Table: qc[:dot], Name: qc[dot+1:]})
+			}
+			continue
+		}
+		names = append(names, outputName(it, i))
+		exprs = append(exprs, it.Expr)
+	}
+	names = dedupeNames(names)
+	out := dataframe.New(names...)
+	for _, row := range ws.rows {
+		vals := make([]any, len(exprs))
+		for i, e := range exprs {
+			v, err := evalExpr(e, row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.AppendRow(vals...)
+	}
+	return out, nil
+}
+
+func unqualifiedName(qc string, all []string) string {
+	dot := lastDot(qc)
+	name := qc[dot+1:]
+	count := 0
+	for _, other := range all {
+		if other[lastDot(other)+1:] == name {
+			count++
+		}
+	}
+	if count > 1 {
+		return strings.ReplaceAll(qc, ".", "_")
+	}
+	return name
+}
+
+func dedupeNames(names []string) []string {
+	seen := map[string]int{}
+	out := make([]string, len(names))
+	for i, n := range names {
+		seen[n]++
+		if seen[n] > 1 {
+			out[i] = fmt.Sprintf("%s_%d", n, seen[n])
+		} else {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+func projectAggregate(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
+	// Partition rows into groups by the GROUP BY key values.
+	type group struct {
+		key  []any
+		rows []scope
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, row := range ws.rows {
+		key := make([]any, len(s.GroupBy))
+		var kb strings.Builder
+		for i, ge := range s.GroupBy {
+			v, err := evalExpr(ge, row)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+			fmt.Fprintf(&kb, "%T:%v\x1f", v, v)
+		}
+		ks := kb.String()
+		grp, ok := index[ks]
+		if !ok {
+			grp = &group{key: key}
+			index[ks] = grp
+			groups = append(groups, grp)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	if len(s.GroupBy) == 0 {
+		// Whole-table aggregate: one group, possibly empty.
+		groups = []*group{{rows: ws.rows}}
+	}
+
+	var names []string
+	for i, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: * is not allowed with aggregation")
+		}
+		names = append(names, outputName(it, i))
+	}
+	names = dedupeNames(names)
+	out := dataframe.New(names...)
+	for _, grp := range groups {
+		if s.Having != nil {
+			v, err := evalAggExpr(s.Having, grp.rows)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		vals := make([]any, len(s.Items))
+		for i, it := range s.Items {
+			v, err := evalAggExpr(it.Expr, grp.rows)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.AppendRow(vals...)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression in aggregate context: aggregate
+// functions consume the whole group; bare columns take the group's first
+// row's value (standard loose GROUP BY semantics).
+func evalAggExpr(e Expr, rows []scope) (any, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if !isAggregate(x.Name) {
+			// Scalar function: evaluate args in aggregate context.
+			args := make([]Expr, len(x.Args))
+			for i, a := range x.Args {
+				v, err := evalAggExpr(a, rows)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = &Literal{Value: v}
+			}
+			return evalScalarFunc(&FuncCall{Name: x.Name, Args: args}, nil)
+		}
+		return evalAggregateFunc(x, rows)
+	case *BinaryExpr:
+		if x.Op == "AND" || x.Op == "OR" {
+			l, err := evalAggExpr(x.Left, rows)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" && !truthy(l) {
+				return false, nil
+			}
+			if x.Op == "OR" && truthy(l) {
+				return true, nil
+			}
+			r, err := evalAggExpr(x.Right, rows)
+			if err != nil {
+				return nil, err
+			}
+			return truthy(r), nil
+		}
+		l, err := evalAggExpr(x.Left, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalAggExpr(x.Right, rows)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(&BinaryExpr{Op: x.Op, Left: &Literal{Value: l}, Right: &Literal{Value: r}}, nil)
+	case *UnaryExpr:
+		v, err := evalAggExpr(x.X, rows)
+		if err != nil {
+			return nil, err
+		}
+		return evalExpr(&UnaryExpr{Op: x.Op, X: &Literal{Value: v}}, nil)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			c, err := evalAggExpr(w.Cond, rows)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(c) {
+				return evalAggExpr(w.Then, rows)
+			}
+		}
+		if x.Else != nil {
+			return evalAggExpr(x.Else, rows)
+		}
+		return nil, nil
+	default:
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		return evalExpr(e, rows[0])
+	}
+}
+
+func evalAggregateFunc(f *FuncCall, rows []scope) (any, error) {
+	if f.Name == "COUNT" && f.Star {
+		return int64(len(rows)), nil
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("sql: %s() takes exactly one argument", f.Name)
+	}
+	var vals []any
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := evalExpr(f.Args[0], row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		if f.Distinct {
+			k := fmt.Sprintf("%T:%v", v, v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch f.Name {
+	case "COUNT":
+		return int64(len(vals)), nil
+	case "SUM", "AVG":
+		total := 0.0
+		allInt := true
+		for _, v := range vals {
+			switch n := v.(type) {
+			case int64:
+				total += float64(n)
+			case float64:
+				total += n
+				allInt = false
+			default:
+				return nil, fmt.Errorf("sql: %s() over non-numeric value %v", f.Name, v)
+			}
+		}
+		if f.Name == "AVG" {
+			if len(vals) == 0 {
+				return nil, nil
+			}
+			return total / float64(len(vals)), nil
+		}
+		if len(vals) == 0 {
+			return nil, nil
+		}
+		if allInt {
+			return int64(total), nil
+		}
+		return total, nil
+	case "MIN", "MAX":
+		var best any
+		for _, v := range vals {
+			if best == nil {
+				best = v
+				continue
+			}
+			cmp := dataframe.CompareValues(v, best)
+			if (f.Name == "MIN" && cmp < 0) || (f.Name == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("sql: unknown aggregate %s()", f.Name)
+}
+
+func orderResult(s *SelectStmt, ws *workingSet, out *dataframe.Frame, aggregated bool) (*dataframe.Frame, error) {
+	n := out.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Precompute sort keys per row: prefer output columns (covers aliases
+	// and aggregate names); otherwise evaluate the expression against the
+	// source rows (plain selects only, where row i aligns with ws.rows[i]).
+	keys := make([][]any, n)
+	for i := 0; i < n; i++ {
+		keys[i] = make([]any, len(s.OrderBy))
+	}
+	for k, ob := range s.OrderBy {
+		name := ""
+		switch e := ob.Expr.(type) {
+		case *ColumnRef:
+			if e.Table == "" && out.HasColumn(e.Name) {
+				name = e.Name
+			}
+		case *FuncCall:
+			cand := outputName(SelectItem{Expr: e}, 0)
+			if out.HasColumn(cand) {
+				name = cand
+			}
+		}
+		if name != "" {
+			col, _ := out.Column(name)
+			for i := 0; i < n; i++ {
+				keys[i][k] = col[i]
+			}
+			continue
+		}
+		if aggregated {
+			return nil, fmt.Errorf("sql: ORDER BY expression must reference an output column in aggregate queries")
+		}
+		if len(ws.rows) != n {
+			return nil, fmt.Errorf("sql: internal: row mismatch in ORDER BY")
+		}
+		for i := 0; i < n; i++ {
+			v, err := evalExpr(ob.Expr, ws.rows[i])
+			if err != nil {
+				return nil, err
+			}
+			keys[i][k] = v
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k := range s.OrderBy {
+			cmp := dataframe.CompareValues(keys[idx[a]][k], keys[idx[b]][k])
+			if cmp != 0 {
+				if s.OrderBy[k].Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	sorted := dataframe.New(out.Columns()...)
+	for _, i := range idx {
+		row := out.Row(i)
+		vals := make([]any, 0, out.NumCols())
+		for _, c := range out.Columns() {
+			vals = append(vals, row[c])
+		}
+		sorted.AppendRow(vals...)
+	}
+	return sorted, nil
+}
+
+func distinctRows(f *dataframe.Frame) *dataframe.Frame {
+	out := dataframe.New(f.Columns()...)
+	seen := map[string]bool{}
+	for i := 0; i < f.NumRows(); i++ {
+		row := f.Row(i)
+		var kb strings.Builder
+		vals := make([]any, 0, f.NumCols())
+		for _, c := range f.Columns() {
+			fmt.Fprintf(&kb, "%T:%v\x1f", row[c], row[c])
+			vals = append(vals, row[c])
+		}
+		if !seen[kb.String()] {
+			seen[kb.String()] = true
+			out.AppendRow(vals...)
+		}
+	}
+	return out
+}

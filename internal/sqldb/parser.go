@@ -1,0 +1,710 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+	}
+	return token{}, p.errorf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	default:
+		return nil, p.errorf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	st.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "FROM") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = tr
+		for {
+			kind := ""
+			switch {
+			case p.accept(tokKeyword, "JOIN"):
+				kind = "inner"
+			case p.at(tokKeyword, "INNER"):
+				p.next()
+				if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "inner"
+			case p.at(tokKeyword, "LEFT"):
+				p.next()
+				if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "left"
+			}
+			if kind == "" {
+				break
+			}
+			jt, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Joins = append(st.Joins, JoinClause{Kind: kind, Table: jt, On: on})
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = &n
+		if p.accept(tokKeyword, "OFFSET") {
+			o, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			st.Offset = &o
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseIntLiteral() (int64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, &SyntaxError{Pos: t.pos, Msg: "expected integer"}
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (*TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	tr := &TableRef{Name: t.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		tr.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: t.text}
+	if p.accept(tokPunct, "(") {
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	p.next() // UPDATE
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: t.text}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Col: c.text, Expr: e})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: t.text}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (*CreateTableStmt, error) {
+	p.next() // CREATE
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Table: t.text}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, c.text)
+		// Optional type name (TEXT, INT, REAL, ...).
+		if p.at(tokIdent, "") {
+			st.Types = append(st.Types, p.next().text)
+		} else {
+			st.Types = append(st.Types, "")
+		}
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: not}, nil
+	}
+	// [NOT] IN / BETWEEN / LIKE
+	not := false
+	if p.at(tokKeyword, "NOT") && (p.toks[p.i+1].text == "IN" || p.toks[p.i+1].text == "BETWEEN" || p.toks[p.i+1].text == "LIKE") {
+		p.next()
+		not = true
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var vals []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, Not: not, Values: vals}, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &BinaryExpr{Op: "LIKE", Left: left, Right: right}
+		if not {
+			e = &UnaryExpr{Op: "NOT", X: e}
+		}
+		return e, nil
+	}
+	if not {
+		return nil, p.errorf("dangling NOT")
+	}
+	for _, op := range []string{"=", "!=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(tokOp, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			canonical := op
+			if op == "<>" {
+				canonical = "!="
+			}
+			return &BinaryExpr{Op: canonical, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokOp, "+"):
+			op = "+"
+		case p.accept(tokOp, "-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokOp, "*"):
+			op = "*"
+		case p.accept(tokOp, "/"):
+			op = "/"
+		case p.accept(tokOp, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, &SyntaxError{Pos: t.pos, Msg: "bad number"}
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.pos, Msg: "bad number"}
+		}
+		return &Literal{Value: n}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Literal{Value: t.text}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return &Literal{Value: nil}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return &Literal{Value: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return &Literal{Value: false}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.parseCase()
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.at(tokPunct, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.accept(tokPunct, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Name: c.text}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	ce := &CaseExpr{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // (
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.accept(tokOp, "*") {
+		fc.Star = true
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	fc.Distinct = p.accept(tokKeyword, "DISTINCT")
+	if !p.at(tokPunct, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

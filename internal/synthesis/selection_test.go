@@ -1,0 +1,58 @@
+package synthesis
+
+import (
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/nemoeval"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// malt-m2's Bard attempt sequence is [argument-error, argument-error,
+// pass]: both failures crash, so only the passing sample executes and
+// selection must choose it.
+func TestSelectByConsistencyPicksSurvivor(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("bard")
+	q, _ := queries.ByID("malt-m2")
+	res := SelectByConsistency(ev, model, q, prompt.BackendNetworkX, 5, 0.7)
+	if !res.Pass {
+		t.Fatalf("selection should pass when failures crash: %+v", res)
+	}
+	if res.Chosen != 3 {
+		t.Fatalf("chosen attempt = %d, want 3", res.Chosen)
+	}
+}
+
+// malt-h2's sequence is [wrong-calc, wrong-calc, syntax-error, pass]: the
+// two wrong-calc samples agree with each other, outvoting the single
+// correct sample — a measured demonstration that execution-consistency
+// selection fails against systematic miscalculations (why the paper pairs
+// it with other techniques).
+func TestSelectByConsistencyLosesToConsistentWrongness(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("bard")
+	q, _ := queries.ByID("malt-h2")
+	res := SelectByConsistency(ev, model, q, prompt.BackendNetworkX, 5, 0.7)
+	if res.Pass {
+		t.Fatalf("expected consistent wrong answers to win: %+v", res)
+	}
+	if res.Agreement < 2 {
+		t.Fatalf("agreement = %d, want >= 2", res.Agreement)
+	}
+	if res.Chosen != 1 {
+		t.Fatalf("chosen attempt = %d, want 1 (first wrong sample)", res.Chosen)
+	}
+}
+
+// A query the model always solves: all samples agree on the right answer.
+func TestSelectByConsistencyUnanimous(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("gpt-4")
+	q, _ := queries.ByID("malt-e1")
+	res := SelectByConsistency(ev, model, q, prompt.BackendNetworkX, 3, 0.7)
+	if !res.Pass || res.Agreement != 3 || res.Chosen != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}

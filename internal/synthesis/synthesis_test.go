@@ -1,0 +1,102 @@
+package synthesis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/nemoeval"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+func TestPassAtKRecoversCaseStudy(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, err := llm.NewSim("bard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range llm.CaseStudyQueries {
+		q, ok := queries.ByID(id)
+		if !ok {
+			t.Fatalf("unknown case-study query %s", id)
+		}
+		res := PassAtK(ev, model, q, prompt.BackendNetworkX, 5, 0.7)
+		if !res.Solved {
+			t.Errorf("pass@5 failed to solve %s", id)
+		}
+		if res.SolvedAt < 2 {
+			t.Errorf("%s solved at attempt %d — should fail at least once", id, res.SolvedAt)
+		}
+		if len(res.Records) != res.SolvedAt {
+			t.Errorf("%s records = %d, solvedAt = %d", id, len(res.Records), res.SolvedAt)
+		}
+	}
+}
+
+func TestPassAt1DoesNotRecover(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("bard")
+	for _, id := range llm.CaseStudyQueries {
+		q, _ := queries.ByID(id)
+		res := PassAtK(ev, model, q, prompt.BackendNetworkX, 1, 0.7)
+		if res.Solved {
+			t.Errorf("pass@1 unexpectedly solved %s", id)
+		}
+	}
+}
+
+func TestSelfDebugRepairsTwoOfThree(t *testing.T) {
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("bard")
+	repaired := 0
+	for _, id := range llm.CaseStudyQueries {
+		q, _ := queries.ByID(id)
+		res, err := SelfDebug(ev, model, q, prompt.BackendNetworkX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FirstPass {
+			t.Errorf("%s passed on first attempt — not a case-study failure", id)
+		}
+		if res.Repaired {
+			repaired++
+			if res.FixRecord == nil || !res.FixRecord.Pass {
+				t.Errorf("%s marked repaired without passing fix record", id)
+			}
+		}
+	}
+	if repaired != 2 {
+		t.Fatalf("self-debug repaired %d of 3, want 2 (Table 6: 0.67)", repaired)
+	}
+}
+
+func TestSelfDebugPassThrough(t *testing.T) {
+	// A query the model already solves must short-circuit.
+	ev := nemoeval.NewEvaluator(nemoeval.MALTDataset())
+	model, _ := llm.NewSim("gpt-4")
+	q, _ := queries.ByID("malt-e1")
+	res, err := SelfDebug(ev, model, q, prompt.BackendNetworkX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FirstPass || res.FixRecord != nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunCaseStudyMatchesTable6(t *testing.T) {
+	cs, err := RunCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cs.Pass1-4.0/9.0) > 1e-9 {
+		t.Errorf("pass@1 = %.3f, want 0.444 (Table 6: 0.44)", cs.Pass1)
+	}
+	if cs.Pass5 != 1.0 {
+		t.Errorf("pass@5 = %.3f, want 1.0", cs.Pass5)
+	}
+	if math.Abs(cs.SelfDebug-2.0/3.0) > 1e-9 {
+		t.Errorf("self-debug = %.3f, want 0.667 (Table 6: 0.67)", cs.SelfDebug)
+	}
+}

@@ -1,0 +1,110 @@
+// Package tokens implements the token estimation and LLM cost model behind
+// the paper's cost and scalability analysis (Figure 4). Real deployments
+// use provider tokenizers; this approximation preserves the two properties
+// the analysis depends on: token count grows linearly with prompt text, and
+// prices follow the published 2023 Azure OpenAI table.
+package tokens
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Count estimates the token count of text with a BPE-like heuristic:
+// runs of letters/digits contribute ceil(len/4) tokens (common English
+// words are 1-2 tokens; long identifiers split), every punctuation or
+// symbol rune is its own token, and whitespace is free.
+func Count(text string) int {
+	tokens := 0
+	runLen := 0
+	flush := func() {
+		if runLen > 0 {
+			tokens += (runLen + 3) / 4
+			runLen = 0
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			runLen++
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			tokens++
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Pricing describes one model's per-1k-token prices in USD.
+type Pricing struct {
+	PromptPer1K     float64
+	CompletionPer1K float64
+}
+
+// ModelSpec couples a context window with pricing.
+type ModelSpec struct {
+	Name          string
+	ContextWindow int // max prompt+completion tokens
+	Price         Pricing
+}
+
+// Specs for the models the paper evaluates. Prices follow the June-2023
+// Azure OpenAI table the paper cites (GPT-4 8k context: $0.03/$0.06 per 1k
+// prompt/completion tokens); earlier models use their public list prices.
+// Context windows follow each model's documented limit.
+var Specs = map[string]ModelSpec{
+	"gpt-4": {
+		Name:          "gpt-4",
+		ContextWindow: 8192,
+		Price:         Pricing{PromptPer1K: 0.03, CompletionPer1K: 0.06},
+	},
+	"gpt-3": {
+		Name:          "gpt-3",
+		ContextWindow: 2049,
+		Price:         Pricing{PromptPer1K: 0.02, CompletionPer1K: 0.02},
+	},
+	"text-davinci-003": {
+		Name:          "text-davinci-003",
+		ContextWindow: 4097,
+		Price:         Pricing{PromptPer1K: 0.02, CompletionPer1K: 0.02},
+	},
+	"bard": {
+		Name:          "bard",
+		ContextWindow: 4096,
+		Price:         Pricing{PromptPer1K: 0.0, CompletionPer1K: 0.0}, // no public price in 2023
+	},
+}
+
+// ErrTokenLimit is returned when a prompt exceeds a model's context window —
+// the failure the strawman baseline hits on moderate graphs (≈150 nodes).
+type ErrTokenLimit struct {
+	Model  string
+	Tokens int
+	Limit  int
+}
+
+func (e *ErrTokenLimit) Error() string {
+	return fmt.Sprintf("prompt of %d tokens exceeds %s context window of %d", e.Tokens, e.Model, e.Limit)
+}
+
+// Cost computes the USD cost of one LLM call, or ErrTokenLimit when the
+// prompt and expected completion cannot fit in the model's window.
+func Cost(model string, promptTokens, completionTokens int) (float64, error) {
+	spec, ok := Specs[model]
+	if !ok {
+		return 0, fmt.Errorf("tokens: unknown model %q", model)
+	}
+	if promptTokens+completionTokens > spec.ContextWindow {
+		return 0, &ErrTokenLimit{Model: model, Tokens: promptTokens + completionTokens, Limit: spec.ContextWindow}
+	}
+	return float64(promptTokens)/1000*spec.Price.PromptPer1K +
+		float64(completionTokens)/1000*spec.Price.CompletionPer1K, nil
+}
+
+// CostOfText is a convenience over Count+Cost.
+func CostOfText(model, prompt, completion string) (float64, error) {
+	return Cost(model, Count(prompt), Count(completion))
+}

@@ -1,0 +1,105 @@
+package tokens
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountBasics(t *testing.T) {
+	if Count("") != 0 {
+		t.Fatal("empty string should be 0 tokens")
+	}
+	if got := Count("word"); got != 1 {
+		t.Fatalf("Count(word) = %d", got)
+	}
+	if got := Count("hello world"); got != 4 {
+		// "hello" and "world" are 5-letter runs → 2 tokens each.
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	// Punctuation is one token each.
+	if got := Count("a,b"); got != 3 {
+		t.Fatalf("Count(a,b) = %d, want 3", got)
+	}
+	// Long identifiers split every 4 chars.
+	if got := Count("abcdefgh"); got != 2 {
+		t.Fatalf("Count(8 letters) = %d, want 2", got)
+	}
+}
+
+func TestCountMonotonicInLength(t *testing.T) {
+	f := func(a, b string) bool {
+		return Count(a+b) >= Count(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountScalesWithRepetition(t *testing.T) {
+	unit := `{"id":"h001","ip":"10.0.1.2"},`
+	c1 := Count(unit)
+	c10 := Count(strings.Repeat(unit, 10))
+	if c10 < 9*c1 || c10 > 11*c1 {
+		t.Fatalf("10x text = %d tokens vs unit %d — not ~linear", c10, c1)
+	}
+}
+
+func TestCostGPT4(t *testing.T) {
+	// 1000 prompt + 1000 completion at $0.03/$0.06.
+	c, err := Cost("gpt-4", 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0.09 {
+		t.Fatalf("cost = %v, want 0.09", c)
+	}
+}
+
+func TestCostUnknownModel(t *testing.T) {
+	if _, err := Cost("gpt-99", 10, 10); err == nil {
+		t.Fatal("expected unknown model error")
+	}
+}
+
+func TestTokenLimit(t *testing.T) {
+	_, err := Cost("gpt-4", 9000, 0)
+	var lim *ErrTokenLimit
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v, want ErrTokenLimit", err)
+	}
+	if lim.Limit != 8192 {
+		t.Fatalf("limit = %d", lim.Limit)
+	}
+	if !strings.Contains(lim.Error(), "context window") {
+		t.Fatalf("message = %q", lim.Error())
+	}
+	// GPT-3 window is much smaller.
+	if _, err := Cost("gpt-3", 2100, 0); err == nil {
+		t.Fatal("expected gpt-3 overflow")
+	}
+	if _, err := Cost("gpt-3", 1500, 100); err != nil {
+		t.Fatalf("within window: %v", err)
+	}
+}
+
+func TestCostOfText(t *testing.T) {
+	c, err := CostOfText("gpt-4", "short prompt", "short reply")
+	if err != nil || c <= 0 {
+		t.Fatalf("c=%v err=%v", c, err)
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	for _, name := range []string{"gpt-4", "gpt-3", "text-davinci-003", "bard"} {
+		spec, ok := Specs[name]
+		if !ok {
+			t.Errorf("missing spec for %s", name)
+			continue
+		}
+		if spec.ContextWindow <= 0 {
+			t.Errorf("%s has no context window", name)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package traffic implements the network traffic analysis application: a
+// deterministic generator for synthetic communication graphs (the paper's
+// first benchmark workload) plus the application wrapper that exposes those
+// graphs to the three code-generation backends. Nodes are network endpoints
+// carrying IP addresses; directed edges carry communication weights in
+// bytes, connections and packets, exactly as the paper's evaluation setup
+// describes.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataframe"
+	"repro/internal/graph"
+	"repro/internal/sqldb"
+)
+
+// Config controls synthetic communication-graph generation.
+type Config struct {
+	Nodes int
+	Edges int
+	Seed  int64
+	// Prefixes is the number of distinct /16 prefixes to spread nodes
+	// across (default 4).
+	Prefixes int
+}
+
+// Generate builds a deterministic synthetic communication graph. Node IDs
+// are "h000".."hNNN"; each node gets an "ip" attribute drawn from one of
+// cfg.Prefixes /16 prefixes; each directed edge gets integer "bytes",
+// "connections" and "packets" attributes.
+func Generate(cfg Config) *graph.Graph {
+	if cfg.Prefixes <= 0 {
+		cfg.Prefixes = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.NewDirected()
+	g.GraphAttrs()["app"] = "traffic-analysis"
+	// The first four prefixes are fixed so benchmark queries can reference
+	// them ("15.76" appears in the paper's example queries); further
+	// prefixes are drawn deterministically from the seed.
+	fixed := []string{"15.76", "10.0", "192.168", "172.16"}
+	prefixes := make([]string, cfg.Prefixes)
+	for i := range prefixes {
+		if i < len(fixed) {
+			prefixes[i] = fixed[i]
+		} else {
+			prefixes[i] = fmt.Sprintf("%d.%d", 10+r.Intn(200), r.Intn(256))
+		}
+	}
+	ids := make([]string, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("h%03d", i)
+		ids[i] = id
+		prefix := prefixes[r.Intn(len(prefixes))]
+		ip := fmt.Sprintf("%s.%d.%d", prefix, r.Intn(256), 1+r.Intn(254))
+		g.AddNode(id, graph.Attrs{"ip": ip})
+	}
+	if cfg.Nodes < 2 {
+		return g
+	}
+	added := 0
+	for attempts := 0; added < cfg.Edges && attempts < cfg.Edges*20; attempts++ {
+		u := ids[r.Intn(len(ids))]
+		v := ids[r.Intn(len(ids))]
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v, graph.Attrs{
+			"bytes":       int64(1 + r.Intn(1_000_000)),
+			"connections": int64(1 + r.Intn(100)),
+			"packets":     int64(1 + r.Intn(10_000)),
+		})
+		added++
+	}
+	return g
+}
+
+// Frames converts a communication graph into the node/edge dataframes the
+// pandas backend operates on. The node frame has columns (id, ip); the edge
+// frame has (src, dst, bytes, connections, packets).
+func Frames(g *graph.Graph) (nodes, edges *dataframe.Frame) {
+	nodes = dataframe.New("id", "ip")
+	for _, n := range g.Nodes() {
+		attrs := g.NodeAttrs(n)
+		ip, _ := attrs["ip"].(string)
+		nodes.AppendRow(n, ip)
+	}
+	edges = dataframe.New("src", "dst", "bytes", "connections", "packets")
+	for _, e := range g.Edges() {
+		edges.AppendRow(e.U, e.V, e.Attrs["bytes"], e.Attrs["connections"], e.Attrs["packets"])
+	}
+	return nodes, edges
+}
+
+// Database converts a communication graph into the relational form the SQL
+// backend queries: tables "nodes" and "edges" with the same schemas as
+// Frames.
+func Database(g *graph.Graph) *sqldb.DB {
+	db := sqldb.NewDB()
+	nodes, edges := Frames(g)
+	db.CreateTable("nodes", nodes)
+	db.CreateTable("edges", edges)
+	return db
+}
+
+// Wrapper is the traffic-analysis application wrapper (framework box 1):
+// it owns the graph and describes the data model to the prompt generator.
+type Wrapper struct {
+	G *graph.Graph
+}
+
+// NewWrapper wraps g.
+func NewWrapper(g *graph.Graph) *Wrapper { return &Wrapper{G: g} }
+
+// Name identifies the application.
+func (w *Wrapper) Name() string { return "network traffic analysis" }
+
+// Graph returns the application's communication graph.
+func (w *Wrapper) Graph() *graph.Graph { return w.G }
+
+// Describe returns the natural-language data-model description injected
+// into prompts, specialized per backend.
+func (w *Wrapper) Describe(backend string) string {
+	common := "The data is a directed communication graph. Nodes are network " +
+		"endpoints; each node has attribute \"ip\" (dotted IPv4 string). Each " +
+		"directed edge represents observed traffic and has integer attributes " +
+		"\"bytes\", \"connections\" and \"packets\"."
+	switch backend {
+	case "networkx":
+		return common + " A variable `graph` is bound to the graph object. " +
+			"Available methods include nodes(), edges(), node(id), edge(u, v), " +
+			"degree(id), in_degree(id), out_degree(id), neighbors(id), " +
+			"add_node(id, attrs), add_edge(u, v, attrs), remove_node(id), " +
+			"remove_edge(u, v), set_node_attr(id, key, value), " +
+			"shortest_path(u, v), hop_count(u, v), connected_components(), " +
+			"subgraph(ids), weighted_degree(id, attr), top_n_by_degree(n), " +
+			"degree_centrality(), pagerank() and clustering(). " +
+			"edges() yields edge objects with .src, .dst and .attrs."
+	case "pandas":
+		return common + " Two dataframes are bound: `nodes_df` with columns " +
+			"(id, ip) and `edges_df` with columns (src, dst, bytes, " +
+			"connections, packets). Frames support filter(fn), filter_eq(col, " +
+			"v), sort_values(cols..., ascending), select(cols...), head(n), " +
+			"groupby(cols...).agg([col, fn, name]...), merge(other, lk, rk), " +
+			"mutate(col, fn), sum/mean/min/max(col), unique(col), " +
+			"value_counts(col), records(), cell(i, col) and set_cell(i, col, v)."
+	case "sql":
+		return common + " A variable `db` is bound to a SQL database with " +
+			"tables nodes(id, ip) and edges(src, dst, bytes, connections, " +
+			"packets). Use db.query(\"SELECT ...\") for reads and " +
+			"db.exec(\"UPDATE/INSERT/DELETE ...\") for writes; query() returns " +
+			"a frame with num_rows(), cell(i, col) and records()."
+	default:
+		return common
+	}
+}
