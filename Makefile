@@ -1,0 +1,30 @@
+# Build/verify/benchmark entry points. `make verify` is the tier-1 gate
+# (build + vet + tests); `make bench` records the benchmark suite as JSON
+# so successive PRs can track the perf trajectory (BENCH_1.json for this
+# PR, bump BENCH_OUT for the next).
+
+GO        ?= go
+BENCH_OUT ?= BENCH_1.json
+
+.PHONY: verify test race bench bench-quick
+
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+# Race-exercise the concurrent evaluation pipeline and its substrates.
+race:
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind
+
+# One iteration of every benchmark (tables, figures, micro-benchmarks),
+# streamed as test2json records for tooling.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+
+# Stable-ish numbers for the substrate micro-benchmarks only.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'Graph|Sandbox|Token|NQL' -benchmem -benchtime=1s .

@@ -165,7 +165,21 @@ func BenchmarkGraphComponents(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphClone measures the evaluation pipeline's clone path: a
+// frozen master (as every dataset builder now prepares) cloned per
+// instance, sharing attribute maps copy-on-write.
 func BenchmarkGraphClone(b *testing.B) {
+	g := benchGraph(1000, 3000)
+	g.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Clone()
+	}
+}
+
+// BenchmarkGraphCloneDeep measures a full deep copy (no Freeze): every
+// attribute map is duplicated eagerly.
+func BenchmarkGraphCloneDeep(b *testing.B) {
 	g := benchGraph(1000, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -252,6 +266,7 @@ func BenchmarkNQLParse(b *testing.B) {
 
 func BenchmarkSandboxGoldenQuery(b *testing.B) {
 	g := benchGraph(80, 80)
+	g.Freeze() // evaluation masters are frozen; clones are copy-on-write
 	q, _ := queries.ByID("ta-h1")
 	src := q.Golden["networkx"]
 	b.ResetTimer()

@@ -157,7 +157,9 @@ func (g *Graph) DijkstraPath(src, dst, weightAttr string) ([]string, float64, er
 		}
 		for _, nb := range g.Neighbors(it.node) {
 			w := 1.0
-			if a := g.EdgeAttrs(it.node, nb); a != nil {
+			// Read-only attribute access: bypass EdgeAttrs so a routing
+			// query does not defeat copy-on-write sharing.
+			if a := g.edgeView(g.key(it.node, nb)); a != nil {
 				if raw, ok := a[weightAttr]; ok {
 					wf, ok := ToFloat(raw)
 					if !ok {
@@ -195,26 +197,27 @@ func ToFloat(v any) (float64, bool) {
 // ConnectedComponents returns the connected components of the graph ignoring
 // edge direction, each sorted, largest first (ties broken by first node).
 func (g *Graph) ConnectedComponents() [][]string {
-	seen := map[string]bool{}
+	n := len(g.nodeOrder)
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
 	var comps [][]string
-	for _, start := range g.nodeOrder {
+	for start := 0; start < n; start++ {
 		if seen[start] {
 			continue
 		}
 		var comp []string
-		queue := []string{start}
+		queue = append(queue[:0], int32(start))
 		seen[start] = true
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			comp = append(comp, cur)
-			for nb := range g.succ[cur] {
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			comp = append(comp, g.nodeOrder[cur])
+			for _, nb := range g.succ[cur] {
 				if !seen[nb] {
 					seen[nb] = true
 					queue = append(queue, nb)
 				}
 			}
-			for nb := range g.pred[cur] {
+			for _, nb := range g.pred[cur] {
 				if !seen[nb] {
 					seen[nb] = true
 					queue = append(queue, nb)
@@ -341,33 +344,32 @@ func (g *Graph) TopologicalSort() ([]string, error) {
 	if !g.directed {
 		return nil, fmt.Errorf("graph: topological sort requires a directed graph")
 	}
-	indeg := map[string]int{}
-	for _, n := range g.nodeOrder {
-		indeg[n] = len(g.pred[n])
-	}
+	n := len(g.nodeOrder)
+	indeg := make([]int, n)
 	var ready []string
-	for _, n := range g.nodeOrder {
-		if indeg[n] == 0 {
-			ready = append(ready, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+		if indeg[i] == 0 {
+			ready = append(ready, g.nodeOrder[i])
 		}
 	}
 	sort.Strings(ready)
 	var order []string
 	for len(ready) > 0 {
-		n := ready[0]
+		id := ready[0]
 		ready = ready[1:]
-		order = append(order, n)
+		order = append(order, id)
 		var newly []string
-		for nb := range g.succ[n] {
-			indeg[nb]--
-			if indeg[nb] == 0 {
-				newly = append(newly, nb)
+		for _, nbi := range g.succ[g.nodeIdx[id]] {
+			indeg[nbi]--
+			if indeg[nbi] == 0 {
+				newly = append(newly, g.nodeOrder[nbi])
 			}
 		}
 		sort.Strings(newly)
 		ready = mergeSorted(ready, newly)
 	}
-	if len(order) != g.NumNodes() {
+	if len(order) != n {
 		return nil, fmt.Errorf("graph: cycle detected, topological sort impossible")
 	}
 	return order, nil
@@ -407,9 +409,9 @@ func (g *Graph) Density() float64 {
 // IsolatedNodes returns nodes with zero degree, sorted.
 func (g *Graph) IsolatedNodes() []string {
 	var out []string
-	for _, n := range g.nodeOrder {
-		if len(g.succ[n]) == 0 && len(g.pred[n]) == 0 {
-			out = append(out, n)
+	for i, id := range g.nodeOrder {
+		if len(g.succ[i]) == 0 && len(g.pred[i]) == 0 {
+			out = append(out, id)
 		}
 	}
 	sort.Strings(out)
@@ -431,45 +433,56 @@ func (g *Graph) SelfLoops() []Edge {
 // pairs (hop metric). Returns 0 for graphs with fewer than two nodes. Pairs
 // with no path are ignored; if no pair is connected the result is 0.
 func (g *Graph) Diameter() int {
-	best := 0
-	for _, src := range g.nodeOrder {
-		dist := g.bfsDistances(src)
+	n := len(g.nodeOrder)
+	best := int32(0)
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		g.bfsDistFrom(int32(src), g.succ, dist, &queue)
 		for _, d := range dist {
 			if d > best {
 				best = d
 			}
 		}
 	}
-	return best
+	return int(best)
 }
 
-func (g *Graph) bfsDistances(src string) map[string]int {
-	dist := map[string]int{src: 0}
-	queue := []string{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for nb := range g.succ[cur] {
-			if _, ok := dist[nb]; !ok {
+// bfsDistFrom fills dist with hop counts from src over the given adjacency
+// (-1 marks unreachable nodes), reusing the caller's queue buffer.
+func (g *Graph) bfsDistFrom(src int32, adj [][]int32, dist []int32, queue *[]int32) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := append((*queue)[:0], src)
+	for head := 0; head < len(q); head++ {
+		cur := q[head]
+		for _, nb := range adj[cur] {
+			if dist[nb] < 0 {
 				dist[nb] = dist[cur] + 1
-				queue = append(queue, nb)
+				q = append(q, nb)
 			}
 		}
 	}
-	return dist
+	*queue = q
 }
 
 // AverageShortestPathLength returns the mean hop distance over all ordered
 // reachable pairs (excluding self-pairs). Returns 0 when no pair is
 // reachable.
 func (g *Graph) AverageShortestPathLength() float64 {
+	n := len(g.nodeOrder)
 	total, count := 0, 0
-	for _, src := range g.nodeOrder {
-		for n, d := range g.bfsDistances(src) {
-			if n == src {
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		g.bfsDistFrom(int32(src), g.succ, dist, &queue)
+		for i, d := range dist {
+			if i == src || d < 0 {
 				continue
 			}
-			total += d
+			total += int(d)
 			count++
 		}
 	}

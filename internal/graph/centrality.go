@@ -21,22 +21,27 @@ func (g *Graph) DegreeCentrality() map[string]float64 {
 
 // ClosenessCentrality returns, for each node, (r-1)/total_dist * (r-1)/(n-1)
 // where r is the number of nodes reachable *to* the node (NetworkX uses
-// incoming distance for directed graphs; we use outgoing BFS on the reversed
-// graph which is equivalent).
+// incoming distance for directed graphs; we BFS over the predecessor
+// adjacency, which is equivalent to outgoing BFS on the reversed graph).
 func (g *Graph) ClosenessCentrality() map[string]float64 {
-	out := make(map[string]float64, g.NumNodes())
-	work := g
+	n := len(g.nodeOrder)
+	out := make(map[string]float64, n)
+	adj := g.succ
 	if g.directed {
-		work = g.Reverse()
+		adj = g.pred
 	}
-	n := g.NumNodes()
-	for _, id := range g.nodeOrder {
-		dist := work.bfsDistances(id)
-		total := 0
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for i, id := range g.nodeOrder {
+		g.bfsDistFrom(int32(i), adj, dist, &queue)
+		total, r := 0, 0
 		for _, d := range dist {
-			total += d
+			if d < 0 {
+				continue
+			}
+			total += int(d)
+			r++ // includes self
 		}
-		r := len(dist) // includes self
 		if total > 0 && n > 1 {
 			c := float64(r-1) / float64(total)
 			c *= float64(r-1) / float64(n-1)
@@ -48,27 +53,63 @@ func (g *Graph) ClosenessCentrality() map[string]float64 {
 	return out
 }
 
+// sortedSucc returns each node's out-neighbor indices ordered
+// lexicographically by neighbor ID, sharing one backing array. Traversals
+// that must visit neighbors in sorted order (for reproducible float
+// accumulation) compute this once instead of sorting per visit.
+func (g *Graph) sortedSucc() [][]int32 {
+	n := len(g.nodeOrder)
+	total := 0
+	for _, a := range g.succ {
+		total += len(a)
+	}
+	backing := make([]int32, total)
+	out := make([][]int32, n)
+	off := 0
+	for i, a := range g.succ {
+		if len(a) == 0 {
+			continue
+		}
+		end := off + len(a)
+		s := backing[off:end:end]
+		copy(s, a)
+		sort.Slice(s, func(x, y int) bool { return g.nodeOrder[s[x]] < g.nodeOrder[s[y]] })
+		out[i] = s
+		off = end
+	}
+	return out
+}
+
 // BetweennessCentrality computes exact betweenness via Brandes' algorithm
 // (unweighted). When normalized, values are scaled by 1/((n-1)(n-2)) for
 // directed graphs and 2/((n-1)(n-2)) for undirected graphs.
 func (g *Graph) BetweennessCentrality(normalized bool) map[string]float64 {
-	bc := make(map[string]float64, g.NumNodes())
-	for _, n := range g.nodeOrder {
-		bc[n] = 0
-	}
-	for _, s := range g.nodeOrder {
+	n := len(g.nodeOrder)
+	adj := g.sortedSucc() // sorted visit order keeps accumulation reproducible
+	bc := make([]float64, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	preds := make([][]int32, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	delta := make([]float64, n)
+	for s := 0; s < n; s++ {
 		// Single-source shortest paths (BFS).
-		var stack []string
-		preds := map[string][]string{}
-		sigma := map[string]float64{s: 1}
-		dist := map[string]int{s: 0}
-		queue := []string{s}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		stack = stack[:0]
+		for i := 0; i < n; i++ {
+			preds[i] = preds[i][:0]
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			stack = append(stack, v)
-			for _, w := range g.Neighbors(v) {
-				if _, seen := dist[w]; !seen {
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)
 				}
@@ -79,21 +120,19 @@ func (g *Graph) BetweennessCentrality(normalized bool) map[string]float64 {
 			}
 		}
 		// Accumulation.
-		delta := map[string]float64{}
 		for i := len(stack) - 1; i >= 0; i-- {
 			w := stack[i]
 			for _, v := range preds[w] {
 				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
 			}
-			if w != s {
+			if int(w) != s {
 				bc[w] += delta[w]
 			}
 		}
 	}
-	n := g.NumNodes()
 	if !g.directed {
-		for k := range bc {
-			bc[k] /= 2
+		for i := range bc {
+			bc[i] /= 2
 		}
 	}
 	if normalized && n > 2 {
@@ -101,57 +140,64 @@ func (g *Graph) BetweennessCentrality(normalized bool) map[string]float64 {
 		if !g.directed {
 			scale *= 2
 		}
-		for k := range bc {
-			bc[k] *= scale
+		for i := range bc {
+			bc[i] *= scale
 		}
 	}
-	return bc
+	out := make(map[string]float64, n)
+	for i, id := range g.nodeOrder {
+		out[id] = bc[i]
+	}
+	return out
 }
 
 // PageRank computes PageRank with damping factor d until the L1 change drops
 // below tol or maxIter iterations elapse. Dangling nodes distribute their
 // rank uniformly, matching NetworkX.
 func (g *Graph) PageRank(d float64, maxIter int, tol float64) map[string]float64 {
-	n := g.NumNodes()
+	n := len(g.nodeOrder)
 	out := make(map[string]float64, n)
 	if n == 0 {
 		return out
 	}
-	rank := make(map[string]float64, n)
-	for _, id := range g.nodeOrder {
-		rank[id] = 1.0 / float64(n)
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
 	}
 	for iter := 0; iter < maxIter; iter++ {
-		next := make(map[string]float64, n)
+		for i := range next {
+			next[i] = 0
+		}
 		dangling := 0.0
-		for _, id := range g.nodeOrder {
-			outdeg := len(g.succ[id])
+		for i := 0; i < n; i++ {
+			outdeg := len(g.succ[i])
 			if outdeg == 0 {
-				dangling += rank[id]
+				dangling += rank[i]
 				continue
 			}
-			share := rank[id] / float64(outdeg)
-			for nb := range g.succ[id] {
+			share := rank[i] / float64(outdeg)
+			for _, nb := range g.succ[i] {
 				next[nb] += share
 			}
 		}
 		base := (1-d)/float64(n) + d*dangling/float64(n)
 		change := 0.0
-		for _, id := range g.nodeOrder {
-			v := base + d*next[id]
-			diff := v - rank[id]
+		for i := 0; i < n; i++ {
+			v := base + d*next[i]
+			diff := v - rank[i]
 			if diff < 0 {
 				diff = -diff
 			}
 			change += diff
-			rank[id] = v
+			rank[i] = v
 		}
 		if change < tol {
 			break
 		}
 	}
-	for k, v := range rank {
-		out[k] = v
+	for i, id := range g.nodeOrder {
+		out[id] = rank[i]
 	}
 	return out
 }
@@ -210,10 +256,10 @@ func (g *Graph) AsUndirected() *Graph {
 	u := New()
 	u.attrs = g.attrs.Clone()
 	for _, n := range g.nodeOrder {
-		u.AddNode(n, g.nodes[n].Clone())
+		u.AddNode(n, g.nodeViewByID(n))
 	}
 	for _, k := range g.edgeOrder {
-		u.AddEdge(k.U, k.V, g.edges[k].Clone())
+		u.AddEdge(k.U, k.V, g.edges[k])
 	}
 	return u
 }

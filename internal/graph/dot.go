@@ -37,7 +37,7 @@ func (g *Graph) DOT(opts DOTOptions) string {
 	nodes := g.Nodes()
 	sort.Strings(nodes)
 	for _, n := range nodes {
-		attrs := g.nodes[n]
+		attrs := g.nodeViewByID(n)
 		var parts []string
 		label := dotQuote(n)
 		if opts.LabelAttr != "" {

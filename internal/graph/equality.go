@@ -29,18 +29,18 @@ func Diff(a, b *Graph) string {
 	if !ValueEqual(map[string]any(a.attrs), map[string]any(b.attrs)) {
 		add("graph attributes differ")
 	}
-	for _, n := range a.nodeOrder {
-		battrs, ok := b.nodes[n]
-		if !ok {
+	for i, n := range a.nodeOrder {
+		battrs := b.nodeViewByID(n)
+		if battrs == nil {
 			add("node %q missing from second graph", n)
 			continue
 		}
-		if !ValueEqual(map[string]any(a.nodes[n]), map[string]any(battrs)) {
-			add("node %q attributes differ: %v vs %v", n, a.nodes[n], battrs)
+		if !ValueEqual(map[string]any(a.nodeView(i)), map[string]any(battrs)) {
+			add("node %q attributes differ: %v vs %v", n, a.nodeView(i), battrs)
 		}
 	}
 	for _, n := range b.nodeOrder {
-		if _, ok := a.nodes[n]; !ok {
+		if !a.HasNode(n) {
 			add("node %q missing from first graph", n)
 		}
 	}
@@ -154,7 +154,7 @@ func (g *Graph) Fingerprint() string {
 		sb.WriteString("n ")
 		sb.WriteString(n)
 		sb.WriteString(" ")
-		sb.WriteString(canonAttrs(g.nodes[n]))
+		sb.WriteString(canonAttrs(g.nodeViewByID(n)))
 		sb.WriteString("\n")
 	}
 	keys := make([]EdgeKey, 0, len(g.edges))

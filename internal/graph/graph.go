@@ -3,6 +3,15 @@
 // management programs: nodes and edges carry free-form attribute maps, the
 // graph may be directed or undirected, and iteration order is deterministic
 // (insertion order) so that benchmark runs are reproducible.
+//
+// Internally nodes are stored under dense integer indices (position in
+// insertion order) with slice-based adjacency lists, so the traversal and
+// centrality algorithms run over int loops instead of nested string maps.
+// Attribute maps support copy-on-write sharing: Freeze marks a graph as an
+// immutable master, after which Clone is nearly allocation-free and safe to
+// call concurrently; any mutation of a clone (or of the master) first
+// copies the affected attribute map, so graphs never observe each other's
+// writes.
 package graph
 
 import (
@@ -77,15 +86,35 @@ type Graph struct {
 	directed bool
 	attrs    Attrs
 
-	nodeOrder []string
-	nodes     map[string]Attrs
+	nodeOrder []string       // insertion order; a node's index is its position here
+	nodeIdx   map[string]int // id -> index in nodeOrder
+	nodeAttrs []Attrs        // parallel to nodeOrder; entries are never nil
 
 	edgeOrder []EdgeKey
 	edges     map[EdgeKey]Attrs
 
-	succ map[string]map[string]struct{} // out-neighbors (or neighbors if undirected)
-	pred map[string]map[string]struct{} // in-neighbors (mirror of succ if undirected)
+	succ [][]int32 // out-neighbor indices (all neighbors if undirected), insertion order
+	pred [][]int32 // in-neighbor indices (mirror of succ if undirected)
+
+	// Copy-on-write bookkeeping. When nodeShared is non-nil, nodeShared[i]
+	// reports that nodeAttrs[i] is shared with another graph and must be
+	// copied before the first write; edgeShared mirrors this for edges and
+	// attrsShared for the graph-level map. Freshly constructed graphs own
+	// everything (all three fields nil/false).
+	nodeShared  []bool
+	edgeShared  map[EdgeKey]bool
+	attrsShared bool
+
+	// version counts structural changes (node/edge insertions and
+	// removals, not attribute writes), letting bindings cache derived
+	// node/edge listings safely.
+	version uint64
 }
+
+// Version returns a counter that changes whenever the node or edge set
+// changes (attribute writes do not affect it). Caches of derived listings
+// are valid while the version is unchanged.
+func (g *Graph) Version() uint64 { return g.version }
 
 // New returns an empty undirected graph.
 func New() *Graph { return newGraph(false) }
@@ -97,10 +126,8 @@ func newGraph(directed bool) *Graph {
 	return &Graph{
 		directed: directed,
 		attrs:    Attrs{},
-		nodes:    map[string]Attrs{},
+		nodeIdx:  map[string]int{},
 		edges:    map[EdgeKey]Attrs{},
-		succ:     map[string]map[string]struct{}{},
-		pred:     map[string]map[string]struct{}{},
 	}
 }
 
@@ -108,7 +135,16 @@ func newGraph(directed bool) *Graph {
 func (g *Graph) Directed() bool { return g.directed }
 
 // GraphAttrs returns the graph-level attribute map (mutable).
-func (g *Graph) GraphAttrs() Attrs { return g.attrs }
+func (g *Graph) GraphAttrs() Attrs {
+	if g.attrsShared {
+		g.attrs = g.attrs.Clone()
+		if g.attrs == nil {
+			g.attrs = Attrs{}
+		}
+		g.attrsShared = false
+	}
+	return g.attrs
+}
 
 func (g *Graph) key(u, v string) EdgeKey {
 	if !g.directed && u > v {
@@ -117,16 +153,65 @@ func (g *Graph) key(u, v string) EdgeKey {
 	return EdgeKey{U: u, V: v}
 }
 
+// Freeze marks every attribute map in the graph as shared, turning g into
+// an immutable master: subsequent Clone calls share the attribute maps
+// instead of copying them (and are safe to issue from multiple goroutines),
+// while the first write to any map — in g or in any clone — copies it
+// first, so no graph ever observes another's mutations. Freeze itself must
+// not race with writes to g.
+func (g *Graph) Freeze() {
+	g.nodeShared = make([]bool, len(g.nodeOrder))
+	for i := range g.nodeShared {
+		g.nodeShared[i] = true
+	}
+	g.edgeShared = make(map[EdgeKey]bool, len(g.edges))
+	for k := range g.edges {
+		g.edgeShared[k] = true
+	}
+	g.attrsShared = true
+}
+
+// sharesAttrs reports whether any attribute map may be shared.
+func (g *Graph) sharesAttrs() bool {
+	return g.nodeShared != nil || g.edgeShared != nil || g.attrsShared
+}
+
+// ownNode ensures nodeAttrs[i] is exclusively owned before a write.
+func (g *Graph) ownNode(i int) {
+	if g.nodeShared != nil && g.nodeShared[i] {
+		g.nodeAttrs[i] = g.nodeAttrs[i].Clone()
+		g.nodeShared[i] = false
+	}
+}
+
+// ownEdge ensures edges[k] is exclusively owned before a write.
+func (g *Graph) ownEdge(k EdgeKey) {
+	if g.edgeShared != nil && g.edgeShared[k] {
+		g.edges[k] = g.edges[k].Clone()
+		g.edgeShared[k] = false
+	}
+}
+
 // AddNode inserts a node if absent and merges attrs into its attribute map.
 func (g *Graph) AddNode(id string, attrs Attrs) {
-	cur, ok := g.nodes[id]
+	i, ok := g.nodeIdx[id]
 	if !ok {
-		cur = Attrs{}
-		g.nodes[id] = cur
+		g.version++
+		i = len(g.nodeOrder)
+		g.nodeIdx[id] = i
 		g.nodeOrder = append(g.nodeOrder, id)
-		g.succ[id] = map[string]struct{}{}
-		g.pred[id] = map[string]struct{}{}
+		g.nodeAttrs = append(g.nodeAttrs, Attrs{})
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+		if g.nodeShared != nil {
+			g.nodeShared = append(g.nodeShared, false)
+		}
 	}
+	if len(attrs) == 0 {
+		return
+	}
+	g.ownNode(i)
+	cur := g.nodeAttrs[i]
 	for k, v := range attrs {
 		cur[k] = Normalize(v)
 	}
@@ -134,30 +219,66 @@ func (g *Graph) AddNode(id string, attrs Attrs) {
 
 // HasNode reports whether id exists in the graph.
 func (g *Graph) HasNode(id string) bool {
-	_, ok := g.nodes[id]
+	_, ok := g.nodeIdx[id]
 	return ok
 }
 
 // NodeAttrs returns the attribute map for id, or nil if id is absent. The
 // returned map is live: mutations are visible in the graph.
-func (g *Graph) NodeAttrs(id string) Attrs { return g.nodes[id] }
+func (g *Graph) NodeAttrs(id string) Attrs {
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return nil
+	}
+	g.ownNode(i) // the caller may write through the returned map
+	return g.nodeAttrs[i]
+}
+
+// NodeAttrsView returns the attribute map for id for read-only use, or nil
+// if id is absent. Unlike NodeAttrs it does not take ownership of a shared
+// (copy-on-write) map, so the caller must not mutate the result; use it
+// for read paths that would otherwise force a copy of every map they
+// touch.
+func (g *Graph) NodeAttrsView(id string) Attrs { return g.nodeViewByID(id) }
+
+// EdgeAttrsView returns the attribute map of edge u,v for read-only use,
+// or nil if absent, without taking ownership of a shared map.
+func (g *Graph) EdgeAttrsView(u, v string) Attrs { return g.edges[g.key(u, v)] }
+
+// nodeView returns the attribute map for a node index without taking
+// ownership. For package-internal read-only paths (equality, rendering,
+// serialization) that must not defeat copy-on-write sharing.
+func (g *Graph) nodeView(i int) Attrs { return g.nodeAttrs[i] }
+
+// nodeViewByID is nodeView keyed by id; nil when absent.
+func (g *Graph) nodeViewByID(id string) Attrs {
+	if i, ok := g.nodeIdx[id]; ok {
+		return g.nodeAttrs[i]
+	}
+	return nil
+}
+
+// edgeView returns an edge's attribute map without taking ownership.
+func (g *Graph) edgeView(k EdgeKey) Attrs { return g.edges[k] }
 
 // SetNodeAttr sets one attribute on an existing node. It returns an error if
 // the node does not exist — mirroring the "imaginary attribute/node" failure
 // mode the benchmark must surface.
 func (g *Graph) SetNodeAttr(id, key string, value any) error {
-	a, ok := g.nodes[id]
+	i, ok := g.nodeIdx[id]
 	if !ok {
 		return fmt.Errorf("graph: node %q does not exist", id)
 	}
-	a[key] = Normalize(value)
+	g.ownNode(i)
+	g.nodeAttrs[i][key] = Normalize(value)
 	return nil
 }
 
 // RemoveNode deletes a node and every incident edge. Removing an absent node
 // is an error (NetworkX raises too).
 func (g *Graph) RemoveNode(id string) error {
-	if !g.HasNode(id) {
+	i, ok := g.nodeIdx[id]
+	if !ok {
 		return fmt.Errorf("graph: node %q does not exist", id)
 	}
 	// Collect incident edges first to avoid mutating while iterating.
@@ -170,16 +291,34 @@ func (g *Graph) RemoveNode(id string) error {
 	for _, k := range doomed {
 		g.removeEdgeKey(k)
 	}
-	delete(g.nodes, id)
-	delete(g.succ, id)
-	delete(g.pred, id)
-	for i, n := range g.nodeOrder {
-		if n == id {
-			g.nodeOrder = append(g.nodeOrder[:i], g.nodeOrder[i+1:]...)
-			break
-		}
+	g.version++
+	delete(g.nodeIdx, id)
+	g.nodeOrder = append(g.nodeOrder[:i], g.nodeOrder[i+1:]...)
+	g.nodeAttrs = append(g.nodeAttrs[:i], g.nodeAttrs[i+1:]...)
+	g.succ = append(g.succ[:i], g.succ[i+1:]...)
+	g.pred = append(g.pred[:i], g.pred[i+1:]...)
+	if g.nodeShared != nil {
+		g.nodeShared = append(g.nodeShared[:i], g.nodeShared[i+1:]...)
+	}
+	// Reindex: nodes after position i shift down by one, and every
+	// adjacency entry referencing a higher index must follow.
+	for j := i; j < len(g.nodeOrder); j++ {
+		g.nodeIdx[g.nodeOrder[j]] = j
+	}
+	ri := int32(i)
+	for n := range g.succ {
+		shiftIndices(g.succ[n], ri)
+		shiftIndices(g.pred[n], ri)
 	}
 	return nil
+}
+
+func shiftIndices(s []int32, removed int32) {
+	for j, v := range s {
+		if v > removed {
+			s[j] = v - 1
+		}
+	}
 }
 
 // AddEdge inserts an edge (creating endpoints if necessary) and merges attrs.
@@ -189,18 +328,25 @@ func (g *Graph) AddEdge(u, v string, attrs Attrs) {
 	k := g.key(u, v)
 	cur, ok := g.edges[k]
 	if !ok {
+		g.version++
 		cur = Attrs{}
 		g.edges[k] = cur
 		g.edgeOrder = append(g.edgeOrder, k)
+		ui, vi := g.nodeIdx[u], g.nodeIdx[v]
+		g.succ[ui] = append(g.succ[ui], int32(vi))
+		g.pred[vi] = append(g.pred[vi], int32(ui))
+		if !g.directed && ui != vi {
+			g.succ[vi] = append(g.succ[vi], int32(ui))
+			g.pred[ui] = append(g.pred[ui], int32(vi))
+		}
 	}
+	if len(attrs) == 0 {
+		return
+	}
+	g.ownEdge(k)
+	cur = g.edges[k]
 	for a, val := range attrs {
 		cur[a] = Normalize(val)
-	}
-	g.succ[u][v] = struct{}{}
-	g.pred[v][u] = struct{}{}
-	if !g.directed {
-		g.succ[v][u] = struct{}{}
-		g.pred[u][v] = struct{}{}
 	}
 }
 
@@ -211,15 +357,23 @@ func (g *Graph) HasEdge(u, v string) bool {
 }
 
 // EdgeAttrs returns the live attribute map of edge u,v or nil if absent.
-func (g *Graph) EdgeAttrs(u, v string) Attrs { return g.edges[g.key(u, v)] }
+func (g *Graph) EdgeAttrs(u, v string) Attrs {
+	k := g.key(u, v)
+	if _, ok := g.edges[k]; !ok {
+		return nil
+	}
+	g.ownEdge(k) // the caller may write through the returned map
+	return g.edges[k]
+}
 
 // SetEdgeAttr sets one attribute on an existing edge.
 func (g *Graph) SetEdgeAttr(u, v, key string, value any) error {
-	a, ok := g.edges[g.key(u, v)]
-	if !ok {
+	k := g.key(u, v)
+	if _, ok := g.edges[k]; !ok {
 		return fmt.Errorf("graph: edge (%q,%q) does not exist", u, v)
 	}
-	a[key] = Normalize(value)
+	g.ownEdge(k)
+	g.edges[k][key] = Normalize(value)
 	return nil
 }
 
@@ -234,19 +388,37 @@ func (g *Graph) RemoveEdge(u, v string) error {
 }
 
 func (g *Graph) removeEdgeKey(k EdgeKey) {
+	g.version++
 	delete(g.edges, k)
+	if g.edgeShared != nil {
+		delete(g.edgeShared, k)
+	}
 	for i, e := range g.edgeOrder {
 		if e == k {
 			g.edgeOrder = append(g.edgeOrder[:i], g.edgeOrder[i+1:]...)
 			break
 		}
 	}
-	delete(g.succ[k.U], k.V)
-	delete(g.pred[k.V], k.U)
-	if !g.directed {
-		delete(g.succ[k.V], k.U)
-		delete(g.pred[k.U], k.V)
+	ui, uok := g.nodeIdx[k.U]
+	vi, vok := g.nodeIdx[k.V]
+	if !uok || !vok {
+		return
 	}
+	g.succ[ui] = removeIndex(g.succ[ui], int32(vi))
+	g.pred[vi] = removeIndex(g.pred[vi], int32(ui))
+	if !g.directed && ui != vi {
+		g.succ[vi] = removeIndex(g.succ[vi], int32(ui))
+		g.pred[ui] = removeIndex(g.pred[ui], int32(vi))
+	}
+}
+
+func removeIndex(s []int32, x int32) []int32 {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Nodes returns node IDs in insertion order. The slice is a copy.
@@ -257,14 +429,28 @@ func (g *Graph) Nodes() []string {
 }
 
 // NumNodes returns the node count.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.nodeOrder) }
 
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Edges returns materialized edges in insertion order. Attribute maps are
-// live references.
+// live references the caller may write through, so shared (copy-on-write)
+// maps are copied first; read-only iteration should use EdgesView.
 func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edgeOrder))
+	for _, k := range g.edgeOrder {
+		g.ownEdge(k) // the caller may write through Edge.Attrs
+		out = append(out, Edge{U: k.U, V: k.V, Attrs: g.edges[k]})
+	}
+	return out
+}
+
+// EdgesView returns materialized edges in insertion order without taking
+// ownership of shared attribute maps. The caller must not mutate
+// Edge.Attrs; use it for read paths (serialization, frame building) that
+// would otherwise force a copy of every edge map.
+func (g *Graph) EdgesView() []Edge {
 	out := make([]Edge, 0, len(g.edgeOrder))
 	for _, k := range g.edgeOrder {
 		out = append(out, Edge{U: k.U, V: k.V, Attrs: g.edges[k]})
@@ -275,19 +461,28 @@ func (g *Graph) Edges() []Edge {
 // Neighbors returns the out-neighbors of id (all neighbors when undirected),
 // sorted lexicographically for determinism.
 func (g *Graph) Neighbors(id string) []string {
-	return sortedKeys(g.succ[id])
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return []string{}
+	}
+	return g.idsOf(g.succ[i])
 }
 
 // Predecessors returns the in-neighbors of id (same as Neighbors when
 // undirected), sorted.
 func (g *Graph) Predecessors(id string) []string {
-	return sortedKeys(g.pred[id])
+	i, ok := g.nodeIdx[id]
+	if !ok {
+		return []string{}
+	}
+	return g.idsOf(g.pred[i])
 }
 
-func sortedKeys(m map[string]struct{}) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// idsOf maps node indices to their IDs, sorted lexicographically.
+func (g *Graph) idsOf(adj []int32) []string {
+	out := make([]string, len(adj))
+	for j, v := range adj {
+		out[j] = g.nodeOrder[v]
 	}
 	sort.Strings(out)
 	return out
@@ -296,14 +491,15 @@ func sortedKeys(m map[string]struct{}) []string {
 // Degree returns the degree of id: total degree for undirected graphs,
 // in+out degree for directed graphs.
 func (g *Graph) Degree(id string) int {
-	if !g.HasNode(id) {
+	i, ok := g.nodeIdx[id]
+	if !ok {
 		return 0
 	}
 	if g.directed {
-		return len(g.succ[id]) + len(g.pred[id])
+		return len(g.succ[i]) + len(g.pred[i])
 	}
-	d := len(g.succ[id])
-	if _, self := g.succ[id][id]; self {
+	d := len(g.succ[i])
+	if g.HasEdge(id, id) {
 		d++ // NetworkX counts self-loops twice in undirected degree.
 	}
 	return d
@@ -314,7 +510,10 @@ func (g *Graph) InDegree(id string) int {
 	if !g.directed {
 		return g.Degree(id)
 	}
-	return len(g.pred[id])
+	if i, ok := g.nodeIdx[id]; ok {
+		return len(g.pred[i])
+	}
+	return 0
 }
 
 // OutDegree returns the out-degree (undirected graphs: same as Degree).
@@ -322,24 +521,93 @@ func (g *Graph) OutDegree(id string) int {
 	if !g.directed {
 		return g.Degree(id)
 	}
-	return len(g.succ[id])
+	if i, ok := g.nodeIdx[id]; ok {
+		return len(g.succ[i])
+	}
+	return 0
 }
 
 // Clone returns a deep copy of the graph (attribute maps are copied one
-// level deep, matching Attrs.Clone).
+// level deep, matching Attrs.Clone). Cloning a frozen graph — or a clone of
+// one — shares attribute maps copy-on-write instead of copying them, which
+// makes cloning an immutable master nearly free and safe to do from many
+// goroutines at once.
 func (g *Graph) Clone() *Graph {
-	c := newGraph(g.directed)
-	c.attrs = g.attrs.Clone()
+	n := len(g.nodeOrder)
+	c := &Graph{
+		directed:  g.directed,
+		version:   g.version,
+		nodeOrder: append([]string(nil), g.nodeOrder...),
+		nodeIdx:   make(map[string]int, n),
+		nodeAttrs: make([]Attrs, n),
+		edgeOrder: append([]EdgeKey(nil), g.edgeOrder...),
+		edges:     make(map[EdgeKey]Attrs, len(g.edges)),
+		succ:      cloneAdjacency(g.succ),
+		pred:      cloneAdjacency(g.pred),
+	}
+	for id, i := range g.nodeIdx {
+		c.nodeIdx[id] = i
+	}
+	if g.sharesAttrs() {
+		// COW mode: share every map the source does not exclusively own.
+		c.nodeShared = make([]bool, n)
+		c.edgeShared = make(map[EdgeKey]bool, len(g.edges))
+		for i, a := range g.nodeAttrs {
+			if g.nodeShared != nil && g.nodeShared[i] {
+				c.nodeAttrs[i] = a
+				c.nodeShared[i] = true
+			} else {
+				c.nodeAttrs[i] = a.Clone()
+			}
+		}
+		for k, a := range g.edges {
+			if g.edgeShared != nil && g.edgeShared[k] {
+				c.edges[k] = a
+				c.edgeShared[k] = true
+			} else {
+				c.edges[k] = a.Clone()
+			}
+		}
+		if g.attrsShared {
+			c.attrs = g.attrs
+			c.attrsShared = true
+		} else {
+			c.attrs = g.attrs.Clone()
+		}
+	} else {
+		for i, a := range g.nodeAttrs {
+			c.nodeAttrs[i] = a.Clone()
+		}
+		for k, a := range g.edges {
+			c.edges[k] = a.Clone()
+		}
+		c.attrs = g.attrs.Clone()
+	}
 	if c.attrs == nil {
 		c.attrs = Attrs{}
 	}
-	for _, n := range g.nodeOrder {
-		c.AddNode(n, g.nodes[n].Clone())
-	}
-	for _, k := range g.edgeOrder {
-		c.AddEdge(k.U, k.V, g.edges[k].Clone())
-	}
 	return c
+}
+
+// cloneAdjacency deep-copies adjacency lists into one shared backing array.
+func cloneAdjacency(adj [][]int32) [][]int32 {
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	out := make([][]int32, len(adj))
+	backing := make([]int32, total)
+	off := 0
+	for i, a := range adj {
+		if len(a) == 0 {
+			continue
+		}
+		end := off + len(a)
+		copy(backing[off:end], a)
+		out[i] = backing[off:end:end]
+		off = end
+	}
+	return out
 }
 
 // Subgraph returns a new graph induced by keep: it contains every listed
@@ -354,12 +622,12 @@ func (g *Graph) Subgraph(keep []string) *Graph {
 	s := newGraph(g.directed)
 	for _, n := range g.nodeOrder {
 		if in[n] {
-			s.AddNode(n, g.nodes[n].Clone())
+			s.AddNode(n, g.nodeViewByID(n))
 		}
 	}
 	for _, k := range g.edgeOrder {
 		if in[k.U] && in[k.V] {
-			s.AddEdge(k.U, k.V, g.edges[k].Clone())
+			s.AddEdge(k.U, k.V, g.edges[k])
 		}
 	}
 	return s
@@ -374,10 +642,10 @@ func (g *Graph) Reverse() *Graph {
 	r := newGraph(true)
 	r.attrs = g.attrs.Clone()
 	for _, n := range g.nodeOrder {
-		r.AddNode(n, g.nodes[n].Clone())
+		r.AddNode(n, g.nodeViewByID(n))
 	}
 	for _, k := range g.edgeOrder {
-		r.AddEdge(k.V, k.U, g.edges[k].Clone())
+		r.AddEdge(k.V, k.U, g.edges[k])
 	}
 	return r
 }

@@ -24,9 +24,9 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		Nodes:    make([]map[string]any, 0, g.NumNodes()),
 		Links:    make([]map[string]any, 0, g.NumEdges()),
 	}
-	for _, n := range g.nodeOrder {
+	for i, n := range g.nodeOrder {
 		entry := map[string]any{"id": n}
-		for k, v := range g.nodes[n] {
+		for k, v := range g.nodeView(i) {
 			entry[k] = v
 		}
 		nl.Nodes = append(nl.Nodes, entry)

@@ -2,6 +2,7 @@ package nemoeval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -30,16 +31,22 @@ type CostAnalysis struct {
 
 // costSamples computes GPT-4 per-query costs for the traffic suite at the
 // given scale, for either approach. Costs depend only on prompt/completion
-// token counts, so this is exact, not sampled.
+// token counts, so this is exact, not sampled. Queries are independent, so
+// they fan out over the worker pool; points are assembled in suite order
+// so the rendered figures are identical to a serial run.
 func costSamples(approach string, nodes, edges int) (*CostAnalysis, error) {
 	build := TrafficDataset(traffic.Config{Nodes: nodes, Edges: edges, Seed: 42})
 	ev := NewEvaluator(build)
-	model, err := llm.NewSim("gpt-4")
-	if err != nil {
-		return nil, err
-	}
-	out := &CostAnalysis{Approach: approach, Nodes: nodes}
-	for _, q := range queries.Traffic() {
+	suite := queries.Traffic()
+	out := &CostAnalysis{Approach: approach, Nodes: nodes, Points: make([]CostPoint, len(suite))}
+	errs := make([]error, len(suite))
+	parallelFor(runtime.NumCPU(), len(suite), func(i int) {
+		q := suite[i]
+		model, err := llm.NewSim("gpt-4")
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		var rec *Record
 		if approach == "strawman" {
 			rec = ev.EvaluateStrawman(model, q)
@@ -50,7 +57,12 @@ func costSamples(approach string, nodes, edges int) (*CostAnalysis, error) {
 		if rec.ErrClass == LabelTokenLimit {
 			pt.OverLimit = true
 		}
-		out.Points = append(out.Points, pt)
+		out.Points[i] = pt
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -21,6 +21,13 @@ import (
 // representations. Every sandboxed run gets its own instance so buggy
 // generated code cannot contaminate the comparison. Probes fields are set
 // only for the diagnosis extension application.
+//
+// The relational representations may be populated lazily: dataset builders
+// install lazyFrames/lazyDB thunks and the Frames/Database accessors force
+// them on first use, so a NetworkX-backend evaluation never pays for
+// building dataframes and SQL tables it will not touch. Constructing an
+// Instance with all fields set eagerly (as package core does) keeps
+// working — the thunks are only consulted while a field is nil.
 type Instance struct {
 	App     string
 	Wrapper prompt.AppWrapper
@@ -31,6 +38,27 @@ type Instance struct {
 
 	Probes     *dataframe.Frame // probes table (pandas backend)
 	ProbesList nql.Value        // probes list-of-maps (networkx backend)
+
+	lazyFrames func() (nodes, edges *dataframe.Frame)
+	lazyDB     func() *sqldb.DB
+}
+
+// Frames returns the node/edge dataframes, building them on first use when
+// the instance was created with lazy representations.
+func (inst *Instance) Frames() (nodes, edges *dataframe.Frame) {
+	if inst.Nodes == nil && inst.lazyFrames != nil {
+		inst.Nodes, inst.Edges = inst.lazyFrames()
+	}
+	return inst.Nodes, inst.Edges
+}
+
+// Database returns the SQL database, building it on first use when the
+// instance was created with lazy representations.
+func (inst *Instance) Database() *sqldb.DB {
+	if inst.DB == nil && inst.lazyDB != nil {
+		inst.DB = inst.lazyDB()
+	}
+	return inst.DB
 }
 
 // Bindings returns the host globals for one backend, wrapping this
@@ -44,9 +72,10 @@ func (inst *Instance) Bindings(backend string) map[string]nql.Value {
 		}
 		return nqlbind.Globals(inst.Graph, extra)
 	case prompt.BackendPandas:
+		nodes, edges := inst.Frames()
 		extra := map[string]nql.Value{
-			"nodes_df": nqlbind.NewFrameObject(inst.Nodes),
-			"edges_df": nqlbind.NewFrameObject(inst.Edges),
+			"nodes_df": nqlbind.NewFrameObject(nodes),
+			"edges_df": nqlbind.NewFrameObject(edges),
 		}
 		if inst.Probes != nil {
 			extra["probes_df"] = nqlbind.NewFrameObject(inst.Probes)
@@ -54,7 +83,7 @@ func (inst *Instance) Bindings(backend string) map[string]nql.Value {
 		return nqlbind.Globals(nil, extra)
 	case prompt.BackendSQL:
 		return nqlbind.Globals(nil, map[string]nql.Value{
-			"db": nqlbind.NewDBObject(inst.DB),
+			"db": nqlbind.NewDBObject(inst.Database()),
 		})
 	default:
 		return nqlbind.Globals(nil, nil)
@@ -67,9 +96,12 @@ func StateEqual(backend string, a, b *Instance) bool {
 	case prompt.BackendNetworkX:
 		return graph.Equal(a.Graph, b.Graph)
 	case prompt.BackendPandas:
-		return dataframe.Equal(a.Nodes, b.Nodes) && dataframe.Equal(a.Edges, b.Edges)
+		aNodes, aEdges := a.Frames()
+		bNodes, bEdges := b.Frames()
+		return dataframe.Equal(aNodes, bNodes) && dataframe.Equal(aEdges, bEdges)
 	case prompt.BackendSQL:
-		an, bn := a.DB.TableNames(), b.DB.TableNames()
+		aDB, bDB := a.Database(), b.Database()
+		an, bn := aDB.TableNames(), bDB.TableNames()
 		if len(an) != len(bn) {
 			return false
 		}
@@ -77,8 +109,8 @@ func StateEqual(backend string, a, b *Instance) bool {
 			if bn[i] != name {
 				return false
 			}
-			at, err1 := a.DB.Table(name)
-			bt, err2 := b.DB.Table(name)
+			at, err1 := aDB.Table(name)
+			bt, err2 := bDB.Table(name)
 			if err1 != nil || err2 != nil || !dataframe.Equal(at, bt) {
 				return false
 			}
@@ -96,19 +128,24 @@ type InstanceBuilder func() *Instance
 // the given scale. The default benchmark scale follows the paper's small
 // graph: 80 nodes and 80 edges ("80 nodes and edges").
 func TrafficDataset(cfg traffic.Config) InstanceBuilder {
-	// Generate once, then clone per instance: cloning is cheap and keeps
-	// every instance bit-identical.
+	// Generate once, freeze, then clone per instance: cloning a frozen
+	// master shares attribute maps copy-on-write, is safe from concurrent
+	// workers, and keeps every instance bit-identical. The relational
+	// representations are derived lazily from the clone so a NetworkX run
+	// never builds them.
 	master := traffic.Generate(cfg)
+	master.Freeze()
 	return func() *Instance {
 		g := master.Clone()
-		nodes, edges := traffic.Frames(g)
 		return &Instance{
 			App:     queries.AppTraffic,
 			Wrapper: traffic.NewWrapper(g),
 			Graph:   g,
-			Nodes:   nodes,
-			Edges:   edges,
-			DB:      traffic.Database(g),
+			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
+				nodes, edges := traffic.Frames(g)
+				return nodes, edges
+			},
+			lazyDB: func() *sqldb.DB { return traffic.Database(g) },
 		}
 	}
 }
@@ -120,17 +157,23 @@ var DefaultTrafficConfig = traffic.Config{Nodes: 80, Edges: 80, Seed: 42}
 // using the example-scale synthetic MALT topology.
 func MALTDataset() InstanceBuilder {
 	master := malt.Generate(malt.Config{})
+	// Materialize each representation once from the (immutable) topology,
+	// then hand out clones: cloning a frozen graph or a frame is far
+	// cheaper than rebuilding them row by row, and the relational forms
+	// are only cloned if the backend actually binds them.
+	g0 := master.Graph()
+	g0.Freeze()
+	nodes0, edges0 := master.Frames()
+	db0 := master.Database()
 	return func() *Instance {
-		// Rebuild all three representations from the (immutable) topology.
-		g := master.Graph()
-		nodes, edges := master.Frames()
 		return &Instance{
 			App:     queries.AppMALT,
 			Wrapper: malt.NewWrapper(master),
-			Graph:   g,
-			Nodes:   nodes,
-			Edges:   edges,
-			DB:      master.Database(),
+			Graph:   g0.Clone(),
+			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
+				return nodes0.Clone(), edges0.Clone()
+			},
+			lazyDB: func() *sqldb.DB { return db0.Clone() },
 		}
 	}
 }

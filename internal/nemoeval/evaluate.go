@@ -2,6 +2,7 @@ package nemoeval
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dataframe"
@@ -45,31 +46,86 @@ type Record struct {
 	Duration         time.Duration
 }
 
-// Evaluator runs generated code against golden answers.
+// Evaluator runs generated code against golden answers. It is safe for
+// concurrent use: the golden-result and prompt-context caches are
+// synchronized, so one evaluator can be shared by every worker of the
+// parallel runner (and the golden program for each query then executes
+// once per suite instead of once per evaluation).
 type Evaluator struct {
 	Build  InstanceBuilder
 	Policy sandbox.Policy
+
+	// golden caches RunGolden results keyed by backend+"\x00"+source. The
+	// cached instance is post-golden-run state and must be treated as
+	// read-only by all consumers (they only compare against it).
+	goldenMu sync.Mutex
+	golden   map[string]*goldenResult
+
+	// promptOnce builds the single instance used for prompt construction
+	// and strawman graph serialization; neither path executes code against
+	// it, so it is never mutated.
+	promptOnce sync.Once
+	promptInst *Instance
+	graphJSON  string
+	graphErr   error
+}
+
+type goldenResult struct {
+	val  nql.Value
+	inst *Instance
+	err  error
 }
 
 // NewEvaluator creates an evaluator over a dataset.
 func NewEvaluator(build InstanceBuilder) *Evaluator {
-	return &Evaluator{Build: build, Policy: sandbox.DefaultPolicy}
+	return &Evaluator{Build: build, Policy: sandbox.DefaultPolicy, golden: map[string]*goldenResult{}}
+}
+
+// promptContext returns the shared read-only instance used for prompt
+// construction, plus the node-link JSON of its graph (for the strawman
+// baseline), building both once.
+func (e *Evaluator) promptContext() (*Instance, string, error) {
+	e.promptOnce.Do(func() {
+		e.promptInst = e.Build()
+		if e.promptInst.Graph != nil {
+			data, err := e.promptInst.Graph.MarshalJSON()
+			e.graphJSON, e.graphErr = string(data), err
+		}
+	})
+	return e.promptInst, e.graphJSON, e.graphErr
 }
 
 // RunGolden executes the query's golden program for one backend on a fresh
 // instance, returning the result value and the instance (for state
-// comparison and oracle derivation).
+// comparison and oracle derivation). Results are cached per golden source:
+// the matrix evaluates each query once per model × trial, but the golden
+// answer is the same every time. Callers must not mutate the returned
+// instance or value.
 func (e *Evaluator) RunGolden(q queries.Query, backend string) (nql.Value, *Instance, error) {
 	golden, ok := q.Golden[backend]
 	if !ok {
 		return nil, nil, fmt.Errorf("nemoeval: query %s has no golden for backend %s", q.ID, backend)
 	}
-	inst := e.Build()
-	res := sandbox.Run(golden, inst.Bindings(backend), e.Policy)
-	if !res.OK() {
-		return nil, nil, fmt.Errorf("nemoeval: golden for %s/%s failed: %w", q.ID, backend, res.Err)
+	key := backend + "\x00" + golden
+	e.goldenMu.Lock()
+	cached, ok := e.golden[key]
+	e.goldenMu.Unlock()
+	if ok {
+		return cached.val, cached.inst, cached.err
 	}
-	return res.Value, inst, nil
+	res := &goldenResult{}
+	inst := e.Build()
+	r := sandbox.Run(golden, inst.Bindings(backend), e.Policy)
+	if !r.OK() {
+		res.err = fmt.Errorf("nemoeval: golden for %s/%s failed: %w", q.ID, backend, r.Err)
+	} else {
+		res.val = r.Value
+		res.inst = inst
+	}
+	e.goldenMu.Lock()
+	e.golden[key] = res
+	e.goldenMu.Unlock()
+	return res.val, res.inst, res.err
 }
 
 // EvaluateCode runs one already-generated program and compares it against
@@ -116,7 +172,7 @@ func (e *Evaluator) EvaluateCode(q queries.Query, backend, code string) *Record 
 
 // EvaluateModel asks the model for code and evaluates it end to end.
 func (e *Evaluator) EvaluateModel(model llm.Model, q queries.Query, backend string, trial int, temperature float64) *Record {
-	inst := e.Build()
+	inst, _, _ := e.promptContext() // prompt construction only reads the wrapper
 	p := prompt.BuildCodePrompt(inst.Wrapper, backend, q.Text)
 	resp, err := model.Generate(llm.Request{Prompt: p, Temperature: temperature, Attempt: trial})
 	if err != nil {
@@ -152,15 +208,16 @@ func (e *Evaluator) EvaluateStrawman(model *llm.SimModel, q queries.Query) *Reco
 		return rec
 	}
 	model.SetOracle(q.Text, oracle)
-	inst := e.Build()
-	jsonData, err := inst.Graph.MarshalJSON()
+	// The strawman never executes code, so the shared prompt instance and
+	// its pre-serialized graph JSON can be reused across every query.
+	inst, jsonData, err := e.promptContext()
 	if err != nil {
 		rec.Stage = StageGolden
 		rec.Err = err.Error()
 		rec.ErrClass = LabelHarness
 		return rec
 	}
-	p := prompt.BuildStrawmanPrompt(inst.Wrapper, string(jsonData), q.Text)
+	p := prompt.BuildStrawmanPrompt(inst.Wrapper, jsonData, q.Text)
 	resp, err := model.Generate(llm.Request{Prompt: p})
 	if err != nil {
 		rec.Stage = StageGenerate

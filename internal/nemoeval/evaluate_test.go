@@ -182,11 +182,12 @@ func TestStateEqualPerBackend(t *testing.T) {
 	if StateEqual(prompt.BackendNetworkX, a, b) {
 		t.Error("graph change missed")
 	}
-	b.Nodes.AppendRow("zz", "1.2.3.4")
+	bNodes, _ := b.Frames()
+	bNodes.AppendRow("zz", "1.2.3.4")
 	if StateEqual(prompt.BackendPandas, a, b) {
 		t.Error("frame change missed")
 	}
-	if _, err := b.DB.Exec("DELETE FROM edges WHERE bytes > 0"); err != nil {
+	if _, err := b.Database().Exec("DELETE FROM edges WHERE bytes > 0"); err != nil {
 		t.Fatal(err)
 	}
 	if StateEqual(prompt.BackendSQL, a, b) {

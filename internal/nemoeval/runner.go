@@ -2,8 +2,11 @@ package nemoeval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/llm"
 	"repro/internal/prompt"
@@ -12,12 +15,19 @@ import (
 )
 
 // Runner executes the full benchmark matrix and aggregates the paper's
-// tables.
+// tables. Cells of the model × backend × query matrix are independent, so
+// the runner fans them out over a bounded worker pool and then merges the
+// results in the exact order the serial implementation used — the rendered
+// tables, cell aggregates, and logger contents are identical for any
+// worker count.
 type Runner struct {
 	Models []string
 	// Trials per model; Bard is averaged over 5 trials per the paper.
 	TrialsFor func(model string) int
 	Log       *Logger
+	// Workers bounds the evaluation pool; 0 means runtime.NumCPU() and 1
+	// reproduces the serial runner exactly (it then runs inline).
+	Workers int
 }
 
 // NewRunner creates a runner over the paper's four models.
@@ -32,6 +42,43 @@ func NewRunner() *Runner {
 		},
 		Log: NewLogger(),
 	}
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// parallelFor runs fn(0..n-1) on at most `workers` goroutines and waits
+// for all of them. With one worker (or one item) it runs inline.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // r2 nudges a value so fmt's %.2f rounds halves up (0.625 -> "0.63"),
@@ -62,6 +109,37 @@ func strawmanConfigFor(model string) traffic.Config {
 	}
 }
 
+// matrixJob is one (model, backend, query) cell's worth of trials.
+type matrixJob struct {
+	model, backend string
+	query          queries.Query
+	recs           []*Record
+	err            error
+}
+
+// run evaluates the job's trials. Each job creates its own simulated model
+// (SetOracle mutates model state, so models are not shared across
+// goroutines); the evaluators are shared and concurrency-safe.
+func (r *Runner) runJob(job *matrixJob, ev, strawEv *Evaluator) {
+	model, err := llm.NewSim(job.model)
+	if err != nil {
+		job.err = err
+		return
+	}
+	trials := r.TrialsFor(job.model)
+	job.recs = make([]*Record, 0, trials)
+	for t := 1; t <= trials; t++ {
+		var rec *Record
+		if job.backend == "strawman" {
+			rec = strawEv.EvaluateStrawman(model, job.query)
+		} else {
+			rec = ev.EvaluateModel(model, job.query, job.backend, t, 0)
+		}
+		rec.Trial = t
+		job.recs = append(job.recs, rec)
+	}
+}
+
 // RunApp evaluates every model × backend over one application's suite and
 // returns cells keyed "model|backend".
 func (r *Runner) RunApp(app string, includeStrawman bool) (map[string]*CellResult, error) {
@@ -73,45 +151,57 @@ func (r *Runner) RunApp(app string, includeStrawman bool) (map[string]*CellResul
 	} else {
 		suite = queries.MALT()
 	}
-	out := map[string]*CellResult{}
+	backends := append([]string(nil), prompt.Backends...)
+	if includeStrawman {
+		backends = append([]string{"strawman"}, backends...)
+	}
+	// Strawman evaluators are per model (the graph is sized to the model's
+	// context window); build them up front, serially and deterministically.
+	strawEvs := map[string]*Evaluator{}
 	for _, modelName := range r.Models {
-		model, err := llm.NewSim(modelName)
-		if err != nil {
-			return nil, err
-		}
-		backends := append([]string(nil), prompt.Backends...)
-		if includeStrawman {
-			backends = append([]string{"strawman"}, backends...)
-		}
-		strawEv := ev
+		strawEvs[modelName] = ev
 		if includeStrawman && app == queries.AppTraffic {
-			strawEv = NewEvaluator(TrafficDataset(strawmanConfigFor(modelName)))
+			strawEvs[modelName] = NewEvaluator(TrafficDataset(strawmanConfigFor(modelName)))
 		}
+	}
+	// Enumerate the full matrix, fan it out, then merge in matrix order.
+	var jobs []*matrixJob
+	for _, modelName := range r.Models {
+		for _, backend := range backends {
+			for _, q := range suite {
+				jobs = append(jobs, &matrixJob{model: modelName, backend: backend, query: q})
+			}
+		}
+	}
+	parallelFor(r.workers(), len(jobs), func(i int) {
+		job := jobs[i]
+		r.runJob(job, ev, strawEvs[job.model])
+	})
+	out := map[string]*CellResult{}
+	ji := 0
+	for _, modelName := range r.Models {
 		for _, backend := range backends {
 			cell := &CellResult{Model: modelName, App: app, Backend: backend, ByComplexity: map[string]float64{}}
 			levelPass := map[string]float64{}
 			levelCount := map[string]int{}
-			for _, q := range suite {
-				trials := r.TrialsFor(modelName)
+			for range suite {
+				job := jobs[ji]
+				ji++
+				if job.err != nil {
+					return nil, job.err
+				}
 				passes := 0
-				for t := 1; t <= trials; t++ {
-					var rec *Record
-					if backend == "strawman" {
-						rec = strawEv.EvaluateStrawman(model, q)
-					} else {
-						rec = ev.EvaluateModel(model, q, backend, t, 0)
-					}
-					rec.Trial = t
+				for _, rec := range job.recs {
 					r.Log.Add(rec)
 					cell.Records = append(cell.Records, rec)
 					if rec.Pass {
 						passes++
 					}
 				}
-				frac := float64(passes) / float64(trials)
+				frac := float64(passes) / float64(len(job.recs))
 				cell.Accuracy += frac
-				levelPass[q.Complexity] += frac
-				levelCount[q.Complexity]++
+				levelPass[job.query.Complexity] += frac
+				levelCount[job.query.Complexity]++
 			}
 			cell.Accuracy /= float64(len(suite))
 			for lv, total := range levelPass {
@@ -193,12 +283,20 @@ func (r *Runner) Table4() (string, error) {
 }
 
 // Table5 runs the NetworkX approach across all models and classifies every
-// failure, rendering the error-type summary.
+// failure, rendering the error-type summary. Like RunApp, the evaluation
+// matrix fans out over the worker pool and is merged deterministically.
 func (r *Runner) Table5() (string, error) {
-	counts := map[string]map[string]int{} // label -> app -> count
+	type t5Job struct {
+		app string
+		ev  *Evaluator
+		mdl string
+		q   queries.Query
+		rec *Record
+		err error
+	}
+	var jobs []*t5Job
 	for _, app := range []string{queries.AppTraffic, queries.AppMALT} {
-		build := DatasetFor(app)
-		ev := NewEvaluator(build)
+		ev := NewEvaluator(DatasetFor(app))
 		var suite []queries.Query
 		if app == queries.AppTraffic {
 			suite = queries.Traffic()
@@ -206,22 +304,34 @@ func (r *Runner) Table5() (string, error) {
 			suite = queries.MALT()
 		}
 		for _, modelName := range r.Models {
-			model, err := llm.NewSim(modelName)
-			if err != nil {
-				return "", err
-			}
 			for _, q := range suite {
-				rec := ev.EvaluateModel(model, q, prompt.BackendNetworkX, 1, 0)
-				r.Log.Add(rec)
-				if rec.Pass {
-					continue
-				}
-				if counts[rec.ErrClass] == nil {
-					counts[rec.ErrClass] = map[string]int{}
-				}
-				counts[rec.ErrClass][app]++
+				jobs = append(jobs, &t5Job{app: app, ev: ev, mdl: modelName, q: q})
 			}
 		}
+	}
+	parallelFor(r.workers(), len(jobs), func(i int) {
+		job := jobs[i]
+		model, err := llm.NewSim(job.mdl)
+		if err != nil {
+			job.err = err
+			return
+		}
+		job.rec = job.ev.EvaluateModel(model, job.q, prompt.BackendNetworkX, 1, 0)
+	})
+	counts := map[string]map[string]int{} // label -> app -> count
+	for _, job := range jobs {
+		if job.err != nil {
+			return "", job.err
+		}
+		rec := job.rec
+		r.Log.Add(rec)
+		if rec.Pass {
+			continue
+		}
+		if counts[rec.ErrClass] == nil {
+			counts[rec.ErrClass] = map[string]int{}
+		}
+		counts[rec.ErrClass][job.app]++
 	}
 	totalTA, totalMALT := 0, 0
 	for _, byApp := range counts {

@@ -1,0 +1,133 @@
+package nemoeval
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+// recordFingerprint renders every deterministic field of a record (Duration
+// is wall-clock and legitimately varies between runs).
+func recordFingerprint(r *Record) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%v|%s|%s|%q|%q|%d|%d|%.10f",
+		r.Model, r.App, r.Backend, r.QueryID, r.Complexity, r.Trial,
+		r.Pass, r.Stage, r.ErrClass, r.Err, r.Code,
+		r.PromptTokens, r.CompletionTokens, r.CostUSD)
+}
+
+// TestParallelRunnerMatchesSerial asserts the worker-pool runner is
+// observationally identical to the serial runner: same cells, bit-identical
+// accuracy aggregates, same record order, and the same logger contents.
+func TestParallelRunnerMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	serial := NewRunner()
+	serial.Workers = 1
+	parallel := NewRunner()
+	parallel.Workers = 8
+
+	cs, err := serial.RunApp(queries.AppMALT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := parallel.RunApp(queries.AppMALT, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != len(cp) {
+		t.Fatalf("cell count differs: serial %d, parallel %d", len(cs), len(cp))
+	}
+	for key, sc := range cs {
+		pc, ok := cp[key]
+		if !ok {
+			t.Fatalf("parallel run missing cell %s", key)
+		}
+		if math.Float64bits(sc.Accuracy) != math.Float64bits(pc.Accuracy) {
+			t.Errorf("%s accuracy differs: %v vs %v", key, sc.Accuracy, pc.Accuracy)
+		}
+		if len(sc.ByComplexity) != len(pc.ByComplexity) {
+			t.Errorf("%s ByComplexity size differs", key)
+		}
+		for lv, sv := range sc.ByComplexity {
+			if pv, ok := pc.ByComplexity[lv]; !ok || math.Float64bits(sv) != math.Float64bits(pv) {
+				t.Errorf("%s ByComplexity[%s] differs: %v vs %v", key, lv, sv, pv)
+			}
+		}
+		if len(sc.Records) != len(pc.Records) {
+			t.Fatalf("%s record count differs: %d vs %d", key, len(sc.Records), len(pc.Records))
+		}
+		for i := range sc.Records {
+			if sf, pf := recordFingerprint(sc.Records[i]), recordFingerprint(pc.Records[i]); sf != pf {
+				t.Errorf("%s record %d differs:\n  serial:   %s\n  parallel: %s", key, i, sf, pf)
+			}
+		}
+	}
+	// The logger must also have recorded the same sequence.
+	sr, pr := serial.Log.Records(), parallel.Log.Records()
+	if len(sr) != len(pr) {
+		t.Fatalf("log length differs: %d vs %d", len(sr), len(pr))
+	}
+	for i := range sr {
+		if recordFingerprint(sr[i]) != recordFingerprint(pr[i]) {
+			t.Errorf("log record %d differs", i)
+		}
+	}
+}
+
+// TestParallelTable5MatchesSerial asserts the fanned-out Table 5 renders
+// byte-identically to a serial run.
+func TestParallelTable5MatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	serial := NewRunner()
+	serial.Workers = 1
+	parallel := NewRunner()
+	parallel.Workers = 8
+	so, err := serial.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := parallel.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so != po {
+		t.Errorf("Table 5 differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", so, po)
+	}
+}
+
+// TestLoggerConcurrentUse hammers the logger from many goroutines while
+// readers snapshot it; run under -race this proves Add/Records/Len/Summary
+// are safe for the parallel runner's workers.
+func TestLoggerConcurrentUse(t *testing.T) {
+	log := NewLogger()
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(writers * 2)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				log.Add(&Record{Model: "gpt-4", QueryID: fmt.Sprintf("q%d-%d", w, i), Pass: i%2 == 0})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = log.Len()
+				_ = log.Records()
+				_ = log.Summary()
+				_ = log.Failures()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := log.Len(); got != writers*perWriter {
+		t.Fatalf("logger lost records: %d != %d", got, writers*perWriter)
+	}
+}

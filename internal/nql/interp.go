@@ -32,6 +32,32 @@ type Interp struct {
 	depth    int
 	deadline time.Time
 	stdout   *strings.Builder
+	// argPool recycles call-argument slices (LIFO). Callees — builtins,
+	// host-object methods and closures — must not retain the args slice
+	// beyond the call; they may retain its elements.
+	argPool [][]Value
+}
+
+// getArgs returns a zeroed-length arg slice of length n, reusing a pooled
+// backing array when one is large enough.
+func (in *Interp) getArgs(n int) []Value {
+	if k := len(in.argPool); k > 0 && cap(in.argPool[k-1]) >= n {
+		s := in.argPool[k-1][:n]
+		in.argPool = in.argPool[:k-1]
+		return s
+	}
+	if n < 4 {
+		return make([]Value, n, 4)
+	}
+	return make([]Value, n)
+}
+
+// putArgs returns a slice obtained from getArgs to the pool.
+func (in *Interp) putArgs(s []Value) {
+	for i := range s {
+		s[i] = nil // drop references so finished values can be collected
+	}
+	in.argPool = append(in.argPool, s)
 }
 
 // NewInterp creates an interpreter with the standard builtins installed plus
@@ -50,16 +76,26 @@ func NewInterp(limits Limits, globals map[string]Value) *Interp {
 		limits.MaxDuration = DefaultLimits.MaxDuration
 	}
 	in := &Interp{
-		globals: NewEnv(nil),
+		globals: NewEnv(builtinEnv),
 		limits:  limits,
 		stdout:  &strings.Builder{},
 	}
-	installBuiltins(in.globals)
 	for k, v := range globals {
 		in.globals.Define(k, v)
 	}
 	return in
 }
+
+// builtinEnv holds the standard library, installed once and shared by every
+// interpreter as a frozen root scope. Builtins are stateless (per-run state
+// arrives via the *Interp argument), so sharing is safe across goroutines;
+// Env.Assign shadows instead of writing when a script rebinds a builtin.
+var builtinEnv = func() *Env {
+	e := NewEnv(nil)
+	installBuiltins(e)
+	e.frozen = true
+	return e
+}()
 
 // Stdout returns everything print() wrote during the run.
 func (in *Interp) Stdout() string { return in.stdout.String() }
@@ -362,10 +398,19 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	}
 	switch x := e.(type) {
 	case *IntLit:
+		if x.box != nil {
+			return x.box, nil
+		}
 		return x.Value, nil
 	case *FloatLit:
+		if x.box != nil {
+			return x.box, nil
+		}
 		return x.Value, nil
 	case *StringLit:
+		if x.box != nil {
+			return x.box, nil
+		}
 		return x.Value, nil
 	case *BoolLit:
 		return x.Value, nil
@@ -445,7 +490,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		args := make([]Value, len(x.Args))
+		args := in.getArgs(len(x.Args))
 		for i, a := range x.Args {
 			v, err := in.eval(a, env)
 			if err != nil {
@@ -453,7 +498,9 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 			}
 			args[i] = v
 		}
-		return in.Call(fn, args, x.Line)
+		v, err := in.Call(fn, args, x.Line)
+		in.putArgs(args)
+		return v, err
 	default:
 		return nil, errf(ErrInternal, e.Pos(), "unknown expression %T", e)
 	}

@@ -17,9 +17,13 @@ func Globals(g *graph.Graph, bindings map[string]nql.Value) map[string]nql.Value
 	for k, v := range bindings {
 		out[k] = v
 	}
-	out["kmeans"] = kmeansBuiltin()
+	out["kmeans"] = kmeansShared
 	return out
 }
+
+// kmeansShared is the one kmeans builtin instance: it is stateless, so
+// every sandbox run shares it instead of rebuilding the closure.
+var kmeansShared = kmeansBuiltin()
 
 // kmeansBuiltin exposes deterministic 1-D k-means: kmeans(values, k) returns
 // the cluster index per value (0..k-1, ordered by ascending centroid).

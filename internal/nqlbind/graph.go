@@ -17,6 +17,34 @@ import (
 // GraphObject wraps graph.Graph for NQL scripts.
 type GraphObject struct {
 	G *graph.Graph
+	// methods memoizes bound-method values per name: generated programs
+	// call the same few members in loops, and building a fresh closure per
+	// access dominated the binding's allocation profile. A GraphObject is
+	// only ever used by the single interpreter that owns its sandbox run,
+	// so the cache needs no locking.
+	methods map[string]nql.Value
+	// boxedNodes memoizes node IDs pre-converted to nql values, valid
+	// while the graph's structural version is unchanged; nodes() then
+	// copies the slice instead of re-boxing every ID.
+	boxedNodes   []nql.Value
+	boxedVersion uint64
+}
+
+// nodeList returns a fresh list of node IDs, reusing boxed ID values
+// across calls while the node/edge set is unchanged.
+func (o *GraphObject) nodeList() *nql.List {
+	if o.boxedNodes == nil || o.boxedVersion != o.G.Version() {
+		ids := o.G.Nodes()
+		boxed := make([]nql.Value, len(ids))
+		for i, id := range ids {
+			boxed[i] = id
+		}
+		o.boxedNodes = boxed
+		o.boxedVersion = o.G.Version()
+	}
+	items := make([]nql.Value, len(o.boxedNodes))
+	copy(items, o.boxedNodes)
+	return nql.NewList(items...)
 }
 
 // NewGraphObject wraps g.
@@ -82,13 +110,22 @@ func floatMapToNQL(m map[string]float64) *nql.Map {
 	return out
 }
 
-// attrsToMapValue converts a graph attribute map into a live AttrMapObject.
-func attrsToMapValue(a graph.Attrs, describe string) *AttrMapObject {
-	return &AttrMapObject{Attrs: a, describe: describe}
-}
-
 // Member implements nql.Object, dispatching graph methods.
 func (o *GraphObject) Member(name string) (nql.Value, bool) {
+	if v, ok := o.methods[name]; ok {
+		return v, true
+	}
+	v, ok := o.member(name)
+	if ok {
+		if o.methods == nil {
+			o.methods = make(map[string]nql.Value, 8)
+		}
+		o.methods[name] = v
+	}
+	return v, ok
+}
+
+func (o *GraphObject) member(name string) (nql.Value, bool) {
 	g := o.G
 	switch name {
 	case "directed":
@@ -98,14 +135,16 @@ func (o *GraphObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 0 {
 				return nil, argCount(line, "nodes", "0", len(args))
 			}
-			return stringsToList(g.Nodes()), nil
+			return o.nodeList(), nil
 		}), true
 	case "edges":
 		return method("edges", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
 			if len(args) != 0 {
 				return nil, argCount(line, "edges", "0", len(args))
 			}
-			edges := g.Edges()
+			// Only the endpoints are needed here; EdgesView avoids
+			// forcing a copy-on-write copy of every edge attr map.
+			edges := g.EdgesView()
 			items := make([]nql.Value, len(edges))
 			for i, e := range edges {
 				items[i] = &EdgeObject{G: g, U: e.U, V: e.V}
@@ -229,11 +268,10 @@ func (o *GraphObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			a := g.NodeAttrs(id)
-			if a == nil {
+			if !g.HasNode(id) {
 				return nil, &nql.RuntimeError{Class: nql.ErrValue, Line: line, Msg: fmt.Sprintf("node %q does not exist", id)}
 			}
-			return attrsToMapValue(a, fmt.Sprintf("node %q", id)), nil
+			return &AttrMapObject{g: g, u: id, kind: attrNode, m: g.NodeAttrsView(id)}, nil
 		}), true
 	case "edge":
 		return method("edge", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
@@ -248,11 +286,10 @@ func (o *GraphObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			a := g.EdgeAttrs(u, v)
-			if a == nil {
+			if !g.HasEdge(u, v) {
 				return nil, &nql.RuntimeError{Class: nql.ErrValue, Line: line, Msg: fmt.Sprintf("edge (%q,%q) does not exist", u, v)}
 			}
-			return attrsToMapValue(a, fmt.Sprintf("edge (%q,%q)", u, v)), nil
+			return &AttrMapObject{g: g, u: u, v: v, kind: attrEdge, m: g.EdgeAttrsView(u, v)}, nil
 		}), true
 	case "set_node_attr":
 		return method("set_node_attr", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
@@ -669,11 +706,10 @@ func (e *EdgeObject) Member(name string) (nql.Value, bool) {
 	case "dst", "v", "target":
 		return e.V, true
 	case "attrs":
-		a := e.G.EdgeAttrs(e.U, e.V)
-		if a == nil {
-			a = graph.Attrs{}
+		if !e.G.HasEdge(e.U, e.V) {
+			return &AttrMapObject{m: graph.Attrs{}, kind: attrDetached}, true
 		}
-		return attrsToMapValue(a, e.String()), true
+		return &AttrMapObject{g: e.G, u: e.U, v: e.V, kind: attrEdge, m: e.G.EdgeAttrsView(e.U, e.V)}, true
 	default:
 		return nil, false
 	}
@@ -682,24 +718,100 @@ func (e *EdgeObject) Member(name string) (nql.Value, bool) {
 // AttrMapObject is a live, mutable view over a graph attribute map. Reading
 // a missing key raises an attribute error — the "imaginary graph attribute"
 // failure class.
+//
+// The view addresses its attribute map through the owning graph (node or
+// edge key) rather than holding the map directly: reads then never force a
+// copy-on-write copy, writes take ownership through the graph first, and
+// two views of the same node always observe each other's mutations — the
+// same aliasing behavior a live map reference had before COW sharing.
 type AttrMapObject struct {
-	Attrs    graph.Attrs
-	describe string
+	g    *graph.Graph
+	u, v string // node id (kind attrNode) or edge endpoints (attrEdge)
+	kind uint8
+	m    graph.Attrs // detached map (kind attrDetached only)
+}
+
+const (
+	attrDetached uint8 = iota
+	attrNode
+	attrEdge
+)
+
+// view returns the current attribute map for reading only. While the
+// owning node/edge exists it tracks the graph's live map; after a removal
+// it keeps answering from the last observed (orphaned) map, matching the
+// pre-COW behavior of holding a live map reference.
+func (a *AttrMapObject) view() graph.Attrs {
+	switch a.kind {
+	case attrNode:
+		if m := a.g.NodeAttrsView(a.u); m != nil {
+			a.m = m
+			return m
+		}
+	case attrEdge:
+		if m := a.g.EdgeAttrsView(a.u, a.v); m != nil {
+			a.m = m
+			return m
+		}
+	default:
+		return a.m
+	}
+	return a.m
+}
+
+// mutable returns the attribute map with ownership taken, for writing.
+func (a *AttrMapObject) mutable() graph.Attrs {
+	switch a.kind {
+	case attrNode:
+		if m := a.g.NodeAttrs(a.u); m != nil {
+			return m
+		}
+	case attrEdge:
+		if m := a.g.EdgeAttrs(a.u, a.v); m != nil {
+			return m
+		}
+	default:
+		return a.m
+	}
+	// The owner was removed after this view was taken. Detach onto a
+	// private copy of the last observed map so the write still succeeds
+	// (as it did when views held live map references) without touching
+	// storage that may be shared copy-on-write with other graphs.
+	a.m = a.m.Clone()
+	if a.m == nil {
+		a.m = graph.Attrs{}
+	}
+	a.kind = attrDetached
+	return a.m
+}
+
+// describe names the map's owner in error messages; built lazily because
+// the happy path never needs it.
+func (a *AttrMapObject) describe() string {
+	switch a.kind {
+	case attrNode:
+		return fmt.Sprintf("node %q", a.u)
+	case attrEdge:
+		return fmt.Sprintf("edge (%q,%q)", a.u, a.v)
+	default:
+		return "attrs"
+	}
 }
 
 // TypeName implements nql.Object.
 func (a *AttrMapObject) TypeName() string { return "attrs" }
 
 // String renders the attribute map canonically.
-func (a *AttrMapObject) String() string { return graph.CanonValue(a.Attrs) }
+func (a *AttrMapObject) String() string { return graph.CanonValue(a.view()) }
 
 // Size implements nql.Sizer.
-func (a *AttrMapObject) Size() int { return len(a.Attrs) }
+func (a *AttrMapObject) Size() int { return len(a.view()) }
 
 // MapKeys implements nql.KeysValuer (sorted for determinism).
 func (a *AttrMapObject) MapKeys() []nql.Value {
-	keys := make([]string, 0, len(a.Attrs))
-	for k := range a.Attrs {
+	attrs := a.view()
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -712,10 +824,11 @@ func (a *AttrMapObject) MapKeys() []nql.Value {
 
 // MapValues implements nql.KeysValuer.
 func (a *AttrMapObject) MapValues() []nql.Value {
+	attrs := a.view()
 	keys := a.MapKeys()
 	out := make([]nql.Value, len(keys))
 	for i, k := range keys {
-		out[i] = fromGoValue(a.Attrs[k.(string)])
+		out[i] = fromGoValue(attrs[k.(string)])
 	}
 	return out
 }
@@ -732,7 +845,7 @@ func (a *AttrMapObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			if v, ok := a.Attrs[k]; ok {
+			if v, ok := a.view()[k]; ok {
 				return fromGoValue(v), nil
 			}
 			if len(args) == 2 {
@@ -749,7 +862,7 @@ func (a *AttrMapObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			_, ok := a.Attrs[k]
+			_, ok := a.view()[k]
 			return ok, nil
 		}), true
 	default:
@@ -764,10 +877,10 @@ func (a *AttrMapObject) Index(idx nql.Value, line int) (nql.Value, error) {
 		return nil, &nql.RuntimeError{Class: nql.ErrIndex, Line: line,
 			Msg: fmt.Sprintf("attribute key must be a string, got %s", nql.TypeName(idx))}
 	}
-	v, ok := a.Attrs[k]
+	v, ok := a.view()[k]
 	if !ok {
 		return nil, &nql.RuntimeError{Class: nql.ErrAttr, Line: line,
-			Msg: fmt.Sprintf("%s has no attribute %q", a.describe, k)}
+			Msg: fmt.Sprintf("%s has no attribute %q", a.describe(), k)}
 	}
 	return fromGoValue(v), nil
 }
@@ -779,6 +892,6 @@ func (a *AttrMapObject) SetIndex(idx, v nql.Value, line int) error {
 		return &nql.RuntimeError{Class: nql.ErrIndex, Line: line,
 			Msg: fmt.Sprintf("attribute key must be a string, got %s", nql.TypeName(idx))}
 	}
-	a.Attrs[k] = toGoValue(v)
+	a.mutable()[k] = toGoValue(v)
 	return nil
 }

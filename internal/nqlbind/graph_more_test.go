@@ -156,3 +156,43 @@ return [graph.node("a")["tags"][1], graph.node("a")["meta"]["k"]]`)
 		t.Fatalf("got %s", nql.Repr(v))
 	}
 }
+
+// A view taken before its node/edge is removed must keep working: reads
+// answer from the last observed map and writes detach onto a private copy
+// (they must never panic, and never corrupt copy-on-write shared storage).
+func TestAttrViewSurvivesRemoval(t *testing.T) {
+	g := chainGraph()
+	v := mustRun(t, g, `
+let e = graph.edge("a", "b")
+graph.remove_edge("a", "b")
+e["w"] = 2
+let n = graph.node("c")
+graph.remove_node("c")
+n["tag"] = "gone"
+return [e["w"], n["tag"]]`)
+	l := v.(*nql.List)
+	if l.Items[0] != int64(2) || l.Items[1] != "gone" {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}
+
+// The same write-after-remove against a frozen master's clone must leave
+// the master untouched.
+func TestAttrViewRemovalDoesNotCorruptFrozenMaster(t *testing.T) {
+	master := chainGraph()
+	master.Freeze()
+	clone := master.Clone()
+	if _, err := runWithGraph(t, clone, `
+let e = graph.edge("a", "b")
+graph.remove_edge("a", "b")
+e["w"] = 99
+return nil`); err != nil {
+		t.Fatal(err)
+	}
+	if !master.HasEdge("a", "b") {
+		t.Fatal("master lost edge")
+	}
+	if w := master.EdgeAttrsView("a", "b")["w"]; w != int64(1) {
+		t.Fatalf("master edge attribute w = %v, clone's orphan write leaked through", w)
+	}
+}

@@ -9,6 +9,7 @@ package sandbox
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/nql"
@@ -43,10 +44,59 @@ type Result struct {
 // OK reports whether the run completed without error.
 func (r *Result) OK() bool { return r.Err == nil }
 
+// progCache memoizes successful parses keyed by source text. The evaluation
+// matrix executes the same golden and generated programs hundreds of times
+// (once per model × backend × trial cell); compiling each distinct source
+// once removes the parser from the per-run cost entirely. Parsed programs
+// are immutable, so cached entries are shared freely across goroutines.
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*nql.Program{}
+)
+
+// progCacheMax bounds the cache so adversarial or size-swept workloads
+// (e.g. Figure 4b's graph-scale sweep) cannot grow it without limit; at the
+// cap, new programs still compile — they just are not retained.
+const progCacheMax = 4096
+
+// Compile parses src into an executable program, consulting and populating
+// the shared program cache. The returned program is immutable and may be
+// executed concurrently by any number of RunProgram calls.
+func Compile(src string) (*nql.Program, error) {
+	progMu.Lock()
+	prog, ok := progCache[src]
+	progMu.Unlock()
+	if ok {
+		return prog, nil
+	}
+	prog, err := nql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	progMu.Lock()
+	if len(progCache) < progCacheMax {
+		progCache[src] = prog
+	}
+	progMu.Unlock()
+	return prog, nil
+}
+
 // Run executes src with the given host globals under the policy. The caller
 // is responsible for passing cloned state in globals; Run never mutates the
-// policy or retains the globals.
+// policy or retains the globals. Compilation goes through the program
+// cache, so repeated runs of the same source parse it only once.
 func Run(src string, globals map[string]nql.Value, policy Policy) *Result {
+	prog, err := Compile(src)
+	if err != nil {
+		return &Result{Err: err, ErrClass: nql.ClassOf(err)}
+	}
+	return RunProgram(prog, globals, policy)
+}
+
+// RunProgram executes an already-compiled program under the policy. Use
+// with Compile to hoist parsing out of a loop that executes the same
+// program against many state clones.
+func RunProgram(prog *nql.Program, globals map[string]nql.Value, policy Policy) *Result {
 	res := &Result{}
 	start := time.Now()
 	defer func() {
@@ -62,7 +112,7 @@ func Run(src string, globals map[string]nql.Value, policy Policy) *Result {
 		MaxAllocs:   policy.MaxAllocs,
 		MaxDuration: policy.MaxDuration,
 	}, globals)
-	v, err := in.Run(src)
+	v, err := in.RunProgram(prog)
 	res.Stdout = in.Stdout()
 	if err != nil {
 		res.Err = err
@@ -75,8 +125,9 @@ func Run(src string, globals map[string]nql.Value, policy Policy) *Result {
 
 // CheckSyntax parses src without executing it; returns nil when the program
 // is syntactically valid. The self-debug loop uses this to give fast
-// feedback before paying for execution.
+// feedback before paying for execution. Successful parses land in the
+// program cache, so a syntax check followed by Run compiles only once.
 func CheckSyntax(src string) error {
-	_, err := nql.Parse(src)
+	_, err := Compile(src)
 	return err
 }

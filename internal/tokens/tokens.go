@@ -8,33 +8,87 @@ package tokens
 import (
 	"fmt"
 	"unicode"
+	"unicode/utf8"
 )
+
+// byte classes for the ASCII fast path.
+const (
+	classOther byte = iota // punctuation, symbols, control: one token each
+	classWord              // letters and digits: extend the current run
+	classSpace             // whitespace: free, just flushes the run
+)
+
+// asciiClass classifies every single-byte rune once at init so Count can
+// dispatch on a table lookup instead of unicode range scans.
+var asciiClass = func() [utf8.RuneSelf]byte {
+	var t [utf8.RuneSelf]byte
+	for b := 0; b < utf8.RuneSelf; b++ {
+		r := rune(b)
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			t[b] = classWord
+		case unicode.IsSpace(r):
+			t[b] = classSpace
+		default:
+			t[b] = classOther
+		}
+	}
+	return t
+}()
 
 // Count estimates the token count of text with a BPE-like heuristic:
 // runs of letters/digits contribute ceil(len/4) tokens (common English
 // words are 1-2 tokens; long identifiers split), every punctuation or
 // symbol rune is its own token, and whitespace is free.
+//
+// The hot path — prompt and graph-JSON text is overwhelmingly ASCII —
+// iterates bytes against a class table; UTF-8 decoding only happens for
+// multi-byte runes.
 func Count(text string) int {
 	tokens := 0
 	runLen := 0
-	flush := func() {
-		if runLen > 0 {
-			tokens += (runLen + 3) / 4
-			runLen = 0
+	for i := 0; i < len(text); {
+		b := text[i]
+		if b < utf8.RuneSelf {
+			switch asciiClass[b] {
+			case classWord:
+				runLen++
+			case classSpace:
+				if runLen > 0 {
+					tokens += (runLen + 3) / 4
+					runLen = 0
+				}
+			default:
+				if runLen > 0 {
+					tokens += (runLen + 3) / 4
+					runLen = 0
+				}
+				tokens++
+			}
+			i++
+			continue
 		}
-	}
-	for _, r := range text {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		i += size
 		switch {
 		case unicode.IsLetter(r) || unicode.IsDigit(r):
 			runLen++
 		case unicode.IsSpace(r):
-			flush()
+			if runLen > 0 {
+				tokens += (runLen + 3) / 4
+				runLen = 0
+			}
 		default:
-			flush()
+			if runLen > 0 {
+				tokens += (runLen + 3) / 4
+				runLen = 0
+			}
 			tokens++
 		}
 	}
-	flush()
+	if runLen > 0 {
+		tokens += (runLen + 3) / 4
+	}
 	return tokens
 }
 

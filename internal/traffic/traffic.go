@@ -83,12 +83,14 @@ func Generate(cfg Config) *graph.Graph {
 func Frames(g *graph.Graph) (nodes, edges *dataframe.Frame) {
 	nodes = dataframe.New("id", "ip")
 	for _, n := range g.Nodes() {
-		attrs := g.NodeAttrs(n)
+		// Read-only views: frame building copies the values out, so it
+		// must not force copy-on-write copies of the attribute maps.
+		attrs := g.NodeAttrsView(n)
 		ip, _ := attrs["ip"].(string)
 		nodes.AppendRow(n, ip)
 	}
 	edges = dataframe.New("src", "dst", "bytes", "connections", "packets")
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesView() {
 		edges.AppendRow(e.U, e.V, e.Attrs["bytes"], e.Attrs["connections"], e.Attrs["packets"])
 	}
 	return nodes, edges
