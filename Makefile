@@ -1,12 +1,14 @@
 # Build/verify/benchmark entry points. `make verify` is the tier-1 gate
 # (build + vet + tests); `make bench` records the benchmark suite as JSON
-# so successive PRs can track the perf trajectory (BENCH_1.json for this
-# PR, bump BENCH_OUT for the next).
+# so successive PRs can track the perf trajectory (BENCH_2.json for this
+# PR, bump BENCH_OUT for the next); `make benchdiff` compares the two most
+# recent snapshots and fails on >10% regressions of the ROADMAP watchlist
+# (Table2 / Clone / PageRank / SandboxGoldenQuery).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_1.json
+BENCH_OUT ?= BENCH_2.json
 
-.PHONY: verify test race bench bench-quick
+.PHONY: verify test race bench bench-quick benchdiff
 
 verify:
 	$(GO) build ./...
@@ -20,11 +22,21 @@ test:
 race:
 	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind
 
-# One iteration of every benchmark (tables, figures, micro-benchmarks),
-# streamed as test2json records for tooling.
+# Record the benchmark suite as test2json records for tooling: the macro
+# benchmarks (whole tables/figures/ablations) run one iteration, while the
+# substrate micro-benchmarks run long enough for stable ns/op — at a single
+# iteration they swing far beyond the 10% regression gate benchdiff applies.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd' -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token' -benchmem -benchtime=0.5s -json . | tee -a $(BENCH_OUT)
 
 # Stable-ish numbers for the substrate micro-benchmarks only.
 bench-quick:
-	$(GO) test -run '^$$' -bench 'Graph|Sandbox|Token|NQL' -benchmem -benchtime=1s .
+	$(GO) test -run '^$$' -bench 'Graph|Sandbox|Token|NQL|Federated' -benchmem -benchtime=1s .
+
+# Compare the two most recent BENCH_<n>.json snapshots; exits non-zero on a
+# >10% regression of a watched benchmark. Caveat: BENCH_1.json predates the
+# stable micro pass above — its micro numbers are single-iteration samples,
+# so the 1->2 comparison is looser than every later stable-vs-stable one.
+benchdiff:
+	$(GO) run ./cmd/benchdiff

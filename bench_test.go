@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/dataframe"
+	"repro/internal/federate"
 	"repro/internal/graph"
 	"repro/internal/llm"
 	"repro/internal/nemoeval"
@@ -272,6 +273,54 @@ func BenchmarkSandboxGoldenQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := sandbox.Run(src, nqlbind.Globals(g.Clone(), nil), sandbox.DefaultPolicy)
+		if !res.OK() {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkFederatedJoin measures the federated planner's hot path: a
+// filtered SQL scan (pushed down as a WHERE clause) joined against the
+// graph's degree table, sorted and limited — the cross-substrate plan shape
+// the federated backend introduces.
+func BenchmarkFederatedJoin(b *testing.B) {
+	inst := nemoeval.TrafficDataset(nemoeval.DefaultTrafficConfig)()
+	cat := inst.Federation()
+	plan := &federate.Limit{N: 5, Input: &federate.Sort{
+		Ascending: false, Cols: []string{"in_degree"},
+		Input: &federate.Join{
+			Left: &federate.Filter{
+				Input: &federate.Scan{Source: federate.SourceSQL, Table: "edges"},
+				Pred:  federate.Cmp{Col: "bytes", Op: ">", Value: int64(500000)},
+			},
+			Right:    &federate.Scan{Source: federate.SourceGraph, Table: federate.GraphTableDegree},
+			LeftKey:  "dst",
+			RightKey: "id",
+		},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := federate.Run(cat, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.NumRows() == 0 {
+			b.Fatal("empty join result")
+		}
+	}
+}
+
+// BenchmarkFederatedGoldenQuery runs a complete federated golden (plan
+// construction in NQL + execution) against a fresh instance per iteration,
+// the federated analogue of BenchmarkSandboxGoldenQuery.
+func BenchmarkFederatedGoldenQuery(b *testing.B) {
+	build := nemoeval.TrafficDataset(nemoeval.DefaultTrafficConfig)
+	q, _ := queries.ByID("ta-h7")
+	src := q.Golden["federated"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := build()
+		res := sandbox.Run(src, inst.Bindings("federated"), sandbox.DefaultPolicy)
 		if !res.OK() {
 			b.Fatal(res.Err)
 		}

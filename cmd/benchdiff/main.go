@@ -1,0 +1,228 @@
+// Command benchdiff compares two `make bench` snapshots (BENCH_<n>.json,
+// the test2json stream of one -benchtime=1x benchmark run) and flags
+// regressions on the watched benchmarks, per the ROADMAP's perf-trajectory
+// gate: >10% slower on Table2 / Clone / PageRank / SandboxGoldenQuery fails
+// the diff.
+//
+// Usage:
+//
+//	benchdiff [-old BENCH_1.json] [-new BENCH_2.json]
+//	          [-threshold 0.10] [-watch Table2,GraphClone,...]
+//
+// Without -old/-new it auto-discovers the two highest-numbered
+// BENCH_<n>.json files in the current directory and compares them. Exits 1
+// when a watched benchmark regressed beyond the threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine extracts a complete "BenchmarkName-P  N  1234 ns/op ..."
+// result from one output line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// nameLine matches the name chunk test2json emits when the testing package
+// flushes the benchmark name before its result ("BenchmarkTable2  \t").
+var nameLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+
+// resultLine matches the continuation chunk carrying the measurements
+// ("       1\t9128170674 ns/op\t...").
+var resultLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
+
+// defaultWatch is the ROADMAP's regression watchlist.
+const defaultWatch = "Table2,GraphClone,GraphPageRank,SandboxGoldenQuery"
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_<n>.json (default: second-newest in .)")
+	newPath := flag.String("new", "", "candidate BENCH_<n>.json (default: newest in .)")
+	threshold := flag.Float64("threshold", 0.10, "relative ns/op increase that counts as a regression")
+	watch := flag.String("watch", defaultWatch, "comma-separated benchmark name substrings to gate on")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		a, b, err := discover(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if *oldPath == "" {
+			*oldPath = a
+		}
+		if *newPath == "" {
+			*newPath = b
+		}
+	}
+	oldNs, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newNs, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report, regressed := diff(oldNs, newNs, splitWatch(*watch), *threshold)
+	fmt.Printf("benchdiff: %s -> %s (threshold %+.0f%%)\n", *oldPath, *newPath, *threshold*100)
+	fmt.Print(report)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// discover returns the second-newest and newest BENCH_<n>.json by number.
+func discover(dir string) (older, newer string, err error) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil {
+			files = append(files, numbered{n, m})
+		}
+	}
+	if len(files) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_<n>.json files in %s, found %d (run `make bench` per PR)", dir, len(files))
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	return files[len(files)-2].path, files[len(files)-1].path, nil
+}
+
+// parseBenchFile reads a test2json stream and returns benchmark -> ns/op.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	// test2json usually splits a benchmark result into a name chunk and a
+	// measurement chunk; pending carries the name across that split.
+	pending := ""
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (tee'd warnings)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		line := strings.TrimSpace(ev.Output)
+		if name, ns, ok := parseBenchOutput(line); ok {
+			out[name] = ns
+			pending = ""
+			continue
+		}
+		if m := nameLine.FindStringSubmatch(line); m != nil {
+			pending = m[1]
+			continue
+		}
+		if m := resultLine.FindStringSubmatch(line); m != nil && pending != "" {
+			if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
+				out[pending] = ns
+			}
+			pending = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+// parseBenchOutput extracts one benchmark result from a test output line.
+func parseBenchOutput(line string) (name string, nsPerOp float64, ok bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", 0, false
+	}
+	ns, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return m[1], ns, true
+}
+
+func splitWatch(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// diff renders the comparison of every watched benchmark and reports
+// whether any regressed beyond the threshold. Unwatched benchmarks are
+// listed only when they regressed, as informational lines.
+func diff(oldNs, newNs map[string]float64, watch []string, threshold float64) (string, bool) {
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	watched := func(name string) bool {
+		for _, w := range watch {
+			if strings.Contains(name, w) {
+				return true
+			}
+		}
+		return false
+	}
+	var sb strings.Builder
+	regressed := false
+	sb.WriteString(fmt.Sprintf("%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"))
+	for _, name := range names {
+		after := newNs[name]
+		before, inOld := oldNs[name]
+		gate := watched(name)
+		if !gate {
+			// Unwatched benchmarks appear only when they regressed, as
+			// informational lines that never fail the diff.
+			if !inOld || (after-before)/before <= threshold {
+				continue
+			}
+		}
+		if !inOld {
+			sb.WriteString(fmt.Sprintf("%-34s %14s %14.0f %8s\n", name, "-", after, "new"))
+			continue
+		}
+		delta := (after - before) / before
+		flag := ""
+		if delta > threshold {
+			if gate {
+				flag = "  REGRESSION"
+				regressed = true
+			} else {
+				flag = "  (info: not gated)"
+			}
+		}
+		sb.WriteString(fmt.Sprintf("%-34s %14.0f %14.0f %+7.1f%%%s\n", name, before, after, delta*100, flag))
+	}
+	if !regressed {
+		sb.WriteString("no regressions on watched benchmarks\n")
+	}
+	return sb.String(), regressed
+}

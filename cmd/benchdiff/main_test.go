@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkGraphPageRank-1   \t     1\t    163072 ns/op\t   57344 B/op\t       6 allocs/op", "BenchmarkGraphPageRank", 163072, true},
+		{"BenchmarkTable2 \t 1 \t 1234567890 ns/op", "BenchmarkTable2", 1234567890, true},
+		{"BenchmarkSandboxGoldenQuery-8   	    1	    171629.5 ns/op", "BenchmarkSandboxGoldenQuery", 171629.5, true},
+		{"ok  \trepro\t12.3s", "", 0, false},
+		{"--- BENCH: BenchmarkFoo", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchOutput(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchOutput(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldNs := map[string]float64{
+		"BenchmarkTable2":             1000,
+		"BenchmarkGraphPageRank":      200,
+		"BenchmarkGraphClone":         100,
+		"BenchmarkSandboxGoldenQuery": 500,
+		"BenchmarkUnwatched":          10,
+	}
+	newNs := map[string]float64{
+		"BenchmarkTable2":             1050, // +5%: fine
+		"BenchmarkGraphPageRank":      260,  // +30%: regression
+		"BenchmarkGraphClone":         90,   // faster
+		"BenchmarkSandboxGoldenQuery": 500,
+		"BenchmarkUnwatched":          1000, // not watched: ignored
+		"BenchmarkFederatedJoin":      42,   // new watched entries are informational
+	}
+	watch := splitWatch(defaultWatch + ",FederatedJoin")
+	report, regressed := diff(oldNs, newNs, watch, 0.10)
+	if !regressed {
+		t.Fatalf("expected regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkGraphPageRank") || !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report does not flag the PageRank regression:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkUnwatched") || !strings.Contains(report, "(info: not gated)") {
+		t.Errorf("report does not show the unwatched regression as informational:\n%s", report)
+	}
+	if !strings.Contains(report, "new") {
+		t.Errorf("report does not mark the new benchmark:\n%s", report)
+	}
+	// Within threshold on every watched benchmark -> clean diff.
+	newNs["BenchmarkGraphPageRank"] = 210
+	report, regressed = diff(oldNs, newNs, watch, 0.10)
+	if regressed {
+		t.Errorf("unexpected regression:\n%s", report)
+	}
+	if !strings.Contains(report, "no regressions") {
+		t.Errorf("clean diff not reported:\n%s", report)
+	}
+}
+
+func TestParseBenchFileAndDiscover(t *testing.T) {
+	dir := t.TempDir()
+	// Mirrors a real `go test -json -bench` stream: the name and the
+	// measurements of BenchmarkTable2 arrive as separate output chunks,
+	// while BenchmarkGraphClone arrives as one line.
+	lines := `{"Action":"run","Package":"repro","Test":"BenchmarkGraphClone"}
+{"Action":"output","Package":"repro","Output":"BenchmarkGraphClone-1   \t     1\t    851234 ns/op\t  12345 B/op\t      35 allocs/op\n"}
+not json at all
+{"Action":"output","Package":"repro","Output":"BenchmarkTable2\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTable2                \t"}
+{"Action":"output","Package":"repro","Output":"       1\t9128170674 ns/op\t         0.7778 gpt4-malt-nx-acc\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t1.0s\n"}
+`
+	p1 := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(p1, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkGraphClone"] != 851234 || got["BenchmarkTable2"] != 9128170674 {
+		t.Errorf("parsed %v", got)
+	}
+	p2 := filepath.Join(dir, "BENCH_2.json")
+	if err := os.WriteFile(p2, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	older, newer, err := discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if older != p1 || newer != p2 {
+		t.Errorf("discover = (%s, %s), want (%s, %s)", older, newer, p1, p2)
+	}
+	if _, _, err := discover(t.TempDir()); err == nil {
+		t.Error("discover on empty dir should fail")
+	}
+}

@@ -10,8 +10,10 @@
 //	nemoeval -table 6          # pass@k / self-debug case study (Table 6)
 //	nemoeval -figure 4a        # cost CDF (Figure 4a)
 //	nemoeval -figure 4b        # cost vs graph size (Figure 4b)
+//	nemoeval -federated        # federated-vs-per-backend golden parity
 //	nemoeval -all              # everything
 //	nemoeval -all -log out.jsonl   # also dump evaluation records
+//	nemoeval -table 2 -workers 4   # bound the evaluation worker pool
 package main
 
 import (
@@ -27,15 +29,18 @@ func main() {
 	table := flag.String("table", "", "regenerate one table (2-6)")
 	figure := flag.String("figure", "", "regenerate one figure (4a, 4b)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
+	federated := flag.Bool("federated", false, "cross-check federated plans against per-backend goldens")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU, 1 = serial)")
 	logPath := flag.String("log", "", "write evaluation records as JSON lines")
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" {
+	if !*all && *table == "" && *figure == "" && !*federated {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	runner := nemoeval.NewRunner()
+	runner.Workers = *workers
 	emit := func(s string, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -74,6 +79,14 @@ func main() {
 	if want("4b") {
 		emit(nemoeval.Figure4b())
 	}
+	// A parity violation must still exit non-zero, but only after the log
+	// dump below — the records of the full run are too expensive to lose.
+	var parityErr error
+	if *federated || *all {
+		report, err := runner.FederatedParityReport()
+		fmt.Println(report)
+		parityErr = err
+	}
 
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
@@ -87,5 +100,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%s)\n", runner.Log.Len(), *logPath, runner.Log.Summary())
+	}
+	if parityErr != nil {
+		fmt.Fprintln(os.Stderr, "error:", parityErr)
+		os.Exit(1)
 	}
 }

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	netquery [-app traffic|malt] [-model gpt-4] [-backend networkx]
+//	netquery [-app traffic|malt|diagnosis] [-model gpt-4]
+//	         [-backend networkx|pandas|sql|federated]
 //	         [-nodes 80] [-edges 80] [-yes] [query ...]
 //
 // With query arguments it runs them in order and exits; without, it reads
@@ -27,18 +28,34 @@ import (
 	"repro/internal/llm"
 	"repro/internal/malt"
 	"repro/internal/nql"
+	"repro/internal/prompt"
 	"repro/internal/traffic"
 )
 
 func main() {
-	app := flag.String("app", "traffic", "application: traffic or malt")
+	app := flag.String("app", "traffic", "application: traffic, malt or diagnosis")
 	model := flag.String("model", "gpt-4", "LLM: gpt-4, gpt-3, text-davinci-003, bard")
-	backend := flag.String("backend", "networkx", "code generation backend: networkx, pandas, sql")
+	backend := flag.String("backend", "networkx", "code generation backend: networkx, pandas, sql, federated")
 	nodes := flag.Int("nodes", 80, "traffic graph nodes")
 	edges := flag.Int("edges", 80, "traffic graph edges")
 	seed := flag.Int64("seed", 42, "workload seed")
 	autoApprove := flag.Bool("yes", false, "auto-approve state changes")
 	flag.Parse()
+
+	// Validate the backend up front: an unknown backend would otherwise
+	// only surface deep inside the session as generated code that cannot
+	// see any bindings.
+	known := false
+	for _, b := range prompt.AllBackends {
+		if *backend == b {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (have %s)\n",
+			*backend, strings.Join(prompt.AllBackends, ", "))
+		os.Exit(2)
+	}
 
 	m, err := llm.NewSim(*model)
 	if err != nil {

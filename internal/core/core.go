@@ -7,6 +7,25 @@
 // This is the library a downstream user embeds: create a Session over an
 // application, Ask natural-language questions, inspect the returned code
 // and result, and Approve mutations to commit them.
+//
+// Four code-generation backends are available via WithBackend. The three
+// per-substrate backends mirror the paper's comparison — "networkx" binds
+// the attributed graph, "pandas" the node/edge dataframes, "sql" the
+// relational database — and generated code sees exactly one representation.
+// The fourth, "federated", binds all three substrates at once plus a
+// cross-substrate query planner (`fed`, package internal/federate):
+// generated programs can push scans down to any substrate and join across
+// them in one sandboxed run, e.g.
+//
+//	s := core.NewTrafficSession(model, g, core.WithBackend("federated"))
+//	ix, _ := s.Ask("Which destinations of heavy edges have the highest in-degree?")
+//	// generated code may contain:
+//	//   fed.scan("sql", "edges").filter("bytes", ">", 500000).
+//	//       join(fed.scan("graph", "degree"), "dst", "id").
+//	//       sort("in_degree", false).limit(5).collect()
+//
+// Every backend executes against the same cloned state, so inspection and
+// Approve semantics are identical across all four.
 package core
 
 import (

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dataframe"
 	"repro/internal/graph"
+	"repro/internal/prompt"
 	"repro/internal/sqldb"
 	"repro/internal/traffic"
 )
@@ -160,21 +161,26 @@ func (w *Wrapper) Describe(backend string) string {
 		"has an id, a path (sequence of node ids following edge directions), " +
 		"and an observed boolean outcome ok — a probe succeeds if and only " +
 		"if every link on its path is up."
+	networkx := " A variable `graph` is bound to the graph (methods " +
+		"as in the traffic application; edge attrs include status). A " +
+		"variable `probes` is bound to a list of maps, each with keys " +
+		"\"id\" (string), \"path\" (list of node ids) and \"ok\" (bool)."
+	pandas := " Dataframes are bound: `nodes_df` (id, ip), " +
+		"`edges_df` (src, dst, bytes, connections, packets, status) and " +
+		"`probes_df` (pid, path, ok) where path joins node ids with \">\"."
+	sql := " A variable `db` is bound to a SQL database with " +
+		"tables nodes(id, ip), edges(src, dst, bytes, connections, " +
+		"packets, status) and probes(pid, path, ok) where path joins " +
+		"node ids with '>'."
 	switch backend {
 	case "networkx":
-		return common + " A variable `graph` is bound to the graph (methods " +
-			"as in the traffic application; edge attrs include status). A " +
-			"variable `probes` is bound to a list of maps, each with keys " +
-			"\"id\" (string), \"path\" (list of node ids) and \"ok\" (bool)."
+		return common + networkx
 	case "pandas":
-		return common + " Dataframes are bound: `nodes_df` (id, ip), " +
-			"`edges_df` (src, dst, bytes, connections, packets, status) and " +
-			"`probes_df` (pid, path, ok) where path joins node ids with \">\"."
+		return common + pandas
 	case "sql":
-		return common + " A variable `db` is bound to a SQL database with " +
-			"tables nodes(id, ip), edges(src, dst, bytes, connections, " +
-			"packets, status) and probes(pid, path, ok) where path joins " +
-			"node ids with '>'."
+		return common + sql
+	case "federated":
+		return common + networkx + pandas + sql + prompt.FederatedPlannerDoc
 	default:
 		return common
 	}

@@ -1,0 +1,748 @@
+package federate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataframe"
+	"repro/internal/graph"
+	"repro/internal/nql"
+)
+
+// Run optimizes a logical plan and executes it against the catalog. The
+// catalog is only read: scans lift rows out of the substrates, every later
+// stage operates on the lifted relation.
+func Run(cat *Catalog, plan Node) (*Relation, error) {
+	return Exec(cat, Optimize(plan))
+}
+
+// Exec executes an already-optimized plan.
+func Exec(cat *Catalog, plan Node) (*Relation, error) {
+	switch x := plan.(type) {
+	case *Scan:
+		return execScan(cat, x)
+	case *Filter:
+		return execFilter(cat, x)
+	case *Project:
+		return execProject(cat, x)
+	case *Join:
+		return execJoin(cat, x)
+	case *Aggregate:
+		return execAggregate(cat, x)
+	case *Sort:
+		return execSort(cat, x)
+	case *Limit:
+		return execLimit(cat, x)
+	default:
+		return nil, fmt.Errorf("federate: unsupported plan node %T", plan)
+	}
+}
+
+// --- scans -----------------------------------------------------------------
+
+func execScan(cat *Catalog, s *Scan) (*Relation, error) {
+	var rel *Relation
+	var err error
+	switch s.Source {
+	case SourceGraph:
+		rel, err = scanGraph(cat, s)
+	case SourceFrame:
+		rel, err = scanFrame(cat, s)
+	case SourceSQL:
+		return scanSQL(cat, s)
+	default:
+		return nil, fmt.Errorf("federate: unknown scan source %q (have graph, frame, sql)", s.Source)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finishScan(rel, s.Pushed, s.Cols)
+}
+
+// finishScan applies pushed predicates and the projected column list to a
+// fully-lifted relation (the graph and frame scans filter during lift; the
+// SQL scan compiles both into the query and skips this).
+func finishScan(rel *Relation, pushed []Cmp, cols []string) (*Relation, error) {
+	if len(pushed) > 0 {
+		kept := rel.Rows[:0:0]
+		for _, row := range rel.Rows {
+			ok, err := rowMatches(rel, row, pushed)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rel = &Relation{Cols: rel.Cols, Rows: kept}
+	}
+	if cols == nil {
+		return rel, nil
+	}
+	return projectRelation(rel, cols)
+}
+
+func rowMatches(rel *Relation, row []nql.Value, cmps []Cmp) (bool, error) {
+	for _, c := range cmps {
+		i, err := rel.colIndex(c.Col)
+		if err != nil {
+			return false, err
+		}
+		ok, err := evalCmp(c.Op, row[i], c.Value)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func scanGraph(cat *Catalog, s *Scan) (*Relation, error) {
+	g := cat.Graph
+	if g == nil {
+		return nil, fmt.Errorf("federate: catalog has no graph source")
+	}
+	switch s.Table {
+	case GraphTableNodes:
+		cols := []string{"id"}
+		cols = append(cols, attrKeyUnion(g, true)...)
+		rel := &Relation{Cols: cols}
+		for _, id := range g.Nodes() {
+			attrs := g.NodeAttrsView(id)
+			row := make([]nql.Value, len(cols))
+			row[0] = id
+			for i, k := range cols[1:] {
+				row[i+1] = liftValue(attrs[k])
+			}
+			rel.Rows = append(rel.Rows, row)
+		}
+		return rel, nil
+	case GraphTableEdges:
+		cols := []string{"src", "dst"}
+		cols = append(cols, attrKeyUnion(g, false)...)
+		rel := &Relation{Cols: cols}
+		for _, e := range g.EdgesView() {
+			row := make([]nql.Value, len(cols))
+			row[0], row[1] = e.U, e.V
+			for i, k := range cols[2:] {
+				row[i+2] = liftValue(e.Attrs[k])
+			}
+			rel.Rows = append(rel.Rows, row)
+		}
+		return rel, nil
+	case GraphTableDegree:
+		rel := &Relation{Cols: []string{"id", "degree", "in_degree", "out_degree"}}
+		for _, id := range g.Nodes() {
+			rel.Rows = append(rel.Rows, []nql.Value{
+				id, int64(g.Degree(id)), int64(g.InDegree(id)), int64(g.OutDegree(id)),
+			})
+		}
+		return rel, nil
+	case GraphTablePageRank:
+		// Same parameters as the networkx binding's pagerank() so federated
+		// plans agree with per-backend goldens.
+		pr := g.PageRank(0.85, 100, 1e-9)
+		rel := &Relation{Cols: []string{"id", "pagerank"}}
+		for _, id := range g.Nodes() {
+			rel.Rows = append(rel.Rows, []nql.Value{id, pr[id]})
+		}
+		return rel, nil
+	case GraphTableComponents:
+		comp := map[string]int64{}
+		for i, members := range g.ConnectedComponents() {
+			for _, id := range members {
+				comp[id] = int64(i)
+			}
+		}
+		rel := &Relation{Cols: []string{"id", "component"}}
+		for _, id := range g.Nodes() {
+			rel.Rows = append(rel.Rows, []nql.Value{id, comp[id]})
+		}
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("federate: unknown graph table %q (have nodes, edges, degree, pagerank, components)", s.Table)
+	}
+}
+
+// attrKeyUnion returns the sorted union of attribute keys over all nodes
+// (or edges) of the graph.
+func attrKeyUnion(g *graph.Graph, nodes bool) []string {
+	seen := map[string]bool{}
+	if nodes {
+		for _, id := range g.Nodes() {
+			for k := range g.NodeAttrsView(id) {
+				seen[k] = true
+			}
+		}
+	} else {
+		for _, e := range g.EdgesView() {
+			for k := range e.Attrs {
+				seen[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func scanFrame(cat *Catalog, s *Scan) (*Relation, error) {
+	f := cat.Frames[s.Table]
+	if f == nil {
+		names := make([]string, 0, len(cat.Frames))
+		for name := range cat.Frames {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("federate: unknown frame table %q (have %v)", s.Table, names)
+	}
+	return frameRelation(f), nil
+}
+
+func frameRelation(f *dataframe.Frame) *Relation {
+	cols := f.Columns()
+	rel := &Relation{Cols: cols}
+	columns := make([][]any, len(cols))
+	for i, c := range cols {
+		columns[i], _ = f.Column(c)
+	}
+	for r := 0; r < f.NumRows(); r++ {
+		row := make([]nql.Value, len(cols))
+		for i := range cols {
+			row[i] = liftValue(columns[i][r])
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel
+}
+
+// scanSQL pushes the scan into the SQL engine: projected columns become the
+// SELECT list and every pushed predicate that has a SQL rendering becomes a
+// WHERE conjunct. Predicates the dialect cannot express (bool/nil literals,
+// strings containing quotes, contains) are applied locally afterwards.
+func scanSQL(cat *Catalog, s *Scan) (*Relation, error) {
+	if cat.DB == nil {
+		return nil, fmt.Errorf("federate: catalog has no sql source")
+	}
+	var local []Cmp
+	var where []string
+	for _, c := range s.Pushed {
+		if sqlCond, ok := sqlCompile(c); ok {
+			where = append(where, sqlCond)
+		} else {
+			local = append(local, c)
+		}
+	}
+	// Local predicates may reference columns outside the projection, so the
+	// narrowed SELECT list is only safe when everything was pushed.
+	sel := "*"
+	project := s.Cols
+	if project != nil && len(local) == 0 {
+		sel = strings.Join(project, ", ")
+		project = nil
+	}
+	q := fmt.Sprintf("SELECT %s FROM %s", sel, s.Table)
+	if len(where) > 0 {
+		q += " WHERE " + strings.Join(where, " AND ")
+	}
+	f, err := cat.DB.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return finishScan(frameRelation(f), local, project)
+}
+
+// sqlCompile renders a structured predicate as a SQL condition; ok is false
+// when the dialect cannot express it and it must run locally.
+func sqlCompile(c Cmp) (string, bool) {
+	var op string
+	switch c.Op {
+	case "==":
+		op = "="
+	case "!=", "<", "<=", ">", ">=":
+		op = c.Op
+	case "prefix":
+		s, ok := c.Value.(string)
+		if !ok || strings.ContainsAny(s, "%_'") {
+			return "", false
+		}
+		return fmt.Sprintf("%s LIKE '%s%%'", c.Col, s), true
+	default:
+		return "", false
+	}
+	switch v := c.Value.(type) {
+	case int64:
+		return fmt.Sprintf("%s %s %d", c.Col, op, v), true
+	case float64:
+		// The dialect's lexer has no exponent syntax, so the literal must
+		// be plain decimal digits; NaN/Inf have no rendering at all.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", false
+		}
+		return fmt.Sprintf("%s %s %s", c.Col, op, strconv.FormatFloat(v, 'f', -1, 64)), true
+	case string:
+		if strings.Contains(v, "'") {
+			return "", false
+		}
+		return fmt.Sprintf("%s %s '%s'", c.Col, op, v), true
+	default:
+		return "", false
+	}
+}
+
+// --- relational operators --------------------------------------------------
+
+func execFilter(cat *Catalog, f *Filter) (*Relation, error) {
+	in, err := Exec(cat, f.Input)
+	if err != nil {
+		return nil, err
+	}
+	switch p := f.Pred.(type) {
+	case Cmp:
+		return finishScan(in, []Cmp{p}, nil)
+	case FuncPred:
+		out := &Relation{Cols: in.Cols}
+		for _, row := range in.Rows {
+			m := nql.NewMap()
+			for j, c := range in.Cols {
+				_ = m.Set(c, row[j])
+			}
+			keep, err := p.Fn(m)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("federate: unsupported predicate %T", f.Pred)
+	}
+}
+
+func execProject(cat *Catalog, p *Project) (*Relation, error) {
+	in, err := Exec(cat, p.Input)
+	if err != nil {
+		return nil, err
+	}
+	return projectRelation(in, p.Cols)
+}
+
+func projectRelation(in *Relation, cols []string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := in.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	out := &Relation{Cols: append([]string(nil), cols...)}
+	for _, row := range in.Rows {
+		nr := make([]nql.Value, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+func execJoin(cat *Catalog, j *Join) (*Relation, error) {
+	left, err := Exec(cat, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Exec(cat, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	li, err := left.colIndex(j.LeftKey)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.colIndex(j.RightKey)
+	if err != nil {
+		return nil, err
+	}
+	// Output schema: left columns, then right columns minus the join key;
+	// collisions with a left name get the "_r" suffix.
+	cols := append([]string(nil), left.Cols...)
+	taken := map[string]bool{}
+	for _, c := range cols {
+		taken[c] = true
+	}
+	var rightCols []int
+	for i, c := range right.Cols {
+		if i == ri {
+			continue
+		}
+		rightCols = append(rightCols, i)
+		if taken[c] {
+			c += "_r"
+		}
+		taken[c] = true
+		cols = append(cols, c)
+	}
+	// Hash the right side; matches preserve right-row order per left row.
+	index := map[string][]int{}
+	for i, row := range right.Rows {
+		k, err := hashKey(row[ri])
+		if err != nil {
+			return nil, fmt.Errorf("federate: join key %s: %w", j.RightKey, err)
+		}
+		index[k] = append(index[k], i)
+	}
+	out := &Relation{Cols: cols}
+	for _, lrow := range left.Rows {
+		k, err := hashKey(lrow[li])
+		if err != nil {
+			return nil, fmt.Errorf("federate: join key %s: %w", j.LeftKey, err)
+		}
+		for _, i := range index[k] {
+			row := make([]nql.Value, 0, len(cols))
+			row = append(row, lrow...)
+			for _, c := range rightCols {
+				row = append(row, right.Rows[i][c])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// hashKey renders a scalar join/group key canonically (numbers compare
+// across int64/float64, mirroring the dataframe's value semantics).
+func hashKey(v nql.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "\x00", nil
+	case bool:
+		return fmt.Sprintf("\x01%v", x), nil
+	case int64:
+		return fmt.Sprintf("\x02%v", float64(x)), nil
+	case float64:
+		return fmt.Sprintf("\x02%v", x), nil
+	case string:
+		return "\x03" + x, nil
+	default:
+		return "", fmt.Errorf("unhashable value of type %s", nql.TypeName(v))
+	}
+}
+
+func execAggregate(cat *Catalog, a *Aggregate) (*Relation, error) {
+	in, err := Exec(cat, a.Input)
+	if err != nil {
+		return nil, err
+	}
+	gidx := make([]int, len(a.GroupBy))
+	for i, c := range a.GroupBy {
+		j, err := in.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		gidx[i] = j
+	}
+	aidx := make([]int, len(a.Aggs))
+	for i, sp := range a.Aggs {
+		if !validAggFn(sp.Fn) {
+			return nil, fmt.Errorf("federate: unknown aggregate %q (have count, sum, mean, min, max)", sp.Fn)
+		}
+		if sp.Fn == AggCount {
+			aidx[i] = -1
+			continue
+		}
+		j, err := in.colIndex(sp.Col)
+		if err != nil {
+			return nil, err
+		}
+		aidx[i] = j
+	}
+	type group struct {
+		key  []nql.Value
+		accs []*agg
+	}
+	var order []*group
+	groups := map[string]*group{}
+	lookup := func(row []nql.Value) (*group, error) {
+		var sb strings.Builder
+		for _, j := range gidx {
+			k, err := hashKey(row[j])
+			if err != nil {
+				return nil, fmt.Errorf("federate: group key %s: %w", in.Cols[j], err)
+			}
+			sb.WriteString(k)
+			sb.WriteByte('\x1f')
+		}
+		k := sb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: make([]nql.Value, len(gidx)), accs: make([]*agg, len(a.Aggs))}
+			for i, j := range gidx {
+				g.key[i] = row[j]
+			}
+			for i := range g.accs {
+				g.accs[i] = &agg{}
+			}
+			groups[k] = g
+			order = append(order, g)
+		}
+		return g, nil
+	}
+	for _, row := range in.Rows {
+		g, err := lookup(row)
+		if err != nil {
+			return nil, err
+		}
+		for i, sp := range a.Aggs {
+			var v nql.Value
+			if aidx[i] >= 0 {
+				v = row[aidx[i]]
+			}
+			if err := g.accs[i].add(sp.Fn, v); err != nil {
+				return nil, fmt.Errorf("federate: %s(%s): %w", sp.Fn, sp.Col, err)
+			}
+		}
+	}
+	if len(gidx) == 0 && len(order) == 0 {
+		// A global aggregate always emits one row, even over zero input
+		// rows (count 0, other aggregates nil — SQL semantics).
+		g := &group{accs: make([]*agg, len(a.Aggs))}
+		for i := range g.accs {
+			g.accs[i] = &agg{}
+		}
+		order = append(order, g)
+	}
+	cols := append([]string(nil), a.GroupBy...)
+	for _, sp := range a.Aggs {
+		cols = append(cols, sp.As)
+	}
+	out := &Relation{Cols: cols}
+	for _, g := range order {
+		row := append([]nql.Value(nil), g.key...)
+		for i, sp := range a.Aggs {
+			row = append(row, g.accs[i].result(sp.Fn))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func validAggFn(fn string) bool {
+	switch fn {
+	case AggCount, AggSum, AggMean, AggMin, AggMax:
+		return true
+	}
+	return false
+}
+
+// agg accumulates one aggregate over a group. Nil cells are skipped (SQL
+// NULL semantics); sums stay integral while every input is an int64.
+type agg struct {
+	count    int64
+	sumF     float64
+	sumI     int64
+	allInt   bool
+	seen     bool
+	best     nql.Value // min/max candidate
+	haveBest bool
+}
+
+func (g *agg) add(fn string, v nql.Value) error {
+	if fn == AggCount {
+		g.count++
+		return nil
+	}
+	if v == nil {
+		return nil
+	}
+	switch fn {
+	case AggSum, AggMean:
+		switch x := v.(type) {
+		case int64:
+			if !g.seen {
+				g.allInt = true
+			}
+			g.sumI += x
+			g.sumF += float64(x)
+		case float64:
+			g.allInt = false
+			g.sumF += x
+		default:
+			return fmt.Errorf("value must be a number, got %s", nql.TypeName(v))
+		}
+		g.seen = true
+		g.count++
+	case AggMin, AggMax:
+		if !g.haveBest {
+			g.best, g.haveBest = v, true
+			return nil
+		}
+		cmp := dataframe.CompareValues(g.best, v)
+		if (fn == AggMin && cmp > 0) || (fn == AggMax && cmp < 0) {
+			g.best = v
+		}
+	}
+	return nil
+}
+
+func (g *agg) result(fn string) nql.Value {
+	switch fn {
+	case AggCount:
+		return g.count
+	case AggSum:
+		if !g.seen {
+			return nil
+		}
+		if g.allInt {
+			return g.sumI
+		}
+		return g.sumF
+	case AggMean:
+		if !g.seen {
+			return nil
+		}
+		return g.sumF / float64(g.count)
+	case AggMin, AggMax:
+		if !g.haveBest {
+			return nil
+		}
+		return g.best
+	}
+	return nil
+}
+
+func execSort(cat *Catalog, s *Sort) (*Relation, error) {
+	in, err := Exec(cat, s.Input)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(s.Cols))
+	for i, c := range s.Cols {
+		j, err := in.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	rows := append([][]nql.Value(nil), in.Rows...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, j := range idx {
+			cmp := dataframe.CompareValues(rows[a][j], rows[b][j])
+			if cmp != 0 {
+				if s.Ascending {
+					return cmp < 0
+				}
+				return cmp > 0
+			}
+		}
+		return false
+	})
+	return &Relation{Cols: in.Cols, Rows: rows}, nil
+}
+
+func execLimit(cat *Catalog, l *Limit) (*Relation, error) {
+	in, err := Exec(cat, l.Input)
+	if err != nil {
+		return nil, err
+	}
+	n := l.N
+	if n < 0 {
+		n = 0
+	}
+	if n > len(in.Rows) {
+		n = len(in.Rows)
+	}
+	return &Relation{Cols: in.Cols, Rows: in.Rows[:n]}, nil
+}
+
+// evalCmp evaluates one structured comparison against a cell.
+func evalCmp(op string, cell, want nql.Value) (bool, error) {
+	switch op {
+	case "==":
+		return scalarEqual(cell, want), nil
+	case "!=":
+		return !scalarEqual(cell, want), nil
+	case "<", "<=", ">", ">=":
+		cmp, err := orderedCompare(cell, want)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	case "contains":
+		s, ok1 := cell.(string)
+		sub, ok2 := want.(string)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("federate: contains requires strings, got %s and %s", nql.TypeName(cell), nql.TypeName(want))
+		}
+		return strings.Contains(s, sub), nil
+	case "prefix":
+		s, ok1 := cell.(string)
+		p, ok2 := want.(string)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("federate: prefix requires strings, got %s and %s", nql.TypeName(cell), nql.TypeName(want))
+		}
+		return strings.HasPrefix(s, p), nil
+	default:
+		return false, fmt.Errorf("federate: unknown comparison operator %q", op)
+	}
+}
+
+func scalarEqual(a, b nql.Value) bool {
+	switch a.(type) {
+	case nil, bool, int64, float64, string:
+		return nql.ValuesEqual(a, b)
+	default:
+		return false
+	}
+}
+
+func orderedCompare(a, b nql.Value) (int, error) {
+	an, aok := asNumber(a)
+	bn, bok := asNumber(b)
+	if aok && bok {
+		switch {
+		case an < bn:
+			return -1, nil
+		case an > bn:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	as, aok2 := a.(string)
+	bs, bok2 := b.(string)
+	if aok2 && bok2 {
+		return strings.Compare(as, bs), nil
+	}
+	return 0, fmt.Errorf("federate: cannot order %s against %s", nql.TypeName(a), nql.TypeName(b))
+}
+
+func asNumber(v nql.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,78 @@
+package federate
+
+// Optimize rewrites a logical plan for execution: structured filters
+// directly above a scan merge into the scan's pushdown list, and a
+// projection directly above a scan becomes the scan's column list. Plans
+// are immutable — Optimize never mutates its input; rewritten operators are
+// copies, so plan handles shared by the bindings stay valid.
+func Optimize(n Node) Node {
+	switch x := n.(type) {
+	case *Scan:
+		return n
+	case *Filter:
+		in := Optimize(x.Input)
+		if cmp, ok := x.Pred.(Cmp); ok {
+			// Fold only when the scan still exposes the filter column: a
+			// scan filters before projecting, so folding past a narrowed
+			// column list would turn an unknown-column error into success.
+			if scan, ok := in.(*Scan); ok && (scan.Cols == nil || containsCol(scan.Cols, cmp.Col)) {
+				return scanWith(scan, append(append([]Cmp(nil), scan.Pushed...), cmp), scan.Cols)
+			}
+		}
+		if in == x.Input {
+			return x
+		}
+		return &Filter{Input: in, Pred: x.Pred}
+	case *Project:
+		in := Optimize(x.Input)
+		// The projection folds into a scan that has not already been
+		// narrowed; pushed predicates still see the full row because scans
+		// filter before projecting.
+		if scan, ok := in.(*Scan); ok && scan.Cols == nil {
+			return scanWith(scan, scan.Pushed, append([]string(nil), x.Cols...))
+		}
+		if in == x.Input {
+			return x
+		}
+		return &Project{Input: in, Cols: x.Cols}
+	case *Join:
+		l, r := Optimize(x.Left), Optimize(x.Right)
+		if l == x.Left && r == x.Right {
+			return x
+		}
+		return &Join{Left: l, Right: r, LeftKey: x.LeftKey, RightKey: x.RightKey}
+	case *Aggregate:
+		in := Optimize(x.Input)
+		if in == x.Input {
+			return x
+		}
+		return &Aggregate{Input: in, GroupBy: x.GroupBy, Aggs: x.Aggs}
+	case *Sort:
+		in := Optimize(x.Input)
+		if in == x.Input {
+			return x
+		}
+		return &Sort{Input: in, Cols: x.Cols, Ascending: x.Ascending}
+	case *Limit:
+		in := Optimize(x.Input)
+		if in == x.Input {
+			return x
+		}
+		return &Limit{Input: in, N: x.N}
+	default:
+		return n
+	}
+}
+
+func scanWith(s *Scan, pushed []Cmp, cols []string) *Scan {
+	return &Scan{Source: s.Source, Table: s.Table, Pushed: pushed, Cols: cols}
+}
+
+func containsCol(cols []string, col string) bool {
+	for _, c := range cols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}

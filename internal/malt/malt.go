@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dataframe"
 	"repro/internal/graph"
+	"repro/internal/prompt"
 	"repro/internal/sqldb"
 )
 
@@ -240,23 +241,28 @@ func (w *Wrapper) Describe(backend string) string {
 		"from container to contained entity, RK_CONTROLS from control point to " +
 		"controlled switch. Entity ids are prefixed by kind: dc.*, ch.*, ps.*, " +
 		"ps.<switch>.p<N> for ports, cp.*."
+	networkx := " A variable `graph` is bound to the directed graph " +
+		"with the methods nodes(), edges(), node(id), edge(u, v), " +
+		"neighbors(id), predecessors(id), degree(id), subgraph(ids), " +
+		"add/remove_node, add/remove_edge, set_node_attr and " +
+		"topological_sort(). edges() yields objects with .src, .dst, .attrs."
+	pandas := " Two dataframes are bound: `nodes_df` with columns " +
+		"(id, kind, name, capacity, role, speed_gbps, admin_state, region, " +
+		"vendor, ports) — inapplicable cells are nil — and `edges_df` with " +
+		"columns (src, dst, relation)."
+	sql := " A variable `db` is bound to a SQL database with " +
+		"tables entities(id, kind, name, capacity, role, speed_gbps, " +
+		"admin_state, region, vendor, ports) and relationships(src, dst, " +
+		"relation)."
 	switch backend {
 	case "networkx":
-		return common + " A variable `graph` is bound to the directed graph " +
-			"with the methods nodes(), edges(), node(id), edge(u, v), " +
-			"neighbors(id), predecessors(id), degree(id), subgraph(ids), " +
-			"add/remove_node, add/remove_edge, set_node_attr and " +
-			"topological_sort(). edges() yields objects with .src, .dst, .attrs."
+		return common + networkx
 	case "pandas":
-		return common + " Two dataframes are bound: `nodes_df` with columns " +
-			"(id, kind, name, capacity, role, speed_gbps, admin_state, region, " +
-			"vendor, ports) — inapplicable cells are nil — and `edges_df` with " +
-			"columns (src, dst, relation)."
+		return common + pandas
 	case "sql":
-		return common + " A variable `db` is bound to a SQL database with " +
-			"tables entities(id, kind, name, capacity, role, speed_gbps, " +
-			"admin_state, region, vendor, ports) and relationships(src, dst, " +
-			"relation)."
+		return common + sql
+	case "federated":
+		return common + networkx + pandas + sql + prompt.FederatedPlannerDoc
 	default:
 		return common
 	}

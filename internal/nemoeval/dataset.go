@@ -7,6 +7,7 @@ package nemoeval
 import (
 	"repro/internal/dataframe"
 	"repro/internal/diagnosis"
+	"repro/internal/federate"
 	"repro/internal/graph"
 	"repro/internal/malt"
 	"repro/internal/nql"
@@ -61,10 +62,39 @@ func (inst *Instance) Database() *sqldb.DB {
 	return inst.DB
 }
 
+// Federation assembles the federated-planner catalog over this instance's
+// substrates, forcing the lazy relational representations (the federated
+// backend binds every substrate at once).
+func (inst *Instance) Federation() *federate.Catalog {
+	nodes, edges := inst.Frames()
+	frames := map[string]*dataframe.Frame{"nodes": nodes, "edges": edges}
+	if inst.Probes != nil {
+		frames["probes"] = inst.Probes
+	}
+	return &federate.Catalog{Graph: inst.Graph, Frames: frames, DB: inst.Database()}
+}
+
 // Bindings returns the host globals for one backend, wrapping this
 // instance's state.
 func (inst *Instance) Bindings(backend string) map[string]nql.Value {
 	switch backend {
+	case prompt.BackendFederated:
+		// The federated backend is the union of the three per-substrate
+		// environments plus the cross-substrate planner.
+		nodes, edges := inst.Frames()
+		extra := map[string]nql.Value{
+			"nodes_df": nqlbind.NewFrameObject(nodes),
+			"edges_df": nqlbind.NewFrameObject(edges),
+			"db":       nqlbind.NewDBObject(inst.Database()),
+			"fed":      nqlbind.NewFedObject(inst.Federation()),
+		}
+		if inst.Probes != nil {
+			extra["probes_df"] = nqlbind.NewFrameObject(inst.Probes)
+		}
+		if inst.ProbesList != nil {
+			extra["probes"] = inst.ProbesList
+		}
+		return nqlbind.Globals(inst.Graph, extra)
 	case prompt.BackendNetworkX:
 		extra := map[string]nql.Value{}
 		if inst.ProbesList != nil {
@@ -93,6 +123,12 @@ func (inst *Instance) Bindings(backend string) map[string]nql.Value {
 // StateEqual compares the post-run state of two instances for one backend.
 func StateEqual(backend string, a, b *Instance) bool {
 	switch backend {
+	case prompt.BackendFederated:
+		// The federated backend binds every substrate, so all of them must
+		// match.
+		return StateEqual(prompt.BackendNetworkX, a, b) &&
+			StateEqual(prompt.BackendPandas, a, b) &&
+			StateEqual(prompt.BackendSQL, a, b)
 	case prompt.BackendNetworkX:
 		return graph.Equal(a.Graph, b.Graph)
 	case prompt.BackendPandas:

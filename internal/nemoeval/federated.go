@@ -1,0 +1,185 @@
+package nemoeval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// DivergentContracts records, per query, the backends whose golden answer
+// deliberately differs in shape from the NetworkX golden. These are the
+// state-mutating queries: the NetworkX golden mutates the graph and returns
+// nil, while the pandas golden returns the mutated (immutable-by-
+// convention) frame and the SQL golden either mutates tables in place
+// (returning nil, which matches) or returns the computed mapping because
+// the relational schema cannot hold graph attributes. The parity harness
+// asserts that the observed divergence is exactly this set — anything else
+// is a substrate bug.
+var DivergentContracts = map[string][]string{
+	"ta-e1":   {prompt.BackendPandas, prompt.BackendSQL},
+	"ta-e7":   {prompt.BackendPandas},
+	"ta-m1":   {prompt.BackendPandas, prompt.BackendSQL},
+	"ta-m2":   {prompt.BackendPandas, prompt.BackendSQL},
+	"ta-m8":   {prompt.BackendPandas},
+	"ta-h1":   {prompt.BackendPandas, prompt.BackendSQL},
+	"ta-h2":   {prompt.BackendPandas, prompt.BackendSQL},
+	"malt-h1": {prompt.BackendPandas},
+}
+
+// ParityRecord is the cross-backend comparison of one query: whether the
+// federated plan's result equals each per-backend golden result.
+type ParityRecord struct {
+	QueryID    string
+	App        string
+	Complexity string
+	// PlanGolden is true when the query has an explicit federated-planner
+	// golden (as opposed to defaulting to the NetworkX program).
+	PlanGolden bool
+	// Match[backend] is true when the federated result deep-equals that
+	// backend's golden result.
+	Match map[string]bool
+	// StateMatch is true when the post-run federated graph equals the
+	// post-run NetworkX-golden graph (mutations agree).
+	StateMatch bool
+	Err        string
+}
+
+// Divergence lists the backends whose golden differs from the federated
+// result, sorted.
+func (p *ParityRecord) Divergence() []string {
+	var out []string
+	for _, b := range prompt.Backends {
+		if !p.Match[b] {
+			out = append(out, b)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OK reports whether the record satisfies the federation contract: no
+// harness error, the federated result equals the NetworkX golden (value and
+// post-run graph), and any per-backend divergence is a declared contract
+// divergence.
+func (p *ParityRecord) OK() bool {
+	if p.Err != "" || !p.Match[prompt.BackendNetworkX] || !p.StateMatch {
+		return false
+	}
+	declared := append([]string(nil), DivergentContracts[p.QueryID]...)
+	sort.Strings(declared)
+	observed := p.Divergence()
+	if len(observed) != len(declared) {
+		return false
+	}
+	for i := range observed {
+		if observed[i] != declared[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FederatedParity cross-checks the federated plan of every query in one
+// application's suite against the three per-backend goldens. Queries fan
+// out over the runner's worker pool (each golden executes in the sandbox
+// against its own clone of the frozen master); records merge back in suite
+// order.
+func (r *Runner) FederatedParity(app string) ([]*ParityRecord, error) {
+	var suite []queries.Query
+	switch app {
+	case queries.AppTraffic:
+		suite = queries.Traffic()
+	case queries.AppMALT:
+		suite = queries.MALT()
+	case queries.AppDiagnosis:
+		suite = queries.Diagnosis()
+	default:
+		return nil, fmt.Errorf("nemoeval: unknown app %q", app)
+	}
+	ev := NewEvaluator(DatasetFor(app))
+	recs := make([]*ParityRecord, len(suite))
+	parallelFor(r.workers(), len(suite), func(i int) {
+		recs[i] = parityOf(ev, suite[i])
+	})
+	return recs, nil
+}
+
+func parityOf(ev *Evaluator, q queries.Query) *ParityRecord {
+	rec := &ParityRecord{
+		QueryID: q.ID, App: q.App, Complexity: q.Complexity,
+		PlanGolden: strings.Contains(q.Golden[prompt.BackendFederated], "fed."),
+		Match:      map[string]bool{},
+	}
+	fedVal, fedInst, err := ev.RunGolden(q, prompt.BackendFederated)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	for _, backend := range prompt.Backends {
+		val, inst, err := ev.RunGolden(q, backend)
+		if err != nil {
+			rec.Err = err.Error()
+			return rec
+		}
+		rec.Match[backend] = ResultEqual(fedVal, val)
+		if backend == prompt.BackendNetworkX {
+			rec.StateMatch = graph.Equal(fedInst.Graph, inst.Graph)
+		}
+	}
+	return rec
+}
+
+// FederatedParityApps are the suites the parity report covers: the paper's
+// two applications plus the diagnosis extension.
+var FederatedParityApps = []string{queries.AppTraffic, queries.AppMALT, queries.AppDiagnosis}
+
+// FederatedParityReport runs the parity harness over every suite and
+// renders the summary table. The returned error is non-nil when any query
+// violates the federation contract (the report text still describes the
+// violation).
+func (r *Runner) FederatedParityReport() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Federated parity: federated plan vs per-backend goldens\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-10s %-8s %-8s %-6s %-4s %-5s %s\n",
+		"query", "app", "golden", "networkx", "pandas", "sql", "state", "notes"))
+	var firstErr error
+	for _, app := range FederatedParityApps {
+		recs, err := r.FederatedParity(app)
+		if err != nil {
+			return sb.String(), err
+		}
+		for _, rec := range recs {
+			golden := "networkx"
+			if rec.PlanGolden {
+				golden = "plan"
+			}
+			notes := ""
+			if div := rec.Divergence(); len(div) > 0 && rec.OK() {
+				notes = "contract divergence: " + strings.Join(div, ",")
+			}
+			if rec.Err != "" {
+				notes = "error: " + rec.Err
+			}
+			if !rec.OK() && firstErr == nil {
+				firstErr = fmt.Errorf("nemoeval: federated parity violated for %s (divergence %v, err %q)",
+					rec.QueryID, rec.Divergence(), rec.Err)
+			}
+			sb.WriteString(fmt.Sprintf("%-10s %-10s %-8s %-8s %-6s %-4s %-5s %s\n",
+				rec.QueryID, rec.App, golden,
+				mark(rec.Match[prompt.BackendNetworkX]), mark(rec.Match[prompt.BackendPandas]),
+				mark(rec.Match[prompt.BackendSQL]), mark(rec.StateMatch), notes))
+		}
+	}
+	return sb.String(), firstErr
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "="
+	}
+	return "x"
+}

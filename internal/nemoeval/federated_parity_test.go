@@ -1,0 +1,103 @@
+package nemoeval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+// TestFederatedGoldenParity is the cross-backend golden parity gate: for
+// every query in queries.All(), the federated plan's result must equal the
+// NetworkX golden (value and post-run graph), and the three per-backend
+// goldens must agree with each other except on the explicitly declared
+// contract divergences (state-mutating queries whose pandas/SQL goldens
+// return their substrate's lifted form).
+func TestFederatedGoldenParity(t *testing.T) {
+	r := NewRunner()
+	covered := map[string]bool{}
+	for _, app := range FederatedParityApps {
+		recs, err := r.FederatedParity(app)
+		if err != nil {
+			t.Fatalf("FederatedParity(%s): %v", app, err)
+		}
+		for _, rec := range recs {
+			covered[rec.QueryID] = true
+			if rec.Err != "" {
+				t.Errorf("%s: %s", rec.QueryID, rec.Err)
+				continue
+			}
+			if !rec.Match[prompt.BackendNetworkX] {
+				t.Errorf("%s: federated result differs from the networkx golden", rec.QueryID)
+			}
+			if !rec.StateMatch {
+				t.Errorf("%s: federated post-run graph differs from the networkx golden's", rec.QueryID)
+			}
+			if !rec.OK() {
+				t.Errorf("%s: backend divergence %v does not match declared contract %v",
+					rec.QueryID, rec.Divergence(), DivergentContracts[rec.QueryID])
+			}
+		}
+	}
+	// The parity suites must cover the full registry, and the declared
+	// divergences must reference real queries.
+	for _, q := range queries.All() {
+		if !covered[q.ID] {
+			t.Errorf("query %s not covered by the parity harness", q.ID)
+		}
+	}
+	for id := range DivergentContracts {
+		if !covered[id] {
+			t.Errorf("DivergentContracts lists unknown query %s", id)
+		}
+	}
+}
+
+// TestFederatedParityReport pins the report contract: it renders one row
+// per query and reports no violation.
+func TestFederatedParityReport(t *testing.T) {
+	r := NewRunner()
+	report, err := r.FederatedParityReport()
+	if err != nil {
+		t.Fatalf("parity violated: %v\n%s", err, report)
+	}
+	want := len(queries.All())
+	rows := 0
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "ta-") || strings.HasPrefix(line, "malt-") || strings.HasPrefix(line, "diag-") {
+			rows++
+		}
+	}
+	if rows != want {
+		t.Errorf("report has %d query rows, want %d:\n%s", rows, want, report)
+	}
+	if !strings.Contains(report, "contract divergence: pandas,sql") {
+		t.Errorf("report does not annotate known divergences:\n%s", report)
+	}
+}
+
+// TestEvaluateFederatedBackend runs every query's federated golden through
+// the full evaluator (execute, compare value, compare post-run state of all
+// three substrates) — the federated backend must be evaluable exactly like
+// the per-substrate ones.
+func TestEvaluateFederatedBackend(t *testing.T) {
+	for _, app := range FederatedParityApps {
+		ev := NewEvaluator(DatasetFor(app))
+		var suite []queries.Query
+		switch app {
+		case queries.AppTraffic:
+			suite = queries.Traffic()
+		case queries.AppMALT:
+			suite = queries.MALT()
+		default:
+			suite = queries.Diagnosis()
+		}
+		for _, q := range suite {
+			rec := ev.EvaluateCode(q, prompt.BackendFederated, q.Golden[prompt.BackendFederated])
+			if !rec.Pass {
+				t.Errorf("%s/federated golden does not self-evaluate: stage=%s err=%s", q.ID, rec.Stage, rec.Err)
+			}
+		}
+	}
+}

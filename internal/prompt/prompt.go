@@ -21,13 +21,36 @@ type AppWrapper interface {
 
 // Backends supported by the code generator.
 const (
-	BackendNetworkX = "networkx"
-	BackendPandas   = "pandas"
-	BackendSQL      = "sql"
+	BackendNetworkX  = "networkx"
+	BackendPandas    = "pandas"
+	BackendSQL       = "sql"
+	BackendFederated = "federated"
 )
 
-// Backends lists all code-generation backends in evaluation order.
+// Backends lists the paper's per-substrate code-generation backends in
+// evaluation order (the Table 2-5 matrix).
 var Backends = []string{BackendSQL, BackendPandas, BackendNetworkX}
+
+// AllBackends additionally includes the federated backend, which binds all
+// three substrates plus the cross-substrate query planner. It is evaluated
+// by the parity harness rather than the paper's tables.
+var AllBackends = []string{BackendSQL, BackendPandas, BackendNetworkX, BackendFederated}
+
+// FederatedPlannerDoc describes the `fed` planner binding of the federated
+// backend; application wrappers append it to their per-substrate data-model
+// descriptions.
+const FederatedPlannerDoc = " A variable `fed` is bound to a federated query planner " +
+	"spanning every substrate. fed.scan(source, table) starts a logical plan " +
+	"(sources: \"graph\" with tables nodes, edges, degree, pagerank, " +
+	"components; \"frame\" with the dataframe tables; \"sql\" with the " +
+	"database tables). Plans chain filter(col, op, value) with op one of " +
+	"==, !=, <, <=, >, >=, contains, prefix; where(fn); project(cols...); " +
+	"join(other_plan, left_key, right_key); agg(group_cols, [col, fn, name]...) " +
+	"with fn one of count, sum, mean, min, max; sort(cols..., ascending); " +
+	"limit(n); and execute with collect(), count(), cell(i, col), to_frame() " +
+	"or explain(). Filters and projections are pushed down into each " +
+	"substrate natively, and a single plan may join tables from different " +
+	"substrates."
 
 // codeGenInstructions is the general program-synthesis suffix (box 3),
 // independent of the application.
@@ -157,6 +180,10 @@ func IsRepairPrompt(p string) bool {
 // the data-model section; ok is false for strawman prompts.
 func BackendOf(p string) (string, bool) {
 	switch {
+	// The federated description also documents the per-substrate bindings,
+	// so its marker must be checked first.
+	case strings.Contains(p, "`fed` is bound"):
+		return BackendFederated, true
 	case strings.Contains(p, "`graph` is bound"):
 		return BackendNetworkX, true
 	case strings.Contains(p, "`nodes_df`"):

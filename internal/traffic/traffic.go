@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataframe"
 	"repro/internal/graph"
+	"repro/internal/prompt"
 	"repro/internal/sqldb"
 )
 
@@ -129,31 +130,36 @@ func (w *Wrapper) Describe(backend string) string {
 		"endpoints; each node has attribute \"ip\" (dotted IPv4 string). Each " +
 		"directed edge represents observed traffic and has integer attributes " +
 		"\"bytes\", \"connections\" and \"packets\"."
+	networkx := " A variable `graph` is bound to the graph object. " +
+		"Available methods include nodes(), edges(), node(id), edge(u, v), " +
+		"degree(id), in_degree(id), out_degree(id), neighbors(id), " +
+		"add_node(id, attrs), add_edge(u, v, attrs), remove_node(id), " +
+		"remove_edge(u, v), set_node_attr(id, key, value), " +
+		"shortest_path(u, v), hop_count(u, v), connected_components(), " +
+		"subgraph(ids), weighted_degree(id, attr), top_n_by_degree(n), " +
+		"degree_centrality(), pagerank() and clustering(). " +
+		"edges() yields edge objects with .src, .dst and .attrs."
+	pandas := " Two dataframes are bound: `nodes_df` with columns " +
+		"(id, ip) and `edges_df` with columns (src, dst, bytes, " +
+		"connections, packets). Frames support filter(fn), filter_eq(col, " +
+		"v), sort_values(cols..., ascending), select(cols...), head(n), " +
+		"groupby(cols...).agg([col, fn, name]...), merge(other, lk, rk), " +
+		"mutate(col, fn), sum/mean/min/max(col), unique(col), " +
+		"value_counts(col), records(), cell(i, col) and set_cell(i, col, v)."
+	sql := " A variable `db` is bound to a SQL database with " +
+		"tables nodes(id, ip) and edges(src, dst, bytes, connections, " +
+		"packets). Use db.query(\"SELECT ...\") for reads and " +
+		"db.exec(\"UPDATE/INSERT/DELETE ...\") for writes; query() returns " +
+		"a frame with num_rows(), cell(i, col) and records()."
 	switch backend {
 	case "networkx":
-		return common + " A variable `graph` is bound to the graph object. " +
-			"Available methods include nodes(), edges(), node(id), edge(u, v), " +
-			"degree(id), in_degree(id), out_degree(id), neighbors(id), " +
-			"add_node(id, attrs), add_edge(u, v, attrs), remove_node(id), " +
-			"remove_edge(u, v), set_node_attr(id, key, value), " +
-			"shortest_path(u, v), hop_count(u, v), connected_components(), " +
-			"subgraph(ids), weighted_degree(id, attr), top_n_by_degree(n), " +
-			"degree_centrality(), pagerank() and clustering(). " +
-			"edges() yields edge objects with .src, .dst and .attrs."
+		return common + networkx
 	case "pandas":
-		return common + " Two dataframes are bound: `nodes_df` with columns " +
-			"(id, ip) and `edges_df` with columns (src, dst, bytes, " +
-			"connections, packets). Frames support filter(fn), filter_eq(col, " +
-			"v), sort_values(cols..., ascending), select(cols...), head(n), " +
-			"groupby(cols...).agg([col, fn, name]...), merge(other, lk, rk), " +
-			"mutate(col, fn), sum/mean/min/max(col), unique(col), " +
-			"value_counts(col), records(), cell(i, col) and set_cell(i, col, v)."
+		return common + pandas
 	case "sql":
-		return common + " A variable `db` is bound to a SQL database with " +
-			"tables nodes(id, ip) and edges(src, dst, bytes, connections, " +
-			"packets). Use db.query(\"SELECT ...\") for reads and " +
-			"db.exec(\"UPDATE/INSERT/DELETE ...\") for writes; query() returns " +
-			"a frame with num_rows(), cell(i, col) and records()."
+		return common + sql
+	case "federated":
+		return common + networkx + pandas + sql + prompt.FederatedPlannerDoc
 	default:
 		return common
 	}
