@@ -14,29 +14,82 @@
 //	nemoeval -all              # everything
 //	nemoeval -all -log out.jsonl   # also dump evaluation records
 //	nemoeval -table 2 -workers 4   # bound the evaluation worker pool
+//	nemoeval -table 4 -cpuprofile cpu.out -memprofile mem.out
+//	nemoeval -table 2 -engine interp   # force the reference NQL engine
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/nemoeval"
+	"repro/internal/nql"
 	"repro/internal/synthesis"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole command so deferred cleanups (profile writers, log
+// files) execute before the process exits, unlike os.Exit in main.
+func run() int {
 	table := flag.String("table", "", "regenerate one table (2-6)")
 	figure := flag.String("figure", "", "regenerate one figure (4a, 4b)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	federated := flag.Bool("federated", false, "cross-check federated plans against per-backend goldens")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU, 1 = serial)")
 	logPath := flag.String("log", "", "write evaluation records as JSON lines")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	engine := flag.String("engine", "vm", "NQL execution engine: vm (bytecode, default) or interp (reference tree-walker)")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == "" && !*federated {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	switch *engine {
+	case "vm":
+		nql.DefaultEngine = nql.EngineVM
+	case "interp":
+		nql.DefaultEngine = nql.EngineInterp
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown -engine %q (want vm or interp)\n", *engine)
+		return 2
+	}
+
+	// Profiling hooks so perf PRs can attach pprof evidence without
+	// editing code: the CPU profile covers everything after this point;
+	// the heap profile snapshots live allocations after a final GC.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}()
 	}
 
 	runner := nemoeval.NewRunner()
@@ -67,7 +120,7 @@ func main() {
 		cs, err := synthesis.RunCaseStudy()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("Table 6: Improvement Cases with Bard on MALT (NetworkX)\n")
 		fmt.Printf("%-16s %-16s %s\n", "Bard + Pass@1", "Bard + Pass@5", "Bard + Self-debug")
@@ -92,17 +145,18 @@ func main() {
 		f, err := os.Create(*logPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := runner.Log.WriteJSONL(f); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%s)\n", runner.Log.Len(), *logPath, runner.Log.Summary())
 	}
 	if parityErr != nil {
 		fmt.Fprintln(os.Stderr, "error:", parityErr)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -16,10 +16,18 @@ import (
 
 // Frame is an immutable-by-convention columnar table. Operations return new
 // frames; mutating helpers (SetCell, AppendRow) exist for building.
+//
+// A frame can be frozen into a master (Freeze), after which Clone shares
+// its column storage copy-on-write: the clone copies columns only when
+// first mutated. This mirrors graph.Freeze/Clone and is what lets the
+// evaluation matrix hand every sandboxed trial its own table state without
+// re-copying thousands of rows per cell.
 type Frame struct {
-	cols  []string
-	data  map[string][]any
-	nrows int
+	cols   []string
+	data   map[string][]any
+	nrows  int
+	frozen bool // immutable master; mutating it is a programming error
+	shared bool // columns are shared with a frozen master; copy before write
 }
 
 // New creates an empty frame with the given column names.
@@ -118,14 +126,14 @@ func (f *Frame) Cell(row int, col string) (any, error) {
 
 // SetCell assigns the value at (row, col) in place.
 func (f *Frame) SetCell(row int, col string, v any) error {
-	c, err := f.Column(col)
-	if err != nil {
+	if _, err := f.Column(col); err != nil {
 		return err
 	}
 	if row < 0 || row >= f.nrows {
 		return fmt.Errorf("dataframe: row %d out of range [0,%d)", row, f.nrows)
 	}
-	c[row] = normalize(v)
+	f.ensureOwned()
+	f.data[col][row] = normalize(v)
 	return nil
 }
 
@@ -134,6 +142,7 @@ func (f *Frame) AppendRow(vals ...any) {
 	if len(vals) != len(f.cols) {
 		panic(fmt.Sprintf("dataframe: AppendRow got %d values for %d columns", len(vals), len(f.cols)))
 	}
+	f.ensureOwned()
 	for i, c := range f.cols {
 		f.data[c] = append(f.data[c], normalize(vals[i]))
 	}
@@ -212,14 +221,44 @@ func (f *Frame) Rename(oldName, newName string) (*Frame, error) {
 	return out, nil
 }
 
-// Clone returns a deep copy of the frame.
+// Freeze marks the frame as an immutable master: subsequent Clones share
+// its column storage copy-on-write instead of deep-copying. Mutating a
+// frozen frame panics.
+func (f *Frame) Freeze() { f.frozen = true }
+
+// Clone returns a copy of the frame. Cloning a frozen master is O(columns):
+// the clone shares the master's column slices and copies them only when it
+// is first mutated. Cloning an unfrozen frame deep-copies as before.
 func (f *Frame) Clone() *Frame {
 	out := New(f.cols...)
+	if f.frozen {
+		for _, c := range f.cols {
+			out.data[c] = f.data[c]
+		}
+		out.nrows = f.nrows
+		out.shared = true
+		return out
+	}
 	for _, c := range f.cols {
 		out.data[c] = append([]any(nil), f.data[c]...)
 	}
 	out.nrows = f.nrows
 	return out
+}
+
+// ensureOwned makes the frame's column storage private before an in-place
+// mutation (SetCell, AppendRow).
+func (f *Frame) ensureOwned() {
+	if f.frozen {
+		panic("dataframe: mutating a frozen frame")
+	}
+	if !f.shared {
+		return
+	}
+	for c, col := range f.data {
+		f.data[c] = append([]any(nil), col...)
+	}
+	f.shared = false
 }
 
 // Filter returns the rows for which pred returns true.
@@ -233,6 +272,29 @@ func (f *Frame) Filter(pred func(row map[string]any) (bool, error)) (*Frame, err
 		}
 		if keep {
 			vals := make([]any, len(f.cols))
+			for j, c := range f.cols {
+				vals[j] = f.data[c][i]
+			}
+			out.AppendRow(vals...)
+		}
+	}
+	return out, nil
+}
+
+// FilterIdx returns the rows for which pred(i) is true. Unlike Filter it
+// never materializes row maps — predicates read columns directly, which is
+// what the NQL bindings do on the evaluation matrix's hot path. Kept rows
+// are copied at visit time, exactly like Filter, so a predicate that
+// mutates the frame observes the same semantics either way.
+func (f *Frame) FilterIdx(pred func(i int) (bool, error)) (*Frame, error) {
+	out := New(f.cols...)
+	vals := make([]any, len(f.cols))
+	for i := 0; i < f.nrows; i++ {
+		keep, err := pred(i)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
 			for j, c := range f.cols {
 				vals[j] = f.data[c][i]
 			}
@@ -316,6 +378,24 @@ func (f *Frame) Mutate(col string, fn func(row map[string]any) (any, error)) (*F
 	vals := make([]any, f.nrows)
 	for i := 0; i < f.nrows; i++ {
 		v, err := fn(f.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = normalize(v)
+	}
+	if !out.HasColumn(col) {
+		out.cols = append(out.cols, col)
+	}
+	out.data[col] = vals
+	return out, nil
+}
+
+// MutateIdx is Mutate with an index-based callback (no row-map building).
+func (f *Frame) MutateIdx(col string, fn func(i int) (any, error)) (*Frame, error) {
+	out := f.Clone()
+	vals := make([]any, f.nrows)
+	for i := 0; i < f.nrows; i++ {
+		v, err := fn(i)
 		if err != nil {
 			return nil, err
 		}

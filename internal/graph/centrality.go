@@ -1,6 +1,13 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
+
+// prBufPool recycles PageRank's per-call iteration vectors (rank, next,
+// reciprocal out-degrees in one backing array).
+var prBufPool sync.Pool
 
 // DegreeCentrality returns degree/(n-1) for every node (NetworkX semantics).
 func (g *Graph) DegreeCentrality() map[string]float64 {
@@ -160,24 +167,47 @@ func (g *Graph) PageRank(d float64, maxIter int, tol float64) map[string]float64
 	if n == 0 {
 		return out
 	}
-	rank := make([]float64, n)
-	next := make([]float64, n)
+	// One pooled backing array for the three per-node float vectors — the
+	// evaluation matrix runs PageRank once per trial, so recycling the
+	// iteration state keeps the steady-state allocation bill at just the
+	// result map. invDeg holds precomputed reciprocal out-degrees, so the
+	// power iteration performs one multiply per node per sweep instead of
+	// a division — the only per-node work besides the scatter itself.
+	// Every element of all three vectors is written before first read
+	// (rank and invDeg below, next at the top of each sweep), so the
+	// pooled memory needs no clearing.
+	bufp, _ := prBufPool.Get().(*[]float64)
+	if bufp == nil || cap(*bufp) < 3*n {
+		b := make([]float64, 3*n)
+		bufp = &b
+	}
+	buf := (*bufp)[:3*n]
+	defer prBufPool.Put(bufp)
+	rank, next, invDeg := buf[:n], buf[n:2*n], buf[2*n:]
 	for i := range rank {
 		rank[i] = 1.0 / float64(n)
 	}
+	for i := 0; i < n; i++ {
+		if deg := len(g.succ[i]); deg > 0 {
+			invDeg[i] = 1.0 / float64(deg)
+		} else {
+			invDeg[i] = 0
+		}
+	}
+	succ := g.succ
 	for iter := 0; iter < maxIter; iter++ {
 		for i := range next {
 			next[i] = 0
 		}
 		dangling := 0.0
 		for i := 0; i < n; i++ {
-			outdeg := len(g.succ[i])
-			if outdeg == 0 {
+			nbs := succ[i]
+			if len(nbs) == 0 {
 				dangling += rank[i]
 				continue
 			}
-			share := rank[i] / float64(outdeg)
-			for _, nb := range g.succ[i] {
+			share := rank[i] * invDeg[i]
+			for _, nb := range nbs {
 				next[nb] += share
 			}
 		}

@@ -40,8 +40,22 @@ type Instance struct {
 	Probes     *dataframe.Frame // probes table (pandas backend)
 	ProbesList nql.Value        // probes list-of-maps (networkx backend)
 
+	lazyGraph  func() *graph.Graph
 	lazyFrames func() (nodes, edges *dataframe.Frame)
 	lazyDB     func() *sqldb.DB
+}
+
+// G returns the graph, building (cloning) it on first use when the
+// instance was created with a lazy graph — a pandas- or SQL-backend
+// evaluation then never pays for cloning a large topology it cannot touch.
+// Like Frames/Database, the accessor is safe on shared golden instances
+// because a golden instance is only consulted for the backend it executed
+// on, which already forced the field during the run.
+func (inst *Instance) G() *graph.Graph {
+	if inst.Graph == nil && inst.lazyGraph != nil {
+		inst.Graph = inst.lazyGraph()
+	}
+	return inst.Graph
 }
 
 // Frames returns the node/edge dataframes, building them on first use when
@@ -71,7 +85,7 @@ func (inst *Instance) Federation() *federate.Catalog {
 	if inst.Probes != nil {
 		frames["probes"] = inst.Probes
 	}
-	return &federate.Catalog{Graph: inst.Graph, Frames: frames, DB: inst.Database()}
+	return &federate.Catalog{Graph: inst.G(), Frames: frames, DB: inst.Database()}
 }
 
 // Bindings returns the host globals for one backend, wrapping this
@@ -94,13 +108,13 @@ func (inst *Instance) Bindings(backend string) map[string]nql.Value {
 		if inst.ProbesList != nil {
 			extra["probes"] = inst.ProbesList
 		}
-		return nqlbind.Globals(inst.Graph, extra)
+		return nqlbind.Globals(inst.G(), extra)
 	case prompt.BackendNetworkX:
 		extra := map[string]nql.Value{}
 		if inst.ProbesList != nil {
 			extra["probes"] = inst.ProbesList
 		}
-		return nqlbind.Globals(inst.Graph, extra)
+		return nqlbind.Globals(inst.G(), extra)
 	case prompt.BackendPandas:
 		nodes, edges := inst.Frames()
 		extra := map[string]nql.Value{
@@ -130,7 +144,7 @@ func StateEqual(backend string, a, b *Instance) bool {
 			StateEqual(prompt.BackendPandas, a, b) &&
 			StateEqual(prompt.BackendSQL, a, b)
 	case prompt.BackendNetworkX:
-		return graph.Equal(a.Graph, b.Graph)
+		return graph.Equal(a.G(), b.G())
 	case prompt.BackendPandas:
 		aNodes, aEdges := a.Frames()
 		bNodes, bEdges := b.Frames()
@@ -200,12 +214,15 @@ func MALTDataset() InstanceBuilder {
 	g0 := master.Graph()
 	g0.Freeze()
 	nodes0, edges0 := master.Frames()
+	nodes0.Freeze()
+	edges0.Freeze()
 	db0 := master.Database()
+	db0.Freeze()
 	return func() *Instance {
 		return &Instance{
-			App:     queries.AppMALT,
-			Wrapper: malt.NewWrapper(master),
-			Graph:   g0.Clone(),
+			App:       queries.AppMALT,
+			Wrapper:   malt.NewWrapper(master),
+			lazyGraph: func() *graph.Graph { return g0.Clone() },
 			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
 				return nodes0.Clone(), edges0.Clone()
 			},

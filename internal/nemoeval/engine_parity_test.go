@@ -1,0 +1,116 @@
+package nemoeval
+
+import (
+	"testing"
+
+	"repro/internal/nql"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+	"repro/internal/sandbox"
+)
+
+// runGoldenOn executes one golden program on a fresh instance under the
+// given engine, returning the sandbox result and the post-run instance.
+func runGoldenOn(engine nql.ExecEngine, build InstanceBuilder, src, backend string) (*sandbox.Result, *Instance) {
+	prev := nql.DefaultEngine
+	nql.DefaultEngine = engine
+	defer func() { nql.DefaultEngine = prev }()
+	inst := build()
+	res := sandbox.Run(src, inst.Bindings(backend), sandbox.DefaultPolicy)
+	return res, inst
+}
+
+// TestEngineParityGoldens is the full differential gate for the bytecode
+// VM: every registry query's golden program, on every backend that has
+// one, must produce the identical value, stdout, error string and post-run
+// state on the VM as on the reference tree-walking interpreter.
+func TestEngineParityGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden matrix in -short mode")
+	}
+	builders := map[string]InstanceBuilder{}
+	for _, q := range queries.All() {
+		if _, ok := builders[q.App]; !ok {
+			builders[q.App] = DatasetFor(q.App)
+		}
+		build := builders[q.App]
+		for _, backend := range prompt.AllBackends {
+			golden, ok := q.Golden[backend]
+			if !ok {
+				continue
+			}
+			vmRes, vmInst := runGoldenOn(nql.EngineVM, build, golden, backend)
+			itRes, itInst := runGoldenOn(nql.EngineInterp, build, golden, backend)
+			name := q.ID + "/" + backend
+			switch {
+			case vmRes.OK() != itRes.OK():
+				t.Errorf("%s: error presence diverged: vm=%v ref=%v", name, vmRes.Err, itRes.Err)
+				continue
+			case !vmRes.OK():
+				if vmRes.Err.Error() != itRes.Err.Error() {
+					t.Errorf("%s: error strings diverged\nvm:  %s\nref: %s", name, vmRes.Err, itRes.Err)
+				}
+				continue
+			}
+			if !ResultEqual(vmRes.Value, itRes.Value) {
+				t.Errorf("%s: results diverged\nvm:  %s\nref: %s",
+					name, nql.Repr(vmRes.Value), nql.Repr(itRes.Value))
+			}
+			if vmRes.Stdout != itRes.Stdout {
+				t.Errorf("%s: stdout diverged\nvm:  %q\nref: %q", name, vmRes.Stdout, itRes.Stdout)
+			}
+			if !StateEqual(backend, vmInst, itInst) {
+				t.Errorf("%s: post-run state diverged between engines", name)
+			}
+		}
+	}
+}
+
+// TestEngineParityMutants runs the fault-injected generations (the error
+// paths the Table 5 taxonomy buckets) on both engines for a representative
+// query per backend, asserting identical error strings.
+func TestEngineParityMutants(t *testing.T) {
+	// Mechanical fault classes are deterministic; wrong-calc/graph-diff
+	// variants execute successfully and are covered by value comparison.
+	faultLines := []string{
+		`let raw = read_csv("network_data.csv")`,
+		`let banner = "total nodes: " + 0`,
+		`let check = graph.degree()`,
+		`let check = graph.node(graph.nodes()[0])["bandwidth"]`,
+	}
+	build := TrafficDataset(DefaultTrafficConfig)
+	q, ok := queries.ByID("ta-e1")
+	if !ok {
+		t.Fatal("missing query ta-e1")
+	}
+	golden := q.Golden[prompt.BackendNetworkX]
+	for _, fault := range faultLines {
+		src := fault + "\n" + golden
+		vmRes, _ := runGoldenOn(nql.EngineVM, build, src, prompt.BackendNetworkX)
+		itRes, _ := runGoldenOn(nql.EngineInterp, build, src, prompt.BackendNetworkX)
+		if vmRes.OK() || itRes.OK() {
+			t.Errorf("fault %q unexpectedly succeeded (vm=%v ref=%v)", fault, vmRes.OK(), itRes.OK())
+			continue
+		}
+		if vmRes.Err.Error() != itRes.Err.Error() {
+			t.Errorf("fault %q error strings diverged\nvm:  %s\nref: %s", fault, vmRes.Err, itRes.Err)
+		}
+		if vmRes.ErrClass != itRes.ErrClass {
+			t.Errorf("fault %q classes diverged: vm=%s ref=%s", fault, vmRes.ErrClass, itRes.ErrClass)
+		}
+	}
+}
+
+// TestPromptContextForcesLazyGraph pins that the shared prompt instance
+// serializes the graph even for datasets built with a lazy graph (the
+// strawman baseline embeds it in every prompt).
+func TestPromptContextForcesLazyGraph(t *testing.T) {
+	e := NewEvaluator(MALTDataset())
+	inst, graphJSON, err := e.promptContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G() == nil || graphJSON == "" {
+		t.Fatalf("lazy-graph prompt context missing graph JSON (len %d)", len(graphJSON))
+	}
+}

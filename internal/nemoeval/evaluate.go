@@ -87,8 +87,11 @@ func NewEvaluator(build InstanceBuilder) *Evaluator {
 func (e *Evaluator) promptContext() (*Instance, string, error) {
 	e.promptOnce.Do(func() {
 		e.promptInst = e.Build()
-		if e.promptInst.Graph != nil {
-			data, err := e.promptInst.Graph.MarshalJSON()
+		// Force the (possibly lazy) graph: the strawman baseline serializes
+		// it into the prompt even for datasets whose evaluations are
+		// otherwise relational-only.
+		if g := e.promptInst.G(); g != nil {
+			data, err := g.MarshalJSON()
 			e.graphJSON, e.graphErr = string(data), err
 		}
 	})
@@ -250,7 +253,7 @@ func (e *Evaluator) OracleAnswer(q queries.Query) (string, error) {
 		return "", err
 	}
 	if val == nil {
-		return inst.Graph.Fingerprint(), nil
+		return inst.G().Fingerprint(), nil
 	}
 	return nql.Repr(val), nil
 }
@@ -301,7 +304,7 @@ func ResultEqual(a, b nql.Value) bool {
 
 func describeStateDiff(backend string, a, b *Instance) string {
 	if backend == prompt.BackendNetworkX {
-		return "graphs are not identical: " + truncate(graph.Diff(a.Graph, b.Graph), 240)
+		return "graphs are not identical: " + truncate(graph.Diff(a.G(), b.G()), 240)
 	}
 	return "post-run state differs from golden"
 }

@@ -127,7 +127,7 @@ func parityOf(ev *Evaluator, q queries.Query) *ParityRecord {
 		}
 		rec.Match[backend] = ResultEqual(fedVal, val)
 		if backend == prompt.BackendNetworkX {
-			rec.StateMatch = graph.Equal(fedInst.Graph, inst.Graph)
+			rec.StateMatch = graph.Equal(fedInst.G(), inst.G())
 		}
 	}
 	return rec

@@ -1,5 +1,7 @@
 package nql
 
+import "sync"
+
 // Node is any AST node; Line reports the 1-based source line for errors.
 type Node interface{ Pos() int }
 
@@ -22,9 +24,16 @@ func (b base) Pos() int { return b.Line }
 
 // --- statements ---
 
-// Program is a parsed NQL script.
+// Program is a parsed NQL script. The bytecode form is compiled once on
+// first execution (or via Compiled) and cached here, so programs shared
+// through the sandbox's source-keyed cache compile exactly once no matter
+// how many trials execute them.
 type Program struct {
 	Stmts []Stmt
+
+	compileOnce sync.Once
+	code        *Code
+	compileErr  error
 }
 
 // LetStmt declares a new variable in the current scope.

@@ -641,12 +641,14 @@ func installBuiltins(env *Env) {
 		if !ok {
 			return nil, errf(ErrArg, line, "unique() requires a list")
 		}
-		seen := map[string]bool{}
+		seen := map[mkey]bool{}
 		var out []Value
 		for _, it := range l.Items {
 			k, err := mapKey(it)
 			if err != nil {
-				k = Repr(it)
+				// Unhashable values dedupe by rendering, under a kind of
+				// their own so they can never collide with scalar keys.
+				k = mkey{kind: 4, str: Repr(it)}
 			}
 			if !seen[k] {
 				seen[k] = true

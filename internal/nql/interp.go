@@ -23,9 +23,19 @@ var DefaultLimits = Limits{
 	MaxDuration: 30 * time.Second,
 }
 
-// Interp executes parsed NQL programs under resource limits.
+// Interp executes parsed NQL programs under resource limits. Engine
+// selects the execution strategy: the default EngineVM compiles (once,
+// cached on the Program) and runs bytecode; EngineInterp tree-walks the
+// AST. Both engines share this struct's resource accounting, stdout
+// capture and call dispatch, so builtins and host bindings are
+// engine-agnostic.
 type Interp struct {
-	globals  *Env
+	Engine ExecEngine
+
+	host     map[string]Value // injected host globals (never mutated)
+	xglobals map[string]Value // per-run global overrides from foreign-Code closures
+	genv     *Env             // lazily built scope chain for the tree-walk engine
+	m        *machine         // VM state, pooled; non-nil only during a VM run
 	limits   Limits
 	steps    int
 	allocs   int
@@ -75,15 +85,24 @@ func NewInterp(limits Limits, globals map[string]Value) *Interp {
 	if limits.MaxDuration == 0 {
 		limits.MaxDuration = DefaultLimits.MaxDuration
 	}
-	in := &Interp{
-		globals: NewEnv(builtinEnv),
-		limits:  limits,
-		stdout:  &strings.Builder{},
+	return &Interp{
+		Engine: DefaultEngine,
+		host:   globals,
+		limits: limits,
+		stdout: &strings.Builder{},
 	}
-	for k, v := range globals {
-		in.globals.Define(k, v)
+}
+
+// globalsEnv builds the tree-walk engine's host scope on first use; the VM
+// resolves globals through slot tables instead and never pays for it.
+func (in *Interp) globalsEnv() *Env {
+	if in.genv == nil {
+		in.genv = NewEnv(builtinEnv)
+		for k, v := range in.host {
+			in.genv.Define(k, v)
+		}
 	}
-	return in
+	return in.genv
 }
 
 // builtinEnv holds the standard library, installed once and shared by every
@@ -110,10 +129,17 @@ func (in *Interp) Run(src string) (Value, error) {
 	return in.RunProgram(prog)
 }
 
-// RunProgram executes an already-parsed program.
+// RunProgram executes an already-parsed program on the configured engine.
 func (in *Interp) RunProgram(prog *Program) (Value, error) {
 	in.deadline = time.Now().Add(in.limits.MaxDuration)
-	env := NewEnv(in.globals)
+	if in.Engine == EngineVM {
+		code, err := prog.Compiled()
+		if err != nil {
+			return nil, err
+		}
+		return in.runCode(code)
+	}
+	env := NewEnv(in.globalsEnv())
 	res, err := in.execBlock(prog.Stmts, env)
 	if err != nil {
 		return nil, err
@@ -527,8 +553,12 @@ func memberOf(v Value, name string, line int) (Value, error) {
 	}
 }
 
-// Call invokes a callable value with the given arguments.
+// Call invokes a callable value with the given arguments. Compiled
+// closures are dispatched onto the VM; everything else tree-walks.
 func (in *Interp) Call(fn Value, args []Value, line int) (Value, error) {
+	if f, ok := fn.(*Closure); ok && f.proto != nil {
+		return in.vmCall(f, args, line)
+	}
 	in.depth++
 	defer func() { in.depth-- }()
 	if in.depth > in.limits.MaxDepth {
@@ -574,43 +604,48 @@ func (in *Interp) evalIndex(x *IndexExpr, env *Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return indexValue(container, idx, x.Line)
+}
+
+// indexValue implements `container[idx]` for both engines.
+func indexValue(container, idx Value, line int) (Value, error) {
 	switch c := container.(type) {
 	case *List:
 		i, ok := idx.(int64)
 		if !ok {
-			return nil, errf(ErrIndex, x.Line, "list index must be int, got %s", TypeName(idx))
+			return nil, errf(ErrIndex, line, "list index must be int, got %s", TypeName(idx))
 		}
 		j := int(i)
 		if j < 0 {
 			j += len(c.Items)
 		}
 		if j < 0 || j >= len(c.Items) {
-			return nil, errf(ErrIndex, x.Line, "list index %d out of range (len %d)", i, len(c.Items))
+			return nil, errf(ErrIndex, line, "list index %d out of range (len %d)", i, len(c.Items))
 		}
 		return c.Items[j], nil
 	case *Map:
 		v, ok := c.Get(idx)
 		if !ok {
-			return nil, errf(ErrIndex, x.Line, "map has no key %s", Repr(idx))
+			return nil, errf(ErrIndex, line, "map has no key %s", Repr(idx))
 		}
 		return v, nil
 	case string:
 		i, ok := idx.(int64)
 		if !ok {
-			return nil, errf(ErrIndex, x.Line, "string index must be int, got %s", TypeName(idx))
+			return nil, errf(ErrIndex, line, "string index must be int, got %s", TypeName(idx))
 		}
 		j := int(i)
 		if j < 0 {
 			j += len(c)
 		}
 		if j < 0 || j >= len(c) {
-			return nil, errf(ErrIndex, x.Line, "string index %d out of range (len %d)", i, len(c))
+			return nil, errf(ErrIndex, line, "string index %d out of range (len %d)", i, len(c))
 		}
 		return string(c[j]), nil
 	case Indexable:
-		return c.Index(idx, x.Line)
+		return c.Index(idx, line)
 	default:
-		return nil, errf(ErrOp, x.Line, "value of type %s is not indexable", TypeName(container))
+		return nil, errf(ErrOp, line, "value of type %s is not indexable", TypeName(container))
 	}
 }
 

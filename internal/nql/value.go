@@ -2,6 +2,7 @@ package nql
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -20,28 +21,94 @@ func NewList(items ...Value) *List { return &List{Items: items} }
 // Map is an insertion-ordered map with scalar keys (string, int64, float64,
 // bool). Generated programs use maps pervasively (attribute dicts, grouped
 // results), and insertion order keeps outputs deterministic.
+//
+// Small maps (the millions of per-row attribute dicts the evaluation matrix
+// builds) stay index-free and resolve keys by linear scan; the hash index
+// is built lazily once a map outgrows mapIndexThreshold.
 type Map struct {
 	keys  []Value
-	index map[string]int
 	vals  []Value
+	index map[mkey]int // nil while small
 }
 
-// NewMap returns an empty Map.
-func NewMap() *Map { return &Map{index: map[string]int{}} }
+// mapIndexThreshold is the entry count beyond which a Map switches from
+// linear key scans to a hash index.
+const mapIndexThreshold = 8
 
-func mapKey(k Value) (string, error) {
+// NewMap returns an empty Map.
+func NewMap() *Map { return &Map{} }
+
+// NewMapCap returns an empty Map preallocated for n entries: keys and
+// values share one backing allocation and no index is built until needed.
+func NewMapCap(n int) *Map {
+	buf := make([]Value, 2*n)
+	return &Map{keys: buf[0:0:n], vals: buf[n : n : 2*n]}
+}
+
+// mkey is the comparable hash key for a Map entry. Numbers are keyed by the
+// float64 bit pattern of their value, so int64 and float64 of equal
+// magnitude collide (NQL semantics) while -0.0 and NaN keep their historic
+// identities; building one never allocates, unlike the old formatted-string
+// keys that dominated the evaluation matrix's allocation profile.
+type mkey struct {
+	bits uint64
+	str  string
+	kind uint8 // 1 string, 2 number, 3 bool
+}
+
+func mapKey(k Value) (mkey, error) {
 	switch x := k.(type) {
 	case string:
-		return "s:" + x, nil
+		return mkey{kind: 1, str: x}, nil
 	case int64:
-		return fmt.Sprintf("n:%v", float64(x)), nil
+		return mkey{kind: 2, bits: math.Float64bits(float64(x))}, nil
 	case float64:
-		return fmt.Sprintf("n:%v", x), nil
+		return mkey{kind: 2, bits: math.Float64bits(x)}, nil
 	case bool:
-		return fmt.Sprintf("b:%v", x), nil
+		var b uint64
+		if x {
+			b = 1
+		}
+		return mkey{kind: 3, bits: b}, nil
 	default:
-		return "", fmt.Errorf("unhashable map key of type %s", TypeName(k))
+		return mkey{}, fmt.Errorf("unhashable map key of type %s", TypeName(k))
 	}
+}
+
+// find locates the entry for a hashable key. Stored keys are always
+// hashable, and mapKey's zero value carries kind 0, so the error-discarding
+// scan can never produce a false match.
+func (m *Map) find(ks mkey) (int, bool) {
+	if m.index != nil {
+		i, ok := m.index[ks]
+		return i, ok
+	}
+	for i, k := range m.keys {
+		if mk, _ := mapKey(k); mk == ks {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (m *Map) buildIndex() {
+	m.index = make(map[mkey]int, 2*len(m.keys))
+	for i, k := range m.keys {
+		ks, _ := mapKey(k)
+		m.index[ks] = i
+	}
+}
+
+// insert appends a key known to be absent.
+func (m *Map) insert(ks mkey, k, v Value) {
+	if m.index == nil && len(m.keys) >= mapIndexThreshold {
+		m.buildIndex()
+	}
+	if m.index != nil {
+		m.index[ks] = len(m.keys)
+	}
+	m.keys = append(m.keys, k)
+	m.vals = append(m.vals, v)
 }
 
 // Set inserts or replaces a key.
@@ -50,13 +117,11 @@ func (m *Map) Set(k, v Value) error {
 	if err != nil {
 		return err
 	}
-	if i, ok := m.index[ks]; ok {
+	if i, ok := m.find(ks); ok {
 		m.vals[i] = v
 		return nil
 	}
-	m.index[ks] = len(m.keys)
-	m.keys = append(m.keys, k)
-	m.vals = append(m.vals, v)
+	m.insert(ks, k, v)
 	return nil
 }
 
@@ -66,7 +131,7 @@ func (m *Map) Get(k Value) (Value, bool) {
 	if err != nil {
 		return nil, false
 	}
-	i, ok := m.index[ks]
+	i, ok := m.find(ks)
 	if !ok {
 		return nil, false
 	}
@@ -79,17 +144,36 @@ func (m *Map) Delete(k Value) {
 	if err != nil {
 		return
 	}
-	i, ok := m.index[ks]
+	i, ok := m.find(ks)
 	if !ok {
 		return
 	}
 	m.keys = append(m.keys[:i], m.keys[i+1:]...)
 	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	if m.index == nil {
+		return
+	}
 	delete(m.index, ks)
 	for j := i; j < len(m.keys); j++ {
 		js, _ := mapKey(m.keys[j])
 		m.index[js] = j
 	}
+}
+
+// SetBoxed inserts or replaces key, which must be an already-boxed scalar
+// (string, int64, float64 or bool). Hosts that build many row maps over a
+// shared column set box each name once and skip the per-insert conversion
+// that used to dominate the evaluation matrix's allocations.
+func (m *Map) SetBoxed(key Value, v Value) {
+	ks, err := mapKey(key)
+	if err != nil {
+		return
+	}
+	if i, ok := m.find(ks); ok {
+		m.vals[i] = v
+		return
+	}
+	m.insert(ks, key, v)
 }
 
 // Len returns the entry count.
@@ -102,12 +186,19 @@ func (m *Map) Keys() []Value { return append([]Value(nil), m.keys...) }
 func (m *Map) Values() []Value { return append([]Value(nil), m.vals...) }
 
 // Closure is a user-defined function or lambda with its captured scope.
+// The tree-walking engine fills Params/Body/Expr/Env; the VM fills proto
+// and free (captured variable cells) instead. Interp.Call dispatches on
+// proto, so closures from either engine are callable anywhere a function
+// value flows (sorted keys, frame.apply, fed.where, ...).
 type Closure struct {
 	Name   string // "" for lambdas
 	Params []string
 	Body   []Stmt // nil for lambdas
 	Expr   Expr   // lambda body
 	Env    *Env
+
+	proto *FuncProto
+	free  []*cell
 }
 
 // Builtin is a native function exposed to scripts.

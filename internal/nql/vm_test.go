@@ -1,0 +1,377 @@
+package nql
+
+import (
+	"strings"
+	"testing"
+)
+
+// runBoth executes src on the reference tree-walking interpreter and on the
+// bytecode VM with identical limits and globals, returning both outcomes.
+func runBoth(t *testing.T, src string, globals func() map[string]Value) (vmVal, itVal Value, vmErr, itErr error, vmOut, itOut string) {
+	t.Helper()
+	var g1, g2 map[string]Value
+	if globals != nil {
+		g1, g2 = globals(), globals()
+	}
+	vm := NewInterp(Limits{}, g1)
+	vm.Engine = EngineVM
+	vmVal, vmErr = vm.Run(src)
+	vmOut = vm.Stdout()
+	it := NewInterp(Limits{}, g2)
+	it.Engine = EngineInterp
+	itVal, itErr = it.Run(src)
+	itOut = it.Stdout()
+	return
+}
+
+// assertParity fails unless the two engines produced identical results,
+// stdout and error strings.
+func assertParity(t *testing.T, src string, globals func() map[string]Value) {
+	t.Helper()
+	vmVal, itVal, vmErr, itErr, vmOut, itOut := runBoth(t, src, globals)
+	if (vmErr == nil) != (itErr == nil) {
+		t.Fatalf("error presence diverged\nvm:  %v\nref: %v\nsource:\n%s", vmErr, itErr, src)
+	}
+	if vmErr != nil && vmErr.Error() != itErr.Error() {
+		t.Fatalf("error strings diverged\nvm:  %s\nref: %s\nsource:\n%s", vmErr, itErr, src)
+	}
+	if Repr(vmVal) != Repr(itVal) {
+		t.Fatalf("results diverged\nvm:  %s\nref: %s\nsource:\n%s", Repr(vmVal), Repr(itVal), src)
+	}
+	if vmOut != itOut {
+		t.Fatalf("stdout diverged\nvm:  %q\nref: %q\nsource:\n%s", vmOut, itOut, src)
+	}
+}
+
+// TestEngineParitySemantics runs a corpus of NQL programs covering the
+// full statement/expression surface on both engines and requires identical
+// values and output.
+func TestEngineParitySemantics(t *testing.T) {
+	corpus := []string{
+		// Arithmetic, logic, comparison chains.
+		`return [1 + 2 * 3, 10 / 4, 10 % 3, -5 + 2, 2.5 * 2, "a" + "b", [1] + [2]]`,
+		`return [1 < 2, 2 <= 2, 1 == 1.0, "a" != "b", true and false, true or false, not false, 3 and 2, 0 or "", "b" in ["a", "b"], "ell" in "hello", "k" in {"k": 1}]`,
+		// Short-circuiting must skip the right operand.
+		`let n = 0
+func bump() { n = n + 1 return true }
+let a = false and bump()
+let b = true or bump()
+return [a, b, n]`,
+		// Scoping, shadowing, re-let, loop-variable isolation.
+		`let x = 10
+let y = x * 2
+x = x + 1
+let x = 100
+if true { let x = 5 y = y + x }
+for x in range(3) { }
+return [x, y]`,
+		// While/break/continue, nested loops, loop in function.
+		`let total = 0
+let i = 0
+while true {
+  i = i + 1
+  if i > 10 { break }
+  if i % 2 == 0 { continue }
+  for j in range(3) { if j == 2 { break } total = total + 1 }
+  total = total + i
+}
+return [i, total]`,
+		// Functions, recursion, closures capturing and mutating state.
+		`func fib(n) { if n < 2 { return n } return fib(n - 1) + fib(n - 2) }
+func make_counter() {
+  let n = 0
+  func inc() { n = n + 1 return n }
+  return inc
+}
+let c1 = make_counter()
+let c2 = make_counter()
+c1()
+c1()
+return [fib(10), c1(), c2()]`,
+		// Per-iteration loop capture: each lambda sees its own iteration.
+		`let fs = []
+for i in range(3) { push(fs, fn() => i) }
+let out = []
+for f in fs { push(out, f()) }
+return out`,
+		// Capture through an intermediate function.
+		`let base = 100
+func outer(a) {
+  func middle(b) {
+    func inner(c) { return base + a + b + c }
+    return inner
+  }
+  return middle
+}
+return outer(1)(2)(3)`,
+		// Closure sees later assignment to a captured variable.
+		`let x = 1
+func f() { return x }
+x = 2
+return f()`,
+		// Two-variable for over maps and pair lists; string iteration.
+		`let m = {"a": 1, "b": 2}
+let ks = ""
+let vs = 0
+for k, v in m { ks = ks + k vs = vs + v }
+let ps = 0
+for a, b in [[1, 2], [3, 4]] { ps = ps + a * b }
+let n = 0
+for ch in "abc" { n = n + 1 }
+return [ks, vs, ps, n]`,
+		// Containers: literals, indexing, negative indices, nesting, maps
+		// with mixed scalar keys, dot access, index/attr assignment.
+		`let l = [10, 20, 30]
+l[0] = 11
+let m = {1: "int", 1.5: "float", true: "bool", "s": "str"}
+m[2] = "two"
+let groups = {}
+for e in [["a", 1], ["b", 2], ["a", 3]] {
+  let k = e[0]
+  if not contains(groups, k) { groups[k] = [] }
+  push(groups[k], e[1])
+}
+return [l[-1], l[0], m[1], m[true], {"name": "sw1"}.name, groups, len(m)]`,
+		// Map insertion order is observable via Repr.
+		`let m = {}
+m["z"] = 1
+m["a"] = 2
+m["z"] = 3
+delete(m, "a")
+m["b"] = 4
+return m`,
+		// Builtins: sorting with key functions, map/filter, strings.
+		`let xs = [[1, "b"], [3, "a"], [2, "c"]]
+let ys = range(10)
+return [
+  sorted(xs, fn(p) => p[1]),
+  sorted([3, 1, 2], true),
+  sum(map(filter(ys, fn(x) => x % 2 == 0), fn(x) => x * 2)),
+  join("-", split("a.b.c", ".")),
+  upper("ab"), slice("hello", 1, 3), unique([1, 2, 2, 1.0, "1"]),
+  zip(["a"], [1, 2]), enumerate(["x", "y"]),
+  min(3, 1, 2), max([4, 9]), round(2.345, 2), abs(-3.5), int("42"), float("2.5")
+]`,
+		// print capture ordering across calls and loops.
+		`for i in range(3) { print("line", i) }
+print("done")`,
+		// return without value; script falling off the end; bare break at
+		// the top level ends the script.
+		`let x = 1
+func f() { return }
+return f()`,
+		`let x = 1`,
+		`let x = 1
+break
+return x`,
+		// Lambdas as values, immediately-invoked, stored in containers.
+		`let ops = {"double": fn(x) => x * 2, "neg": fn(x) => 0 - x}
+return [ops["double"](21), ops["neg"](5), (fn(x) => x + 1)(41)]`,
+		// Deep recursion near (but under) sensible depth.
+		`func down(n) { if n == 0 { return 0 } return down(n - 1) }
+return down(150)`,
+		// Duplicate parameter names: the last one wins, like Define.
+		`func f(x, x) { return x }
+return f(1, 2)`,
+		`return (fn(a, b, a) => [a, b])(1, 2, 3)`,
+	}
+	for i, src := range corpus {
+		_ = i
+		assertParity(t, src, nil)
+	}
+}
+
+// TestEngineParityErrors pins that both engines produce byte-identical
+// error strings (class, line and message) for the failure classes the
+// benchmark's Table 5 taxonomy measures.
+func TestEngineParityErrors(t *testing.T) {
+	corpus := []string{
+		// name errors
+		"return nonexistent_variable",
+		"x = 1",
+		"return ghost_fn()",
+		`let raw = read_csv("network_data.csv")
+return 1`,
+		// index errors
+		"return [1][5]",
+		"return [1, 2][-3]",
+		`return {"a": 1}["z"]`,
+		`return "abc"[7]`,
+		`return [1]["x"]`,
+		`let l = [1]
+l[9] = 2`,
+		`let m = {}
+m[[1]] = 2`,
+		// attribute errors
+		`return {"name": "sw1"}.ghost`,
+		"return [1].ghost",
+		`let x = 5
+x.attr = 1`,
+		// argument errors
+		"return len(1, 2)",
+		"return sum(5)",
+		`func f(a, b) { return a }
+return f(1)`,
+		"return (fn(x) => x)(1, 2)",
+		// operation errors
+		`return 1 + []`,
+		`return "a" - "b"`,
+		`let banner = "total nodes: " + 0
+return 1`,
+		"return -[1]",
+		"return len(5)",
+		"let f = 5 f(1)",
+		"for x in 5 { }",
+		`for a, b in [1] { }`,
+		`for a, b in "xy" { }`,
+		`return 1 in 5`,
+		`return 5["k"]`,
+		// value errors
+		"return 1 / 0",
+		"return 5 % 0",
+		"return min([])",
+		`return int("abc")`,
+		"return sqrt(0 - 1)",
+		// error position: the failing line number must match.
+		`let a = 1
+let b = 2
+return c`,
+		`let a = 1
+let l = [1, 2]
+let i = l[5]
+return i`,
+	}
+	for _, src := range corpus {
+		assertParity(t, src, nil)
+	}
+}
+
+// TestEngineParityGlobals exercises host globals: resolution order against
+// builtins, shadowing by script bindings, assignment to injected names.
+func TestEngineParityGlobals(t *testing.T) {
+	globals := func() map[string]Value {
+		return map[string]Value{"answer": int64(42), "tags": NewList("a", "b")}
+	}
+	corpus := []string{
+		`return answer + 1`,
+		`answer = 7
+return answer`,
+		`let answer = 1
+return answer`,
+		`sorted = 5
+return sorted`,
+		`return len(tags)`,
+		`push(tags, "c")
+return tags`,
+	}
+	for _, src := range corpus {
+		assertParity(t, src, globals)
+	}
+}
+
+// TestEngineParitySequentialRuns pins that global assignments persist
+// across sequential Run calls on one Interp under both engines (the
+// tree-walker's host scope lives on the Interp; the VM must mirror slot
+// stores into Interp-level state before the pooled machine is reset).
+func TestEngineParitySequentialRuns(t *testing.T) {
+	for _, engine := range []ExecEngine{EngineVM, EngineInterp} {
+		in := NewInterp(Limits{}, map[string]Value{"g": int64(1)})
+		in.Engine = engine
+		if _, err := in.Run("g = g + 1"); err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		v, err := in.Run("return g")
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if v != int64(2) {
+			t.Fatalf("engine %v: global store lost across runs: got %v, want 2", engine, v)
+		}
+	}
+}
+
+// TestEngineParityLimits pins identical limit errors where deterministic
+// (depth, allocation) and identical classes for step budgets.
+func TestEngineParityLimits(t *testing.T) {
+	run := func(engine ExecEngine, limits Limits, src string) error {
+		in := NewInterp(limits, nil)
+		in.Engine = engine
+		_, err := in.Run(src)
+		return err
+	}
+	// Depth: the counting is call-for-call identical.
+	src := "func f(n) { return f(n + 1) }\nreturn f(0)"
+	vmErr := run(EngineVM, Limits{MaxDepth: 10}, src)
+	itErr := run(EngineInterp, Limits{MaxDepth: 10}, src)
+	if vmErr == nil || itErr == nil || vmErr.Error() != itErr.Error() {
+		t.Fatalf("depth errors diverged\nvm:  %v\nref: %v", vmErr, itErr)
+	}
+	// Allocations: charged at the same program points.
+	src = "let l = []\nwhile true { push(l, 1) }"
+	vmErr = run(EngineVM, Limits{MaxAllocs: 100}, src)
+	itErr = run(EngineInterp, Limits{MaxAllocs: 100}, src)
+	if vmErr == nil || itErr == nil || vmErr.Error() != itErr.Error() {
+		t.Fatalf("alloc errors diverged\nvm:  %v\nref: %v", vmErr, itErr)
+	}
+	// Steps: instruction-level accounting differs from node-level, but the
+	// class and message shape must match.
+	vmErr = run(EngineVM, Limits{MaxSteps: 1000}, "while true { }")
+	itErr = run(EngineInterp, Limits{MaxSteps: 1000}, "while true { }")
+	if ClassOf(vmErr) != "limit" || ClassOf(itErr) != "limit" {
+		t.Fatalf("step limit classes diverged: vm=%v ref=%v", vmErr, itErr)
+	}
+	if !strings.Contains(vmErr.Error(), "step budget exceeded") {
+		t.Fatalf("unexpected step error: %v", vmErr)
+	}
+}
+
+// TestVMClosureCallableFromBuiltins pins that compiled closures flow
+// through builtins that call back into the engine (sorted key functions).
+func TestVMClosureCallableFromBuiltins(t *testing.T) {
+	in := NewInterp(Limits{}, nil)
+	in.Engine = EngineVM
+	v, err := in.Run(`
+let xs = [3, 1, 2]
+return sorted(xs, fn(x) => 0 - x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Repr(v) != "[3, 2, 1]" {
+		t.Fatalf("got %s", Repr(v))
+	}
+}
+
+// TestVMStepLimitContainsRunaway mirrors the ablation benchmark: a runaway
+// loop must be cut off promptly under a small step budget.
+func TestVMStepLimitContainsRunaway(t *testing.T) {
+	in := NewInterp(Limits{MaxSteps: 10_000}, nil)
+	_, err := in.Run("while true { }")
+	if err == nil || ClassOf(err) != "limit" {
+		t.Fatalf("runaway not contained: %v", err)
+	}
+}
+
+// TestProgramCompiledOnce pins that compilation is cached on the Program.
+func TestProgramCompiledOnce(t *testing.T) {
+	prog, err := Parse("return 1 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err1 := prog.Compiled()
+	c2, err2 := prog.Compiled()
+	if err1 != nil || err2 != nil || c1 == nil || c1 != c2 {
+		t.Fatalf("Compiled not cached: %p %p (%v %v)", c1, c2, err1, err2)
+	}
+}
+
+// TestDefaultEngineIsVM guards the wiring: a fresh interpreter must run on
+// the VM unless explicitly switched to the reference engine.
+func TestDefaultEngineIsVM(t *testing.T) {
+	if DefaultEngine != EngineVM {
+		t.Fatalf("DefaultEngine = %v, want EngineVM", DefaultEngine)
+	}
+	in := NewInterp(Limits{}, nil)
+	if in.Engine != EngineVM {
+		t.Fatalf("NewInterp engine = %v, want EngineVM", in.Engine)
+	}
+}

@@ -11,6 +11,10 @@ import (
 // parser's message, so the benchmark can classify them.
 type DBObject struct {
 	DB *sqldb.DB
+
+	// methods memoizes bound-method values per name (single-run ownership,
+	// like GraphObject.methods).
+	methods map[string]nql.Value
 }
 
 // NewDBObject wraps db.
@@ -19,8 +23,22 @@ func NewDBObject(db *sqldb.DB) *DBObject { return &DBObject{DB: db} }
 // TypeName implements nql.Object.
 func (o *DBObject) TypeName() string { return "database" }
 
-// Member implements nql.Object.
+// Member implements nql.Object, memoizing bound methods per name.
 func (o *DBObject) Member(name string) (nql.Value, bool) {
+	if v, ok := o.methods[name]; ok {
+		return v, true
+	}
+	v, ok := o.member(name)
+	if ok {
+		if o.methods == nil {
+			o.methods = make(map[string]nql.Value, 4)
+		}
+		o.methods[name] = v
+	}
+	return v, ok
+}
+
+func (o *DBObject) member(name string) (nql.Value, bool) {
 	switch name {
 	case "tables":
 		return method("tables", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {

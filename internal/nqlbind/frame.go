@@ -11,6 +11,10 @@ import (
 // pandas ergonomics (filter, sort_values, groupby/agg, merge, head, ...).
 type FrameObject struct {
 	F *dataframe.Frame
+
+	// methods memoizes bound-method values per name (same single-run,
+	// single-goroutine ownership argument as GraphObject.methods).
+	methods map[string]nql.Value
 }
 
 // NewFrameObject wraps f.
@@ -25,10 +29,43 @@ func (o *FrameObject) String() string { return o.F.String() }
 // Size implements nql.Sizer: len(frame) is the row count.
 func (o *FrameObject) Size() int { return o.F.NumRows() }
 
-func rowToMap(row map[string]any, cols []string) *nql.Map {
-	m := nql.NewMap()
-	for _, c := range cols {
-		_ = m.Set(c, fromGoValue(row[c]))
+// rowView caches a frame's column slices so row maps assemble straight from
+// columnar storage — no intermediate map[string]any per row. This is the
+// single hottest allocation site of the evaluation matrix (every records()/
+// filter()/mutate() call builds one NQL map per row per trial). Callers
+// whose per-row callback can mutate the frame (filter/mutate predicates)
+// must refresh() before each row so in-flight appends or copy-on-write
+// column replacements stay visible, as they were with per-row map reads.
+type rowView struct {
+	f     *dataframe.Frame
+	names []string
+	cols  []nql.Value // column names pre-boxed once for SetBoxed
+	data  [][]any
+}
+
+func newRowView(f *dataframe.Frame) rowView {
+	cols := f.Columns()
+	boxed := make([]nql.Value, len(cols))
+	data := make([][]any, len(cols))
+	for i, c := range cols {
+		boxed[i] = c
+		data[i], _ = f.Column(c)
+	}
+	return rowView{f: f, names: cols, cols: boxed, data: data}
+}
+
+// refresh re-reads the column slices (cheap: no allocation) so the next
+// mapAt observes any mutation the previous callback performed.
+func (rv *rowView) refresh() {
+	for i, c := range rv.names {
+		rv.data[i], _ = rv.f.Column(c)
+	}
+}
+
+func (rv *rowView) mapAt(i int) *nql.Map {
+	m := nql.NewMapCap(len(rv.cols))
+	for j, c := range rv.cols {
+		m.SetBoxed(c, fromGoValue(rv.data[j][i]))
 	}
 	return m
 }
@@ -55,8 +92,22 @@ func colsFromArgs(line int, name string, args []nql.Value) ([]string, error) {
 	return cols, nil
 }
 
-// Member implements nql.Object.
+// Member implements nql.Object, memoizing bound methods per name.
 func (o *FrameObject) Member(name string) (nql.Value, bool) {
+	if v, ok := o.methods[name]; ok {
+		return v, true
+	}
+	v, ok := o.member(name)
+	if ok {
+		if o.methods == nil {
+			o.methods = make(map[string]nql.Value, 4)
+		}
+		o.methods[name] = v
+	}
+	return v, ok
+}
+
+func (o *FrameObject) member(name string) (nql.Value, bool) {
 	f := o.F
 	switch name {
 	case "columns":
@@ -69,10 +120,10 @@ func (o *FrameObject) Member(name string) (nql.Value, bool) {
 		}), true
 	case "records", "to_records":
 		return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
-			cols := f.Columns()
+			rv := newRowView(f)
 			items := make([]nql.Value, f.NumRows())
-			for i := 0; i < f.NumRows(); i++ {
-				items[i] = rowToMap(f.Row(i), cols)
+			for i := range items {
+				items[i] = rv.mapAt(i)
 			}
 			return nql.NewList(items...), nil
 		}), true
@@ -89,7 +140,8 @@ func (o *FrameObject) Member(name string) (nql.Value, bool) {
 				return nil, &nql.RuntimeError{Class: nql.ErrIndex, Line: line,
 					Msg: fmt.Sprintf("row %d out of range (%d rows)", i, f.NumRows())}
 			}
-			return rowToMap(f.Row(int(i)), f.Columns()), nil
+			rv := newRowView(f)
+			return rv.mapAt(int(i)), nil
 		}), true
 	case "cell":
 		return method("cell", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
@@ -134,9 +186,10 @@ func (o *FrameObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 1 {
 				return nil, argCount(line, "filter", "1", len(args))
 			}
-			cols := f.Columns()
-			out, err := f.Filter(func(row map[string]any) (bool, error) {
-				v, err := in.Call(args[0], []nql.Value{rowToMap(row, cols)}, line)
+			rv := newRowView(f)
+			out, err := f.FilterIdx(func(i int) (bool, error) {
+				rv.refresh()
+				v, err := in.Call(args[0], []nql.Value{rv.mapAt(i)}, line)
 				if err != nil {
 					return false, err
 				}
@@ -249,9 +302,10 @@ func (o *FrameObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			cols := f.Columns()
-			out, err := f.Mutate(col, func(row map[string]any) (any, error) {
-				v, err := in.Call(args[1], []nql.Value{rowToMap(row, cols)}, line)
+			rv := newRowView(f)
+			out, err := f.MutateIdx(col, func(i int) (any, error) {
+				rv.refresh()
+				v, err := in.Call(args[1], []nql.Value{rv.mapAt(i)}, line)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,81 @@
+package nqlbind
+
+import (
+	"testing"
+
+	"repro/internal/dataframe"
+	"repro/internal/nql"
+)
+
+func runWithFrame(t *testing.T, f *dataframe.Frame, src string) nql.Value {
+	t.Helper()
+	in := nql.NewInterp(nql.Limits{}, map[string]nql.Value{"df": NewFrameObject(f)})
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("run failed: %v\nsource:\n%s", err, src)
+	}
+	return v
+}
+
+// TestFilterPredicateSetCellStaysLive pins live-read semantics when a
+// filter predicate mutates the frame it is filtering on a copy-on-write
+// clone (the MALT dataset path): the ensureOwned column replacement must be
+// visible to later rows, as it was when rows were read per-visit.
+func TestFilterPredicateSetCellStaysLive(t *testing.T) {
+	master := dataframe.New("a")
+	master.AppendRow(int64(1))
+	master.AppendRow(int64(2))
+	master.Freeze()
+	f := master.Clone()
+	v := runWithFrame(t, f, `
+let seen = []
+func pred(r) {
+  push(seen, r["a"])
+  if r["a"] == 1 { df.set_cell(1, "a", 100) }
+  return true
+}
+let out = df.filter(pred)
+return [seen, out.column("a")]`)
+	if got := nql.Repr(v); got != "[[1, 100], [1, 100]]" {
+		t.Fatalf("stale column view: got %s, want [[1, 100], [1, 100]]", got)
+	}
+}
+
+// TestFilterPredicateAppendRowVisitsNewRows pins that rows appended by the
+// predicate are iterated without panicking on a stale column snapshot.
+func TestFilterPredicateAppendRowVisitsNewRows(t *testing.T) {
+	f := dataframe.New("a")
+	f.AppendRow(int64(1))
+	f.AppendRow(int64(2))
+	v := runWithFrame(t, f, `
+let seen = []
+func pred(r) {
+  push(seen, r["a"])
+  if r["a"] == 1 { df.append_row(3) }
+  return r["a"] != 2
+}
+let out = df.filter(pred)
+return [seen, out.column("a")]`)
+	if got := nql.Repr(v); got != "[[1, 2, 3], [1, 3]]" {
+		t.Fatalf("appended row handling diverged: got %s, want [[1, 2, 3], [1, 3]]", got)
+	}
+}
+
+// TestMutatePredicateSeesPriorMutation pins the same liveness for mutate().
+func TestMutatePredicateSeesPriorMutation(t *testing.T) {
+	master := dataframe.New("a")
+	master.AppendRow(int64(1))
+	master.AppendRow(int64(2))
+	master.Freeze()
+	f := master.Clone()
+	v := runWithFrame(t, f, `
+func fn2(r) {
+  if r["a"] == 1 { df.set_cell(1, "a", 100) }
+  return r["a"] * 2
+}
+let out = df.mutate("b", fn2)
+return out.column("b")`)
+	if got := nql.Repr(v); got != "[2, 200]" {
+		t.Fatalf("mutate saw stale values: got %s, want [2, 200]", got)
+	}
+}

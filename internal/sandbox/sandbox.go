@@ -47,8 +47,12 @@ func (r *Result) OK() bool { return r.Err == nil }
 // progCache memoizes successful parses keyed by source text. The evaluation
 // matrix executes the same golden and generated programs hundreds of times
 // (once per model × backend × trial cell); compiling each distinct source
-// once removes the parser from the per-run cost entirely. Parsed programs
-// are immutable, so cached entries are shared freely across goroutines.
+// once removes the parser from the per-run cost entirely. Because a
+// Program also caches its bytecode (nql.Program.Compiled, warmed by
+// Compile below), this cache doubles as the bytecode cache: each distinct
+// source is parsed once and compiled once, and every trial executes the
+// shared immutable code on the pooled VM. Parsed programs are immutable,
+// so cached entries are shared freely across goroutines.
 var (
 	progMu    sync.Mutex
 	progCache = map[string]*nql.Program{}
@@ -73,6 +77,10 @@ func Compile(src string) (*nql.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Warm the bytecode cache off the per-trial path; a (never expected)
+	// compile failure is deferred to execution, which reports it as an
+	// internal-class error.
+	_, _ = prog.Compiled()
 	progMu.Lock()
 	if len(progCache) < progCacheMax {
 		progCache[src] = prog

@@ -93,6 +93,10 @@ type Literal struct{ Value any }
 type ColumnRef struct {
 	Table string // "" when unqualified
 	Name  string
+
+	// resolved caches the qualified key an unqualified reference bound to,
+	// valid for the single statement execution that owns this AST.
+	resolved string
 }
 
 // BinaryExpr applies Op to Left and Right. Op is upper-case: =, !=, <, <=,

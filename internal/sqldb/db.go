@@ -39,8 +39,16 @@ func (db *DB) Table(name string) (*dataframe.Frame, error) {
 // TableNames lists tables in creation order.
 func (db *DB) TableNames() []string { return append([]string(nil), db.order...) }
 
-// Clone deep-copies the database (used so sandboxed runs cannot corrupt the
-// golden copy).
+// Freeze marks every table as an immutable master so Clone hands out
+// copy-on-write table clones (see dataframe.Frame.Freeze).
+func (db *DB) Freeze() {
+	for _, n := range db.order {
+		db.tables[n].Freeze()
+	}
+}
+
+// Clone copies the database (used so sandboxed runs cannot corrupt the
+// golden copy). Tables of a frozen database clone copy-on-write.
 func (db *DB) Clone() *DB {
 	c := NewDB()
 	for _, n := range db.order {
@@ -214,6 +222,14 @@ func (s scope) lookup(ref *ColumnRef) (any, error) {
 	if v, ok := s[ref.Name]; ok {
 		return v, nil
 	}
+	// Every row of one working set shares a key set, so once an unqualified
+	// reference resolved to a qualified key the cached key short-circuits
+	// the suffix scan for the remaining rows of the statement.
+	if ref.resolved != "" {
+		if v, ok := s[ref.resolved]; ok {
+			return v, nil
+		}
+	}
 	// Unqualified name that is unique among qualified entries.
 	var found []string
 	for k := range s {
@@ -222,6 +238,7 @@ func (s scope) lookup(ref *ColumnRef) (any, error) {
 		}
 	}
 	if len(found) == 1 {
+		ref.resolved = found[0]
 		return s[found[0]], nil
 	}
 	if len(found) > 1 {

@@ -2,7 +2,9 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dataframe"
@@ -107,12 +109,7 @@ func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
 	if alias == "" {
 		alias = s.From.Name
 	}
-	for i := 0; i < base.NumRows(); i++ {
-		ws.rows = append(ws.rows, qualify(base.Row(i), alias))
-	}
-	if base.NumRows() == 0 {
-		// keep schema for star expansion even with zero rows
-	}
+	ws.rows = tableScopes(base, alias)
 	for _, c := range base.Columns() {
 		ws.cols = append(ws.cols, alias+"."+c)
 	}
@@ -125,24 +122,21 @@ func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
 		if ralias == "" {
 			ralias = j.Table.Name
 		}
-		rightRows := make([]scope, 0, right.NumRows())
-		for i := 0; i < right.NumRows(); i++ {
-			rightRows = append(rightRows, qualify(right.Row(i), ralias))
-		}
+		rightRows := tableScopes(right, ralias)
 		// Hash-join fast path: when the ON clause contains an equality
 		// between a left column and a right column, bucket the right side
 		// by that key and probe instead of the quadratic nested loop. Any
 		// remaining ON conjuncts are still evaluated per candidate pair.
 		leftKey, rightKey, residual := equiJoinKeys(j.On, ws.cols, right.Columns(), ralias)
-		var rightIndex map[string][]scope
+		var rightIndex map[joinKey][]scope
 		if leftKey != nil {
-			rightIndex = make(map[string][]scope, len(rightRows))
+			rightIndex = make(map[joinKey][]scope, len(rightRows))
 			for _, r := range rightRows {
 				v, err := r.lookup(rightKey)
 				if err != nil {
 					return nil, err
 				}
-				k := keyString(v)
+				k := keyOf(v)
 				rightIndex[k] = append(rightIndex[k], r)
 			}
 		}
@@ -154,7 +148,7 @@ func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
 				if err != nil {
 					return nil, err
 				}
-				candidates = rightIndex[keyString(lv)]
+				candidates = rightIndex[keyOf(lv)]
 			}
 			matched := false
 			for _, r := range candidates {
@@ -275,31 +269,57 @@ func joinAnd(es []Expr) Expr {
 	return out
 }
 
-// keyString produces a hash key for join/distinct bucketing, treating
-// int64 and float64 of equal magnitude as the same key.
-func keyString(v any) string {
+// joinKey buckets join keys without formatting them into strings; int64
+// and float64 of equal magnitude share a key (via the float64 bit pattern),
+// matching SQL's loose numeric equality.
+type joinKey struct {
+	bits uint64
+	str  string
+	kind uint8 // 0 nil, 1 bool, 2 number, 3 string, 4 other
+}
+
+func keyOf(v any) joinKey {
 	switch x := v.(type) {
 	case nil:
-		return "\x00"
+		return joinKey{}
 	case bool:
-		return fmt.Sprintf("b%v", x)
+		var b uint64
+		if x {
+			b = 1
+		}
+		return joinKey{kind: 1, bits: b}
 	case int64:
-		return fmt.Sprintf("n%v", float64(x))
+		return joinKey{kind: 2, bits: math.Float64bits(float64(x))}
 	case float64:
-		return fmt.Sprintf("n%v", x)
+		return joinKey{kind: 2, bits: math.Float64bits(x)}
 	case string:
-		return "s" + x
+		return joinKey{kind: 3, str: x}
 	default:
-		return fmt.Sprintf("o%v", x)
+		return joinKey{kind: 4, str: fmt.Sprintf("%v", x)}
 	}
 }
 
-func qualify(row map[string]any, alias string) scope {
-	s := make(scope, len(row))
-	for k, v := range row {
-		s[alias+"."+k] = v
+// tableScopes materializes a table scan as qualified scopes straight from
+// the frame's columns — no per-row intermediate map, no per-row qualified
+// name building. This is the SQL backend's hottest path: every db.query()
+// of every trial rescans its base tables.
+func tableScopes(f *dataframe.Frame, alias string) []scope {
+	cols := f.Columns()
+	qnames := make([]string, len(cols))
+	data := make([][]any, len(cols))
+	for j, c := range cols {
+		qnames[j] = alias + "." + c
+		data[j], _ = f.Column(c)
 	}
-	return s
+	out := make([]scope, f.NumRows())
+	for i := range out {
+		s := make(scope, len(cols))
+		for j := range cols {
+			s[qnames[j]] = data[j][i]
+		}
+		out[i] = s
+	}
+	return out
 }
 
 func mergeScopes(a, b scope) scope {
@@ -456,16 +476,17 @@ func projectAggregate(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
 	}
 	var groups []*group
 	index := map[string]*group{}
+	var kb strings.Builder
 	for _, row := range ws.rows {
 		key := make([]any, len(s.GroupBy))
-		var kb strings.Builder
+		kb.Reset()
 		for i, ge := range s.GroupBy {
 			v, err := evalExpr(ge, row)
 			if err != nil {
 				return nil, err
 			}
 			key[i] = v
-			fmt.Fprintf(&kb, "%T:%v\x1f", v, v)
+			writeValKey(&kb, v)
 		}
 		ks := kb.String()
 		grp, ok := index[ks]
@@ -731,15 +752,47 @@ func orderResult(s *SelectStmt, ws *workingSet, out *dataframe.Frame, aggregated
 	return sorted, nil
 }
 
+// writeValKey appends one value's bucketing key: a type tag plus its
+// rendering, so values of different dynamic types never collide (the same
+// partitioning the previous "%T:%v" formatting produced, without fmt).
+func writeValKey(kb *strings.Builder, v any) {
+	switch x := v.(type) {
+	case nil:
+		kb.WriteString("_\x1f")
+	case bool:
+		if x {
+			kb.WriteString("b:true\x1f")
+		} else {
+			kb.WriteString("b:false\x1f")
+		}
+	case int64:
+		kb.WriteString("i:")
+		kb.WriteString(strconv.FormatInt(x, 10))
+		kb.WriteByte(0x1f)
+	case float64:
+		kb.WriteString("f:")
+		kb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		kb.WriteByte(0x1f)
+	case string:
+		kb.WriteString("s:")
+		kb.WriteString(x)
+		kb.WriteByte(0x1f)
+	default:
+		fmt.Fprintf(kb, "%T:%v\x1f", v, v)
+	}
+}
+
 func distinctRows(f *dataframe.Frame) *dataframe.Frame {
 	out := dataframe.New(f.Columns()...)
 	seen := map[string]bool{}
+	cols := f.Columns()
+	var kb strings.Builder
 	for i := 0; i < f.NumRows(); i++ {
 		row := f.Row(i)
-		var kb strings.Builder
-		vals := make([]any, 0, f.NumCols())
-		for _, c := range f.Columns() {
-			fmt.Fprintf(&kb, "%T:%v\x1f", row[c], row[c])
+		kb.Reset()
+		vals := make([]any, 0, len(cols))
+		for _, c := range cols {
+			writeValKey(&kb, row[c])
 			vals = append(vals, row[c])
 		}
 		if !seen[kb.String()] {
