@@ -136,6 +136,26 @@ func BenchmarkFigure4b(b *testing.B) {
 	}
 }
 
+// --- E8: streamed, sharded dataset sweep (Figure-4 scale-out path) ---
+
+// BenchmarkStreamSweep measures the full scale-out pipeline at the size the
+// in-memory generator used to be the wall: stream 100k edges into 8
+// per-shard frozen masters, aggregate the shards over the worker pool and
+// merge degree/component/PageRank stats. Watched by benchdiff.
+func BenchmarkStreamSweep(b *testing.B) {
+	cfg := traffic.Config{Nodes: 10000, Edges: 100000, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		r := nemoeval.NewRunner()
+		out, err := r.StreamSweep(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty sweep report")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchGraph(n, e int) *graph.Graph {

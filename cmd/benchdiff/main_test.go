@@ -123,7 +123,7 @@ func TestRecordKeepsPerMetricMin(t *testing.T) {
 }
 
 func TestDefaultWatchCoversVMAndTable4(t *testing.T) {
-	for _, want := range []string{"Table2", "Table4", "NQLVM", "SandboxGoldenQuery"} {
+	for _, want := range []string{"Table2", "Table4", "NQLVM", "SandboxGoldenQuery", "StreamSweep"} {
 		if !strings.Contains(defaultWatch, want) {
 			t.Errorf("defaultWatch %q is missing %s", defaultWatch, want)
 		}

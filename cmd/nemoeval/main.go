@@ -16,6 +16,13 @@
 //	nemoeval -table 2 -workers 4   # bound the evaluation worker pool
 //	nemoeval -table 4 -cpuprofile cpu.out -memprofile mem.out
 //	nemoeval -table 2 -engine interp   # force the reference NQL engine
+//	nemoeval -stream -shards 8     # streamed, sharded Figure-4-scale sweep
+//	nemoeval -stream -stream-nodes 10000 -stream-edges 100000 -stream-seed 42
+//
+// The -stream sweep builds the configured graph as a seeded edge stream
+// partitioned into -shards frozen per-shard masters, aggregates shards over
+// the worker pool, and prints the merged degree/component/PageRank report —
+// byte-identical for any -shards and -workers values.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
 	"repro/internal/synthesis"
+	"repro/internal/traffic"
 )
 
 func main() { os.Exit(run()) }
@@ -44,9 +52,14 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	engine := flag.String("engine", "vm", "NQL execution engine: vm (bytecode, default) or interp (reference tree-walker)")
+	stream := flag.Bool("stream", false, "run the streamed, sharded dataset sweep instead of a table/figure")
+	shards := flag.Int("shards", 1, "shard count for -stream (1 = unsharded)")
+	streamNodes := flag.Int("stream-nodes", 10000, "node count for -stream")
+	streamEdges := flag.Int("stream-edges", 100000, "edge count for -stream")
+	streamSeed := flag.Int64("stream-seed", 42, "generator seed for -stream")
 	flag.Parse()
 
-	if !*all && *table == "" && *figure == "" && !*federated {
+	if !*all && *table == "" && *figure == "" && !*federated && !*stream {
 		flag.Usage()
 		return 2
 	}
@@ -100,6 +113,12 @@ func run() int {
 			os.Exit(1)
 		}
 		fmt.Println(s)
+	}
+
+	if *stream {
+		cfg := traffic.Config{Nodes: *streamNodes, Edges: *streamEdges, Seed: *streamSeed}
+		fmt.Fprintf(os.Stderr, "stream sweep: %d nodes, %d edges, %d shard(s)\n", cfg.Nodes, cfg.Edges, *shards)
+		emit(runner.StreamSweep(cfg, *shards))
 	}
 
 	want := func(id string) bool { return *all || *table == id || *figure == id }

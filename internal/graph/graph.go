@@ -159,6 +159,12 @@ func (g *Graph) key(u, v string) EdgeKey {
 // while the first write to any map — in g or in any clone — copies it
 // first, so no graph ever observes another's mutations. Freeze itself must
 // not race with writes to g.
+//
+// Freeze is incremental: a master extended with further nodes or edges
+// (e.g. by applying streamed batches or Merge) can be re-frozen, which
+// marks the newly added maps shared too. Existing clones stay valid — the
+// maps they share were already marked, and re-marking an exclusively owned
+// map only re-enables sharing for future clones.
 func (g *Graph) Freeze() {
 	g.nodeShared = make([]bool, len(g.nodeOrder))
 	for i := range g.nodeShared {
@@ -608,6 +614,22 @@ func cloneAdjacency(adj [][]int32) [][]int32 {
 		off = end
 	}
 	return out
+}
+
+// Merge unions other's nodes and edges into g: nodes and edges absent from
+// g are appended in other's insertion order, and attribute maps are merged
+// key-by-key with other's values winning. Merge reads other through
+// read-only views, so merging from a frozen master (or a clone of one)
+// never defeats its copy-on-write sharing; the written maps in g are owned
+// copies. Merging shard-level subgraphs that were partitioned from one
+// stream reassembles the full graph.
+func (g *Graph) Merge(other *Graph) {
+	for i, id := range other.nodeOrder {
+		g.AddNode(id, other.nodeView(i))
+	}
+	for _, k := range other.edgeOrder {
+		g.AddEdge(k.U, k.V, other.edgeView(k))
+	}
 }
 
 // Subgraph returns a new graph induced by keep: it contains every listed

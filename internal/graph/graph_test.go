@@ -909,3 +909,75 @@ func TestPropDijkstraNeverBeatenByBFSWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMergeUnionsNodesEdgesAndAttrs(t *testing.T) {
+	a := NewDirected()
+	a.AddNode("x", Attrs{"ip": "1.1.1.1", "role": "old"})
+	a.AddEdge("x", "y", Attrs{"bytes": 1})
+	b := NewDirected()
+	b.AddNode("x", Attrs{"role": "new"})
+	b.AddEdge("x", "y", Attrs{"bytes": 2, "packets": 3})
+	b.AddEdge("y", "z", Attrs{"bytes": 9})
+	a.Merge(b)
+	if a.NumNodes() != 3 || a.NumEdges() != 2 {
+		t.Fatalf("merged shape: %v", a)
+	}
+	if got := a.NodeAttrsView("x"); got["ip"] != "1.1.1.1" || got["role"] != "new" {
+		t.Fatalf("merged node attrs: %v", got)
+	}
+	if got := a.EdgeAttrsView("x", "y"); got["bytes"] != int64(2) || got["packets"] != int64(3) {
+		t.Fatalf("merged edge attrs: %v", got)
+	}
+	// Node/edge order must stay deterministic: existing first, then b's
+	// additions in b's insertion order.
+	if nodes := a.Nodes(); nodes[0] != "x" || nodes[1] != "y" || nodes[2] != "z" {
+		t.Fatalf("merged node order: %v", nodes)
+	}
+}
+
+func TestMergeFromFrozenMasterDoesNotDefeatCOW(t *testing.T) {
+	master := NewDirected()
+	master.AddEdge("a", "b", Attrs{"bytes": 7})
+	master.Freeze()
+	clone := master.Clone()
+
+	dst := NewDirected()
+	dst.Merge(master)
+	dst.SetEdgeAttr("a", "b", "bytes", 100)
+	if master.EdgeAttrsView("a", "b")["bytes"] != int64(7) {
+		t.Fatal("merge target write leaked into the frozen master")
+	}
+	if clone.EdgeAttrsView("a", "b")["bytes"] != int64(7) {
+		t.Fatal("merge target write leaked into a master clone")
+	}
+}
+
+func TestFreezeIsIncremental(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", Attrs{"bytes": 1})
+	g.Freeze()
+	c1 := g.Clone()
+
+	// Extend the frozen master with a new batch, then re-freeze.
+	g.AddEdge("b", "c", Attrs{"bytes": 2})
+	g.AddNode("d", Attrs{"ip": "10.0.0.1"})
+	g.Freeze()
+	c2 := g.Clone()
+
+	if c1.NumEdges() != 1 || c2.NumEdges() != 2 || c2.NumNodes() != 4 {
+		t.Fatalf("clone shapes: c1=%v c2=%v", c1, c2)
+	}
+	// Post-re-freeze clones must be isolated from master writes and from
+	// each other.
+	c2.SetEdgeAttr("b", "c", "bytes", 99)
+	if g.EdgeAttrsView("b", "c")["bytes"] != int64(2) {
+		t.Fatal("clone write leaked into the re-frozen master")
+	}
+	g.SetNodeAttr("d", "ip", "10.0.0.2")
+	if c2.NodeAttrsView("d")["ip"] != "10.0.0.1" {
+		t.Fatal("master write leaked into a clone")
+	}
+	if !Equal(c1, func() *Graph { h := NewDirected(); h.AddEdge("a", "b", Attrs{"bytes": 1}); return h }()) {
+		t.Fatal("pre-extension clone changed shape")
+	}
+}

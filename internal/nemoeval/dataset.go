@@ -203,6 +203,138 @@ func TrafficDataset(cfg traffic.Config) InstanceBuilder {
 // DefaultTrafficConfig is the benchmark's standard traffic workload.
 var DefaultTrafficConfig = traffic.Config{Nodes: 80, Edges: 80, Seed: 42}
 
+// TrafficShard is one partition of a streamed traffic dataset: a frozen
+// master holding every edge whose destination falls in the shard's node
+// range [Lo, Hi), plus all owned nodes (with their "ip" attributes) and any
+// ghost source endpoints edges pulled in. Partitioning by destination makes
+// each shard the complete owner of its nodes' in-edges, which is what lets
+// shard-level aggregates (in-degree, PageRank gather terms) merge exactly.
+type TrafficShard struct {
+	Index  int
+	Lo, Hi int // owned global node-index range, [Lo, Hi)
+	Master *graph.Graph
+}
+
+// ShardedTraffic partitions one streamed traffic config into per-shard
+// frozen masters, so evaluator workers clone only their shard instead of
+// the full graph. Build with BuildShardedTraffic, or incrementally with
+// NewShardedTraffic + Apply + Freeze (Apply-ing batches from a resumed
+// stream cursor reproduces a straight-through build byte-identically).
+type ShardedTraffic struct {
+	Cfg    traffic.Config
+	Shards []*TrafficShard
+}
+
+// NewShardedTraffic materializes the node sets of an empty sharded dataset:
+// shard s owns the contiguous index range [s*n/shards, (s+1)*n/shards) and
+// starts with those nodes (and their deterministic stream IPs) but no
+// edges. It errors when the config cannot stream (unsatisfiable edge
+// count), so a sharded build can never silently fall short.
+func NewShardedTraffic(cfg traffic.Config, shards int) (*ShardedTraffic, error) {
+	st, err := traffic.NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newShardedTraffic(st, shards), nil
+}
+
+// newShardedTraffic materializes the shard node sets from an existing
+// stream (whose position is irrelevant: node IDs and IPs are pure
+// functions of the config).
+func newShardedTraffic(st *traffic.Stream, shards int) *ShardedTraffic {
+	cfg := st.Config()
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > cfg.Nodes && cfg.Nodes > 0 {
+		shards = cfg.Nodes
+	}
+	d := &ShardedTraffic{Cfg: cfg, Shards: make([]*TrafficShard, shards)}
+	for s := 0; s < shards; s++ {
+		lo, hi := cfg.Nodes*s/shards, cfg.Nodes*(s+1)/shards
+		g := graph.NewDirected()
+		g.GraphAttrs()["app"] = "traffic-analysis"
+		for i := lo; i < hi; i++ {
+			g.AddNode(st.NodeID(i), graph.Attrs{"ip": st.NodeIP(i)})
+		}
+		d.Shards[s] = &TrafficShard{Index: s, Lo: lo, Hi: hi, Master: g}
+	}
+	return d
+}
+
+// shardOf returns the shard owning global node index idx.
+func (d *ShardedTraffic) shardOf(idx int) *TrafficShard {
+	s := idx * len(d.Shards) / d.Cfg.Nodes
+	// Integer partition boundaries: correct for off-by-one at the seams.
+	for s+1 < len(d.Shards) && idx >= d.Shards[s].Hi {
+		s++
+	}
+	for s > 0 && idx < d.Shards[s].Lo {
+		s--
+	}
+	return d.Shards[s]
+}
+
+// Apply routes one streamed edge batch into the shard masters (each edge to
+// the shard owning its destination). Apply is not concurrency-safe; drive
+// it from the single goroutine that owns the stream.
+func (d *ShardedTraffic) Apply(batch []traffic.StreamEdge) {
+	for _, e := range batch {
+		d.shardOf(e.VIdx).Master.AddEdge(e.U, e.V, e.Attrs())
+	}
+}
+
+// Freeze freezes every shard master, turning them into cloneable immutable
+// masters. Freeze is incremental (see graph.Freeze): a resumed sweep may
+// Apply further batches and Freeze again.
+func (d *ShardedTraffic) Freeze() {
+	for _, sh := range d.Shards {
+		sh.Master.Freeze()
+	}
+}
+
+// BuildShardedTraffic streams cfg's edge set straight through into shards
+// (batchSize edges at a time) and freezes the masters.
+func BuildShardedTraffic(cfg traffic.Config, shards, batchSize int) (*ShardedTraffic, error) {
+	if batchSize <= 0 {
+		batchSize = 4096
+	}
+	st, err := traffic.NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := newShardedTraffic(st, shards)
+	for {
+		batch := st.Next(batchSize)
+		if len(batch) == 0 {
+			break
+		}
+		d.Apply(batch)
+	}
+	d.Freeze()
+	return d, nil
+}
+
+// ShardDataset returns an instance builder over one shard's frozen master:
+// workers clone only that shard instead of the full graph, with the
+// relational representations derived lazily exactly like TrafficDataset.
+func (d *ShardedTraffic) ShardDataset(shard int) InstanceBuilder {
+	master := d.Shards[shard].Master
+	return func() *Instance {
+		g := master.Clone()
+		return &Instance{
+			App:     queries.AppTraffic,
+			Wrapper: traffic.NewWrapper(g),
+			Graph:   g,
+			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
+				nodes, edges := traffic.Frames(g)
+				return nodes, edges
+			},
+			lazyDB: func() *sqldb.DB { return traffic.Database(g) },
+		}
+	}
+}
+
 // MALTDataset returns a builder for the lifecycle-management application
 // using the example-scale synthetic MALT topology.
 func MALTDataset() InstanceBuilder {

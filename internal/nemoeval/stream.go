@@ -1,0 +1,316 @@
+package nemoeval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// Stream-sweep PageRank parameters (the graph library's conventional
+// defaults, fixed here so sweep reports are comparable across PRs).
+const (
+	sweepDamping = 0.85
+	sweepMaxIter = 100
+	sweepTol     = 1e-9
+)
+
+// shardAggregate is one shard worker's contribution to the sweep: integer
+// totals, the complete in-degrees of its owned nodes, partial out-degrees
+// for every node its edges touch, a spanning forest of its edge set (for
+// the component merge) and the sorted pred lists PageRank gathers over.
+// Everything merges deterministically: integer sums and concatenations are
+// order-independent, and the pred list of an owned node is complete within
+// its shard, so each PageRank gather is computed by exactly one shard from
+// the same ordered inputs regardless of the shard count — the merged
+// aggregates are byte-identical to an unsharded (single-shard) run.
+type shardAggregate struct {
+	edges                 int64
+	bytes, conns, packets int64
+	inDeg                 []int32    // owned nodes, len Hi-Lo
+	outDeg                []int32    // global length (sparse partials)
+	forest                [][2]int32 // union-find tree edges, global indices
+	preds                 [][]int32  // per owned node, sorted global pred indices
+}
+
+// unionFind is a path-halving disjoint-set over node indices, shared by
+// the per-shard forest extraction and the cross-shard component merge so
+// the two sides cannot drift apart.
+type unionFind []int32
+
+func newUnionFind(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	return uf
+}
+
+func (uf unionFind) find(x int32) int32 {
+	for uf[x] != x {
+		uf[x] = uf[uf[x]]
+		x = uf[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (uf unionFind) union(a, b int32) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	uf[ra] = rb
+	return true
+}
+
+// aggregateShard folds one shard's edges into a shardAggregate. Workers
+// read the frozen master directly — aggregation never writes, the master
+// is immutable after Freeze and each worker reads a distinct shard, so no
+// per-worker clone is needed (mutating workloads go through ShardDataset,
+// which does clone).
+func aggregateShard(sh *TrafficShard, n int) (*shardAggregate, error) {
+	agg := &shardAggregate{
+		inDeg:  make([]int32, sh.Hi-sh.Lo),
+		outDeg: make([]int32, n),
+		preds:  make([][]int32, sh.Hi-sh.Lo),
+	}
+	uf := newUnionFind(n)
+	for _, e := range sh.Master.EdgesView() {
+		u, v := traffic.NodeIndex(e.U), traffic.NodeIndex(e.V)
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("nemoeval: shard %d holds foreign node id on edge %s->%s", sh.Index, e.U, e.V)
+		}
+		if v < sh.Lo || v >= sh.Hi {
+			return nil, fmt.Errorf("nemoeval: shard %d [%d,%d) holds edge to unowned dst %s", sh.Index, sh.Lo, sh.Hi, e.V)
+		}
+		agg.edges++
+		agg.bytes += attrInt(e.Attrs, "bytes")
+		agg.conns += attrInt(e.Attrs, "connections")
+		agg.packets += attrInt(e.Attrs, "packets")
+		agg.outDeg[u]++
+		agg.inDeg[v-sh.Lo]++
+		agg.preds[v-sh.Lo] = append(agg.preds[v-sh.Lo], int32(u))
+		if uf.union(int32(u), int32(v)) {
+			agg.forest = append(agg.forest, [2]int32{int32(u), int32(v)})
+		}
+	}
+	for _, ps := range agg.preds {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	return agg, nil
+}
+
+func attrInt(a graph.Attrs, key string) int64 {
+	v, _ := a[key].(int64)
+	return v
+}
+
+// SweepResult is the deterministic merge of every shard's aggregates.
+type SweepResult struct {
+	Cfg                   traffic.Config
+	Edges                 int64
+	Bytes, Conns, Packets int64
+	InDeg, OutDeg         []int32
+	Components            int
+	LargestComponent      int
+	Rank                  []float64
+	RankIters             int
+}
+
+// StreamSweep builds the config as a streamed, sharded dataset, fans
+// per-shard aggregation over the worker pool, and renders the merged
+// degree / component / PageRank report. The report is a pure function of
+// cfg — byte-identical for any shard count (1 reproduces the unsharded
+// sweep) and any worker count.
+func (r *Runner) StreamSweep(cfg traffic.Config, shards int) (string, error) {
+	d, err := BuildShardedTraffic(cfg, shards, 0)
+	if err != nil {
+		return "", err
+	}
+	res, err := r.SweepDataset(d)
+	if err != nil {
+		return "", err
+	}
+	return res.Report(), nil
+}
+
+// SweepDataset runs the sharded aggregation over an already-built (possibly
+// stream-resumed) dataset.
+func (r *Runner) SweepDataset(d *ShardedTraffic) (*SweepResult, error) {
+	n := d.Cfg.Nodes
+	aggs := make([]*shardAggregate, len(d.Shards))
+	errs := make([]error, len(d.Shards))
+	parallelFor(r.workers(), len(d.Shards), func(i int) {
+		aggs[i], errs[i] = aggregateShard(d.Shards[i], n)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic merge, shard-index order: integer totals sum, the
+	// per-shard out-degree partials sum element-wise, owned in-degree
+	// ranges concatenate, and the spanning forests union into one
+	// union-find whose final partition is independent of merge order.
+	res := &SweepResult{Cfg: d.Cfg, InDeg: make([]int32, n), OutDeg: make([]int32, n)}
+	uf := newUnionFind(n)
+	for si, agg := range aggs {
+		res.Edges += agg.edges
+		res.Bytes += agg.bytes
+		res.Conns += agg.conns
+		res.Packets += agg.packets
+		copy(res.InDeg[d.Shards[si].Lo:d.Shards[si].Hi], agg.inDeg)
+		for i, c := range agg.outDeg {
+			res.OutDeg[i] += c
+		}
+		for _, pair := range agg.forest {
+			uf.union(pair[0], pair[1])
+		}
+	}
+	compSize := map[int32]int{}
+	for i := 0; i < n; i++ {
+		compSize[uf.find(int32(i))]++
+	}
+	res.Components = len(compSize)
+	for _, sz := range compSize {
+		if sz > res.LargestComponent {
+			res.LargestComponent = sz
+		}
+	}
+
+	res.Rank, res.RankIters = r.shardedPageRank(d, aggs, res.OutDeg)
+	return res, nil
+}
+
+// shardedPageRank runs the power iteration with per-destination gathers
+// fanned over the worker pool: each shard computes the new rank of its
+// owned nodes from the full previous rank vector and its complete, sorted
+// pred lists, writing a disjoint segment of next. Because every rank entry
+// is produced by exactly one shard from identically ordered inputs, the
+// float results are bit-identical for any shard or worker count; the
+// dangling-mass and convergence terms are reduced centrally in global node
+// order for the same reason.
+func (r *Runner) shardedPageRank(d *ShardedTraffic, aggs []*shardAggregate, outDeg []int32) ([]float64, int) {
+	n := d.Cfg.Nodes
+	if n == 0 {
+		return nil, 0
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	invDeg := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+		if outDeg[i] > 0 {
+			invDeg[i] = 1.0 / float64(outDeg[i])
+		}
+	}
+	iters := 0
+	for iter := 0; iter < sweepMaxIter; iter++ {
+		iters = iter + 1
+		parallelFor(r.workers(), len(d.Shards), func(s int) {
+			sh, agg := d.Shards[s], aggs[s]
+			for v := sh.Lo; v < sh.Hi; v++ {
+				sum := 0.0
+				for _, u := range agg.preds[v-sh.Lo] {
+					sum += rank[u] * invDeg[u]
+				}
+				next[v] = sum
+			}
+		})
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += rank[i]
+			}
+		}
+		base := (1-sweepDamping)/float64(n) + sweepDamping*dangling/float64(n)
+		change := 0.0
+		for i := 0; i < n; i++ {
+			v := base + sweepDamping*next[i]
+			diff := v - rank[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			change += diff
+			rank[i] = v
+		}
+		if change < sweepTol {
+			break
+		}
+	}
+	return rank, iters
+}
+
+// Report renders the merged aggregates. Shard and worker counts are
+// deliberately absent: the text is the sweep's golden output, compared
+// byte-for-byte between sharded and unsharded runs.
+func (res *SweepResult) Report() string {
+	n := res.Cfg.Nodes
+	width := traffic.IDWidth(n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Stream sweep: %d nodes, %d edges (seed %d)\n", n, res.Edges, res.Cfg.Seed)
+	fmt.Fprintf(&sb, "totals: bytes=%d connections=%d packets=%d\n", res.Bytes, res.Conns, res.Packets)
+	if n > 0 {
+		maxIn, maxOut := argmax(res.InDeg), argmax(res.OutDeg)
+		fmt.Fprintf(&sb, "degree: max_in=%d (%s) max_out=%d (%s) mean_total=%.4f\n",
+			res.InDeg[maxIn], traffic.NodeID(maxIn, width),
+			res.OutDeg[maxOut], traffic.NodeID(maxOut, width),
+			2*float64(res.Edges)/float64(n))
+	}
+	fmt.Fprintf(&sb, "components: count=%d largest=%d\n", res.Components, res.LargestComponent)
+	fmt.Fprintf(&sb, "pagerank: damping=%.2f iterations=%d\n", sweepDamping, res.RankIters)
+	top := topK(n, 5, func(a, b int) bool {
+		da := int(res.InDeg[a]) + int(res.OutDeg[a])
+		db := int(res.InDeg[b]) + int(res.OutDeg[b])
+		if da != db {
+			return da > db
+		}
+		return a < b
+	})
+	sb.WriteString("top5 degree:")
+	for _, i := range top {
+		fmt.Fprintf(&sb, " %s=%d", traffic.NodeID(i, width), int(res.InDeg[i])+int(res.OutDeg[i]))
+	}
+	sb.WriteString("\n")
+	top = topK(n, 5, func(a, b int) bool {
+		if res.Rank[a] != res.Rank[b] {
+			return res.Rank[a] > res.Rank[b]
+		}
+		return a < b
+	})
+	sb.WriteString("top5 pagerank:")
+	for _, i := range top {
+		fmt.Fprintf(&sb, " %s=%.8f", traffic.NodeID(i, width), res.Rank[i])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// argmax returns the lowest index attaining the maximum (0 for empty).
+func argmax(xs []int32) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// topK returns the indices of the k best elements of [0,n) under less,
+// sorted best-first.
+func topK(n, k int, less func(a, b int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	if k > n {
+		k = n
+	}
+	return idx[:k]
+}

@@ -227,6 +227,37 @@ func (o *GraphObject) member(name string) (nql.Value, bool) {
 			g.AddEdge(u, v, attrs)
 			return nil, nil
 		}), true
+	case "add_edge_batch":
+		// Incremental update entry point for streamed datasets: applies a
+		// whole edge batch (list of {src, dst, <attrs>...} maps, the shape
+		// edge_stream.next() yields) in one call and returns the number of
+		// edges applied.
+		return method("add_edge_batch", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "add_edge_batch", "1", len(args))
+			}
+			batch, ok := args[0].(*nql.List)
+			if !ok {
+				return nil, &nql.RuntimeError{Class: nql.ErrArg, Line: line,
+					Msg: fmt.Sprintf("add_edge_batch() batch must be a list of edge maps, got %s", nql.TypeName(args[0]))}
+			}
+			for _, item := range batch.Items {
+				attrs, err := mapToAttrs(line, "add_edge_batch", item)
+				if err != nil {
+					return nil, err
+				}
+				u, uok := attrs["src"].(string)
+				v, vok := attrs["dst"].(string)
+				if !uok || !vok {
+					return nil, &nql.RuntimeError{Class: nql.ErrValue, Line: line,
+						Msg: "add_edge_batch() edge maps need string \"src\" and \"dst\" keys"}
+				}
+				delete(attrs, "src")
+				delete(attrs, "dst")
+				g.AddEdge(u, v, attrs)
+			}
+			return int64(len(batch.Items)), nil
+		}), true
 	case "remove_node":
 		return method("remove_node", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
 			if len(args) != 1 {

@@ -1,0 +1,124 @@
+package nqlbind
+
+// This file is the incremental graph-update binding: it exposes the
+// streaming traffic generator to sandboxed NQL programs, so generated code
+// can pull seeded edge batches and apply them to a graph
+// (graph.add_edge_batch) instead of requiring the whole dataset to be
+// materialized before the run — the sandbox-side face of the
+// sharded/streaming dataset pipeline.
+
+import (
+	"fmt"
+
+	"repro/internal/nql"
+	"repro/internal/traffic"
+)
+
+// StreamObject wraps a traffic.Stream for NQL scripts. The stream is
+// stateful (Next advances it), matching the one-goroutine-per-sandbox
+// execution model; cursor() exposes the serializable resume point.
+type StreamObject struct {
+	S       *traffic.Stream
+	methods map[string]nql.Value
+}
+
+// NewStreamObject wraps s.
+func NewStreamObject(s *traffic.Stream) *StreamObject { return &StreamObject{S: s} }
+
+// TypeName implements nql.Object.
+func (o *StreamObject) TypeName() string { return "edge_stream" }
+
+// String summarizes the stream.
+func (o *StreamObject) String() string {
+	cfg := o.S.Config()
+	return fmt.Sprintf("edge_stream(%d nodes, %d edges, %d remaining)", cfg.Nodes, cfg.Edges, o.S.Remaining())
+}
+
+// Member implements nql.Object.
+func (o *StreamObject) Member(name string) (nql.Value, bool) {
+	if v, ok := o.methods[name]; ok {
+		return v, true
+	}
+	v, ok := o.member(name)
+	if ok {
+		if o.methods == nil {
+			o.methods = make(map[string]nql.Value, 4)
+		}
+		o.methods[name] = v
+	}
+	return v, ok
+}
+
+func (o *StreamObject) member(name string) (nql.Value, bool) {
+	switch name {
+	case "next":
+		return method("next", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 1 {
+				return nil, argCount(line, "next", "1", len(args))
+			}
+			n, err := wantInt(line, "next", "n", args[0])
+			if err != nil {
+				return nil, err
+			}
+			if n < 0 {
+				return nil, &nql.RuntimeError{Class: nql.ErrValue, Line: line, Msg: "next() n must be non-negative"}
+			}
+			batch := o.S.Next(int(n))
+			items := make([]nql.Value, len(batch))
+			for i, e := range batch {
+				m := nql.NewMapCap(5)
+				_ = m.Set("src", e.U)
+				_ = m.Set("dst", e.V)
+				_ = m.Set("bytes", e.Bytes)
+				_ = m.Set("connections", e.Connections)
+				_ = m.Set("packets", e.Packets)
+				items[i] = m
+			}
+			return nql.NewList(items...), nil
+		}), true
+	case "remaining":
+		return method("remaining", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 0 {
+				return nil, argCount(line, "remaining", "0", len(args))
+			}
+			return o.S.Remaining(), nil
+		}), true
+	case "cursor":
+		return method("cursor", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 0 {
+				return nil, argCount(line, "cursor", "0", len(args))
+			}
+			return o.S.Cursor().Encode(), nil
+		}), true
+	case "node_id":
+		return o.nodeFn("node_id", o.S.NodeID), true
+	case "node_ip":
+		return o.nodeFn("node_ip", o.S.NodeIP), true
+	case "num_nodes":
+		return method("num_nodes", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 0 {
+				return nil, argCount(line, "num_nodes", "0", len(args))
+			}
+			return int64(o.S.Config().Nodes), nil
+		}), true
+	}
+	return nil, false
+}
+
+// nodeFn binds a (node index -> string) accessor with bounds checking.
+func (o *StreamObject) nodeFn(name string, fn func(i int) string) *nql.Builtin {
+	return method(name, func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+		if len(args) != 1 {
+			return nil, argCount(line, name, "1", len(args))
+		}
+		i, err := wantInt(line, name, "index", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 || i >= int64(o.S.Config().Nodes) {
+			return nil, &nql.RuntimeError{Class: nql.ErrValue, Line: line,
+				Msg: fmt.Sprintf("%s() index %d outside [0,%d)", name, i, o.S.Config().Nodes)}
+		}
+		return fn(int(i)), nil
+	})
+}

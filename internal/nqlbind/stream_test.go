@@ -1,0 +1,128 @@
+package nqlbind
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/nql"
+	"repro/internal/traffic"
+)
+
+func runWithStream(t *testing.T, g *graph.Graph, s *traffic.Stream, src string) (nql.Value, error) {
+	t.Helper()
+	in := nql.NewInterp(nql.Limits{}, Globals(g, map[string]nql.Value{"stream": NewStreamObject(s)}))
+	return in.Run(src)
+}
+
+// TestStreamBindingAppliesBatchesIncrementally drives the whole
+// incremental-update path from sandboxed code: pull seeded batches off the
+// stream, apply them with add_edge_batch, and end up with exactly the graph
+// a Go-side builder produces from the same config.
+func TestStreamBindingAppliesBatchesIncrementally(t *testing.T) {
+	cfg := traffic.Config{Nodes: 60, Edges: 200, Seed: 9}
+	s, err := traffic.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewDirected()
+	v, err := runWithStream(t, g, s, `
+let applied = 0
+while stream.remaining() > 0 {
+  let batch = stream.next(64)
+  applied = applied + graph.add_edge_batch(batch)
+}
+return [applied, stream.remaining(), graph.number_of_edges()]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*nql.List)
+	if l.Items[0] != int64(200) || l.Items[1] != int64(0) || l.Items[2] != int64(200) {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+
+	// The NQL-built graph must carry the same edges and attributes the
+	// stream emits to any other consumer.
+	ref, err := traffic.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.NewDirected()
+	for {
+		batch := ref.Next(33)
+		if len(batch) == 0 {
+			break
+		}
+		for _, e := range batch {
+			want.AddEdge(e.U, e.V, e.Attrs())
+		}
+	}
+	if !graph.Equal(g, want) {
+		t.Fatal("sandbox-applied stream differs from Go-applied stream")
+	}
+}
+
+// TestStreamBindingCursorRoundTrip stops inside the sandbox, resumes a new
+// stream object from the serialized cursor, and checks continuity.
+func TestStreamBindingCursorRoundTrip(t *testing.T) {
+	cfg := traffic.Config{Nodes: 40, Edges: 100, Seed: 3}
+	s, err := traffic.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewDirected()
+	v, err := runWithStream(t, g, s, `
+graph.add_edge_batch(stream.next(37))
+return stream.cursor()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := traffic.ParseCursor(v.(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Pos != 37 {
+		t.Fatalf("cursor pos = %d, want 37", cur.Pos)
+	}
+	resumed, err := traffic.ResumeStream(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runWithStream(t, g, resumed, `
+while stream.remaining() > 0 { graph.add_edge_batch(stream.next(10)) }
+return 0`); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != cfg.Edges {
+		t.Fatalf("resumed apply produced %d edges, want %d", g.NumEdges(), cfg.Edges)
+	}
+}
+
+func TestStreamBindingErrors(t *testing.T) {
+	s, err := traffic.NewStream(traffic.Config{Nodes: 10, Edges: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.NewDirected()
+	for _, tc := range []struct{ src, class string }{
+		{`return stream.next("x")`, "argument"},
+		{`return stream.next(-1)`, "value"},
+		{`return stream.node_id(10)`, "value"},
+		{`return graph.add_edge_batch(42)`, "argument"},
+		{`return graph.add_edge_batch([{"src": "a"}])`, "value"},
+		{`return stream.no_such_method()`, "attribute"},
+	} {
+		_, err := runWithStream(t, g, s, tc.src)
+		if err == nil || nql.ClassOf(err) != tc.class {
+			t.Fatalf("%s: err=%v class=%s want %s", tc.src, err, nql.ClassOf(err), tc.class)
+		}
+	}
+	// node accessors work in range.
+	v, err := runWithStream(t, g, s, `return [stream.node_id(3), stream.num_nodes()]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*nql.List)
+	if l.Items[0] != "h003" || l.Items[1] != int64(10) {
+		t.Fatalf("got %s", nql.Repr(v))
+	}
+}

@@ -1,0 +1,220 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// StreamEdge is one generated edge with its traffic attributes. It is a
+// plain value (no attribute map) so batches can be produced, routed to
+// shards and serialized without allocation pressure.
+type StreamEdge struct {
+	U, V        string
+	UIdx, VIdx  int
+	Bytes       int64
+	Connections int64
+	Packets     int64
+}
+
+// Attrs materializes the edge's attribute map for graph insertion.
+func (e StreamEdge) Attrs() graph.Attrs {
+	return graph.Attrs{"bytes": e.Bytes, "connections": e.Connections, "packets": e.Packets}
+}
+
+// Cursor is the serializable resume point of a Stream: the generating
+// config plus the next edge position. Resuming from a cursor continues the
+// stream byte-identically to an uninterrupted run — every edge is a pure
+// function of (config, position), so position is the only state.
+type Cursor struct {
+	Nodes    int   `json:"nodes"`
+	Edges    int   `json:"edges"`
+	Seed     int64 `json:"seed"`
+	Prefixes int   `json:"prefixes"`
+	Pos      int64 `json:"pos"`
+}
+
+// Encode renders the cursor as a compact JSON string.
+func (c Cursor) Encode() string {
+	b, _ := json.Marshal(c)
+	return string(b)
+}
+
+// ParseCursor decodes a cursor produced by Encode.
+func ParseCursor(s string) (Cursor, error) {
+	var c Cursor
+	if err := json.Unmarshal([]byte(s), &c); err != nil {
+		return Cursor{}, fmt.Errorf("traffic: bad cursor %q: %w", s, err)
+	}
+	return c, nil
+}
+
+// Stream generates the edges of a synthetic communication graph as a
+// deterministic, seeded, resumable sequence. Unlike Generate's rejection
+// sampling, the stream walks a keyed pseudorandom permutation of the
+// ordered-pair space, so it emits exactly cfg.Edges distinct edges (no
+// self-loops, no duplicates, no silent shortfall) in O(1) memory — the
+// scale-out path for Figure-4-style sweeps that no longer fit a single
+// in-memory build. Streams with the same config are byte-identical
+// regardless of batch sizes or stop/resume points.
+type Stream struct {
+	cfg      Config
+	width    int      // node-ID digit width (IDWidth)
+	prefixes []string // node-IP /16 prefixes, distinct by construction
+	max      uint64   // ordered-pair space size: Nodes*(Nodes-1)
+	halfBits uint     // Feistel half width; domain is 1<<(2*halfBits)
+	halfMask uint64
+	keys     [feistelRounds]uint64
+	pos      int64 // next edge position in [0, cfg.Edges]
+}
+
+const feistelRounds = 4
+
+// NewStream validates cfg and positions a stream at edge 0. It errors when
+// cfg.Edges exceeds MaxEdges(cfg.Nodes) — a stream can never fall short of
+// the requested edge count, so an unsatisfiable request fails up front.
+func NewStream(cfg Config) (*Stream, error) {
+	return StreamAt(cfg, 0)
+}
+
+// ResumeStream reopens a stream at a cursor's position.
+func ResumeStream(c Cursor) (*Stream, error) {
+	return StreamAt(Config{Nodes: c.Nodes, Edges: c.Edges, Seed: c.Seed, Prefixes: c.Prefixes}, c.Pos)
+}
+
+// StreamAt opens a stream positioned at edge pos (0 <= pos <= cfg.Edges).
+func StreamAt(cfg Config, pos int64) (*Stream, error) {
+	if cfg.Prefixes <= 0 {
+		cfg.Prefixes = 4
+	}
+	if cfg.Edges < 0 || cfg.Nodes < 0 {
+		return nil, fmt.Errorf("traffic: negative stream config %+v", cfg)
+	}
+	if max := MaxEdges(cfg.Nodes); int64(cfg.Edges) > max {
+		return nil, fmt.Errorf("traffic: %d nodes can hold at most %d edges, %d requested", cfg.Nodes, max, cfg.Edges)
+	}
+	if pos < 0 || pos > int64(cfg.Edges) {
+		return nil, fmt.Errorf("traffic: stream position %d outside [0,%d]", pos, cfg.Edges)
+	}
+	s := &Stream{cfg: cfg, width: IDWidth(cfg.Nodes), max: uint64(MaxEdges(cfg.Nodes)), pos: pos}
+	for s.halfBits = 1; uint64(1)<<(2*s.halfBits) < s.max; s.halfBits++ {
+	}
+	s.halfMask = 1<<s.halfBits - 1
+	for i := range s.keys {
+		s.keys[i] = splitmix64(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15*uint64(i+1))
+	}
+	s.prefixes = streamPrefixes(cfg.Seed, cfg.Prefixes)
+	return s, nil
+}
+
+// Config returns the generating config.
+func (s *Stream) Config() Config { return s.cfg }
+
+// Cursor returns the serializable resume point at the current position.
+func (s *Stream) Cursor() Cursor {
+	return Cursor{Nodes: s.cfg.Nodes, Edges: s.cfg.Edges, Seed: s.cfg.Seed, Prefixes: s.cfg.Prefixes, Pos: s.pos}
+}
+
+// Remaining returns how many edges the stream has yet to emit.
+func (s *Stream) Remaining() int64 { return int64(s.cfg.Edges) - s.pos }
+
+// Next returns the next batch of up to n edges and advances the stream. It
+// returns an empty batch once the stream is exhausted.
+func (s *Stream) Next(n int) []StreamEdge {
+	if r := s.Remaining(); int64(n) > r {
+		n = int(r)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]StreamEdge, n)
+	for i := range out {
+		out[i] = s.edgeAt(uint64(s.pos))
+		s.pos++
+	}
+	return out
+}
+
+// edgeAt computes edge number i: the permuted pair index picks distinct
+// endpoints, and a per-edge hash chain draws the attributes.
+func (s *Stream) edgeAt(i uint64) StreamEdge {
+	p := s.permute(i)
+	n1 := uint64(s.cfg.Nodes - 1)
+	u := int(p / n1)
+	v := int(p % n1)
+	if v >= u {
+		v++
+	}
+	h := splitmix64(uint64(s.cfg.Seed) ^ 0xbf58476d1ce4e5b9 ^ i)
+	h2 := splitmix64(h)
+	h3 := splitmix64(h2)
+	return StreamEdge{
+		U: NodeID(u, s.width), V: NodeID(v, s.width),
+		UIdx: u, VIdx: v,
+		Bytes:       int64(1 + h%1_000_000),
+		Connections: int64(1 + h2%100),
+		Packets:     int64(1 + h3%10_000),
+	}
+}
+
+// permute maps an edge position into the ordered-pair space [0, max)
+// bijectively: a 4-round Feistel network over the enclosing power-of-four
+// domain, cycle-walked until the image lands inside the pair space. The
+// domain is at most 4*max, so the walk terminates in a few steps.
+func (s *Stream) permute(i uint64) uint64 {
+	for {
+		l, r := i>>s.halfBits, i&s.halfMask
+		for round := 0; round < feistelRounds; round++ {
+			l, r = r, l^(splitmix64(r^s.keys[round])&s.halfMask)
+		}
+		i = l<<s.halfBits | r
+		if i < s.max {
+			return i
+		}
+	}
+}
+
+// NodeID returns the canonical ID of node index i.
+func (s *Stream) NodeID(i int) string { return NodeID(i, s.width) }
+
+// NodeIP returns node i's deterministic "ip" attribute. Like edges, node
+// attributes are pure functions of (seed, index), so any consumer — shard
+// builders, resumed sweeps — sees the same addresses without coordinating.
+func (s *Stream) NodeIP(i int) string {
+	h := splitmix64(uint64(s.cfg.Seed) ^ 0x94d049bb133111eb ^ uint64(i))
+	h2 := splitmix64(h)
+	h3 := splitmix64(h2)
+	return fmt.Sprintf("%s.%d.%d", s.prefixes[h%uint64(len(s.prefixes))], h2%256, 1+h3%254)
+}
+
+// streamPrefixes builds the stream's /16 prefix set: the fixed benchmark
+// prefixes followed by hash-drawn ones, deduplicated by construction.
+func streamPrefixes(seed int64, count int) []string {
+	prefixes := make([]string, 0, count)
+	seen := make(map[string]bool, count)
+	for i := 0; i < count && i < len(fixedPrefixes); i++ {
+		prefixes = append(prefixes, fixedPrefixes[i])
+		seen[fixedPrefixes[i]] = true
+	}
+	for ctr := uint64(0); len(prefixes) < count; ctr++ {
+		h := splitmix64(uint64(seed) ^ 0xd6e8feb86659fd93 ^ ctr)
+		p := fmt.Sprintf("%d.%d", 10+h%200, splitmix64(h)%256)
+		// After ~2^20 draws the ~51200-prefix space is exhausted; accept
+		// duplicates rather than spin forever.
+		if !seen[p] || ctr > 1<<20 {
+			prefixes = append(prefixes, p)
+			seen[p] = true
+		}
+	}
+	return prefixes
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-mixed 64-bit hash
+// used to derive every stream draw from (seed, index).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,187 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// drain consumes the whole stream in batches of batch edges.
+func drain(t *testing.T, s *Stream, batch int) []StreamEdge {
+	t.Helper()
+	var out []StreamEdge
+	for {
+		b := s.Next(batch)
+		if len(b) == 0 {
+			break
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestStreamExactCountNoDuplicates(t *testing.T) {
+	// Dense on purpose: 20 nodes hold at most 380 edges; ask for all of
+	// them. The rejection-sampling generator could fall short here; the
+	// stream cannot, by construction.
+	s, err := NewStream(Config{Nodes: 20, Edges: 380, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drain(t, s, 37)
+	if len(edges) != 380 {
+		t.Fatalf("got %d edges, want 380", len(edges))
+	}
+	seen := map[[2]string]bool{}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %s", e.U)
+		}
+		k := [2]string{e.U, e.V}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+		if e.Bytes <= 0 || e.Connections <= 0 || e.Packets <= 0 {
+			t.Fatalf("non-positive attrs: %+v", e)
+		}
+	}
+}
+
+func TestStreamRejectsUnsatisfiableConfig(t *testing.T) {
+	if _, err := NewStream(Config{Nodes: 5, Edges: 21, Seed: 1}); err == nil {
+		t.Fatal("5 nodes cannot hold 21 edges; want error")
+	}
+	if _, err := NewStream(Config{Nodes: 1, Edges: 1, Seed: 1}); err == nil {
+		t.Fatal("1 node cannot hold edges; want error")
+	}
+	if _, err := NewStream(Config{Nodes: 0, Edges: 0, Seed: 1}); err != nil {
+		t.Fatalf("empty stream should be valid: %v", err)
+	}
+}
+
+func TestStreamDeterministicAcrossBatchSizes(t *testing.T) {
+	cfg := Config{Nodes: 500, Edges: 2000, Seed: 42}
+	a, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := drain(t, a, 1), drain(t, b, 999)
+	if len(ea) != len(eb) {
+		t.Fatalf("len %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c, _ := NewStream(Config{Nodes: 500, Edges: 2000, Seed: 43})
+	if ec := drain(t, c, 64); ec[0] == ea[0] && ec[1] == ea[1] && ec[2] == ea[2] {
+		t.Fatal("different seeds should generate different streams")
+	}
+}
+
+func TestStreamResumeFromCursorByteIdentical(t *testing.T) {
+	cfg := Config{Nodes: 1200, Edges: 5000, Seed: 7}
+	full, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, full, 512)
+
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]StreamEdge(nil), s.Next(1700)...)
+	// Round-trip the cursor through its serialized form, as a stopped
+	// sweep would.
+	cur, err := ParseCursor(s.Cursor().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Pos != 1700 {
+		t.Fatalf("cursor pos = %d, want 1700", cur.Pos)
+	}
+	resumed, err := ResumeStream(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Remaining() != int64(cfg.Edges-1700) {
+		t.Fatalf("remaining = %d", resumed.Remaining())
+	}
+	got = append(got, drain(t, resumed, 333)...)
+
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d differs after resume: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamCursorValidation(t *testing.T) {
+	if _, err := StreamAt(Config{Nodes: 10, Edges: 20, Seed: 1}, 21); err == nil {
+		t.Fatal("position past the end must error")
+	}
+	if _, err := StreamAt(Config{Nodes: 10, Edges: 20, Seed: 1}, -1); err == nil {
+		t.Fatal("negative position must error")
+	}
+	if _, err := ParseCursor("not json"); err == nil {
+		t.Fatal("bad cursor must error")
+	}
+}
+
+func TestStreamWideIDsSortLexicographically(t *testing.T) {
+	s, err := NewStream(Config{Nodes: 1500, Edges: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeID(7); got != "h0007" {
+		t.Fatalf("NodeID(7) = %q, want h0007 at 1500 nodes", got)
+	}
+	if got := s.NodeID(1499); got != "h1499" {
+		t.Fatalf("NodeID(1499) = %q", got)
+	}
+	if s.NodeID(999) >= s.NodeID(1000) {
+		t.Fatal("IDs must sort in index order")
+	}
+	if idx := NodeIndex(s.NodeID(1234)); idx != 1234 {
+		t.Fatalf("NodeIndex round trip = %d", idx)
+	}
+}
+
+func TestStreamNodeIPsDeterministicAndPrefixed(t *testing.T) {
+	cfg := Config{Nodes: 100, Edges: 0, Seed: 42, Prefixes: 12}
+	a, _ := NewStream(cfg)
+	b, _ := NewStream(cfg)
+	sawFixed := false
+	for i := 0; i < cfg.Nodes; i++ {
+		ip := a.NodeIP(i)
+		if ip != b.NodeIP(i) {
+			t.Fatalf("node %d ip not deterministic: %s vs %s", i, ip, b.NodeIP(i))
+		}
+		if strings.Count(ip, ".") != 3 {
+			t.Fatalf("bad ip %q", ip)
+		}
+		if strings.HasPrefix(ip, "15.76.") {
+			sawFixed = true
+		}
+	}
+	if !sawFixed {
+		t.Fatal("fixed prefix 15.76 should appear across 100 nodes")
+	}
+	// The prefix pool itself must be distinct.
+	seen := map[string]bool{}
+	for _, p := range streamPrefixes(42, 32) {
+		if seen[p] {
+			t.Fatalf("duplicate stream prefix %q", p)
+		}
+		seen[p] = true
+	}
+}

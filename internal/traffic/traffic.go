@@ -27,39 +27,93 @@ type Config struct {
 	Prefixes int
 }
 
+// fixedPrefixes are the /16 prefixes benchmark queries can reference by
+// name ("15.76" appears in the paper's example queries); generators only
+// draw additional prefixes beyond these.
+var fixedPrefixes = []string{"15.76", "10.0", "192.168", "172.16"}
+
+// IDWidth returns the zero-padded digit width of node IDs for a graph of
+// the given node count: 3 digits up to 1000 nodes (the historical "h000"
+// layout, kept so small-config outputs stay byte-identical), widening once
+// the largest index needs more digits so that node IDs always sort
+// lexicographically in index order.
+func IDWidth(nodes int) int {
+	width := 3
+	for max := nodes - 1; max >= 1000; max /= 10 {
+		width++
+	}
+	return width
+}
+
+// NodeID renders the canonical node ID for index i at the given width.
+func NodeID(i, width int) string { return fmt.Sprintf("h%0*d", width, i) }
+
+// NodeIndex parses a canonical node ID back to its index, or -1 if id is
+// not of the "h<digits>" form.
+func NodeIndex(id string) int {
+	if len(id) < 2 || id[0] != 'h' {
+		return -1
+	}
+	n := 0
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// MaxEdges returns the number of distinct directed edges (no self-loops) a
+// graph with n nodes can hold.
+func MaxEdges(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	return int64(n) * int64(n-1)
+}
+
 // Generate builds a deterministic synthetic communication graph. Node IDs
-// are "h000".."hNNN"; each node gets an "ip" attribute drawn from one of
-// cfg.Prefixes /16 prefixes; each directed edge gets integer "bytes",
-// "connections" and "packets" attributes.
+// are "h000".."hNNN" (the width grows past 1000 nodes so IDs keep sorting
+// lexicographically in index order); each node gets an "ip" attribute drawn
+// from one of cfg.Prefixes /16 prefixes; each directed edge gets integer
+// "bytes", "connections" and "packets" attributes.
+//
+// Generate always produces exactly min(cfg.Edges, MaxEdges(cfg.Nodes))
+// edges: when rejection sampling runs out of budget on dense configs the
+// remaining edges are filled in deterministically. Use GenerateChecked to
+// treat an unsatisfiable cfg.Edges as an error instead of saturating.
 func Generate(cfg Config) *graph.Graph {
+	g, _ := GenerateChecked(cfg)
+	return g
+}
+
+// GenerateChecked is Generate, but reports an error when cfg.Edges exceeds
+// the number of distinct directed edges the node set can hold (the graph is
+// still returned, saturated at that maximum).
+func GenerateChecked(cfg Config) (*graph.Graph, error) {
 	if cfg.Prefixes <= 0 {
 		cfg.Prefixes = 4
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 	g := graph.NewDirected()
 	g.GraphAttrs()["app"] = "traffic-analysis"
-	// The first four prefixes are fixed so benchmark queries can reference
-	// them ("15.76" appears in the paper's example queries); further
-	// prefixes are drawn deterministically from the seed.
-	fixed := []string{"15.76", "10.0", "192.168", "172.16"}
-	prefixes := make([]string, cfg.Prefixes)
-	for i := range prefixes {
-		if i < len(fixed) {
-			prefixes[i] = fixed[i]
-		} else {
-			prefixes[i] = fmt.Sprintf("%d.%d", 10+r.Intn(200), r.Intn(256))
-		}
-	}
+	prefixes := drawPrefixes(r, cfg.Prefixes)
+	width := IDWidth(cfg.Nodes)
 	ids := make([]string, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		id := fmt.Sprintf("h%03d", i)
+		id := NodeID(i, width)
 		ids[i] = id
 		prefix := prefixes[r.Intn(len(prefixes))]
 		ip := fmt.Sprintf("%s.%d.%d", prefix, r.Intn(256), 1+r.Intn(254))
 		g.AddNode(id, graph.Attrs{"ip": ip})
 	}
 	if cfg.Nodes < 2 {
-		return g
+		if cfg.Edges > 0 {
+			return g, fmt.Errorf("traffic: %d nodes cannot hold %d edges", cfg.Nodes, cfg.Edges)
+		}
+		return g, nil
 	}
 	added := 0
 	for attempts := 0; added < cfg.Edges && attempts < cfg.Edges*20; attempts++ {
@@ -68,14 +122,77 @@ func Generate(cfg Config) *graph.Graph {
 		if u == v || g.HasEdge(u, v) {
 			continue
 		}
-		g.AddEdge(u, v, graph.Attrs{
-			"bytes":       int64(1 + r.Intn(1_000_000)),
-			"connections": int64(1 + r.Intn(100)),
-			"packets":     int64(1 + r.Intn(10_000)),
-		})
+		g.AddEdge(u, v, edgeAttrs(r))
 		added++
 	}
-	return g
+	// Dense configs can exhaust the rejection budget above. Complete the
+	// edge set deterministically by scanning the ordered pair space, so the
+	// generator never silently falls short of a satisfiable cfg.Edges. The
+	// scan only runs in the regime where the old generator under-delivered,
+	// so sparse small-config outputs are untouched.
+	for u := 0; u < cfg.Nodes && added < cfg.Edges; u++ {
+		for v := 0; v < cfg.Nodes && added < cfg.Edges; v++ {
+			if u == v || g.HasEdge(ids[u], ids[v]) {
+				continue
+			}
+			g.AddEdge(ids[u], ids[v], edgeAttrs(r))
+			added++
+		}
+	}
+	if added < cfg.Edges {
+		return g, fmt.Errorf("traffic: %d nodes can hold at most %d edges, %d requested (generated %d)",
+			cfg.Nodes, MaxEdges(cfg.Nodes), cfg.Edges, added)
+	}
+	return g, nil
+}
+
+// edgeAttrs draws one edge's attribute set from r (three draws, in the
+// byte/connection/packet order the original generator used).
+func edgeAttrs(r *rand.Rand) graph.Attrs {
+	return graph.Attrs{
+		"bytes":       int64(1 + r.Intn(1_000_000)),
+		"connections": int64(1 + r.Intn(100)),
+		"packets":     int64(1 + r.Intn(10_000)),
+	}
+}
+
+// drawPrefixes returns the fixed prefixes followed by count-4 distinct
+// random ones. A random draw that collides with a fixed prefix or an
+// earlier draw is redrawn, so prefix-distribution queries see exactly
+// `count` distinct prefixes; redraws consume extra RNG state only on
+// collision, which preserves the draw sequence (and so the generated
+// graphs) of every collision-free config.
+func drawPrefixes(r *rand.Rand, count int) []string {
+	prefixes := make([]string, count)
+	seen := make(map[string]bool, count)
+	for i := range prefixes {
+		if i < len(fixedPrefixes) {
+			prefixes[i] = fixedPrefixes[i]
+			seen[prefixes[i]] = true
+			continue
+		}
+		p := fmt.Sprintf("%d.%d", 10+r.Intn(200), r.Intn(256))
+		for retries := 0; seen[p] && retries < 64; retries++ {
+			p = fmt.Sprintf("%d.%d", 10+r.Intn(200), r.Intn(256))
+		}
+		if seen[p] {
+			// Random redraws keep colliding (the pool is nearly full):
+			// sweep the 200*256-prefix draw space deterministically for the
+			// first unseen prefix, so a duplicate is emitted only when a
+			// caller asks for more prefixes than the space can supply.
+			for a := 10; a < 210 && seen[p]; a++ {
+				for b := 0; b < 256; b++ {
+					if q := fmt.Sprintf("%d.%d", a, b); !seen[q] {
+						p = q
+						break
+					}
+				}
+			}
+		}
+		prefixes[i] = p
+		seen[p] = true
+	}
+	return prefixes
 }
 
 // Frames converts a communication graph into the node/edge dataframes the

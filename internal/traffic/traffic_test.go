@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -124,6 +125,84 @@ func TestWrapperDescriptions(t *testing.T) {
 	}
 	if w.Describe("networkx") == w.Describe("sql") {
 		t.Fatal("descriptions must be backend-specific")
+	}
+}
+
+func TestGenerateDenseConfigDeliversFullEdgeCount(t *testing.T) {
+	// 20 nodes hold at most 380 directed edges; the 20x-attempts rejection
+	// budget used to run out well before that and silently under-deliver.
+	g, err := GenerateChecked(Config{Nodes: 20, Edges: 380, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 380 {
+		t.Fatalf("dense config generated %d edges, want 380", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			t.Fatalf("self loop %s", e.U)
+		}
+	}
+	// Same config twice stays deterministic through the completion scan.
+	if !graph.Equal(g, Generate(Config{Nodes: 20, Edges: 380, Seed: 3})) {
+		t.Fatal("dense generation must stay deterministic")
+	}
+}
+
+func TestGenerateCheckedRejectsImpossibleEdgeCount(t *testing.T) {
+	g, err := GenerateChecked(Config{Nodes: 5, Edges: 100, Seed: 1})
+	if err == nil {
+		t.Fatal("5 nodes cannot hold 100 edges; want error")
+	}
+	if g.NumEdges() != 20 {
+		t.Fatalf("saturated graph has %d edges, want 20", g.NumEdges())
+	}
+	if _, err := GenerateChecked(Config{Nodes: 1, Edges: 10, Seed: 1}); err == nil {
+		t.Fatal("1-node graph cannot hold edges; want error")
+	}
+}
+
+func TestGeneratePrefixesDistinct(t *testing.T) {
+	// With many prefixes the random draws used to be able to collide with
+	// the fixed prefixes (all four fall inside the draw range) or each
+	// other, skewing prefix-distribution queries.
+	for seed := int64(0); seed < 30; seed++ {
+		g := Generate(Config{Nodes: 400, Edges: 0, Seed: seed, Prefixes: 40})
+		prefixes := map[string]bool{}
+		for _, n := range g.Nodes() {
+			ip := g.NodeAttrsView(n)["ip"].(string)
+			parts := strings.SplitN(ip, ".", 3)
+			prefixes[parts[0]+"."+parts[1]] = true
+		}
+		// 400 nodes across 40 prefixes: every prefix should be hit with
+		// overwhelming probability, so distinctness shows up as exactly 40
+		// observed /16s. Before the dedupe fix, colliding draws left
+		// fewer.
+		if len(prefixes) != 40 {
+			t.Fatalf("seed %d: %d distinct /16 prefixes observed, want 40", seed, len(prefixes))
+		}
+	}
+}
+
+func TestGenerateIDWidthScalesPast1000Nodes(t *testing.T) {
+	small := Generate(Config{Nodes: 999, Edges: 0, Seed: 1})
+	if nodes := small.Nodes(); nodes[7] != "h007" || nodes[998] != "h998" {
+		t.Fatalf("<=999-node IDs must keep the historical 3-digit layout, got %q/%q", nodes[7], nodes[998])
+	}
+	big := Generate(Config{Nodes: 1001, Edges: 0, Seed: 1})
+	nodes := big.Nodes()
+	if nodes[7] != "h0007" || nodes[1000] != "h1000" {
+		t.Fatalf("1001-node IDs must be 4 digits wide, got %q/%q", nodes[7], nodes[1000])
+	}
+	if !sort.StringsAreSorted(nodes) {
+		t.Fatal("node IDs must sort lexicographically in index order")
+	}
+	for i, tc := range []struct{ nodes, width int }{
+		{0, 3}, {1, 3}, {999, 3}, {1000, 3}, {1001, 4}, {10000, 4}, {10001, 5},
+	} {
+		if w := IDWidth(tc.nodes); w != tc.width {
+			t.Fatalf("case %d: IDWidth(%d) = %d, want %d", i, tc.nodes, w, tc.width)
+		}
 	}
 }
 
