@@ -1,13 +1,13 @@
 # Build/verify/benchmark entry points. `make verify` is the tier-1 gate
 # (build + vet + tests); `make bench` records the benchmark suite as JSON
-# so successive PRs can track the perf trajectory (BENCH_4.json for this
+# so successive PRs can track the perf trajectory (BENCH_5.json for this
 # PR, bump BENCH_OUT for the next); `make benchdiff` compares the two most
 # recent snapshots and fails on >10% regressions — of ns/op, B/op or
 # allocs/op alike — on the ROADMAP watchlist (Table2 / Table4 / Clone /
-# PageRank / SandboxGoldenQuery / NQLVM / StreamSweep).
+# PageRank / SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 
 .PHONY: verify test race bench bench-quick benchdiff
 
@@ -20,9 +20,10 @@ test:
 	$(GO) test ./...
 
 # Race-exercise the concurrent evaluation pipeline and its substrates
-# (includes the stream/shard sweep's parallel aggregation and PageRank).
+# (includes the stream/shard sweep's parallel aggregation and PageRank,
+# and the model-serving gateway's batching/rate-limit/retry scheduler).
 race:
-	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve
 
 # Record the benchmark suite as test2json records for tooling: the macro
 # benchmarks (whole tables/figures/ablations) run one iteration, while the
@@ -32,7 +33,7 @@ race:
 # per-metric minimum, so transient co-tenant load on shared hardware cannot
 # fake a regression (or mask one by inflating the baseline).
 bench:
-	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep' -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep|GatewayThroughput' -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token' -benchmem -benchtime=0.5s -count=3 -json . | tee -a $(BENCH_OUT)
 
 # Stable-ish numbers for the substrate micro-benchmarks only.

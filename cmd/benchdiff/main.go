@@ -2,7 +2,8 @@
 // the test2json stream of one benchmark run) and flags regressions on the
 // watched benchmarks, per the ROADMAP's perf-trajectory gate: >10% worse
 // on any gated metric of Table2 / Table4 / GraphClone / GraphPageRank /
-// SandboxGoldenQuery / NQLVM / StreamSweep fails the diff. Time (ns/op) and the
+// SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput fails the
+// diff. Time (ns/op) and the
 // allocation bill (B/op, allocs/op) are gated alike — a PR that gets
 // faster by allocating wildly more, or leaner by getting slower, fails.
 //
@@ -57,7 +58,7 @@ var (
 )
 
 // defaultWatch is the ROADMAP's regression watchlist.
-const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep"
+const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep,GatewayThroughput"
 
 func main() {
 	oldPath := flag.String("old", "", "baseline BENCH_<n>.json (default: second-newest in .)")

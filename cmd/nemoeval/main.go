@@ -18,11 +18,24 @@
 //	nemoeval -table 2 -engine interp   # force the reference NQL engine
 //	nemoeval -stream -shards 8     # streamed, sharded Figure-4-scale sweep
 //	nemoeval -stream -stream-nodes 10000 -stream-edges 100000 -stream-seed 42
+//	nemoeval -table 2 -provider sim                 # route the matrix through the gateway
+//	nemoeval -all -provider sim -record run1/       # record every generation
+//	nemoeval -all -provider replay -replay run1/    # replay it byte-identically
+//	nemoeval -table 5 -provider http -http-base http://localhost:8000/v1 \
+//	         -http-header "Authorization: Bearer $KEY" -rps 4 -tpm 90000 -retries 5
 //
 // The -stream sweep builds the configured graph as a seeded edge stream
 // partitioned into -shards frozen per-shard masters, aggregates shards over
 // the worker pool, and prints the merged degree/component/PageRank report —
 // byte-identical for any -shards and -workers values.
+//
+// -provider selects the model-serving path (internal/modelserve): "sim"
+// fronts the calibrated simulations with the batching/rate-limited
+// gateway, "http" targets any OpenAI-compatible chat-completions endpoint,
+// and "replay" serves a -record'ed run back with zero provider calls.
+// Table and figure stdout is byte-identical across providers that answer
+// identically (sim vs recorded-sim replay); the per-run gateway statistics
+// go to stderr.
 package main
 
 import (
@@ -31,7 +44,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"repro/internal/modelserve"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
 	"repro/internal/synthesis"
@@ -39,6 +54,20 @@ import (
 )
 
 func main() { os.Exit(run()) }
+
+// headerFlags collects repeatable "-http-header 'Name: value'" flags.
+type headerFlags map[string]string
+
+func (h headerFlags) String() string { return fmt.Sprintf("%v", map[string]string(h)) }
+
+func (h headerFlags) Set(s string) error {
+	name, value, ok := strings.Cut(s, ":")
+	if !ok || strings.TrimSpace(name) == "" {
+		return fmt.Errorf("want \"Name: value\", got %q", s)
+	}
+	h[strings.TrimSpace(name)] = strings.TrimSpace(value)
+	return nil
+}
 
 // run carries the whole command so deferred cleanups (profile writers, log
 // files) execute before the process exits, unlike os.Exit in main.
@@ -57,6 +86,16 @@ func run() int {
 	streamNodes := flag.Int("stream-nodes", 10000, "node count for -stream")
 	streamEdges := flag.Int("stream-edges", 100000, "edge count for -stream")
 	streamSeed := flag.Int64("stream-seed", 42, "generator seed for -stream")
+	provider := flag.String("provider", "", "model-serving provider: sim, http or replay (default: in-process sims, no gateway)")
+	record := flag.String("record", "", "record provider responses into this directory (requires -provider sim or http)")
+	replay := flag.String("replay", "", "replay cache directory for -provider replay")
+	rps := flag.Float64("rps", 0, "gateway per-model requests/sec limit (0 = unlimited)")
+	tpm := flag.Float64("tpm", 0, "gateway per-model tokens/min limit (0 = unlimited)")
+	retries := flag.Int("retries", 3, "gateway retry budget for transient provider failures")
+	batch := flag.Int("batch", 8, "gateway max coalesced batch size (1 disables batching)")
+	httpBase := flag.String("http-base", "", "base URL for -provider http (OpenAI-compatible, e.g. http://host:8000/v1)")
+	httpHeaders := headerFlags{}
+	flag.Var(httpHeaders, "http-header", "extra header for -provider http as \"Name: value\" (repeatable)")
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == "" && !*federated && !*stream {
@@ -64,14 +103,96 @@ func run() int {
 		return 2
 	}
 
+	// Validate flag combinations up front: a long evaluation run must not
+	// discover a bad flag an hour in, and no combination may silently
+	// degrade to a default the operator did not pick.
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+		return 2
+	}
+	switch *engine {
+	case "vm", "interp":
+	default:
+		return fail("unknown -engine %q (want vm or interp)", *engine)
+	}
+	if *table != "" {
+		switch *table {
+		case "2", "3", "4", "5", "6":
+		default:
+			return fail("unknown -table %q (want 2-6)", *table)
+		}
+	}
+	if *figure != "" && *figure != "4a" && *figure != "4b" {
+		return fail("unknown -figure %q (want 4a or 4b)", *figure)
+	}
+	if *workers < 0 {
+		return fail("-workers must be >= 0, got %d", *workers)
+	}
+	if *stream {
+		if *shards < 1 {
+			return fail("-shards must be >= 1, got %d", *shards)
+		}
+		if *streamNodes < 2 {
+			return fail("-stream-nodes must be >= 2, got %d", *streamNodes)
+		}
+		if *streamEdges < 0 {
+			return fail("-stream-edges must be >= 0, got %d", *streamEdges)
+		}
+	} else if *shards != 1 {
+		return fail("-shards only applies to -stream runs")
+	}
+	switch *provider {
+	case "", "sim", "http", "replay":
+	default:
+		return fail("unknown -provider %q (want sim, http or replay)", *provider)
+	}
+	if *record != "" && *provider == "" {
+		return fail("-record needs a provider to record from: add -provider sim or -provider http")
+	}
+	if *record != "" && *provider == "replay" {
+		return fail("-record cannot wrap -provider replay (a replay run issues no new generations)")
+	}
+	if *provider == "replay" && *replay == "" {
+		return fail("-provider replay needs -replay <dir> (a directory recorded with -record)")
+	}
+	if *replay != "" && *provider != "replay" {
+		return fail("-replay requires -provider replay (use -record <dir> to capture a run)")
+	}
+	if *provider == "http" && *httpBase == "" {
+		return fail("-provider http needs -http-base <url>")
+	}
+	if (*httpBase != "" || len(httpHeaders) > 0) && *provider != "http" {
+		return fail("-http-base/-http-header require -provider http")
+	}
+	if *rps < 0 || *tpm < 0 {
+		return fail("-rps and -tpm must be >= 0, got %g and %g", *rps, *tpm)
+	}
+	if *retries < 0 {
+		return fail("-retries must be >= 0, got %d", *retries)
+	}
+	if *batch < 1 {
+		return fail("-batch must be >= 1, got %d", *batch)
+	}
+	if *provider == "" {
+		// Gateway knobs without a gateway must not silently do nothing;
+		// flag.Visit distinguishes an explicit -retries 3 from its default.
+		gatewayFlags := map[string]bool{"rps": true, "tpm": true, "retries": true, "batch": true, "http-header": true}
+		var set []string
+		flag.Visit(func(f *flag.Flag) {
+			if gatewayFlags[f.Name] {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return fail("%s only apply to the serving gateway: add -provider sim, http or replay", strings.Join(set, "/"))
+		}
+	}
+
 	switch *engine {
 	case "vm":
 		nql.DefaultEngine = nql.EngineVM
 	case "interp":
 		nql.DefaultEngine = nql.EngineInterp
-	default:
-		fmt.Fprintf(os.Stderr, "error: unknown -engine %q (want vm or interp)\n", *engine)
-		return 2
 	}
 
 	// Profiling hooks so perf PRs can attach pprof evidence without
@@ -107,6 +228,54 @@ func run() int {
 
 	runner := nemoeval.NewRunner()
 	runner.Workers = *workers
+	if *provider != "" {
+		var p modelserve.Provider
+		var err error
+		switch *provider {
+		case "sim":
+			p = modelserve.NewSimProvider()
+		case "http":
+			p = &modelserve.HTTPProvider{BaseURL: *httpBase, Headers: httpHeaders}
+		case "replay":
+			p, err = modelserve.NewReplay(*replay)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		if *record != "" {
+			if p, err = modelserve.NewRecorder(p, *record); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+		}
+		maxRetries := *retries
+		if maxRetries == 0 {
+			maxRetries = -1 // Config's "disable retries" spelling
+		}
+		gw, err := modelserve.New(modelserve.Config{
+			Provider: p, BatchSize: *batch, RPS: *rps, TPM: *tpm, MaxRetries: maxRetries,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		runner.Provider = gw
+		// Stats go to stderr after everything else: stdout must stay
+		// byte-identical across providers (the replay parity contract).
+		defer func() {
+			if report := runner.GatewayReport(); report != "" {
+				fmt.Fprintln(os.Stderr, report)
+			}
+		}()
+		// Table 6 and Figures 4a/4b are built on the oracle-driven
+		// simulations (pass@k calibration sequences, strawman baselines);
+		// they never consult the provider. Say so rather than let a
+		// live-provider run silently mix in simulated artifacts.
+		if *all || *table == "6" || *figure != "" {
+			fmt.Fprintln(os.Stderr, "note: table 6 and figures 4a/4b always run on in-process simulations; -provider applies to tables 2-5")
+		}
+	}
 	emit := func(s string, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -26,6 +26,11 @@
 //
 // Every backend executes against the same cloned state, so inspection and
 // Approve semantics are identical across all four.
+//
+// Sessions accept any llm.Model, including gateway-backed ones: wrap a
+// serving gateway (internal/modelserve — batching, rate limiting, retry,
+// record/replay) with llm.NewProviderModel(gw, "gpt-4") and pass that in
+// place of a simulated model; the Ask pipeline is unchanged.
 package core
 
 import (

@@ -9,6 +9,15 @@
 // (prompting, parsing, sandboxed execution, evaluation, error
 // classification, cost accounting) runs exactly as it would with a live
 // model; swapping one in only requires implementing Model.
+//
+// Live and recorded serving enter through the Provider seam: a Provider
+// answers generation requests for any named model, and NewProviderModel
+// adapts one back to the per-model Model interface. The model-serving
+// gateway (package internal/modelserve) implements Provider and supplies
+// the production plumbing — request batching under the evaluation worker
+// pool, per-model rate limiting, bounded retry with backoff, and a
+// deterministic record/replay cache — so the pipeline runs
+// simulate → record → replay without any consumer changing.
 package llm
 
 import (
@@ -43,6 +52,37 @@ type Model interface {
 
 // ModelNames lists the simulated models in the paper's order.
 var ModelNames = []string{"gpt-4", "gpt-3", "text-davinci-003", "bard"}
+
+// Provider is the model-serving seam: one entry point that answers
+// generation requests for any named model. The gateway in
+// internal/modelserve implements it (batching, rate limiting, retry,
+// record/replay); this package only defines the contract so consumers
+// never import the serving layer.
+type Provider interface {
+	Generate(model string, req Request) (*Response, error)
+}
+
+// providerModel adapts a Provider to the Model interface for one model
+// name — the gateway-backed Model constructor the evaluation pipeline
+// uses when a serving gateway is configured.
+type providerModel struct {
+	name string
+	p    Provider
+}
+
+// NewProviderModel returns a Model whose generations are served by p
+// under the given model name.
+func NewProviderModel(p Provider, name string) Model {
+	return &providerModel{name: name, p: p}
+}
+
+// Name implements Model.
+func (m *providerModel) Name() string { return m.name }
+
+// Generate implements Model.
+func (m *providerModel) Generate(req Request) (*Response, error) {
+	return m.p.Generate(m.name, req)
+}
 
 // SimModel is a calibrated simulated LLM.
 type SimModel struct {

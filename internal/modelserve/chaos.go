@@ -1,0 +1,82 @@
+package modelserve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/llm"
+)
+
+// Chaos is a fault-injecting provider wrapper for exercising the
+// gateway's failure paths: every distinct request fails a configured
+// number of times with a transient error before the inner provider is
+// consulted, and an optional hook injects terminal faults. Injection is
+// keyed by the same canonical request key the record/replay cache uses,
+// so a "transient" fault deterministically clears after the same number
+// of retries on every run.
+type Chaos struct {
+	// Inner answers the requests that survive injection.
+	Inner Provider
+	// TransientFailures is how many times each distinct request fails
+	// (with TransientKind) before succeeding.
+	TransientFailures int
+	// TransientKind is the injected transient fault class (default
+	// KindUnavailable; KindRateLimited exercises the throttle path).
+	TransientKind ErrKind
+	// Terminal, when set, short-circuits matching requests with a
+	// terminal error instead of consulting Inner.
+	Terminal func(model string, req llm.Request) error
+
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+// Name implements Provider.
+func (c *Chaos) Name() string { return "chaos(" + c.Inner.Name() + ")" }
+
+// Unwrap exposes the wrapped provider (gateway stats traversal).
+func (c *Chaos) Unwrap() Provider { return c.Inner }
+
+// attemptsFor bumps and returns the per-request attempt ordinal.
+func (c *Chaos) attemptsFor(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == nil {
+		c.seen = map[string]int{}
+	}
+	c.seen[key]++
+	return c.seen[key]
+}
+
+// GenerateBatch implements Provider.
+func (c *Chaos) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Response, []error) {
+	resps := make([]*llm.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var fwd []int
+	for i, req := range reqs {
+		if c.Terminal != nil {
+			if err := c.Terminal(model, req); err != nil {
+				errs[i] = err
+				continue
+			}
+		}
+		if n := c.attemptsFor(Key(model, req)); n <= c.TransientFailures {
+			errs[i] = &ProviderError{Provider: c.Name(), Model: model, Kind: c.TransientKind,
+				Err: fmt.Errorf("injected transient fault %d/%d", n, c.TransientFailures)}
+			continue
+		}
+		fwd = append(fwd, i)
+	}
+	if len(fwd) == 0 {
+		return resps, errs
+	}
+	sub := make([]llm.Request, len(fwd))
+	for j, i := range fwd {
+		sub[j] = reqs[i]
+	}
+	subResps, subErrs := c.Inner.GenerateBatch(model, sub)
+	for j, i := range fwd {
+		resps[i], errs[i] = subResps[j], subErrs[j]
+	}
+	return resps, errs
+}

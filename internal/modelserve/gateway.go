@@ -1,0 +1,433 @@
+package modelserve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/tokens"
+)
+
+// completionReserve is the per-request completion-token estimate debited
+// from the tokens/min bucket alongside the counted prompt tokens; it
+// matches the reply room the simulated models reserve.
+const completionReserve = 512
+
+// Config tunes a Gateway. The zero value of every field selects a sane
+// default; only Provider is required.
+type Config struct {
+	Provider Provider
+
+	// BatchSize bounds how many queued requests one provider call may
+	// coalesce (default 8; 1 disables batching).
+	BatchSize int
+	// BatchWindow is how long a dispatcher waits for more requests after
+	// picking up an undersized batch. The default (0) dispatches
+	// immediately — batches then form from queue backlog alone, which
+	// costs nothing when traffic is sparse; a positive window trades
+	// per-request latency for batch fill, worthwhile when the provider
+	// charges per round trip.
+	BatchWindow time.Duration
+
+	// RPS caps per-model requests per second; 0 means unlimited.
+	RPS float64
+	// TPM caps per-model tokens (counted prompt tokens plus a completion
+	// reserve) per minute; 0 means unlimited.
+	TPM float64
+	// Burst is the request bucket's burst capacity (default BatchSize).
+	Burst int
+
+	// MaxRetries bounds how many times a transient failure is retried
+	// beyond the first attempt (default 3; negative disables retries).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff; each further retry doubles
+	// it up to BackoffMax, with full jitter on the upper half (default
+	// 25ms, capped at 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed keys the jitter sequence so retry timing is reproducible.
+	Seed int64
+}
+
+// Stats is a snapshot of gateway activity for one run. Cache figures are
+// present when the provider chain contains a Recorder or Replay.
+type Stats struct {
+	Requests      int64 // generations that entered the gateway
+	ProviderCalls int64 // downstream batch calls issued
+	Batched       int64 // provider calls that coalesced >1 request
+	MaxBatch      int64 // largest coalesced batch
+	Retries       int64 // transient failures re-attempted
+	Failures      int64 // terminal failures surfaced to callers
+	RateWaits     int64 // provider calls delayed by a rate limiter
+	RateWaited    time.Duration
+	CacheHits     int64
+	CacheMisses   int64
+	CacheWrites   int64
+}
+
+// String renders the snapshot as the one-line report cmd/nemoeval prints.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d requests, %d provider calls (%d batched, max batch %d), %d retries, %d failures, %d rate-limit waits (%s)",
+		s.Requests, s.ProviderCalls, s.Batched, s.MaxBatch, s.Retries, s.Failures, s.RateWaits, s.RateWaited.Round(time.Millisecond))
+	if s.CacheHits+s.CacheMisses+s.CacheWrites > 0 {
+		fmt.Fprintf(&sb, ", cache %d hits / %d misses / %d writes", s.CacheHits, s.CacheMisses, s.CacheWrites)
+	}
+	return sb.String()
+}
+
+// cacheCounters is implemented by Recorder and Replay so the gateway can
+// fold cache activity into Stats.
+type cacheCounters interface {
+	cacheStats() (hits, misses, writes int64)
+}
+
+// Gateway schedules generation requests onto a Provider: it coalesces
+// concurrent requests into per-model batches, enforces per-model rate
+// limits, retries transient failures with backoff and jitter, and wraps
+// terminal failures in classified ProviderErrors. It implements
+// llm.Provider, so llm.NewProviderModel(gw, name) yields a drop-in Model.
+//
+// Gateway is safe for concurrent use by any number of workers.
+type Gateway struct {
+	cfg Config
+
+	mu    sync.Mutex
+	lanes map[string]*lane
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
+	requests      atomic.Int64
+	providerCalls atomic.Int64
+	batched       atomic.Int64
+	maxBatch      atomic.Int64
+	retries       atomic.Int64
+	failures      atomic.Int64
+	rateWaits     atomic.Int64
+	rateWaited    atomic.Int64 // nanoseconds
+
+	// Clock hooks, swappable in tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// New builds a gateway over cfg.Provider, applying defaults.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("modelserve: Config.Provider is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.BatchWindow < 0 {
+		cfg.BatchWindow = 0
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.BatchSize
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.RPS < 0 || cfg.TPM < 0 {
+		return nil, fmt.Errorf("modelserve: negative rate limit (rps %v, tpm %v)", cfg.RPS, cfg.TPM)
+	}
+	return &Gateway{
+		cfg:   cfg,
+		lanes: map[string]*lane{},
+		jrng:  rand.New(rand.NewSource(cfg.Seed)),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}, nil
+}
+
+// Provider returns the configured downstream provider chain.
+func (g *Gateway) Provider() Provider { return g.cfg.Provider }
+
+// Stats snapshots the gateway counters, folding in cache activity from
+// any Recorder/Replay in the provider chain.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		Requests:      g.requests.Load(),
+		ProviderCalls: g.providerCalls.Load(),
+		Batched:       g.batched.Load(),
+		MaxBatch:      g.maxBatch.Load(),
+		Retries:       g.retries.Load(),
+		Failures:      g.failures.Load(),
+		RateWaits:     g.rateWaits.Load(),
+		RateWaited:    time.Duration(g.rateWaited.Load()),
+	}
+	for p := g.cfg.Provider; p != nil; {
+		if cc, ok := p.(cacheCounters); ok {
+			h, m, w := cc.cacheStats()
+			s.CacheHits += h
+			s.CacheMisses += m
+			s.CacheWrites += w
+		}
+		type unwrapper interface{ Unwrap() Provider }
+		if u, ok := p.(unwrapper); ok {
+			p = u.Unwrap()
+		} else {
+			p = nil
+		}
+	}
+	return s
+}
+
+// call is one in-flight request parked on a lane queue.
+type call struct {
+	req  llm.Request
+	resp *llm.Response
+	err  error
+	done chan struct{}
+}
+
+// lane serializes dispatch for one model: a single dispatcher goroutine
+// drains the queue in batches, so the provider never sees concurrent
+// calls for the same model and the rate buckets need no extra locking.
+type lane struct {
+	gw    *Gateway
+	model string
+
+	mu      sync.Mutex
+	queue   []*call
+	running bool
+
+	reqBucket *bucket
+	tokBucket *bucket
+}
+
+func (g *Gateway) lane(model string) *lane {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	l, ok := g.lanes[model]
+	if !ok {
+		l = &lane{gw: g, model: model}
+		if g.cfg.RPS > 0 {
+			l.reqBucket = newBucket(g.cfg.RPS, float64(g.cfg.Burst), g.now())
+		}
+		if g.cfg.TPM > 0 {
+			// Tokens/min expressed as tokens/sec; allow one batch's worth
+			// of burst so a cold gateway is not instantly in debt.
+			perSec := g.cfg.TPM / 60
+			burst := math.Max(perSec, float64(g.cfg.BatchSize)*completionReserve)
+			l.tokBucket = newBucket(perSec, burst, g.now())
+		}
+		g.lanes[model] = l
+	}
+	return l
+}
+
+// Generate implements llm.Provider: it parks the request on the model's
+// lane and blocks until the dispatcher fulfills it.
+func (g *Gateway) Generate(model string, req llm.Request) (*llm.Response, error) {
+	g.requests.Add(1)
+	c := &call{req: req, done: make(chan struct{})}
+	l := g.lane(model)
+	l.mu.Lock()
+	l.queue = append(l.queue, c)
+	if !l.running {
+		l.running = true
+		go l.run()
+	}
+	l.mu.Unlock()
+	<-c.done
+	if c.err != nil {
+		g.failures.Add(1)
+	}
+	return c.resp, c.err
+}
+
+// take pops up to n queued calls.
+func (l *lane) take(n int) []*call {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.queue) {
+		n = len(l.queue)
+	}
+	batch := l.queue[:n:n]
+	l.queue = l.queue[n:]
+	return batch
+}
+
+// run is the lane dispatcher: it drains the queue batch by batch and
+// exits when the queue empties.
+func (l *lane) run() {
+	g := l.gw
+	for {
+		batch := l.take(g.cfg.BatchSize)
+		if len(batch) == 0 {
+			l.mu.Lock()
+			// Re-check under the lock: a Generate may have enqueued after
+			// the empty take but before we flip running off.
+			if len(l.queue) == 0 {
+				l.running = false
+				l.mu.Unlock()
+				return
+			}
+			l.mu.Unlock()
+			continue
+		}
+		if len(batch) < g.cfg.BatchSize && g.cfg.BatchWindow > 0 {
+			// Undersized batch: give concurrent workers one window to pile
+			// on before paying a provider round trip.
+			g.sleep(g.cfg.BatchWindow)
+			batch = append(batch, l.take(g.cfg.BatchSize-len(batch))...)
+		}
+		l.process(batch)
+	}
+}
+
+// process drives one batch to completion: rate-limit, call the provider,
+// retry the transient failures with backoff, classify what remains.
+func (l *lane) process(batch []*call) {
+	g := l.gw
+	if n := int64(len(batch)); n > 1 {
+		g.batched.Add(1)
+		for {
+			cur := g.maxBatch.Load()
+			if n <= cur || g.maxBatch.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	pending := batch
+	for attempt := 1; ; attempt++ {
+		l.rateLimit(pending)
+		reqs := make([]llm.Request, len(pending))
+		for i, c := range pending {
+			reqs[i] = c.req
+		}
+		g.providerCalls.Add(1)
+		resps, errs := g.cfg.Provider.GenerateBatch(l.model, reqs)
+		var retry []*call
+		for i, c := range pending {
+			var err error
+			if i < len(errs) {
+				err = errs[i]
+			}
+			if err == nil {
+				if i < len(resps) && resps[i] != nil {
+					c.resp = resps[i]
+				} else {
+					c.err = &ProviderError{Provider: g.cfg.Provider.Name(), Model: l.model,
+						Kind: KindBadResponse, Attempts: attempt,
+						Err: fmt.Errorf("provider returned neither response nor error")}
+				}
+				close(c.done)
+				continue
+			}
+			if retryable(err) && attempt <= g.cfg.MaxRetries {
+				retry = append(retry, c)
+				continue
+			}
+			c.err = terminalError(g.cfg.Provider.Name(), l.model, err, attempt)
+			close(c.done)
+		}
+		if len(retry) == 0 {
+			return
+		}
+		g.retries.Add(int64(len(retry)))
+		g.sleep(l.backoff(attempt))
+		pending = retry
+	}
+}
+
+// terminalError normalizes a terminal failure into a ProviderError
+// carrying the attempt count; classified ProviderErrors keep their kind,
+// anything else (e.g. tokens.ErrTokenLimit from the sims) passes through
+// wrapped as the request-level fault it is.
+func terminalError(provider, model string, err error, attempts int) error {
+	if pe, ok := err.(*ProviderError); ok {
+		out := *pe
+		out.Attempts = attempts
+		if out.Provider == "" {
+			out.Provider = provider
+		}
+		if out.Model == "" {
+			out.Model = model
+		}
+		return &out
+	}
+	return err
+}
+
+// rateLimit debits the lane's buckets for one provider call of len(calls)
+// requests and sleeps out any deficit.
+func (l *lane) rateLimit(calls []*call) {
+	g := l.gw
+	var wait time.Duration
+	if l.reqBucket != nil {
+		wait = l.reqBucket.take(float64(len(calls)), g.now())
+	}
+	if l.tokBucket != nil {
+		need := 0.0
+		for _, c := range calls {
+			need += float64(tokens.Count(c.req.Prompt) + completionReserve)
+		}
+		if w := l.tokBucket.take(need, g.now()); w > wait {
+			wait = w
+		}
+	}
+	if wait > 0 {
+		g.rateWaits.Add(1)
+		g.rateWaited.Add(int64(wait))
+		g.sleep(wait)
+	}
+}
+
+// backoff returns the jittered delay before retry number `attempt`:
+// exponential base doubling with full jitter on the upper half, so
+// synchronized retry storms decorrelate while the floor keeps every
+// retry meaningfully spaced.
+func (l *lane) backoff(attempt int) time.Duration {
+	g := l.gw
+	d := g.cfg.BackoffBase << (attempt - 1)
+	if d > g.cfg.BackoffMax || d <= 0 {
+		d = g.cfg.BackoffMax
+	}
+	g.jmu.Lock()
+	j := g.jrng.Int63n(int64(d)/2 + 1)
+	g.jmu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// bucket is a lazy-refill token bucket. take debits immediately and
+// returns how long the caller must sleep to cover any deficit — the
+// GCRA-style formulation keeps one float of state and never needs a
+// background refill goroutine.
+type bucket struct {
+	rate   float64 // units per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+func (b *bucket) take(n float64, now time.Time) time.Duration {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+	}
+	b.last = now
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}

@@ -1,0 +1,204 @@
+package modelserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/tokens"
+)
+
+// HTTPProvider is a generic chat-completions adapter speaking the
+// OpenAI-compatible wire format: POST {BaseURL}{Path} with a JSON body of
+// {model, messages, temperature, max_tokens} and a reply of
+// {choices[].message.content, usage}. Any gateway-fronted serving stack
+// exposing that shape (OpenAI, Azure OpenAI, vLLM, llama.cpp server, ...)
+// plugs in via BaseURL and Headers; nothing in the repo issues live calls
+// — tests drive it against an in-process httptest server.
+type HTTPProvider struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1" or a
+	// local serving endpoint. Required.
+	BaseURL string
+	// Path is the completions route appended to BaseURL (default
+	// "/chat/completions").
+	Path string
+	// Headers are added to every request (e.g. "Authorization").
+	Headers map[string]string
+	// Client overrides the HTTP client (default: 60s timeout).
+	Client *http.Client
+	// MaxCompletionTokens is sent as max_tokens (default 512, matching
+	// the simulations' reply reserve).
+	MaxCompletionTokens int
+}
+
+// Name implements Provider.
+func (p *HTTPProvider) Name() string { return "http" }
+
+// chatRequest is the OpenAI-compatible request body.
+type chatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []chatMessage `json:"messages"`
+	Temperature float64       `json:"temperature"`
+	MaxTokens   int           `json:"max_tokens"`
+}
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// chatResponse is the subset of the reply the adapter consumes.
+type chatResponse struct {
+	Choices []struct {
+		Message chatMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+		Code    string `json:"code"`
+	} `json:"error"`
+}
+
+func (p *HTTPProvider) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (p *HTTPProvider) url() string {
+	path := p.Path
+	if path == "" {
+		path = "/chat/completions"
+	}
+	return strings.TrimSuffix(p.BaseURL, "/") + path
+}
+
+// GenerateBatch implements Provider. The wire format has no batch
+// endpoint, so a coalesced batch becomes concurrent requests over the
+// client's keep-alive pool — the batching win is connection reuse and
+// amortized rate-limiter work, not a combined payload.
+func (p *HTTPProvider) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Response, []error) {
+	resps := make([]*llm.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = p.generate(model, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}
+
+func (p *HTTPProvider) generate(model string, req llm.Request) (*llm.Response, error) {
+	fail := func(kind ErrKind, status int, err error) (*llm.Response, error) {
+		return nil, &ProviderError{Provider: p.Name(), Model: model, Kind: kind, Status: status, Err: err}
+	}
+	if p.BaseURL == "" {
+		return fail(KindBadRequest, 0, fmt.Errorf("HTTPProvider.BaseURL is empty"))
+	}
+	body, err := json.Marshal(chatRequest{
+		Model:       model,
+		Messages:    []chatMessage{{Role: "user", Content: req.Prompt}},
+		Temperature: req.Temperature,
+		MaxTokens:   p.maxTokens(),
+	})
+	if err != nil {
+		return fail(KindBadRequest, 0, err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, p.url(), bytes.NewReader(body))
+	if err != nil {
+		return fail(KindBadRequest, 0, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range p.Headers {
+		hreq.Header.Set(k, v)
+	}
+	hresp, err := p.client().Do(hreq)
+	if err != nil {
+		// Transport failures (connection refused, timeout) are the
+		// transient class the gateway's retry loop exists for.
+		return fail(KindUnavailable, 0, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<22))
+	if err != nil {
+		return fail(KindUnavailable, hresp.StatusCode, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return fail(classifyStatus(hresp.StatusCode, data), hresp.StatusCode,
+			fmt.Errorf("%s", strings.TrimSpace(truncateBody(data))))
+	}
+	var cr chatResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return fail(KindBadResponse, hresp.StatusCode, err)
+	}
+	if cr.Error != nil {
+		return fail(KindBadResponse, hresp.StatusCode, fmt.Errorf("%s", cr.Error.Message))
+	}
+	if len(cr.Choices) == 0 {
+		return fail(KindBadResponse, hresp.StatusCode, fmt.Errorf("reply carries no choices"))
+	}
+	out := &llm.Response{
+		Text:             cr.Choices[0].Message.Content,
+		PromptTokens:     cr.Usage.PromptTokens,
+		CompletionTokens: cr.Usage.CompletionTokens,
+	}
+	// Servers that omit usage still feed the cost model: fall back to the
+	// local estimator the rest of the pipeline already uses.
+	if out.PromptTokens == 0 {
+		out.PromptTokens = tokens.Count(req.Prompt)
+	}
+	if out.CompletionTokens == 0 {
+		out.CompletionTokens = tokens.Count(out.Text)
+	}
+	return out, nil
+}
+
+func (p *HTTPProvider) maxTokens() int {
+	if p.MaxCompletionTokens > 0 {
+		return p.MaxCompletionTokens
+	}
+	return completionReserve
+}
+
+// classifyStatus maps an HTTP error status (plus its body, for the
+// context-window case the wire format only signals textually) onto the
+// gateway's fault taxonomy.
+func classifyStatus(status int, body []byte) ErrKind {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return KindRateLimited
+	case status == http.StatusRequestTimeout || status >= 500:
+		return KindUnavailable
+	case status >= 400:
+		lower := strings.ToLower(string(body))
+		if strings.Contains(lower, "context_length") || strings.Contains(lower, "context length") ||
+			strings.Contains(lower, "maximum context") {
+			return KindTokenLimit
+		}
+		return KindBadRequest
+	default:
+		return KindBadResponse
+	}
+}
+
+func truncateBody(data []byte) string {
+	const n = 240
+	if len(data) <= n {
+		return string(data)
+	}
+	return string(data[:n]) + "..."
+}

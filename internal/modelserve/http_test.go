@@ -1,0 +1,168 @@
+package modelserve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// chatServer is a minimal OpenAI-compatible endpoint for adapter tests.
+func chatServer(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPProviderSuccess(t *testing.T) {
+	var gotAuth atomic.Value
+	srv := chatServer(t, func(w http.ResponseWriter, r *http.Request) {
+		gotAuth.Store(r.Header.Get("Authorization"))
+		if r.URL.Path != "/v1/chat/completions" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		if req.Model != "gpt-4" || len(req.Messages) != 1 || req.Messages[0].Role != "user" {
+			t.Errorf("unexpected request body %+v", req)
+		}
+		if req.MaxTokens != completionReserve {
+			t.Errorf("max_tokens = %d, want %d", req.MaxTokens, completionReserve)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"role": "assistant", "content": "return 42"}}},
+			"usage":   map[string]any{"prompt_tokens": 10, "completion_tokens": 3},
+		})
+	})
+	p := &HTTPProvider{BaseURL: srv.URL + "/v1", Headers: map[string]string{"Authorization": "Bearer k"}}
+	resps, errs := p.GenerateBatch("gpt-4", []llm.Request{{Prompt: "q", Temperature: 0.5}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if resps[0].Text != "return 42" || resps[0].PromptTokens != 10 || resps[0].CompletionTokens != 3 {
+		t.Fatalf("response %+v", resps[0])
+	}
+	if gotAuth.Load() != "Bearer k" {
+		t.Fatalf("Authorization header not sent: %v", gotAuth.Load())
+	}
+}
+
+func TestHTTPProviderFallsBackToLocalTokenCounts(t *testing.T) {
+	srv := chatServer(t, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"content": "hello world"}}},
+		})
+	})
+	p := &HTTPProvider{BaseURL: srv.URL}
+	resps, errs := p.GenerateBatch("m", []llm.Request{{Prompt: "some prompt text"}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if resps[0].PromptTokens == 0 || resps[0].CompletionTokens == 0 {
+		t.Fatalf("token fallback missing: %+v", resps[0])
+	}
+}
+
+func TestHTTPProviderStatusClassification(t *testing.T) {
+	cases := []struct {
+		status int
+		body   string
+		kind   ErrKind
+	}{
+		{http.StatusTooManyRequests, `{"error":{"message":"slow down"}}`, KindRateLimited},
+		{http.StatusInternalServerError, "oops", KindUnavailable},
+		{http.StatusBadRequest, `{"error":{"code":"context_length_exceeded","message":"too long"}}`, KindTokenLimit},
+		{http.StatusBadRequest, `{"error":{"message":"bad model"}}`, KindBadRequest},
+		{http.StatusUnauthorized, `{"error":{"message":"no key"}}`, KindBadRequest},
+	}
+	for _, tc := range cases {
+		srv := chatServer(t, func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(tc.status)
+			w.Write([]byte(tc.body))
+		})
+		p := &HTTPProvider{BaseURL: srv.URL}
+		_, errs := p.GenerateBatch("m", []llm.Request{{Prompt: "q"}})
+		var pe *ProviderError
+		if !errors.As(errs[0], &pe) {
+			t.Fatalf("status %d: want ProviderError, got %v", tc.status, errs[0])
+		}
+		if pe.Kind != tc.kind {
+			t.Errorf("status %d: kind %v, want %v", tc.status, pe.Kind, tc.kind)
+		}
+		if pe.Status != tc.status {
+			t.Errorf("status %d: recorded status %d", tc.status, pe.Status)
+		}
+	}
+}
+
+func TestHTTPProviderBadReplies(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":   "<html>oops</html>",
+		"no choices": `{"choices":[]}`,
+		"api error":  `{"error":{"message":"internal"}}`,
+	} {
+		srv := chatServer(t, func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(body))
+		})
+		p := &HTTPProvider{BaseURL: srv.URL}
+		_, errs := p.GenerateBatch("m", []llm.Request{{Prompt: "q"}})
+		var pe *ProviderError
+		if !errors.As(errs[0], &pe) || pe.Kind != KindBadResponse {
+			t.Errorf("%s: want KindBadResponse, got %v", name, errs[0])
+		}
+	}
+}
+
+func TestHTTPProviderTransportFailureIsRetryable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // connection refused from here on
+	p := &HTTPProvider{BaseURL: srv.URL, Client: &http.Client{Timeout: time.Second}}
+	_, errs := p.GenerateBatch("m", []llm.Request{{Prompt: "q"}})
+	var pe *ProviderError
+	if !errors.As(errs[0], &pe) || pe.Kind != KindUnavailable {
+		t.Fatalf("want retryable KindUnavailable, got %v", errs[0])
+	}
+	if !pe.Kind.Retryable() {
+		t.Fatal("transport failures must be retryable")
+	}
+}
+
+// TestHTTPProviderThroughGateway retries a flaky endpoint end to end: two
+// 503s then success.
+func TestHTTPProviderThroughGateway(t *testing.T) {
+	var calls atomic.Int64
+	srv := chatServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]any{"content": "ok"}}},
+			"usage":   map[string]any{"prompt_tokens": 1, "completion_tokens": 1},
+		})
+	})
+	gw, err := New(Config{Provider: &HTTPProvider{BaseURL: srv.URL}, BatchSize: 1, BatchWindow: -1,
+		MaxRetries: 3, BackoffBase: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := llm.NewProviderModel(gw, "m")
+	resp, err := model.Generate(llm.Request{Prompt: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "ok" {
+		t.Fatalf("text %q", resp.Text)
+	}
+	if stats := gw.Stats(); stats.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", stats.Retries)
+	}
+}

@@ -1,0 +1,134 @@
+// Package modelserve is the model-serving gateway between the framework's
+// llm.Model interface and any generation provider (the "swappable LLM" box
+// of Figure 2, built out for production traffic). It owns three concerns
+// the calibrated simulations never needed:
+//
+//   - Providers. A Provider answers batched generation requests for named
+//     models. Three implementations ship: SimProvider wraps the existing
+//     calibrated simulations, HTTPProvider speaks the OpenAI-compatible
+//     chat-completions wire format against a configurable base URL, and
+//     Chaos injects deterministic transient/terminal faults for testing
+//     the failure paths.
+//
+//   - Scheduling. Gateway coalesces concurrent requests from the
+//     evaluation worker pool into per-model batches, applies token-bucket
+//     rate limits (requests/sec and tokens/min), and retries transient
+//     provider failures with exponential backoff and seeded jitter.
+//     Terminal failures carry a machine-readable ErrKind so the evaluator
+//     can classify provider flakiness into its Table 5 error reports.
+//
+//   - Record/replay. Recorder persists every successful generation as a
+//     content-addressed JSON entry keyed by (model, prompt, temperature,
+//     attempt); Replay serves a recorded run back byte-identically, the
+//     same frozen-master determinism contract the graph and traffic
+//     layers honor. A recorded live run replays through the whole
+//     evaluation matrix with zero provider calls.
+//
+// The package sits below internal/llm's Provider seam: Gateway implements
+// llm.Provider, and llm.NewProviderModel adapts it back to the per-model
+// Model interface everything downstream consumes.
+package modelserve
+
+import (
+	"fmt"
+
+	"repro/internal/llm"
+)
+
+// Provider is a downstream generation backend. The gateway hands it
+// coalesced batches; implementations answer each request independently
+// (slices are index-aligned with reqs, and exactly one of resps[i] /
+// errs[i] is non-nil per request).
+type Provider interface {
+	Name() string
+	GenerateBatch(model string, reqs []llm.Request) (resps []*llm.Response, errs []error)
+}
+
+// ErrKind classifies a provider failure for retry policy and for the
+// evaluator's Table 5 error-category reports.
+type ErrKind int
+
+const (
+	// KindUnavailable is a transient provider fault (timeouts, transport
+	// errors, 5xx). Retryable.
+	KindUnavailable ErrKind = iota
+	// KindRateLimited is a provider-side throttle (HTTP 429). Retryable.
+	KindRateLimited
+	// KindTokenLimit is a context-window overflow. Terminal.
+	KindTokenLimit
+	// KindBadRequest is a request the provider rejected (other 4xx).
+	// Terminal.
+	KindBadRequest
+	// KindBadResponse is a reply the adapter could not parse. Terminal.
+	KindBadResponse
+	// KindNotFound is a replay-cache miss: the request was never recorded.
+	// Terminal.
+	KindNotFound
+)
+
+// String renders the kind for error text and reports.
+func (k ErrKind) String() string {
+	switch k {
+	case KindUnavailable:
+		return "unavailable"
+	case KindRateLimited:
+		return "rate-limited"
+	case KindTokenLimit:
+		return "token-limit"
+	case KindBadRequest:
+		return "bad-request"
+	case KindBadResponse:
+		return "bad-response"
+	case KindNotFound:
+		return "not-found"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Retryable reports whether the gateway should retry failures of this
+// kind.
+func (k ErrKind) Retryable() bool {
+	return k == KindUnavailable || k == KindRateLimited
+}
+
+// ProviderError is a classified provider failure. The gateway wraps every
+// terminal failure it surfaces in one, recording how many attempts were
+// spent; providers construct them with Attempts 0 (one attempt implied).
+type ProviderError struct {
+	Provider string
+	Model    string
+	Kind     ErrKind
+	Status   int   // HTTP status when applicable, else 0
+	Attempts int   // provider calls spent before giving up (0 = 1)
+	Err      error // underlying cause, if any
+}
+
+// Error implements error.
+func (e *ProviderError) Error() string {
+	msg := fmt.Sprintf("modelserve: provider %s: model %s: %s", e.Provider, e.Model, e.Kind)
+	if e.Status != 0 {
+		msg += fmt.Sprintf(" (HTTP %d)", e.Status)
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(" after %d attempts", e.Attempts)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ProviderError) Unwrap() error { return e.Err }
+
+// retryable reports whether err is a transient provider failure the
+// gateway may retry. Anything that is not a ProviderError with a
+// retryable kind — including provider-agnostic errors like
+// tokens.ErrTokenLimit from the simulations — is terminal.
+func retryable(err error) bool {
+	if pe, ok := err.(*ProviderError); ok {
+		return pe.Kind.Retryable()
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package modelserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/llm"
+)
+
+// Key returns the canonical content address of one generation request:
+// the SHA-256 of (model, prompt, temperature, attempt). Attempt 0 aliases
+// attempt 1 — the simulations and the wire format treat them identically,
+// so the cache must too.
+func Key(model string, req llm.Request) string {
+	attempt := req.Attempt
+	if attempt <= 0 {
+		attempt = 1
+	}
+	h := sha256.New()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(req.Prompt))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.FormatFloat(req.Temperature, 'g', -1, 64)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(attempt)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is one recorded generation: the key fields (prompt by digest —
+// prompts embed whole serialized graphs) plus the exact response. The
+// response bytes are the determinism contract: replaying an entry yields
+// a byte-identical llm.Response.
+type Entry struct {
+	Model            string  `json:"model"`
+	PromptSHA256     string  `json:"prompt_sha256"`
+	Temperature      float64 `json:"temperature"`
+	Attempt          int     `json:"attempt"`
+	Text             string  `json:"text"`
+	PromptTokens     int     `json:"prompt_tokens"`
+	CompletionTokens int     `json:"completion_tokens"`
+}
+
+// entryPath shards entries by the key's first byte so a full-matrix
+// recording (thousands of entries) never piles one directory high.
+func entryPath(dir, key string) string {
+	return filepath.Join(dir, key[:2], key+".json")
+}
+
+func readEntry(dir, key string) (*Entry, error) {
+	data, err := os.ReadFile(entryPath(dir, key))
+	if err != nil {
+		return nil, err
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("modelserve: corrupt cache entry %s: %w", entryPath(dir, key), err)
+	}
+	return &e, nil
+}
+
+// writeEntry persists one entry atomically (temp file + rename), so a
+// crashed recording never leaves a half-written entry for replay to
+// choke on.
+func writeEntry(dir, key string, e *Entry) error {
+	path := entryPath(dir, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (e *Entry) response() *llm.Response {
+	return &llm.Response{Text: e.Text, PromptTokens: e.PromptTokens, CompletionTokens: e.CompletionTokens}
+}
+
+// Recorder wraps a provider and persists every successful generation to
+// Dir. Requests already on disk are served from the cache without
+// touching the inner provider, so an interrupted recording resumes where
+// it stopped — and a completed one serves the whole matrix offline.
+type Recorder struct {
+	inner Provider
+	dir   string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+}
+
+// NewRecorder creates a recorder writing under dir.
+func NewRecorder(inner Provider, dir string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelserve: record dir: %w", err)
+	}
+	return &Recorder{inner: inner, dir: dir}, nil
+}
+
+// Name implements Provider.
+func (r *Recorder) Name() string { return "record(" + r.inner.Name() + ")" }
+
+// Unwrap exposes the wrapped provider (gateway stats traversal).
+func (r *Recorder) Unwrap() Provider { return r.inner }
+
+func (r *Recorder) cacheStats() (hits, misses, writes int64) {
+	return r.hits.Load(), r.misses.Load(), r.writes.Load()
+}
+
+// GenerateBatch implements Provider: cached entries answer immediately,
+// the misses go to the inner provider in one sub-batch, and every fresh
+// success is persisted before it is returned.
+func (r *Recorder) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Response, []error) {
+	resps := make([]*llm.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	keys := make([]string, len(reqs))
+	var fwd []int
+	for i, req := range reqs {
+		keys[i] = Key(model, req)
+		if e, err := readEntry(r.dir, keys[i]); err == nil {
+			r.hits.Add(1)
+			resps[i] = e.response()
+			continue
+		}
+		r.misses.Add(1)
+		fwd = append(fwd, i)
+	}
+	if len(fwd) == 0 {
+		return resps, errs
+	}
+	sub := make([]llm.Request, len(fwd))
+	for j, i := range fwd {
+		sub[j] = reqs[i]
+	}
+	subResps, subErrs := r.inner.GenerateBatch(model, sub)
+	for j, i := range fwd {
+		resps[i], errs[i] = subResps[j], subErrs[j]
+		if errs[i] != nil || resps[i] == nil {
+			continue
+		}
+		req := reqs[i]
+		attempt := req.Attempt
+		if attempt <= 0 {
+			attempt = 1
+		}
+		promptSHA := sha256.Sum256([]byte(req.Prompt))
+		e := &Entry{
+			Model:            model,
+			PromptSHA256:     hex.EncodeToString(promptSHA[:]),
+			Temperature:      req.Temperature,
+			Attempt:          attempt,
+			Text:             resps[i].Text,
+			PromptTokens:     resps[i].PromptTokens,
+			CompletionTokens: resps[i].CompletionTokens,
+		}
+		// Concurrent lanes may write distinct keys freely, and even a
+		// same-key race is safe: writeEntry goes through a unique temp
+		// file and an atomic rename, so the last complete entry wins.
+		if err := writeEntry(r.dir, keys[i], e); err != nil {
+			resps[i] = nil
+			errs[i] = &ProviderError{Provider: r.Name(), Model: model, Kind: KindBadResponse,
+				Err: fmt.Errorf("recording failed: %w", err)}
+		} else {
+			r.writes.Add(1)
+		}
+	}
+	return resps, errs
+}
+
+// Replay serves generations exclusively from a recorded cache directory.
+// A request that was never recorded is a terminal KindNotFound failure —
+// replay runs must be exact, not best-effort, or the byte-identical
+// contract silently degrades.
+type Replay struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewReplay opens a replay provider over dir, validating that the
+// directory exists.
+func NewReplay(dir string) (*Replay, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("modelserve: replay dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("modelserve: replay path %s is not a directory", dir)
+	}
+	return &Replay{dir: dir}, nil
+}
+
+// Name implements Provider.
+func (r *Replay) Name() string { return "replay" }
+
+func (r *Replay) cacheStats() (hits, misses, writes int64) {
+	return r.hits.Load(), r.misses.Load(), 0
+}
+
+// GenerateBatch implements Provider.
+func (r *Replay) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Response, []error) {
+	resps := make([]*llm.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, req := range reqs {
+		key := Key(model, req)
+		e, err := readEntry(r.dir, key)
+		if err != nil {
+			r.misses.Add(1)
+			errs[i] = &ProviderError{Provider: r.Name(), Model: model, Kind: KindNotFound,
+				Err: fmt.Errorf("no recording for key %s (attempt %d, temperature %g): %w",
+					key[:12], req.Attempt, req.Temperature, err)}
+			continue
+		}
+		r.hits.Add(1)
+		resps[i] = e.response()
+	}
+	return resps, errs
+}

@@ -1,0 +1,129 @@
+package modelserve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+func TestKeyNormalizesAttemptZero(t *testing.T) {
+	a := Key("m", llm.Request{Prompt: "p", Attempt: 0})
+	b := Key("m", llm.Request{Prompt: "p", Attempt: 1})
+	c := Key("m", llm.Request{Prompt: "p", Attempt: 2})
+	if a != b {
+		t.Fatal("attempt 0 and 1 must share a key (both mean the first sample)")
+	}
+	if a == c {
+		t.Fatal("distinct attempts must not collide")
+	}
+	if Key("m", llm.Request{Prompt: "p", Temperature: 0.7}) == a {
+		t.Fatal("temperature must be part of the key")
+	}
+	if Key("m2", llm.Request{Prompt: "p"}) == a {
+		t.Fatal("model must be part of the key")
+	}
+}
+
+func TestRecordThenReplayIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(&echoProvider{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []llm.Request{
+		{Prompt: "alpha"},
+		{Prompt: "beta", Temperature: 0.7, Attempt: 3},
+	}
+	want, errs := rec.GenerateBatch("m", reqs)
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	replay, err := NewReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs := replay.GenerateBatch("m", reqs)
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if *got[i] != *want[i] {
+			t.Fatalf("request %d: replay %+v differs from recording %+v", i, got[i], want[i])
+		}
+	}
+	if h, m, _ := replay.cacheStats(); h != 2 || m != 0 {
+		t.Fatalf("replay stats hits=%d misses=%d, want 2/0", h, m)
+	}
+}
+
+func TestRecorderServesHitsWithoutInnerCalls(t *testing.T) {
+	dir := t.TempDir()
+	inner := &echoProvider{}
+	rec, err := NewRecorder(inner, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []llm.Request{{Prompt: "p"}}
+	if _, errs := rec.GenerateBatch("m", req); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if _, errs := rec.GenerateBatch("m", req); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if calls := len(inner.batches); calls != 1 {
+		t.Fatalf("inner provider called %d times, want 1 (second call is a cache hit)", calls)
+	}
+	if h, m, w := rec.cacheStats(); h != 1 || m != 1 || w != 1 {
+		t.Fatalf("recorder stats hits=%d misses=%d writes=%d, want 1/1/1", h, m, w)
+	}
+}
+
+func TestReplayMissIsTerminalNotFound(t *testing.T) {
+	replay, err := NewReplay(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := replay.GenerateBatch("m", []llm.Request{{Prompt: "never recorded"}})
+	var pe *ProviderError
+	if !errors.As(errs[0], &pe) || pe.Kind != KindNotFound {
+		t.Fatalf("want KindNotFound, got %v", errs[0])
+	}
+	if pe.Kind.Retryable() {
+		t.Fatal("a replay miss must be terminal")
+	}
+}
+
+func TestReplayRejectsMissingDir(t *testing.T) {
+	if _, err := NewReplay(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("NewReplay accepted a missing directory")
+	}
+}
+
+func TestReplayCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(&echoProvider{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := llm.Request{Prompt: "p"}
+	if _, errs := rec.GenerateBatch("m", []llm.Request{req}); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	key := Key("m", req)
+	if err := os.WriteFile(entryPath(dir, key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewReplay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := replay.GenerateBatch("m", []llm.Request{req})
+	if errs[0] == nil {
+		t.Fatal("corrupt entry replayed without error")
+	}
+}

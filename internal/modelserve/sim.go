@@ -1,0 +1,71 @@
+package modelserve
+
+import (
+	"sync"
+
+	"repro/internal/llm"
+)
+
+// SimProvider serves the calibrated simulated models (internal/llm) behind
+// the Provider interface — the zero-infrastructure backend every test and
+// benchmark runs against, and the recording source for replay fixtures.
+// One SimModel is built lazily per model name; generations are pure
+// functions of the request, so batch items execute in parallel.
+type SimProvider struct {
+	mu     sync.Mutex
+	models map[string]*llm.SimModel
+}
+
+// NewSimProvider creates an empty provider; models materialize on first
+// use.
+func NewSimProvider() *SimProvider {
+	return &SimProvider{models: map[string]*llm.SimModel{}}
+}
+
+// Name implements Provider.
+func (p *SimProvider) Name() string { return "sim" }
+
+func (p *SimProvider) model(name string) (*llm.SimModel, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.models[name]; ok {
+		return m, nil
+	}
+	m, err := llm.NewSim(name)
+	if err != nil {
+		return nil, err
+	}
+	p.models[name] = m
+	return m, nil
+}
+
+// GenerateBatch implements Provider. Simulated generation is CPU-bound
+// and read-only, so the batch fans out over goroutines — the gateway
+// serializes provider calls per model, and parallel batch items keep the
+// worker pool's throughput when the whole matrix funnels through one
+// gateway.
+func (p *SimProvider) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Response, []error) {
+	resps := make([]*llm.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	m, err := p.model(model)
+	if err != nil {
+		for i := range errs {
+			errs[i] = &ProviderError{Provider: p.Name(), Model: model, Kind: KindBadRequest, Err: err}
+		}
+		return resps, errs
+	}
+	if len(reqs) == 1 {
+		resps[0], errs[0] = m.Generate(reqs[0])
+		return resps, errs
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = m.Generate(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}

@@ -1,5 +1,12 @@
 package nemoeval
 
+import (
+	"errors"
+
+	"repro/internal/modelserve"
+	"repro/internal/tokens"
+)
+
 // Table 5 error-class labels. The classifier maps *measured* sandbox
 // failures onto the paper's taxonomy — labels are derived from what the
 // generated program actually did, never from the calibration data.
@@ -13,6 +20,13 @@ const (
 	LabelGraphDiff  = "Graphs are not identical"
 	LabelTokenLimit = "Token limit exceeded"
 	LabelHarness    = "Harness error"
+
+	// Gateway-path labels: terminal serving failures surfaced at the
+	// generate stage. They sit outside the paper's seven-row taxonomy, so
+	// Table 5 renders them in its extra-rows section — provider flakiness
+	// is visible in the same error-category report as code faults.
+	LabelRateLimit = "Provider rate limited"
+	LabelProvider  = "Provider unavailable"
 )
 
 // ErrorLabels lists the Table 5 rows in the paper's order.
@@ -43,4 +57,37 @@ func LabelForClass(class string) string {
 	default:
 		return LabelOperation
 	}
+}
+
+// LabelForGenerateErr classifies a generate-stage (LLM call) failure. The
+// historical sim-only failure mode is a context-window overflow; the
+// serving gateway adds classified terminal provider faults, mapped here
+// onto report labels so retry-exhausted flakiness lands in Table 5's
+// error-category accounting instead of vanishing into a generic error
+// string.
+func LabelForGenerateErr(err error) string {
+	var pe *modelserve.ProviderError
+	if errors.As(err, &pe) {
+		switch pe.Kind {
+		case modelserve.KindTokenLimit:
+			return LabelTokenLimit
+		case modelserve.KindRateLimited:
+			return LabelRateLimit
+		case modelserve.KindUnavailable, modelserve.KindBadResponse, modelserve.KindBadRequest:
+			return LabelProvider
+		case modelserve.KindNotFound:
+			// A replay miss is a harness problem (incomplete recording),
+			// not provider behavior.
+			return LabelHarness
+		default:
+			return LabelProvider
+		}
+	}
+	var tl *tokens.ErrTokenLimit
+	if errors.As(err, &tl) {
+		return LabelTokenLimit
+	}
+	// Unclassified generate errors historically meant token limits (the
+	// sims' only failure mode); keep that default for them.
+	return LabelTokenLimit
 }

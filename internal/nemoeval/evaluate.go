@@ -182,7 +182,7 @@ func (e *Evaluator) EvaluateModel(model llm.Model, q queries.Query, backend stri
 		rec := &Record{
 			Model: model.Name(), App: q.App, Backend: backend, QueryID: q.ID,
 			Complexity: q.Complexity, Trial: trial,
-			Stage: StageGenerate, Err: err.Error(), ErrClass: LabelTokenLimit,
+			Stage: StageGenerate, Err: err.Error(), ErrClass: LabelForGenerateErr(err),
 		}
 		return rec
 	}
@@ -225,7 +225,7 @@ func (e *Evaluator) EvaluateStrawman(model *llm.SimModel, q queries.Query) *Reco
 	if err != nil {
 		rec.Stage = StageGenerate
 		rec.Err = err.Error()
-		rec.ErrClass = LabelTokenLimit
+		rec.ErrClass = LabelForGenerateErr(err)
 		return rec
 	}
 	rec.Code = resp.Text

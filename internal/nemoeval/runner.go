@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/llm"
+	"repro/internal/modelserve"
 	"repro/internal/prompt"
 	"repro/internal/queries"
 	"repro/internal/traffic"
@@ -28,6 +29,13 @@ type Runner struct {
 	// Workers bounds the evaluation pool; 0 means runtime.NumCPU() and 1
 	// reproduces the serial runner exactly (it then runs inline).
 	Workers int
+	// Provider, when set, routes every code-generation call through the
+	// model-serving gateway (internal/modelserve) instead of constructing
+	// per-job simulated models — the sim/http/record/replay pipeline. The
+	// strawman baseline always runs on in-process simulations: it needs
+	// the golden-derived oracle installed per query, which only the sims
+	// can accept (a live provider cannot be told the answer).
+	Provider llm.Provider
 }
 
 // NewRunner creates a runner over the paper's four models.
@@ -49,6 +57,19 @@ func (r *Runner) workers() int {
 		return r.Workers
 	}
 	return runtime.NumCPU()
+}
+
+// GatewayReport renders the per-run serving statistics — batches,
+// retries, rate-limit waits, cache hits — when the configured Provider is
+// a modelserve gateway, or "" otherwise. Callers print it to stderr: the
+// table/figure stdout must stay byte-identical across providers, which is
+// exactly what the record/replay parity contract asserts.
+func (r *Runner) GatewayReport() string {
+	gs, ok := r.Provider.(interface{ Stats() modelserve.Stats })
+	if !ok {
+		return ""
+	}
+	return "gateway: " + gs.Stats().String()
 }
 
 // parallelFor runs fn(0..n-1) on at most `workers` goroutines and waits
@@ -117,24 +138,44 @@ type matrixJob struct {
 	err            error
 }
 
-// run evaluates the job's trials. Each job creates its own simulated model
-// (SetOracle mutates model state, so models are not shared across
-// goroutines); the evaluators are shared and concurrency-safe.
+// modelFor resolves the generation path for one model name: a
+// gateway-backed model when a Provider is configured, else a fresh
+// simulated model (SetOracle mutates sim state, so sims are never shared
+// across goroutines).
+func (r *Runner) modelFor(name string) (llm.Model, error) {
+	if r.Provider != nil {
+		return llm.NewProviderModel(r.Provider, name), nil
+	}
+	return llm.NewSim(name)
+}
+
+// run evaluates the job's trials. Strawman jobs always construct their own
+// simulated model (the oracle install is sim-only; see Runner.Provider);
+// code-generation jobs go through modelFor. The evaluators are shared and
+// concurrency-safe.
 func (r *Runner) runJob(job *matrixJob, ev, strawEv *Evaluator) {
-	model, err := llm.NewSim(job.model)
+	trials := r.TrialsFor(job.model)
+	job.recs = make([]*Record, 0, trials)
+	if job.backend == "strawman" {
+		sim, err := llm.NewSim(job.model)
+		if err != nil {
+			job.err = err
+			return
+		}
+		for t := 1; t <= trials; t++ {
+			rec := strawEv.EvaluateStrawman(sim, job.query)
+			rec.Trial = t
+			job.recs = append(job.recs, rec)
+		}
+		return
+	}
+	model, err := r.modelFor(job.model)
 	if err != nil {
 		job.err = err
 		return
 	}
-	trials := r.TrialsFor(job.model)
-	job.recs = make([]*Record, 0, trials)
 	for t := 1; t <= trials; t++ {
-		var rec *Record
-		if job.backend == "strawman" {
-			rec = strawEv.EvaluateStrawman(model, job.query)
-		} else {
-			rec = ev.EvaluateModel(model, job.query, job.backend, t, 0)
-		}
+		rec := ev.EvaluateModel(model, job.query, job.backend, t, 0)
 		rec.Trial = t
 		job.recs = append(job.recs, rec)
 	}
@@ -311,7 +352,7 @@ func (r *Runner) Table5() (string, error) {
 	}
 	parallelFor(r.workers(), len(jobs), func(i int) {
 		job := jobs[i]
-		model, err := llm.NewSim(job.mdl)
+		model, err := r.modelFor(job.mdl)
 		if err != nil {
 			job.err = err
 			return

@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// maxOutDegree returns the largest out-degree in g.
+func maxOutDegree(t *testing.T, g *graph.Graph) int {
+	t.Helper()
+	max := 0
+	for _, n := range g.Nodes() {
+		if d := g.OutDegree(n); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestSkewDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 200, Edges: 600, Seed: 11, SkewAlpha: 1.5}
+	a, err := GenerateChecked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChecked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(a, b) {
+		t.Fatal("skewed generation is not deterministic")
+	}
+}
+
+func TestSkewProducesHubs(t *testing.T) {
+	uniform := Generate(Config{Nodes: 200, Edges: 600, Seed: 11})
+	skewed, err := GenerateChecked(Config{Nodes: 200, Edges: 600, Seed: 11, SkewAlpha: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := skewed.NumEdges(); got != 600 {
+		t.Fatalf("skewed graph has %d edges, want 600", got)
+	}
+	um, sm := maxOutDegree(t, uniform), maxOutDegree(t, skewed)
+	// Zipf endpoint draws concentrate edges on low-index nodes; the hubs
+	// must be far heavier than anything uniform sampling produces (at this
+	// scale uniform max out-degree is ~9, skewed ~100+).
+	if sm < 3*um {
+		t.Fatalf("expected skew to produce hubs: uniform max out-degree %d, skewed %d", um, sm)
+	}
+}
+
+func TestSkewRejectsSubcriticalAlpha(t *testing.T) {
+	for _, alpha := range []float64{-1, 0.5, 1} {
+		if _, err := GenerateChecked(Config{Nodes: 10, Edges: 10, Seed: 1, SkewAlpha: alpha}); err == nil {
+			t.Fatalf("SkewAlpha %g accepted, want error", alpha)
+		}
+	}
+}
+
+func TestStreamRejectsSkew(t *testing.T) {
+	if _, err := NewStream(Config{Nodes: 10, Edges: 10, Seed: 1, SkewAlpha: 1.5}); err == nil {
+		t.Fatal("NewStream accepted a skewed config, want error")
+	}
+}
+
+// TestDefaultOutputUnchangedBySkewKnob pins the uniform generator's output
+// at the benchmark scales: adding the SkewAlpha field (and the endpoint
+// sampler indirection) must not perturb a single byte of any default
+// (≤999-node) graph.
+func TestDefaultOutputUnchangedBySkewKnob(t *testing.T) {
+	pins := []struct {
+		cfg Config
+		sha string
+	}{
+		{Config{Nodes: 80, Edges: 80, Seed: 42}, "6833ae6e35fc5095547b904ab6cdfa11dbf5ad6b3901f67e33582a5bf2cc54d4"},
+		{Config{Nodes: 999, Edges: 2000, Seed: 7}, "c0501d3392351e88e572441104452a603b32ed4aa4a5ee5831c9334af24f5d03"},
+	}
+	for _, pin := range pins {
+		sum := sha256.Sum256([]byte(Generate(pin.cfg).Fingerprint()))
+		if got := hex.EncodeToString(sum[:]); got != pin.sha {
+			t.Errorf("config %+v fingerprint drifted: got %s, want %s", pin.cfg, got, pin.sha)
+		}
+	}
+}

@@ -91,6 +91,12 @@ func StreamAt(cfg Config, pos int64) (*Stream, error) {
 	if cfg.Edges < 0 || cfg.Nodes < 0 {
 		return nil, fmt.Errorf("traffic: negative stream config %+v", cfg)
 	}
+	if cfg.SkewAlpha != 0 {
+		// The stream's distinctness guarantee comes from a uniform
+		// permutation of the pair space; weighted sampling without
+		// replacement in O(1) memory is a ROADMAP follow-on.
+		return nil, fmt.Errorf("traffic: streamed generation does not support SkewAlpha (got %g); use Generate", cfg.SkewAlpha)
+	}
 	if max := MaxEdges(cfg.Nodes); int64(cfg.Edges) > max {
 		return nil, fmt.Errorf("traffic: %d nodes can hold at most %d edges, %d requested", cfg.Nodes, max, cfg.Edges)
 	}
