@@ -1,15 +1,17 @@
 # Build/verify/benchmark entry points. `make verify` is the tier-1 gate
-# (build + vet + tests); `make bench` records the benchmark suite as JSON
-# so successive PRs can track the perf trajectory (BENCH_5.json for this
-# PR, bump BENCH_OUT for the next); `make benchdiff` compares the two most
-# recent snapshots and fails on >10% regressions — of ns/op, B/op or
-# allocs/op alike — on the ROADMAP watchlist (Table2 / Table4 / Clone /
-# PageRank / SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput).
+# (build + vet + tests); `make lint` adds staticcheck when installed;
+# `make bench` records the benchmark suite as JSON so successive PRs can
+# track the perf trajectory (BENCH_6.json for this PR, bump BENCH_OUT for
+# the next); `make benchdiff` compares the two most recent snapshots and
+# fails on >10% regressions — of ns/op, B/op, allocs/op or tail latency
+# alike — on the ROADMAP watchlist (Table2 / Table4 / Clone / PageRank /
+# SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput /
+# ServiceQuery).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 
-.PHONY: verify test race bench bench-quick benchdiff
+.PHONY: verify test lint race bench bench-quick benchdiff
 
 verify:
 	$(GO) build ./...
@@ -19,11 +21,23 @@ verify:
 test:
 	$(GO) test ./...
 
+# Static analysis beyond vet. staticcheck is optional locally (the CI job
+# installs it); the target degrades to vet-only with a notice when absent.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Race-exercise the concurrent evaluation pipeline and its substrates
 # (includes the stream/shard sweep's parallel aggregation and PageRank,
-# and the model-serving gateway's batching/rate-limit/retry scheduler).
+# the model-serving gateway's batching/rate-limit/retry scheduler, and the
+# netqueryd service's chaos suite — swap under load, client disconnects,
+# backend stalls, tenant isolation).
 race:
-	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service
 
 # Record the benchmark suite as test2json records for tooling: the macro
 # benchmarks (whole tables/figures/ablations) run one iteration, while the
@@ -35,6 +49,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep|GatewayThroughput' -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token' -benchmem -benchtime=0.5s -count=3 -json . | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'ServiceQuery' -benchmem -benchtime=0.5s -count=3 -json ./internal/service | tee -a $(BENCH_OUT)
 
 # Stable-ish numbers for the substrate micro-benchmarks only.
 bench-quick:

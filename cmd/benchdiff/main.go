@@ -2,10 +2,13 @@
 // the test2json stream of one benchmark run) and flags regressions on the
 // watched benchmarks, per the ROADMAP's perf-trajectory gate: >10% worse
 // on any gated metric of Table2 / Table4 / GraphClone / GraphPageRank /
-// SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput fails the
-// diff. Time (ns/op) and the
-// allocation bill (B/op, allocs/op) are gated alike — a PR that gets
-// faster by allocating wildly more, or leaner by getting slower, fails.
+// SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput /
+// ServiceQuery fails the diff. Time (ns/op), the allocation bill (B/op,
+// allocs/op) and tail latency (the p99-ns custom metric, when a benchmark
+// reports one — open-loop load benchmarks pin ns/op to the arrival
+// schedule, so their tail is the real signal) are gated alike — a PR that
+// gets faster by allocating wildly more, or leaner by getting slower,
+// fails.
 //
 // Usage:
 //
@@ -32,11 +35,13 @@ import (
 )
 
 // measure is one benchmark's recorded metrics. B/op and allocs/op are NaN
-// when the run did not use -benchmem.
+// when the run did not use -benchmem; p99 is NaN unless the benchmark
+// reports a p99-ns custom metric.
 type measure struct {
 	ns     float64
 	bytes  float64
 	allocs float64
+	p99    float64
 }
 
 // benchLine extracts a complete "BenchmarkName-P  N  1234 ns/op ..."
@@ -51,14 +56,17 @@ var nameLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
 // ("       1\t9128170674 ns/op\t...").
 var resultLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
 
-// memLine extracts the -benchmem metrics from a result line.
+// memLine extracts the -benchmem metrics from a result line; p99Line the
+// tail-latency custom metric (testing may render it in scientific
+// notation).
 var (
 	bytesLine  = regexp.MustCompile(`([0-9.]+) B/op`)
 	allocsLine = regexp.MustCompile(`([0-9.]+) allocs/op`)
+	p99Line    = regexp.MustCompile(`([0-9.]+(?:[eE][+-]?[0-9]+)?) p99-ns`)
 )
 
 // defaultWatch is the ROADMAP's regression watchlist.
-const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep,GatewayThroughput"
+const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep,GatewayThroughput,ServiceQuery"
 
 func main() {
 	oldPath := flag.String("old", "", "baseline BENCH_<n>.json (default: second-newest in .)")
@@ -155,7 +163,8 @@ func parseBenchFile(path string) (map[string]measure, error) {
 		}
 		if m := resultLine.FindStringSubmatch(line); m != nil && pending != "" {
 			if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
-				record(out, pending, measure{ns: ns, bytes: memMetric(bytesLine, line), allocs: memMetric(allocsLine, line)})
+				record(out, pending, measure{ns: ns, bytes: memMetric(bytesLine, line),
+					allocs: memMetric(allocsLine, line), p99: memMetric(p99Line, line)})
 			}
 			pending = ""
 		}
@@ -180,7 +189,8 @@ func parseBenchOutput(line string) (name string, m measure, ok bool) {
 	if err != nil {
 		return "", measure{}, false
 	}
-	return match[1], measure{ns: ns, bytes: memMetric(bytesLine, line), allocs: memMetric(allocsLine, line)}, true
+	return match[1], measure{ns: ns, bytes: memMetric(bytesLine, line),
+		allocs: memMetric(allocsLine, line), p99: memMetric(p99Line, line)}, true
 }
 
 // record merges one observation into the snapshot, keeping the per-metric
@@ -197,6 +207,7 @@ func record(out map[string]measure, name string, m measure) {
 		ns:     math.Min(prev.ns, m.ns),
 		bytes:  minOrNaN(prev.bytes, m.bytes),
 		allocs: minOrNaN(prev.allocs, m.allocs),
+		p99:    minOrNaN(prev.p99, m.p99),
 	}
 }
 
@@ -280,8 +291,8 @@ func diff(oldM, newM map[string]measure, watch []string, threshold float64) (str
 	}
 	var sb strings.Builder
 	regressed := false
-	sb.WriteString(fmt.Sprintf("%-34s %14s %14s %8s %8s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs"))
+	sb.WriteString(fmt.Sprintf("%-34s %14s %14s %8s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns", "B/op", "allocs", "p99"))
 	for _, name := range names {
 		after := newM[name]
 		before, inOld := oldM[name]
@@ -295,14 +306,15 @@ func diff(oldM, newM map[string]measure, watch []string, threshold float64) (str
 			}
 		}
 		if !inOld {
-			sb.WriteString(fmt.Sprintf("%-34s %14s %14.0f %8s %8s %8s\n", name, "-", after.ns, "new", "", ""))
+			sb.WriteString(fmt.Sprintf("%-34s %14s %14.0f %8s %8s %8s %8s\n", name, "-", after.ns, "new", "", "", ""))
 			continue
 		}
 		bDelta := metricDelta(before.bytes, after.bytes)
 		aDelta := metricDelta(before.allocs, after.allocs)
+		pDelta := metricDelta(before.p99, after.p99)
 		flag := ""
 		worst := nsDelta
-		for _, d := range []float64{bDelta, aDelta} {
+		for _, d := range []float64{bDelta, aDelta, pDelta} {
 			if !math.IsNaN(d) && (math.IsNaN(worst) || d > worst) {
 				worst = d
 			}
@@ -315,8 +327,8 @@ func diff(oldM, newM map[string]measure, watch []string, threshold float64) (str
 				flag = "  (info: not gated)"
 			}
 		}
-		sb.WriteString(fmt.Sprintf("%-34s %14.0f %14.0f %8s %8s %8s%s\n",
-			name, before.ns, after.ns, fmtDelta(nsDelta), fmtDelta(bDelta), fmtDelta(aDelta), flag))
+		sb.WriteString(fmt.Sprintf("%-34s %14.0f %14.0f %8s %8s %8s %8s%s\n",
+			name, before.ns, after.ns, fmtDelta(nsDelta), fmtDelta(bDelta), fmtDelta(aDelta), fmtDelta(pDelta), flag))
 	}
 	if !regressed {
 		sb.WriteString("no regressions on watched benchmarks\n")

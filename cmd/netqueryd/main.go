@@ -1,0 +1,111 @@
+// Command netqueryd serves network queries over HTTP: a fault-tolerant,
+// multi-tenant front end to the evaluation framework's datasets (see
+// internal/service). Every request runs a sandboxed NQL program against a
+// fresh clone of the current dataset epoch, under admission control, a
+// propagated deadline, and per-substrate circuit breaking; datasets can be
+// swapped live with zero dropped queries, and SIGINT/SIGTERM drain
+// gracefully.
+//
+// Usage:
+//
+//	netqueryd [-addr :8090] [-app traffic|malt|diagnosis]
+//	          [-nodes 80] [-edges 80] [-seed 42]
+//	          [-tenant-rps 50] [-tenant-burst 16] [-tenant-concurrency 8]
+//	          [-default-timeout 2s] [-max-timeout 10s]
+//	          [-breaker-threshold 5] [-breaker-cooldown 1s]
+//
+// Endpoints: POST /v1/query, POST /admin/swap, GET /healthz, GET /statsz.
+// See doc.go in internal/service for the runbook.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/diagnosis"
+	"repro/internal/nemoeval"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	app := flag.String("app", "traffic", "initial dataset: traffic, malt or diagnosis")
+	nodes := flag.Int("nodes", 80, "traffic graph nodes")
+	edges := flag.Int("edges", 80, "traffic graph edges")
+	seed := flag.Int64("seed", 42, "traffic workload seed")
+	tenantRPS := flag.Float64("tenant-rps", 50, "per-tenant admitted requests/sec")
+	tenantBurst := flag.Float64("tenant-burst", 16, "per-tenant request burst")
+	tenantConc := flag.Int("tenant-concurrency", 8, "per-tenant in-flight query cap (-1 unlimited)")
+	defTimeout := flag.Duration("default-timeout", 2*time.Second, "deadline for requests without one")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Second, "cap on client-requested deadlines")
+	brThreshold := flag.Int("breaker-threshold", 5, "consecutive timeouts tripping a substrate breaker")
+	brCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	var (
+		builder nemoeval.InstanceBuilder
+		name    string
+	)
+	switch *app {
+	case "traffic":
+		builder, name = service.TrafficBuilder(*nodes, *edges, *seed)
+	case "malt":
+		builder, name = nemoeval.MALTDataset(), "malt"
+	case "diagnosis":
+		builder, name = nemoeval.DiagnosisDataset(diagnosis.DefaultConfig), "diagnosis"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q (have traffic, malt, diagnosis)\n", *app)
+		os.Exit(2)
+	}
+
+	svc, err := service.New(service.Config{
+		Dataset:           builder,
+		DatasetName:       name,
+		TenantRPS:         *tenantRPS,
+		TenantBurst:       *tenantBurst,
+		TenantConcurrency: *tenantConc,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		BreakerThreshold:  *brThreshold,
+		BreakerCooldown:   *brCooldown,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	go func() {
+		log.Printf("netqueryd: serving %s on %s", name, *addr)
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	// Graceful drain: stop accepting, let in-flight queries finish, then
+	// exit. A second signal aborts the drain.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	log.Printf("netqueryd: draining (up to %s)...", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigs
+		cancel()
+	}()
+	if err := server.Shutdown(ctx); err != nil {
+		log.Printf("netqueryd: http shutdown: %v", err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		log.Printf("netqueryd: drain: %v", err)
+	}
+	log.Printf("netqueryd: done")
+}

@@ -1,6 +1,7 @@
 package federate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,30 @@ import (
 // stage operates on the lifted relation.
 func Run(cat *Catalog, plan Node) (*Relation, error) {
 	return Exec(cat, Optimize(plan))
+}
+
+// RunContext is Run under a cancellable context: operator row loops poll
+// ctx at periodic checkpoints and abandon the plan with an error wrapping
+// ctx.Err() once it is cancelled or past its deadline. The caller's
+// catalog is not mutated (the context rides a per-run shallow copy).
+func RunContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error) {
+	return ExecContext(ctx, cat, Optimize(plan))
+}
+
+// ExecContext executes an already-optimized plan under a cancellable
+// context (see RunContext).
+func ExecContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error) {
+	if ctx != nil && ctx != context.Background() {
+		run := *cat
+		run.ctx = ctx
+		cat = &run
+		// Refuse to start on a dead context — a plan whose operators all
+		// finish under one checkpoint stride would otherwise never poll.
+		if err := cat.cancelled(0); err != nil {
+			return nil, err
+		}
+	}
+	return Exec(cat, plan)
 }
 
 // Exec executes an already-optimized plan.
@@ -59,16 +84,19 @@ func execScan(cat *Catalog, s *Scan) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishScan(rel, s.Pushed, s.Cols)
+	return finishScan(cat, rel, s.Pushed, s.Cols)
 }
 
 // finishScan applies pushed predicates and the projected column list to a
 // fully-lifted relation (the graph and frame scans filter during lift; the
 // SQL scan compiles both into the query and skips this).
-func finishScan(rel *Relation, pushed []Cmp, cols []string) (*Relation, error) {
+func finishScan(cat *Catalog, rel *Relation, pushed []Cmp, cols []string) (*Relation, error) {
 	if len(pushed) > 0 {
 		kept := rel.Rows[:0:0]
-		for _, row := range rel.Rows {
+		for i, row := range rel.Rows {
+			if err := cat.cancelled(i); err != nil {
+				return nil, err
+			}
 			ok, err := rowMatches(rel, row, pushed)
 			if err != nil {
 				return nil, err
@@ -106,6 +134,11 @@ func scanGraph(cat *Catalog, s *Scan) (*Relation, error) {
 	g := cat.Graph
 	if g == nil {
 		return nil, fmt.Errorf("federate: catalog has no graph source")
+	}
+	// The computed virtual tables (pagerank, components) run whole graph
+	// algorithms; refuse to start one on an already-dead context.
+	if err := cat.cancelled(0); err != nil {
+		return nil, err
 	}
 	switch s.Table {
 	case GraphTableNodes:
@@ -253,11 +286,11 @@ func scanSQL(cat *Catalog, s *Scan) (*Relation, error) {
 	if len(where) > 0 {
 		q += " WHERE " + strings.Join(where, " AND ")
 	}
-	f, err := cat.DB.Query(q)
+	f, err := cat.DB.QueryContext(cat.context(), q)
 	if err != nil {
 		return nil, err
 	}
-	return finishScan(frameRelation(f), local, project)
+	return finishScan(cat, frameRelation(f), local, project)
 }
 
 // sqlCompile renders a structured predicate as a SQL condition; ok is false
@@ -307,10 +340,13 @@ func execFilter(cat *Catalog, f *Filter) (*Relation, error) {
 	}
 	switch p := f.Pred.(type) {
 	case Cmp:
-		return finishScan(in, []Cmp{p}, nil)
+		return finishScan(cat, in, []Cmp{p}, nil)
 	case FuncPred:
 		out := &Relation{Cols: in.Cols}
-		for _, row := range in.Rows {
+		for i, row := range in.Rows {
+			if err := cat.cancelled(i); err != nil {
+				return nil, err
+			}
 			m := nql.NewMap()
 			for j, c := range in.Cols {
 				_ = m.Set(c, row[j])
@@ -396,6 +432,9 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 	// Hash the right side; matches preserve right-row order per left row.
 	index := map[string][]int{}
 	for i, row := range right.Rows {
+		if err := cat.cancelled(i); err != nil {
+			return nil, err
+		}
 		k, err := hashKey(row[ri])
 		if err != nil {
 			return nil, fmt.Errorf("federate: join key %s: %w", j.RightKey, err)
@@ -403,12 +442,24 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 		index[k] = append(index[k], i)
 	}
 	out := &Relation{Cols: cols}
-	for _, lrow := range left.Rows {
+	for li2, lrow := range left.Rows {
+		if err := cat.cancelled(li2); err != nil {
+			return nil, err
+		}
 		k, err := hashKey(lrow[li])
 		if err != nil {
 			return nil, fmt.Errorf("federate: join key %s: %w", j.LeftKey, err)
 		}
 		for _, i := range index[k] {
+			// Checkpoint on output rows too: a skewed key can fan one left
+			// row out to millions of matches, and the per-left-row poll
+			// alone would leave cancellation latency unbounded. The nil
+			// test stays inline so context-free runs pay no call per row.
+			if cat.ctx != nil {
+				if err := cat.cancelled(len(out.Rows)); err != nil {
+					return nil, err
+				}
+			}
 			row := make([]nql.Value, 0, len(cols))
 			row = append(row, lrow...)
 			for _, c := range rightCols {
@@ -498,7 +549,10 @@ func execAggregate(cat *Catalog, a *Aggregate) (*Relation, error) {
 		}
 		return g, nil
 	}
-	for _, row := range in.Rows {
+	for ri, row := range in.Rows {
+		if err := cat.cancelled(ri); err != nil {
+			return nil, err
+		}
 		g, err := lookup(row)
 		if err != nil {
 			return nil, err
@@ -633,6 +687,9 @@ func execSort(cat *Catalog, s *Sort) (*Relation, error) {
 			return nil, err
 		}
 		idx[i] = j
+	}
+	if err := cat.cancelled(0); err != nil {
+		return nil, err
 	}
 	rows := append([][]nql.Value(nil), in.Rows...)
 	sort.SliceStable(rows, func(a, b int) bool {

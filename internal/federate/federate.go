@@ -23,6 +23,7 @@
 package federate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -57,6 +58,39 @@ type Catalog struct {
 	Graph  *graph.Graph
 	Frames map[string]*dataframe.Frame
 	DB     *sqldb.DB
+
+	// ctx is the execution context installed by RunContext/ExecContext on
+	// a per-run shallow copy of the catalog (the caller's catalog is never
+	// mutated). Operator row loops poll it at cancelCheckEvery-row
+	// checkpoints so a cancelled request abandons a large join or
+	// aggregation promptly.
+	ctx context.Context
+}
+
+// cancelCheckEvery is the operator row-loop checkpoint stride: contexts
+// are polled once per this many rows, keeping the poll off the per-row
+// fast path while bounding cancellation latency to one stride.
+const cancelCheckEvery = 1024
+
+// cancelled reports the context error, if any, at checkpoint i (only
+// multiples of cancelCheckEvery are polled; pass i = 0 to force a poll).
+func (c *Catalog) cancelled(i int) error {
+	if c.ctx == nil || i%cancelCheckEvery != 0 {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("federate: %w", err)
+	}
+	return nil
+}
+
+// context returns the run's execution context (never nil), for delegating
+// to context-aware substrates like the SQL engine.
+func (c *Catalog) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 // Sources lists the sources present in the catalog, in canonical order.

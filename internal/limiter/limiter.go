@@ -1,0 +1,111 @@
+// Package limiter provides the shared rate-limiting primitives the serving
+// layers build on: a lazy-refill (GCRA-style) token bucket and a bounded
+// concurrency gauge. The bucket was extracted from internal/modelserve's
+// gateway so the query service's per-tenant admission control and the model
+// gateway's per-model rate limits share one audited implementation.
+//
+// Neither primitive spawns goroutines or timers: Bucket keeps one float of
+// state refilled lazily from the caller's clock, and Gauge is a single
+// atomic counter. Callers decide whether a deficit means sleeping (the
+// gateway queues) or shedding (the service returns 429 with Retry-After).
+package limiter
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket is a lazy-refill token bucket. Take debits immediately and
+// returns how long the caller must sleep to cover any deficit; TryTake
+// admits only when the bucket can cover the debit now, returning the
+// retry-after hint otherwise. The GCRA-style formulation keeps one float
+// of state and never needs a background refill goroutine.
+//
+// Bucket is safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // units per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket creates a full bucket refilling at rate units/second with the
+// given burst capacity.
+func NewBucket(rate, burst float64, now time.Time) *Bucket {
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+func (b *Bucket) refill(now time.Time) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+	}
+	b.last = now
+}
+
+// Take debits n units unconditionally and returns how long the caller must
+// wait before the debt is covered (0 when the bucket had capacity). Use
+// when the caller queues: the gateway sleeps out the deficit rather than
+// rejecting.
+func (b *Bucket) Take(n float64, now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// TryTake debits n units only if the bucket can cover them now. When it
+// cannot, nothing is debited and the returned duration is how long until n
+// units will have accrued — the Retry-After hint for load shedding.
+func (b *Bucket) TryTake(n float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// Gauge is a bounded concurrency counter: Acquire admits while the count
+// is below the limit. A zero or negative limit means unbounded.
+type Gauge struct {
+	limit int64
+	n     atomic.Int64
+}
+
+// NewGauge creates a gauge admitting up to limit concurrent holders
+// (<= 0 = unlimited).
+func NewGauge(limit int) *Gauge { return &Gauge{limit: int64(limit)} }
+
+// Acquire reserves one slot, reporting false (and reserving nothing) when
+// the gauge is full.
+func (g *Gauge) Acquire() bool {
+	if g.limit <= 0 {
+		g.n.Add(1)
+		return true
+	}
+	for {
+		cur := g.n.Load()
+		if cur >= g.limit {
+			return false
+		}
+		if g.n.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// Release returns one slot.
+func (g *Gauge) Release() { g.n.Add(-1) }
+
+// Inflight reports the current holder count.
+func (g *Gauge) Inflight() int { return int(g.n.Load()) }

@@ -1,0 +1,102 @@
+package limiter
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketTakeWithinBurst(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBucket(10, 5, now)
+	for i := 0; i < 5; i++ {
+		if w := b.Take(1, now); w != 0 {
+			t.Fatalf("take %d within burst waited %v", i, w)
+		}
+	}
+	if w := b.Take(1, now); w != 100*time.Millisecond {
+		t.Fatalf("deficit wait = %v, want 100ms", w)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBucket(10, 1, now)
+	if w := b.Take(1, now); w != 0 {
+		t.Fatalf("first take waited %v", w)
+	}
+	// After 100ms one token has accrued.
+	if w := b.Take(1, now.Add(100*time.Millisecond)); w != 0 {
+		t.Fatalf("refilled take waited %v", w)
+	}
+	// Refill caps at burst.
+	if w := b.Take(3, now.Add(time.Hour)); w == 0 {
+		t.Fatal("burst cap not enforced")
+	}
+}
+
+func TestBucketTryTakeShedsWithoutDebit(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBucket(2, 1, now)
+	if ok, _ := b.TryTake(1, now); !ok {
+		t.Fatal("full bucket rejected")
+	}
+	ok, retry := b.TryTake(1, now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want 500ms", retry)
+	}
+	// The rejected TryTake must not have debited: half a second later one
+	// token has accrued and admission succeeds again.
+	if ok, _ := b.TryTake(1, now.Add(500*time.Millisecond)); !ok {
+		t.Fatal("rejected TryTake debited the bucket")
+	}
+}
+
+func TestBucketConcurrentTake(t *testing.T) {
+	now := time.Now()
+	b := NewBucket(1, 100, now)
+	var wg sync.WaitGroup
+	admitted := make(chan struct{}, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ok, _ := b.TryTake(1, now); ok {
+				admitted <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(admitted); n != 100 {
+		t.Fatalf("admitted %d of 200 under a burst of 100", n)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge(2)
+	if !g.Acquire() || !g.Acquire() {
+		t.Fatal("gauge rejected within limit")
+	}
+	if g.Acquire() {
+		t.Fatal("gauge admitted over limit")
+	}
+	g.Release()
+	if !g.Acquire() {
+		t.Fatal("gauge rejected after release")
+	}
+	if g.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want 2", g.Inflight())
+	}
+}
+
+func TestGaugeUnlimited(t *testing.T) {
+	g := NewGauge(0)
+	for i := 0; i < 100; i++ {
+		if !g.Acquire() {
+			t.Fatal("unlimited gauge rejected")
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/limiter"
 	"repro/internal/llm"
 	"repro/internal/tokens"
 )
@@ -206,8 +207,8 @@ type lane struct {
 	queue   []*call
 	running bool
 
-	reqBucket *bucket
-	tokBucket *bucket
+	reqBucket *limiter.Bucket
+	tokBucket *limiter.Bucket
 }
 
 func (g *Gateway) lane(model string) *lane {
@@ -217,14 +218,14 @@ func (g *Gateway) lane(model string) *lane {
 	if !ok {
 		l = &lane{gw: g, model: model}
 		if g.cfg.RPS > 0 {
-			l.reqBucket = newBucket(g.cfg.RPS, float64(g.cfg.Burst), g.now())
+			l.reqBucket = limiter.NewBucket(g.cfg.RPS, float64(g.cfg.Burst), g.now())
 		}
 		if g.cfg.TPM > 0 {
 			// Tokens/min expressed as tokens/sec; allow one batch's worth
 			// of burst so a cold gateway is not instantly in debt.
 			perSec := g.cfg.TPM / 60
 			burst := math.Max(perSec, float64(g.cfg.BatchSize)*completionReserve)
-			l.tokBucket = newBucket(perSec, burst, g.now())
+			l.tokBucket = limiter.NewBucket(perSec, burst, g.now())
 		}
 		g.lanes[model] = l
 	}
@@ -371,14 +372,14 @@ func (l *lane) rateLimit(calls []*call) {
 	g := l.gw
 	var wait time.Duration
 	if l.reqBucket != nil {
-		wait = l.reqBucket.take(float64(len(calls)), g.now())
+		wait = l.reqBucket.Take(float64(len(calls)), g.now())
 	}
 	if l.tokBucket != nil {
 		need := 0.0
 		for _, c := range calls {
 			need += float64(tokens.Count(c.req.Prompt) + completionReserve)
 		}
-		if w := l.tokBucket.take(need, g.now()); w > wait {
+		if w := l.tokBucket.Take(need, g.now()); w > wait {
 			wait = w
 		}
 	}
@@ -405,29 +406,3 @@ func (l *lane) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(j)
 }
 
-// bucket is a lazy-refill token bucket. take debits immediately and
-// returns how long the caller must sleep to cover any deficit — the
-// GCRA-style formulation keeps one float of state and never needs a
-// background refill goroutine.
-type bucket struct {
-	rate   float64 // units per second
-	burst  float64
-	tokens float64
-	last   time.Time
-}
-
-func newBucket(rate, burst float64, now time.Time) *bucket {
-	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
-}
-
-func (b *bucket) take(n float64, now time.Time) time.Duration {
-	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
-		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
-	}
-	b.last = now
-	b.tokens -= n
-	if b.tokens >= 0 {
-		return 0
-	}
-	return time.Duration(-b.tokens / b.rate * float64(time.Second))
-}

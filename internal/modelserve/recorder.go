@@ -4,7 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -53,14 +55,24 @@ func entryPath(dir, key string) string {
 	return filepath.Join(dir, key[:2], key+".json")
 }
 
+// errCorruptEntry marks a cache file that exists on disk but cannot be
+// trusted (truncated, hand-mangled, or bit-rotted). Distinguishing it
+// from a plain miss lets the recorder repair the entry and replay report
+// it honestly instead of claiming "never recorded".
+var errCorruptEntry = errors.New("corrupt cache entry")
+
 func readEntry(dir, key string) (*Entry, error) {
-	data, err := os.ReadFile(entryPath(dir, key))
+	path := entryPath(dir, key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, fmt.Errorf("modelserve: corrupt cache entry %s: %w", entryPath(dir, key), err)
+		return nil, fmt.Errorf("modelserve: %w %s: %v", errCorruptEntry, path, err)
+	}
+	if e.Model == "" || e.PromptSHA256 == "" {
+		return nil, fmt.Errorf("modelserve: %w %s: key fields missing (truncated write?)", errCorruptEntry, path)
 	}
 	return &e, nil
 }
@@ -105,9 +117,10 @@ type Recorder struct {
 	inner Provider
 	dir   string
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	writes atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	writes  atomic.Int64
+	repairs atomic.Int64
 }
 
 // NewRecorder creates a recorder writing under dir.
@@ -138,10 +151,18 @@ func (r *Recorder) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Respo
 	var fwd []int
 	for i, req := range reqs {
 		keys[i] = Key(model, req)
-		if e, err := readEntry(r.dir, keys[i]); err == nil {
+		e, err := readEntry(r.dir, keys[i])
+		if err == nil {
 			r.hits.Add(1)
 			resps[i] = e.response()
 			continue
+		}
+		if errors.Is(err, errCorruptEntry) {
+			// A damaged entry is not fatal while recording: warn, count
+			// the repair, and fall through to re-record — the fresh write
+			// replaces the bad file atomically.
+			log.Printf("modelserve: re-recording %s", err)
+			r.repairs.Add(1)
 		}
 		r.misses.Add(1)
 		fwd = append(fwd, i)
@@ -228,6 +249,13 @@ func (r *Replay) GenerateBatch(model string, reqs []llm.Request) ([]*llm.Respons
 		e, err := readEntry(r.dir, key)
 		if err != nil {
 			r.misses.Add(1)
+			if errors.Is(err, errCorruptEntry) {
+				// Replay has no provider to re-record from; surface the
+				// corruption as what it is rather than a phantom miss.
+				errs[i] = &ProviderError{Provider: r.Name(), Model: model, Kind: KindBadResponse,
+					Err: fmt.Errorf("recording for key %s unusable: %w", key[:12], err)}
+				continue
+			}
 			errs[i] = &ProviderError{Provider: r.Name(), Model: model, Kind: KindNotFound,
 				Err: fmt.Errorf("no recording for key %s (attempt %d, temperature %g): %w",
 					key[:12], req.Attempt, req.Temperature, err)}

@@ -1,9 +1,12 @@
 package modelserve
 
 import (
+	"bytes"
 	"errors"
+	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/llm"
@@ -123,7 +126,70 @@ func TestReplayCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, errs := replay.GenerateBatch("m", []llm.Request{req})
-	if errs[0] == nil {
-		t.Fatal("corrupt entry replayed without error")
+	var pe *ProviderError
+	if !errors.As(errs[0], &pe) || pe.Kind != KindBadResponse {
+		t.Fatalf("corrupt entry error = %v, want KindBadResponse (not a phantom miss)", errs[0])
+	}
+}
+
+// TestRecorderRepairsCorruptEntries injects every corruption class a cache
+// file can suffer — garbage bytes, truncation mid-JSON, and valid JSON with
+// the key fields gone — and checks the recorder warns, re-records from the
+// inner provider, and leaves a clean entry behind.
+func TestRecorderRepairsCorruptEntries(t *testing.T) {
+	corruptions := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("\x00\xff not even close")},
+		{"truncated", []byte(`{"model":"m","prompt_sha256":"abc","text":"cut of`)},
+		{"empty-object", []byte(`{}`)},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inner := &echoProvider{}
+			rec, err := NewRecorder(inner, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := []llm.Request{{Prompt: "p"}}
+			want, errs := rec.GenerateBatch("m", req)
+			if errs[0] != nil {
+				t.Fatal(errs[0])
+			}
+
+			var warnings bytes.Buffer
+			log.SetOutput(&warnings)
+			defer log.SetOutput(os.Stderr)
+			if err := os.WriteFile(entryPath(dir, Key("m", req[0])), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, errs := rec.GenerateBatch("m", req)
+			if errs[0] != nil {
+				t.Fatalf("corrupt entry was not repaired: %v", errs[0])
+			}
+			if *got[0] != *want[0] {
+				t.Fatalf("repaired response %+v differs from original %+v", got[0], want[0])
+			}
+			if !strings.Contains(warnings.String(), "re-recording") {
+				t.Fatalf("no warning logged for corrupt entry; log: %q", warnings.String())
+			}
+			if rec.repairs.Load() != 1 {
+				t.Fatalf("repairs = %d, want 1", rec.repairs.Load())
+			}
+			if calls := len(inner.batches); calls != 2 {
+				t.Fatalf("inner provider called %d times, want 2 (initial record + repair)", calls)
+			}
+
+			// The repair must leave a servable entry: the next call is a
+			// pure cache hit.
+			if _, errs := rec.GenerateBatch("m", req); errs[0] != nil {
+				t.Fatal(errs[0])
+			}
+			if calls := len(inner.batches); calls != 2 {
+				t.Fatalf("inner provider called %d times after repair, want 2 (third call is a hit)", calls)
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package nql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -12,6 +13,15 @@ type Limits struct {
 	MaxDepth    int           // call depth (0 = default)
 	MaxAllocs   int           // container element allocations (0 = default)
 	MaxDuration time.Duration // wall clock (0 = default)
+
+	// Context, when non-nil, is polled at the interpreter's periodic
+	// checkpoint (every 4096 steps, one dispatch quantum): a cancelled or
+	// deadline-expired context aborts the run with an ErrCancel-class
+	// error wrapping ctx.Err(). Its deadline also tightens the wall-clock
+	// budget when sooner than MaxDuration. Host bindings that run long
+	// operations (federated plans, SQL queries) read it via
+	// Interp.Context and add their own checkpoints.
+	Context context.Context
 }
 
 // DefaultLimits are generous enough for every benchmark query yet small
@@ -132,6 +142,11 @@ func (in *Interp) Run(src string) (Value, error) {
 // RunProgram executes an already-parsed program on the configured engine.
 func (in *Interp) RunProgram(prog *Program) (Value, error) {
 	in.deadline = time.Now().Add(in.limits.MaxDuration)
+	if in.limits.Context != nil {
+		if dl, ok := in.limits.Context.Deadline(); ok && dl.Before(in.deadline) {
+			in.deadline = dl
+		}
+	}
 	if in.Engine == EngineVM {
 		code, err := prog.Compiled()
 		if err != nil {
@@ -169,10 +184,44 @@ func (in *Interp) step(line int) error {
 	if in.steps > in.limits.MaxSteps {
 		return errf(ErrLimit, line, "step budget exceeded (%d steps)", in.limits.MaxSteps)
 	}
-	if in.steps%4096 == 0 && time.Now().After(in.deadline) {
+	if in.steps%4096 == 0 {
+		return in.checkpoint(line)
+	}
+	return nil
+}
+
+// checkpoint is the periodic cooperative-cancellation and wall-clock test
+// both engines run every 4096 steps (one dispatch quantum). Context
+// cancellation is checked first so a cancelled request reports ErrCancel
+// even when its context deadline also tightened the wall-clock budget.
+func (in *Interp) checkpoint(line int) error {
+	if in.limits.Context != nil {
+		if cerr := in.limits.Context.Err(); cerr != nil {
+			return cancelErr(line, cerr)
+		}
+	}
+	if time.Now().After(in.deadline) {
+		// When the context's own deadline tightened the wall-clock budget,
+		// attribute the expiry to the context: its timer can lag the clock
+		// by a scheduler tick, so ctx.Err() above may not have flipped yet.
+		if in.limits.Context != nil {
+			if dl, ok := in.limits.Context.Deadline(); ok && time.Now().After(dl) {
+				return cancelErr(line, context.DeadlineExceeded)
+			}
+		}
 		return errf(ErrLimit, line, "wall-clock budget exceeded")
 	}
 	return nil
+}
+
+// Context returns the host context configured in Limits (never nil): host
+// bindings pass it to cancellable substrate operations so one request
+// deadline covers the whole execution pipeline.
+func (in *Interp) Context() context.Context {
+	if in.limits.Context != nil {
+		return in.limits.Context
+	}
+	return context.Background()
 }
 
 func (in *Interp) alloc(line, n int) error {

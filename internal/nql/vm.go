@@ -2,7 +2,6 @@ package nql
 
 import (
 	"sync"
-	"time"
 )
 
 // cell boxes a variable captured by a closure. The compiler promotes a
@@ -366,13 +365,17 @@ func (m *machine) run(in *Interp, entry int) (Value, error) {
 		line := int(ins.line)
 
 		// Resource accounting mirrors Interp.step: one step per
-		// instruction, with the wall clock sampled every 4096 steps.
+		// instruction, with the wall clock and the host context sampled
+		// every 4096 steps (the dispatch quantum that bounds how late a
+		// cancelled request can return).
 		in.steps++
 		if in.steps > in.limits.MaxSteps {
 			return nil, errf(ErrLimit, line, "step budget exceeded (%d steps)", in.limits.MaxSteps)
 		}
-		if in.steps&4095 == 0 && time.Now().After(in.deadline) {
-			return nil, errf(ErrLimit, line, "wall-clock budget exceeded")
+		if in.steps&4095 == 0 {
+			if err := in.checkpoint(line); err != nil {
+				return nil, err
+			}
 		}
 
 		switch ins.op {

@@ -1,6 +1,9 @@
 package nqlbind
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/nql"
 	"repro/internal/sqldb"
 )
@@ -68,7 +71,7 @@ func (o *DBObject) member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			f, err := o.DB.Query(sql)
+			f, err := o.DB.QueryContext(in.Context(), sql)
 			if err != nil {
 				return nil, sqlErrToNQL(line, err)
 			}
@@ -83,7 +86,7 @@ func (o *DBObject) member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := o.DB.Exec(sql)
+			res, err := o.DB.ExecContext(in.Context(), sql)
 			if err != nil {
 				return nil, sqlErrToNQL(line, err)
 			}
@@ -100,8 +103,12 @@ func (o *DBObject) member(name string) (nql.Value, bool) {
 // sqlErrToNQL maps SQL engine failures onto NQL error classes: parse errors
 // stay "operation" errors with an embedded syntax message (the script itself
 // is well-formed NQL; its payload SQL is bad), unknown tables/columns map to
-// the attribute class.
+// the attribute class, and statements abandoned by a cancelled host context
+// surface as the cancel class so callers can tell shed work from bad SQL.
 func sqlErrToNQL(line int, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nql.CancelError(line, err)
+	}
 	if _, ok := err.(*sqldb.SyntaxError); ok {
 		return &nql.RuntimeError{Class: nql.ErrOp, Line: line, Msg: err.Error()}
 	}

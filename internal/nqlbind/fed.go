@@ -1,6 +1,8 @@
 package nqlbind
 
 import (
+	"context"
+	"errors"
 	"strings"
 
 	"repro/internal/federate"
@@ -105,9 +107,12 @@ func (p *PlanObject) derive(n federate.Node) *PlanObject {
 	return &PlanObject{Cat: p.Cat, Plan: n}
 }
 
-func (p *PlanObject) execute(line int) (*federate.Relation, error) {
-	rel, err := federate.Run(p.Cat, p.Plan)
+func (p *PlanObject) execute(in *nql.Interp, line int) (*federate.Relation, error) {
+	rel, err := federate.RunContext(in.Context(), p.Cat, p.Plan)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, nql.CancelError(line, err)
+		}
 		class := nql.ErrValue
 		// Imaginary columns surface as attribute errors, matching the
 		// failure taxonomy of the per-substrate bindings.
@@ -256,7 +261,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 0 {
 				return nil, argCount(line, name, "0", len(args))
 			}
-			rel, err := p.execute(line)
+			rel, err := p.execute(in, line)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +272,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 0 {
 				return nil, argCount(line, name, "0", len(args))
 			}
-			rel, err := p.execute(line)
+			rel, err := p.execute(in, line)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +291,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			if err != nil {
 				return nil, err
 			}
-			rel, err := p.execute(line)
+			rel, err := p.execute(in, line)
 			if err != nil {
 				return nil, err
 			}
@@ -302,7 +307,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 0 {
 				return nil, argCount(line, "to_frame", "0", len(args))
 			}
-			rel, err := p.execute(line)
+			rel, err := p.execute(in, line)
 			if err != nil {
 				return nil, err
 			}

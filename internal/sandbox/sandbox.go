@@ -8,6 +8,7 @@
 package sandbox
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -21,6 +22,13 @@ type Policy struct {
 	MaxDepth    int
 	MaxAllocs   int
 	MaxDuration time.Duration
+
+	// Context, when non-nil, propagates the caller's cancellation and
+	// deadline into the run: the interpreter polls it at every dispatch
+	// quantum and the cancellable host bindings (federated plans, SQL)
+	// thread it through their own row-loop checkpoints. A cancelled run
+	// fails with an nql.ErrCancel-class error wrapping ctx.Err().
+	Context context.Context
 }
 
 // DefaultPolicy matches nql.DefaultLimits.
@@ -119,6 +127,7 @@ func RunProgram(prog *nql.Program, globals map[string]nql.Value, policy Policy) 
 		MaxDepth:    policy.MaxDepth,
 		MaxAllocs:   policy.MaxAllocs,
 		MaxDuration: policy.MaxDuration,
+		Context:     policy.Context,
 	}, globals)
 	v, err := in.RunProgram(prog)
 	res.Stdout = in.Stdout()

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkServiceQuery drives the open-loop load generator (Zipf tenant
+// skew, catalog queries) against a live service and reports tail latency
+// and shed/error rates alongside ns/op, so the benchdiff gate catches
+// service-path regressions in both throughput and tail behavior.
+func BenchmarkServiceQuery(b *testing.B) {
+	builder, name := TrafficBuilder(30, 30, 42)
+	s, err := New(Config{Dataset: builder, DatasetName: name, TenantRPS: 1e6, TenantBurst: 1e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := RunLoad(s, LoadConfig{
+		Tenants:   4,
+		SkewAlpha: 1.5,
+		Rate:      2000,
+		Requests:  b.N,
+		QueryIDs:  []string{"ta-e2", "ta-e3"},
+		Timeout:   2 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rep.P50), "p50-ns")
+	b.ReportMetric(float64(rep.P99), "p99-ns")
+	n := float64(rep.Sent)
+	b.ReportMetric(float64(rep.Shed)/n, "shed-rate")
+	b.ReportMetric(float64(rep.Timeouts+rep.Failed)/n, "err-rate")
+}

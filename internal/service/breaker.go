@@ -1,0 +1,93 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, as reported by Breaker.State and the /healthz endpoint.
+const (
+	BreakerClosed   = "closed"    // substrate healthy, requests flow
+	BreakerOpen     = "open"      // tripped, requests rerouted until cooldown
+	BreakerHalfOpen = "half-open" // cooldown elapsed, probes allowed through
+)
+
+// Breaker is a per-substrate circuit breaker. It trips open after
+// Threshold consecutive deadline-exceeded executions, rejects the substrate
+// for Cooldown, then goes half-open: probes are admitted again, one success
+// closes the circuit, another timeout re-opens it for a fresh cooldown.
+// Only timeouts count as failures — query bugs (bad SQL, imaginary
+// attributes) say nothing about substrate health and never trip it.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+	trips       int64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// timeouts and cooling down for cooldown before probing again.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may use this substrate right now:
+// true when closed or half-open, false while open (inside a cooldown).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive < b.threshold || !b.now().Before(b.openUntil)
+}
+
+// Record feeds one execution outcome back: a timeout advances the
+// consecutive-failure count (tripping or re-tripping the breaker at the
+// threshold); anything else closes the circuit.
+func (b *Breaker) Record(timeout bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !timeout {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		if b.consecutive == b.threshold {
+			b.trips++
+		}
+		// A half-open probe that times out re-arms the full cooldown.
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// State names the breaker's current state.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecutive < b.threshold {
+		return BreakerClosed
+	}
+	if b.now().Before(b.openUntil) {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
+// Trips returns how many times the breaker has transitioned closed → open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

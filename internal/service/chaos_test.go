@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosSwapUnderLoad drives sustained concurrent load (Zipf-skewed
+// across tenants) while the dataset is swapped back and forth underneath
+// it. Every response must be dropped-free and consistent: the node count a
+// query reports must match the epoch the service says it ran against —
+// never a torn mix of old and new state.
+func TestChaosSwapUnderLoad(t *testing.T) {
+	s := newTestService(t, nil) // 30-node initial epoch
+	builder50, name50 := TrafficBuilder(50, 50, 7)
+	builder30, name30 := TrafficBuilder(30, 30, 42)
+
+	const (
+		workers    = 8
+		perWorker  = 40
+		swapRounds = 4
+	)
+	type outcome struct {
+		result  string
+		dataset string
+		err     error
+	}
+	outcomes := make(chan outcome, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Zipf-ish tenant skew: low-numbered workers share the hub
+			// tenant, the rest are singletons.
+			tenant := fmt.Sprintf("tenant-%02d", w/3)
+			for i := 0; i < perWorker; i++ {
+				resp, err := s.Do(context.Background(), &Request{Tenant: tenant, QueryID: "ta-e2"})
+				o := outcome{err: err}
+				if resp != nil {
+					o.result = resp.Result
+					o.dataset = resp.Dataset
+				}
+				outcomes <- o
+			}
+		}(w)
+	}
+	swapErr := make(chan error, 1)
+	go func() {
+		for r := 0; r < swapRounds; r++ {
+			time.Sleep(10 * time.Millisecond)
+			var err error
+			if r%2 == 0 {
+				err = s.Swap(name50, builder50)
+			} else {
+				err = s.Swap(name30, builder30)
+			}
+			if err != nil {
+				swapErr <- err
+				return
+			}
+		}
+		swapErr <- nil
+	}()
+	wg.Wait()
+	close(outcomes)
+	if err := <-swapErr; err != nil {
+		t.Fatalf("swap under load: %v", err)
+	}
+
+	for o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("query dropped during swap: %v", o.err)
+		}
+		want := "30"
+		if strings.Contains(o.dataset, "n50") {
+			want = "50"
+		}
+		if o.result != want {
+			t.Fatalf("torn answer: epoch %q returned %q, want %q", o.dataset, o.result, want)
+		}
+	}
+	if got := s.Stats().Swaps; got != swapRounds {
+		t.Fatalf("stats.Swaps = %d, want %d", got, swapRounds)
+	}
+}
+
+// TestChaosClientDisconnects cancels in-flight queries mid-run: every one
+// must return promptly with the cancel class, no goroutines may leak, and
+// client cancellations must not trip any substrate breaker.
+func TestChaosClientDisconnects(t *testing.T) {
+	s := newTestService(t, nil)
+	before := runtime.NumGoroutine()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(time.Duration(1+i) * 5 * time.Millisecond)
+				cancel() // the client hangs up
+			}()
+			_, errs[i] = s.Do(ctx, &Request{Tenant: "flaky", Query: spinQuery, Timeout: 10 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		var qe *QueryError
+		if !errors.As(err, &qe) || qe.Class != "cancelled" {
+			t.Fatalf("client %d: error = %v, want cancelled QueryError", i, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client %d: error does not wrap context.Canceled: %v", i, err)
+		}
+	}
+	for b, state := range s.Stats().Breakers {
+		if state != BreakerClosed {
+			t.Fatalf("breaker %q = %q after client disconnects, want closed (disconnects are not substrate timeouts)", b, state)
+		}
+	}
+	// Hand-rolled leak check: all request goroutines are synchronous, so
+	// the count must return to baseline (with retries for runtime noise).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosBackendStallCancelled models a stalled backend: a query looping
+// over SQL statements against the database substrate. The request deadline
+// must cut it off at a cooperative checkpoint, not wait for the loop.
+func TestChaosBackendStallCancelled(t *testing.T) {
+	s := newTestService(t, nil)
+	stall := `let n = 0
+while true { n = n + db.query("SELECT COUNT(*) AS n FROM edges").cell(0, "n") }
+return n`
+	start := time.Now()
+	_, err := s.Do(context.Background(), &Request{
+		Tenant: "stall", Query: stall, Backend: "sql", Timeout: 50 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Class != "cancelled" {
+		t.Fatalf("stalled query error = %v, want cancelled QueryError", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("stalled query took %v to cancel", elapsed)
+	}
+}
+
+// TestChaosOverBudgetTenantIsolation floods one tenant far past its
+// admitted rate while a well-behaved tenant keeps issuing queries: the
+// flooding tenant is shed with Retry-After, and the victim's p99 stays
+// within 2x of its unloaded p99 (with an absolute floor absorbing
+// scheduler noise on microsecond baselines).
+func TestChaosOverBudgetTenantIsolation(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.TenantRPS = 20
+		c.TenantBurst = 5
+	})
+	const probes = 40
+	victim := func() []time.Duration {
+		lat := make([]time.Duration, 0, probes)
+		for i := 0; i < probes; i++ {
+			t0 := time.Now()
+			if _, err := s.Do(context.Background(), &Request{Tenant: "victim", QueryID: "ta-e2"}); err == nil {
+				lat = append(lat, time.Since(t0))
+			}
+			time.Sleep(55 * time.Millisecond) // ~18 rps, inside budget
+		}
+		return lat
+	}
+
+	unloaded := victim()
+	if len(unloaded) < probes/2 {
+		t.Fatalf("unloaded victim only completed %d/%d probes", len(unloaded), probes)
+	}
+	unloadedP99 := percentile(unloaded, 99)
+
+	// Flood: a tenant offering far more than its budget.
+	stop := make(chan struct{})
+	var floodSheds atomic.Int64
+	var fwg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			// Open-loop flood: ~2000 offered req/s across the workers,
+			// 100x the tenant's 20 rps budget.
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				_, err := s.Do(context.Background(), &Request{Tenant: "flood", QueryID: "ta-e2"})
+				if isShed(err) {
+					floodSheds.Add(1)
+				}
+			}
+		}()
+	}
+	loaded := victim()
+	close(stop)
+	fwg.Wait()
+
+	if floodSheds.Load() == 0 {
+		t.Fatal("over-budget tenant was never shed")
+	}
+	if len(loaded) < probes/2 {
+		t.Fatalf("loaded victim only completed %d/%d probes (flood starved admission)", len(loaded), probes)
+	}
+	loadedP99 := percentile(loaded, 99)
+	bound := 2 * unloadedP99
+	if floor := 20 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if loadedP99 > bound {
+		t.Fatalf("victim p99 under flood = %v, want <= %v (unloaded p99 %v)", loadedP99, bound, unloadedP99)
+	}
+}

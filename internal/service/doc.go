@@ -1,0 +1,90 @@
+// Package service implements netqueryd, a fault-tolerant multi-tenant
+// network-query service over the evaluation framework's datasets. Every
+// request executes a sandboxed NQL program against a fresh clone of the
+// current dataset epoch's frozen master, under a propagated
+// context.Context deadline that the NQL VM, the federated executor and the
+// SQL engine all honor at cooperative checkpoints.
+//
+// The service stays correct and responsive under faults and overload:
+//
+//   - Admission control: per-tenant token buckets (requests/sec) and
+//     concurrency gauges shed over-budget work immediately with a
+//     Retry-After hint instead of queueing it, so one tenant's burst
+//     cannot grow everyone else's tail latency.
+//   - Deadlines: each request's deadline rides its context through every
+//     execution layer; a deadline-exceeded query returns within one VM
+//     dispatch quantum, not after the query finishes.
+//   - Circuit breaking: a per-substrate breaker trips after consecutive
+//     timeouts and reroutes catalog queries to the cheapest healthy
+//     substrate until a cooldown passes.
+//   - Live dataset swap: Swap loads a new frozen master, atomically flips
+//     new arrivals onto it, and drains the old epoch — zero queries are
+//     dropped and every response is consistent with exactly one epoch.
+//   - Graceful drain: Drain stops admission and waits for in-flight work,
+//     so a shutdown never kills a running query.
+//
+// # Runbook: flags
+//
+// cmd/netqueryd exposes every Config knob as a flag:
+//
+//	-addr :8090               listen address
+//	-app traffic              initial dataset (traffic, malt, diagnosis)
+//	-nodes 80 -edges 80       traffic graph scale
+//	-seed 42                  traffic workload seed
+//	-tenant-rps 50            per-tenant admitted requests/sec
+//	-tenant-burst 16          per-tenant request burst
+//	-tenant-concurrency 8     per-tenant in-flight cap (-1 unlimited)
+//	-default-timeout 2s       deadline for requests that name none
+//	-max-timeout 10s          cap on client-requested deadlines
+//	-breaker-threshold 5      consecutive timeouts tripping a breaker
+//	-breaker-cooldown 1s      how long a tripped breaker stays open
+//	-drain-timeout 30s        shutdown drain budget
+//
+// Endpoints: POST /v1/query runs one query ({"tenant", "query" or
+// "query_id", optional "backend", "timeout_ms"}); POST /admin/swap
+// installs a new dataset; GET /healthz reports the live epoch and breaker
+// states; GET /statsz dumps counters.
+//
+// # Runbook: admission tuning
+//
+// Admission is two independent gates per tenant, checked before any work
+// is done. The token bucket (-tenant-rps / -tenant-burst) bounds offered
+// rate: a request that finds no token is shed with HTTP 429 and a
+// Retry-After header naming when a token will exist — it is never queued,
+// so shed requests cost microseconds and cannot build a backlog. The
+// concurrency gauge (-tenant-concurrency) bounds in-flight work, which is
+// what actually protects tail latency when queries are slow rather than
+// frequent. Size the bucket for the tenant's contract (rps = sustained
+// rate, burst = tolerated spike) and the gauge for query weight: long
+// analytical queries warrant a small gauge (2-4); sub-millisecond catalog
+// lookups tolerate a large one. A 429 spike with healthy /statsz latency
+// means the budget is too small; rising p99 with no sheds means it is too
+// large (work is queueing inside the substrates, tighten the gauge).
+//
+// # Runbook: swap procedure
+//
+// POST /admin/swap with {"app": "traffic", "nodes": N, "edges": E,
+// "seed": S} (or "malt"/"diagnosis"). The service builds the new frozen
+// master before touching live traffic — a swap that fails to build leaves
+// the old epoch serving. It then atomically flips new arrivals onto the
+// new epoch and waits for the old epoch's in-flight queries to drain
+// before releasing it. In-flight queries finish on the epoch they started
+// on; every response names its epoch in "dataset". The call returns only
+// after the old epoch has fully drained, so back-to-back swaps serialize.
+// Verify with GET /healthz ("dataset") and Stats().Swaps.
+//
+// # Runbook: breaker semantics
+//
+// Each execution substrate (networkx, pandas, sql, federated) has an
+// independent breaker. Only the service's own deadline expiries count as
+// substrate timeouts — client disconnects and NQL errors do not.
+// After -breaker-threshold consecutive timeouts the breaker opens: catalog
+// queries (query_id) reroute to the cheapest healthy substrate that has a
+// golden program for them, in cost order networkx < pandas < sql <
+// federated; raw-program requests pinned to an open substrate fail fast
+// with HTTP 503. After -breaker-cooldown the breaker half-opens and
+// admits one probe: a success closes it, another timeout re-opens it for
+// a fresh cooldown. Breaker states are visible in /healthz and trip
+// counts in /statsz. A breaker that flaps open on a healthy substrate
+// usually means -default-timeout is too tight for the dataset scale.
+package service

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/diagnosis"
+	"repro/internal/nemoeval"
+	"repro/internal/queries"
+	"repro/internal/traffic"
+)
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	Tenant    string `json:"tenant"`
+	Query     string `json:"query,omitempty"`
+	QueryID   string `json:"query_id,omitempty"`
+	Backend   string `json:"backend,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the POST /v1/query success body.
+type queryResponse struct {
+	Result     string `json:"result"`
+	Stdout     string `json:"stdout,omitempty"`
+	Backend    string `json:"backend"`
+	Dataset    string `json:"dataset"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	DurationMS int64  `json:"duration_ms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+// swapRequest is the POST /admin/swap body: a named dataset to load and
+// flip to. App selects the builder ("traffic", "malt", "diagnosis");
+// traffic accepts an explicit scale.
+type swapRequest struct {
+	Name  string `json:"name"`
+	App   string `json:"app"`
+	Nodes int    `json:"nodes,omitempty"`
+	Edges int    `json:"edges,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// maxBodyBytes bounds request bodies so a misbehaving client cannot make
+// the decoder buffer unbounded input.
+const maxBodyBytes = 1 << 20
+
+// NewHandler exposes the service over HTTP:
+//
+//	POST /v1/query   — execute a query (shed → 429 + Retry-After,
+//	                   timeout → 504, open breaker → 503, bad query → 422)
+//	POST /admin/swap — load a dataset and atomically flip to it
+//	GET  /healthz    — liveness, current dataset, breaker states
+//	GET  /statsz     — counter snapshot
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("use POST"))
+			return
+		}
+		var qr queryRequest
+		if err := decodeBody(w, r, &qr); err != nil {
+			writeError(w, http.StatusBadRequest, "", err)
+			return
+		}
+		req := &Request{
+			Tenant:  qr.Tenant,
+			Query:   qr.Query,
+			QueryID: qr.QueryID,
+			Backend: qr.Backend,
+			Timeout: time.Duration(qr.TimeoutMS) * time.Millisecond,
+		}
+		// The client closing its connection cancels r.Context(), which
+		// cancels the query at its next checkpoint.
+		resp, err := s.Do(r.Context(), req)
+		if err != nil {
+			writeDoError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{
+			Result:     resp.Result,
+			Stdout:     resp.Stdout,
+			Backend:    resp.Backend,
+			Dataset:    resp.Dataset,
+			Degraded:   resp.Degraded,
+			DurationMS: resp.Duration.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/admin/swap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "", fmt.Errorf("use POST"))
+			return
+		}
+		var sr swapRequest
+		if err := decodeBody(w, r, &sr); err != nil {
+			writeError(w, http.StatusBadRequest, "", err)
+			return
+		}
+		builder, name, err := buildDataset(sr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "", err)
+			return
+		}
+		if err := s.Swap(name, builder); err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrDraining) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dataset": name})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		status := "ok"
+		if s.draining.Load() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   status,
+			"dataset":  st.Dataset,
+			"inflight": st.Inflight,
+			"breakers": st.Breakers,
+		})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// buildDataset resolves a swap request into an instance builder. Datasets
+// are generated and frozen here, before the flip, so a bad request can
+// never take down the serving epoch.
+func buildDataset(sr swapRequest) (nemoeval.InstanceBuilder, string, error) {
+	name := sr.Name
+	switch sr.App {
+	case "", queries.AppTraffic:
+		cfg := nemoeval.DefaultTrafficConfig
+		if sr.Nodes > 0 {
+			cfg.Nodes = sr.Nodes
+		}
+		if sr.Edges > 0 {
+			cfg.Edges = sr.Edges
+		}
+		if sr.Seed != 0 {
+			cfg.Seed = sr.Seed
+		}
+		if name == "" {
+			name = fmt.Sprintf("traffic-n%d-e%d-s%d", cfg.Nodes, cfg.Edges, cfg.Seed)
+		}
+		return nemoeval.TrafficDataset(cfg), name, nil
+	case queries.AppMALT:
+		if name == "" {
+			name = "malt"
+		}
+		return nemoeval.MALTDataset(), name, nil
+	case queries.AppDiagnosis:
+		if name == "" {
+			name = "diagnosis"
+		}
+		return nemoeval.DiagnosisDataset(diagnosis.DefaultConfig), name, nil
+	default:
+		return nil, "", fmt.Errorf("service: unknown app %q (have traffic, malt, diagnosis)", sr.App)
+	}
+}
+
+// TrafficBuilder is the convenience the daemon and tests use to stand up
+// an initial traffic epoch at a given scale.
+func TrafficBuilder(nodes, edges int, seed int64) (nemoeval.InstanceBuilder, string) {
+	cfg := traffic.Config{Nodes: nodes, Edges: edges, Seed: seed}
+	return nemoeval.TrafficDataset(cfg), fmt.Sprintf("traffic-n%d-e%d-s%d", nodes, edges, seed)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeDoError maps Service.Do error taxonomy onto HTTP statuses.
+func writeDoError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		secs := int64(shed.RetryAfter / time.Second)
+		if shed.RetryAfter%time.Second != 0 {
+			secs++ // round up: retrying early just sheds again
+		}
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, http.StatusTooManyRequests, "", err)
+		return
+	}
+	var unavail *UnavailableError
+	if errors.As(err, &unavail) || errors.Is(err, ErrDraining) {
+		writeError(w, http.StatusServiceUnavailable, "", err)
+		return
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		if errors.Is(qe, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, qe.Class, err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, qe.Class, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "", err)
+}
+
+func writeError(w http.ResponseWriter, code int, class string, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error(), Class: class})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHTTPQueryEndToEnd(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+
+	w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d body %s, want 200", w.Code, w.Body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Result != "30" || resp.Backend != "networkx" {
+		t.Fatalf("response = %+v, want result 30 on networkx", resp)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+
+	// Unknown fields are rejected so client typos don't silently no-op.
+	req := httptest.NewRequest(http.MethodPost, "/v1/query",
+		bytes.NewReader([]byte(`{"tenant":"a","query_idd":"ta-e2"}`)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status = %d, want 400", w.Code)
+	}
+	// Bad NQL surfaces as unprocessable with its error class.
+	w = postJSON(t, h, "/v1/query", queryRequest{Tenant: "a", Query: "return nonsense_var"})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad query: status = %d body %s, want 422", w.Code, w.Body)
+	}
+	var er errorResponse
+	_ = json.Unmarshal(w.Body.Bytes(), &er)
+	if er.Class != "name" {
+		t.Fatalf("bad query class = %q, want name", er.Class)
+	}
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "a"}); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty query: status = %d, want 422", w.Code)
+	}
+}
+
+func TestHTTPShedMapsTo429WithRetryAfter(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.TenantRPS = 1
+		c.TenantBurst = 1
+	})
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "b", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("first request: status = %d, want 200", w.Code)
+	}
+	w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "b", QueryID: "ta-e2"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over budget: status = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+}
+
+func TestHTTPTimeoutMapsTo504(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+	w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "slow", Query: spinQuery, TimeoutMS: 30})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout: status = %d body %s, want 504", w.Code, w.Body)
+	}
+	var er errorResponse
+	_ = json.Unmarshal(w.Body.Bytes(), &er)
+	if er.Class != "cancelled" {
+		t.Fatalf("timeout class = %q, want cancelled", er.Class)
+	}
+}
+
+func TestHTTPSwapAndHealth(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+
+	w := postJSON(t, h, "/admin/swap", swapRequest{App: "traffic", Nodes: 50, Edges: 50, Seed: 7})
+	if w.Code != http.StatusOK {
+		t.Fatalf("swap: status = %d body %s, want 200", w.Code, w.Body)
+	}
+	w = postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"})
+	var resp queryResponse
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Result != "50" {
+		t.Fatalf("post-swap result = %q, want 50", resp.Result)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hw := httptest.NewRecorder()
+	h.ServeHTTP(hw, req)
+	if hw.Code != http.StatusOK {
+		t.Fatalf("healthz: status = %d, want 200", hw.Code)
+	}
+	var health struct {
+		Status   string            `json:"status"`
+		Dataset  string            `json:"dataset"`
+		Breakers map[string]string `json:"breakers"`
+	}
+	if err := json.Unmarshal(hw.Body.Bytes(), &health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if health.Status != "ok" || health.Dataset != "traffic-n50-e50-s7" {
+		t.Fatalf("healthz = %+v, want ok on swapped dataset", health)
+	}
+	if len(health.Breakers) != len(Substrates()) {
+		t.Fatalf("healthz reports %d breakers, want %d", len(health.Breakers), len(Substrates()))
+	}
+
+	if w := postJSON(t, h, "/admin/swap", swapRequest{App: "warp-drive"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad swap app: status = %d, want 400", w.Code)
+	}
+}
+
+func TestHTTPClientDisconnectCancelsQuery(t *testing.T) {
+	s := newTestService(t, nil)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	body := []byte(`{"tenant":"hangup","query":"let i = 0\nwhile i < 100000000 { i = i + 1 }\nreturn i","timeout_ms":10000}`)
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("expected the client timeout to abort the request")
+	}
+	// The server-side query must be cancelled promptly: once it finishes,
+	// its failure is counted and the tenant's slot frees up.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Failures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server-side query was not cancelled after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// LoadConfig tunes an open-loop load run against a Service. The generator
+// fires arrivals on a fixed schedule regardless of completions (open loop:
+// a slow service accumulates in-flight work instead of silently slowing
+// the offered load), draws each arrival's tenant from a Zipf distribution
+// (hub tenants dominate, like hub nodes dominate traffic graphs), and
+// parameterizes raw queries from a traffic.Stream edge stream so no two
+// arrivals are forced to be identical.
+type LoadConfig struct {
+	// Tenants is how many distinct tenants offer load (default 4).
+	Tenants int
+	// SkewAlpha > 1 draws tenants Zipf-skewed (smaller index = heavier);
+	// 0 is uniform. Values in (0, 1] are rejected like traffic.Config.
+	SkewAlpha float64
+	// Rate is the aggregate arrival rate in requests/sec (default 200).
+	Rate float64
+	// Requests is the total number of arrivals (default 200).
+	Requests int
+	// QueryIDs cycles catalog queries round-robin. Empty means raw
+	// federated queries parameterized from the edge stream.
+	QueryIDs []string
+	// Backend pins a substrate ("" = auto).
+	Backend string
+	// Timeout is the per-request deadline (0 = service default).
+	Timeout time.Duration
+	// Seed keys tenant/parameter draws so a load run is reproducible.
+	Seed int64
+	// Stream configures the parameter edge stream (zero value =
+	// nemoeval.DefaultTrafficConfig scale).
+	Stream traffic.Config
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Sent     int
+	OK       int
+	Shed     int
+	Timeouts int
+	Failed   int // non-timeout failures
+
+	P50, P99, Max time.Duration // latency over successful requests
+
+	PerTenant map[string]int // arrivals offered per tenant
+}
+
+// String renders the one-line summary the daemon logs after a self-test.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%d sent: %d ok, %d shed, %d timeout, %d failed; p50 %s p99 %s max %s",
+		r.Sent, r.OK, r.Shed, r.Timeouts, r.Failed,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// RunLoad drives one open-loop load run and blocks until every arrival
+// has completed.
+func RunLoad(s *Service, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.SkewAlpha != 0 && cfg.SkewAlpha <= 1 {
+		return nil, fmt.Errorf("service: SkewAlpha must be > 1 (Zipf exponent), got %g", cfg.SkewAlpha)
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 200
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Stream.Nodes == 0 {
+		cfg.Stream = traffic.Config{Nodes: 80, Edges: 80, Seed: 42}
+	}
+	st, err := traffic.NewStream(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-draw every arrival's parameters from the single-goroutine stream
+	// and RNG so the concurrent firing loop shares nothing mutable.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.SkewAlpha > 1 {
+		zipf = rand.NewZipf(rng, cfg.SkewAlpha, 1, uint64(cfg.Tenants-1))
+	}
+	type arrival struct {
+		tenant string
+		req    Request
+	}
+	arrivals := make([]arrival, cfg.Requests)
+	perTenant := map[string]int{}
+	edges := st.Next(cfg.Requests)
+	for i := range arrivals {
+		var ti int
+		if zipf != nil {
+			ti = int(zipf.Uint64())
+		} else {
+			ti = rng.Intn(cfg.Tenants)
+		}
+		tenant := fmt.Sprintf("tenant-%02d", ti)
+		perTenant[tenant]++
+		req := Request{Tenant: tenant, Backend: cfg.Backend, Timeout: cfg.Timeout}
+		if len(cfg.QueryIDs) > 0 {
+			req.QueryID = cfg.QueryIDs[i%len(cfg.QueryIDs)]
+		} else {
+			// Parameterize from the edge stream (wrapping when the stream
+			// is shorter than the run).
+			e := edges[i%len(edges)]
+			req.Query = fmt.Sprintf(
+				`return fed.scan("frame", "edges").filter("src", "==", %q).count()`, e.U)
+		}
+		arrivals[i] = arrival{tenant: tenant, req: req}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       = &LoadReport{Sent: cfg.Requests, PerTenant: perTenant}
+	)
+	start := time.Now()
+	for i := range arrivals {
+		// Open loop: fire at the scheduled instant even if earlier
+		// requests are still in flight.
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := s.Do(context.Background(), &a.req)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				rep.OK++
+				latencies = append(latencies, lat)
+			case isShed(err):
+				rep.Shed++
+			case errors.Is(err, context.DeadlineExceeded):
+				rep.Timeouts++
+			default:
+				rep.Failed++
+			}
+		}(arrivals[i])
+	}
+	wg.Wait()
+	rep.P50 = percentile(latencies, 50)
+	rep.P99 = percentile(latencies, 99)
+	for _, l := range latencies {
+		if l > rep.Max {
+			rep.Max = l
+		}
+	}
+	return rep, nil
+}
+
+func isShed(err error) bool {
+	var shed *ShedError
+	return errors.As(err, &shed)
+}
+
+// percentile returns the p-th percentile (nearest-rank) of latencies, 0
+// when empty.
+func percentile(latencies []time.Duration, p int) time.Duration {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,519 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/limiter"
+	"repro/internal/nemoeval"
+	"repro/internal/nql"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+	"repro/internal/sandbox"
+)
+
+// substrateCost orders the execution substrates by how much work a fresh
+// request costs: the graph (networkx) substrate clones copy-on-write and
+// binds immediately, the relational substrates pay a lazy table build, and
+// the federated backend binds everything at once. Degraded catalog queries
+// fall to the cheapest healthy substrate in this order.
+var substrateCost = []string{
+	prompt.BackendNetworkX,
+	prompt.BackendPandas,
+	prompt.BackendSQL,
+	prompt.BackendFederated,
+}
+
+// Config tunes a Service. The zero value of every field except Dataset
+// selects a sane default.
+type Config struct {
+	// Dataset builds instances of the initial dataset epoch (required).
+	Dataset nemoeval.InstanceBuilder
+	// DatasetName labels the initial epoch in responses and /healthz.
+	DatasetName string
+
+	// TenantRPS caps each tenant's admitted requests per second (default
+	// 50; the bucket sheds, it never queues).
+	TenantRPS float64
+	// TenantBurst is the request bucket's burst capacity (default 16).
+	TenantBurst float64
+	// TenantConcurrency caps each tenant's in-flight queries (default 8;
+	// negative means unlimited).
+	TenantConcurrency int
+
+	// DefaultTimeout applies when a request carries no deadline of its own
+	// (default 2s). MaxTimeout caps client-requested timeouts (default 10s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// BreakerThreshold consecutive timeouts trip a substrate's breaker
+	// (default 5); BreakerCooldown is how long it stays open (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Policy is the sandbox resource budget for query execution; the zero
+	// value selects sandbox.DefaultPolicy. The per-request context always
+	// overrides Policy.Context.
+	Policy sandbox.Policy
+
+	// now is the clock hook, swappable in tests.
+	now func() time.Time
+}
+
+// Request is one query submission.
+type Request struct {
+	// Tenant names the submitting tenant (required; admission state is
+	// created on first use).
+	Tenant string
+	// Query is a raw NQL program. Mutually exclusive with QueryID.
+	Query string
+	// QueryID names a catalog query (see internal/queries); the service
+	// runs its golden program for the chosen substrate, which is what
+	// makes breaker degradation possible.
+	QueryID string
+	// Backend pins a substrate ("networkx", "pandas", "sql", "federated");
+	// empty means auto (cheapest healthy for catalog queries, federated
+	// for raw programs).
+	Backend string
+	// Timeout bounds execution (0 = DefaultTimeout, capped at MaxTimeout).
+	Timeout time.Duration
+}
+
+// Response is one successful execution.
+type Response struct {
+	Value    nql.Value     // program return value
+	Result   string        // nql.Repr rendering of Value
+	Stdout   string        // captured print() output
+	Backend  string        // substrate actually used
+	Dataset  string        // epoch the query ran against
+	Degraded bool          // true when the breaker rerouted the substrate
+	Duration time.Duration // execution wall time
+}
+
+// ShedError reports a request rejected by admission control; RetryAfter
+// hints when the tenant's budget will admit it.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("service: over budget (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// UnavailableError reports that every admissible substrate's breaker is
+// open (or the pinned substrate is open and the request cannot degrade).
+type UnavailableError struct{ Backend string }
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("service: substrate %q unavailable (circuit open)", e.Backend)
+}
+
+// QueryError wraps an execution failure with its NQL error class;
+// class "cancelled" with a deadline cause means the request timed out.
+type QueryError struct {
+	Class string
+	Err   error
+}
+
+func (e *QueryError) Error() string { return e.Err.Error() }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// ErrDraining is returned once Drain has begun: the service is shutting
+// down and admits no new work.
+var ErrDraining = errors.New("service: draining, not admitting new queries")
+
+// epoch is one dataset generation. Requests acquire the current epoch,
+// clone an instance from its builder, and release it when done; Swap
+// closes the old epoch and waits for its inflight count to drain before
+// declaring the flip complete.
+type epoch struct {
+	name    string
+	builder nemoeval.InstanceBuilder
+
+	mu       sync.Mutex
+	inflight int
+	closed   bool
+	drained  chan struct{}
+}
+
+// tenant is one tenant's admission state.
+type tenant struct {
+	requests *limiter.Bucket
+	gauge    *limiter.Gauge
+}
+
+// Service is the netqueryd query engine. Safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	ep       atomic.Pointer[epoch]
+	swapMu   sync.Mutex // serializes Swap/Drain
+	draining atomic.Bool
+
+	tmu     sync.Mutex
+	tenants map[string]*tenant
+
+	breakers map[string]*Breaker
+
+	served   atomic.Int64
+	shed     atomic.Int64
+	timeouts atomic.Int64
+	failures atomic.Int64
+	degraded atomic.Int64
+	swaps    atomic.Int64
+}
+
+// New builds a service over cfg, applying defaults.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("service: Config.Dataset is required")
+	}
+	if cfg.DatasetName == "" {
+		cfg.DatasetName = "default"
+	}
+	if cfg.TenantRPS <= 0 {
+		cfg.TenantRPS = 50
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 16
+	}
+	if cfg.TenantConcurrency == 0 {
+		cfg.TenantConcurrency = 8
+	} else if cfg.TenantConcurrency < 0 {
+		cfg.TenantConcurrency = 0 // limiter.Gauge: 0 = unlimited
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Second
+	}
+	if cfg.Policy == (sandbox.Policy{}) {
+		cfg.Policy = sandbox.DefaultPolicy
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	s := &Service{
+		cfg:      cfg,
+		tenants:  map[string]*tenant{},
+		breakers: map[string]*Breaker{},
+	}
+	for _, b := range substrateCost {
+		s.breakers[b] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now)
+	}
+	first := &epoch{name: cfg.DatasetName, builder: cfg.Dataset, drained: make(chan struct{})}
+	s.ep.Store(first)
+	return s, nil
+}
+
+// tenantState returns (creating on first use) one tenant's admission state.
+func (s *Service) tenantState(name string) *tenant {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenant{
+			requests: limiter.NewBucket(s.cfg.TenantRPS, s.cfg.TenantBurst, s.cfg.now()),
+			gauge:    limiter.NewGauge(s.cfg.TenantConcurrency),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// acquire pins the current epoch for one request. The retry loop covers
+// the swap window where the loaded epoch closed before the inflight count
+// was taken; a fresh Load then observes the new epoch.
+func (s *Service) acquire() (*epoch, error) {
+	for {
+		if s.draining.Load() {
+			return nil, ErrDraining
+		}
+		e := s.ep.Load()
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			continue
+		}
+		e.inflight++
+		e.mu.Unlock()
+		return e, nil
+	}
+}
+
+// release undoes acquire; the last release of a closed epoch signals the
+// drain waiter.
+func (e *epoch) release() {
+	e.mu.Lock()
+	e.inflight--
+	if e.closed && e.inflight == 0 {
+		close(e.drained)
+	}
+	e.mu.Unlock()
+}
+
+// close marks the epoch closed and returns a channel that is closed once
+// the last in-flight request releases (immediately when idle).
+func (e *epoch) close() <-chan struct{} {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		if e.inflight == 0 {
+			close(e.drained)
+		}
+	}
+	e.mu.Unlock()
+	return e.drained
+}
+
+// Swap atomically replaces the dataset: new arrivals clone from the new
+// builder the moment it is installed, in-flight queries finish against the
+// old epoch, and Swap returns only after the old epoch has fully drained —
+// so the caller knows the old master is unreferenced and zero queries were
+// dropped or answered from a torn state.
+func (s *Service) Swap(name string, builder nemoeval.InstanceBuilder) error {
+	if builder == nil {
+		return fmt.Errorf("service: Swap requires a dataset builder")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	next := &epoch{name: name, builder: builder, drained: make(chan struct{})}
+	old := s.ep.Swap(next)
+	<-old.close()
+	s.swaps.Add(1)
+	return nil
+}
+
+// Drain stops admitting new queries and blocks until every in-flight
+// query has finished or ctx expires. After Drain the service permanently
+// returns ErrDraining.
+func (s *Service) Drain(ctx context.Context) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.draining.Store(true)
+	done := s.ep.Load().close()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// chooseBackend resolves the substrate for one request under the current
+// breaker state, returning the substrate, the program source, and whether
+// the breaker degraded the request away from its preferred substrate.
+func (s *Service) chooseBackend(req *Request) (backend, src string, degraded bool, err error) {
+	var q queries.Query
+	if req.QueryID != "" {
+		var ok bool
+		q, ok = queries.ByID(req.QueryID)
+		if !ok {
+			return "", "", false, &QueryError{Class: string(nql.ErrName),
+				Err: fmt.Errorf("service: unknown query id %q", req.QueryID)}
+		}
+	}
+	pick := func(b string) (string, bool) {
+		if req.QueryID == "" {
+			return req.Query, true
+		}
+		src, ok := q.Golden[b]
+		return src, ok
+	}
+	preferred := req.Backend
+	if preferred == "" {
+		if req.QueryID == "" {
+			// Raw programs default to the federated backend, which binds
+			// every substrate's environment at once.
+			preferred = prompt.BackendFederated
+		} else {
+			preferred = s.cheapestHealthy(q)
+			if preferred == "" {
+				return "", "", false, &UnavailableError{Backend: "all"}
+			}
+		}
+	}
+	br, ok := s.breakers[preferred]
+	if !ok {
+		return "", "", false, &QueryError{Class: string(nql.ErrValue),
+			Err: fmt.Errorf("service: unknown backend %q (have %v)", preferred, substrateCost)}
+	}
+	if src, ok := pick(preferred); ok && br.Allow() {
+		return preferred, src, false, nil
+	}
+	// Preferred substrate is open (or lacks a golden): catalog queries
+	// degrade to the cheapest healthy substrate, raw programs cannot — the
+	// service has no way to translate them.
+	if req.QueryID == "" {
+		return "", "", false, &UnavailableError{Backend: preferred}
+	}
+	if b := s.cheapestHealthy(q); b != "" && b != preferred {
+		src, _ := pick(b)
+		return b, src, true, nil
+	}
+	return "", "", false, &UnavailableError{Backend: preferred}
+}
+
+// cheapestHealthy returns the cheapest substrate whose breaker admits
+// requests and which has a golden program for q ("" when none qualifies).
+func (s *Service) cheapestHealthy(q queries.Query) string {
+	for _, b := range substrateCost {
+		if _, ok := q.Golden[b]; !ok {
+			continue
+		}
+		if s.breakers[b].Allow() {
+			return b
+		}
+	}
+	return ""
+}
+
+// Do executes one request. It returns a *ShedError when admission rejects
+// it, ErrDraining during shutdown, an *UnavailableError when no substrate
+// can serve it, and a *QueryError when execution fails (class "cancelled"
+// for deadline-exceeded or client-disconnected queries).
+func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
+	if req.Tenant == "" {
+		return nil, &QueryError{Class: string(nql.ErrValue), Err: fmt.Errorf("service: request has no tenant")}
+	}
+	if (req.Query == "") == (req.QueryID == "") {
+		return nil, &QueryError{Class: string(nql.ErrValue),
+			Err: fmt.Errorf("service: request must carry exactly one of query, query_id")}
+	}
+
+	// Admission: shed over-budget work before paying for anything else.
+	t := s.tenantState(req.Tenant)
+	ok, retryAfter := t.requests.TryTake(1, s.cfg.now())
+	if !ok {
+		s.shed.Add(1)
+		return nil, &ShedError{Reason: "request rate", RetryAfter: retryAfter}
+	}
+	if !t.gauge.Acquire() {
+		s.shed.Add(1)
+		return nil, &ShedError{Reason: "concurrency", RetryAfter: 10 * time.Millisecond}
+	}
+	defer t.gauge.Release()
+
+	backend, src, degraded, err := s.chooseBackend(req)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	ep, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer ep.release()
+
+	inst := ep.builder()
+	policy := s.cfg.Policy
+	policy.Context = ctx
+	start := s.cfg.now()
+	res := sandbox.Run(src, inst.Bindings(backend), policy)
+
+	// Feed the breaker: only our own deadline firing counts as a substrate
+	// timeout — a client disconnect says nothing about substrate health.
+	timedOut := errors.Is(res.Err, context.DeadlineExceeded)
+	s.breakers[backend].Record(timedOut)
+	if degraded {
+		s.degraded.Add(1)
+	}
+	if res.Err != nil {
+		if timedOut {
+			s.timeouts.Add(1)
+		} else {
+			s.failures.Add(1)
+		}
+		return nil, &QueryError{Class: res.ErrClass, Err: res.Err}
+	}
+	s.served.Add(1)
+	return &Response{
+		Value:    res.Value,
+		Result:   nql.Repr(res.Value),
+		Stdout:   res.Stdout,
+		Backend:  backend,
+		Dataset:  ep.name,
+		Degraded: degraded,
+		Duration: s.cfg.now().Sub(start),
+	}, nil
+}
+
+// Stats is a counter snapshot for /statsz and tests.
+type Stats struct {
+	Served   int64             // successful executions
+	Shed     int64             // rejected by admission control
+	Timeouts int64             // deadline-exceeded executions
+	Failures int64             // other execution failures
+	Degraded int64             // requests rerouted by an open breaker
+	Swaps    int64             // completed dataset swaps
+	Inflight int               // queries running right now
+	Dataset  string            // current epoch name
+	Breakers map[string]string // substrate → breaker state
+}
+
+// Stats snapshots the service counters and breaker states.
+func (s *Service) Stats() Stats {
+	e := s.ep.Load()
+	e.mu.Lock()
+	inflight := e.inflight
+	name := e.name
+	e.mu.Unlock()
+	st := Stats{
+		Served:   s.served.Load(),
+		Shed:     s.shed.Load(),
+		Timeouts: s.timeouts.Load(),
+		Failures: s.failures.Load(),
+		Degraded: s.degraded.Load(),
+		Swaps:    s.swaps.Load(),
+		Inflight: inflight,
+		Dataset:  name,
+		Breakers: map[string]string{},
+	}
+	for b, br := range s.breakers {
+		st.Breakers[b] = br.State()
+	}
+	return st
+}
+
+// Substrates lists the substrates the service routes across, cheapest
+// first (the breaker-degradation order).
+func Substrates() []string {
+	out := append([]string(nil), substrateCost...)
+	return out
+}
+
+// TenantNames lists tenants that have submitted at least one request,
+// sorted (for /statsz determinism).
+func (s *Service) TenantNames() []string {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

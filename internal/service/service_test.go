@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/prompt"
+)
+
+// spinQuery burns VM steps until its deadline fires: 100M iterations is far
+// beyond what any test deadline admits, and far below the step budget's
+// reach within one.
+const spinQuery = `let i = 0
+while i < 100000000 { i = i + 1 }
+return i`
+
+func newTestService(t testing.TB, mut func(*Config)) *Service {
+	t.Helper()
+	builder, name := TrafficBuilder(30, 30, 42)
+	cfg := Config{Dataset: builder, DatasetName: name, TenantRPS: 1e6, TenantBurst: 1e6}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestCatalogQueryRoutesCheapestSubstrate(t *testing.T) {
+	s := newTestService(t, nil)
+	resp, err := s.Do(context.Background(), &Request{Tenant: "acme", QueryID: "ta-e2"})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Backend != prompt.BackendNetworkX {
+		t.Fatalf("auto-routed backend = %q, want networkx (cheapest)", resp.Backend)
+	}
+	if resp.Result != "30" {
+		t.Fatalf("result = %q, want 30", resp.Result)
+	}
+	if resp.Degraded {
+		t.Fatalf("healthy route reported degraded")
+	}
+}
+
+func TestRawQueryDefaultsToFederated(t *testing.T) {
+	s := newTestService(t, nil)
+	resp, err := s.Do(context.Background(), &Request{
+		Tenant: "acme",
+		Query:  `return fed.scan("sql", "nodes").count()`,
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Backend != prompt.BackendFederated {
+		t.Fatalf("backend = %q, want federated", resp.Backend)
+	}
+	if resp.Result != "30" {
+		t.Fatalf("result = %q, want 30", resp.Result)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := newTestService(t, nil)
+	cases := []Request{
+		{QueryID: "ta-e2"},                                // no tenant
+		{Tenant: "a"},                                     // neither query nor id
+		{Tenant: "a", Query: "return 1", QueryID: "ta-e2"}, // both
+		{Tenant: "a", QueryID: "no-such-query"},
+		{Tenant: "a", QueryID: "ta-e2", Backend: "quantum"},
+	}
+	for i, req := range cases {
+		if _, err := s.Do(context.Background(), &req); err == nil {
+			t.Errorf("case %d: Do accepted invalid request %+v", i, req)
+		}
+	}
+}
+
+func TestAdmissionShedsOverRateWithRetryAfter(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.TenantRPS = 1
+		c.TenantBurst = 1
+	})
+	if _, err := s.Do(context.Background(), &Request{Tenant: "burst", QueryID: "ta-e2"}); err != nil {
+		t.Fatalf("first request within burst: %v", err)
+	}
+	_, err := s.Do(context.Background(), &Request{Tenant: "burst", QueryID: "ta-e2"})
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("over-budget request error = %v, want ShedError", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("shed RetryAfter = %v, want > 0", shed.RetryAfter)
+	}
+	// Shedding must not debit the bucket or punish other tenants.
+	if _, err := s.Do(context.Background(), &Request{Tenant: "other", QueryID: "ta-e2"}); err != nil {
+		t.Fatalf("other tenant was punished for burst tenant's overload: %v", err)
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("stats.Shed = %d, want 1", got)
+	}
+}
+
+func TestAdmissionShedsOverConcurrency(t *testing.T) {
+	s := newTestService(t, func(c *Config) { c.TenantConcurrency = 1 })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := s.Do(ctx, &Request{Tenant: "holder", Query: spinQuery, Timeout: 5 * time.Second})
+		done <- err
+	}()
+	<-started
+	// Wait until the slow query actually occupies the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.tenantState("holder").gauge.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never acquired its concurrency slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := s.Do(context.Background(), &Request{Tenant: "holder", QueryID: "ta-e2"})
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("over-concurrency request error = %v, want ShedError", err)
+	}
+	if shed.Reason != "concurrency" {
+		t.Fatalf("shed reason = %q, want concurrency", shed.Reason)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled holder query reported success")
+	}
+}
+
+func TestDeadlineExceededReturnsPromptly(t *testing.T) {
+	s := newTestService(t, nil)
+	start := time.Now()
+	_, err := s.Do(context.Background(), &Request{Tenant: "slow", Query: spinQuery, Timeout: 30 * time.Millisecond})
+	elapsed := time.Since(start)
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error = %v, want QueryError", err)
+	}
+	if qe.Class != "cancelled" {
+		t.Fatalf("error class = %q, want cancelled", qe.Class)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	// One dispatch quantum is 4096 VM steps — microseconds. A whole second
+	// of grace absorbs CI scheduling noise while still catching a query
+	// that ran to completion (the spin loop takes far longer than that).
+	if elapsed > time.Second {
+		t.Fatalf("deadline-exceeded query took %v to return", elapsed)
+	}
+	if got := s.Stats().Timeouts; got != 1 {
+		t.Fatalf("stats.Timeouts = %d, want 1", got)
+	}
+}
+
+func TestBreakerTripsDegradesAndRecovers(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.BreakerThreshold = 3
+		c.BreakerCooldown = 150 * time.Millisecond
+	})
+	// Trip the SQL substrate: an already-expired deadline times out at the
+	// VM's first checkpoint, whatever the query.
+	for i := 0; i < 3; i++ {
+		_, err := s.Do(context.Background(), &Request{
+			Tenant: "trip", QueryID: "ta-e2", Backend: prompt.BackendSQL, Timeout: time.Nanosecond,
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("request %d: error = %v, want deadline exceeded", i, err)
+		}
+	}
+	if st := s.breakers[prompt.BackendSQL].State(); st != BreakerOpen {
+		t.Fatalf("sql breaker state = %q after %d timeouts, want open", st, 3)
+	}
+
+	// A catalog query pinned to the open substrate degrades to the
+	// cheapest healthy one.
+	resp, err := s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2", Backend: prompt.BackendSQL})
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if !resp.Degraded || resp.Backend != prompt.BackendNetworkX {
+		t.Fatalf("degraded = %v backend = %q, want degraded onto networkx", resp.Degraded, resp.Backend)
+	}
+	if resp.Result != "30" {
+		t.Fatalf("degraded result = %q, want 30", resp.Result)
+	}
+
+	// A raw program pinned to the open substrate cannot be translated.
+	_, err = s.Do(context.Background(), &Request{
+		Tenant: "t", Query: `return db.query("SELECT COUNT(*) AS n FROM nodes").cell(0, "n")`,
+		Backend: prompt.BackendSQL,
+	})
+	var unavail *UnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("raw query on open substrate: error = %v, want UnavailableError", err)
+	}
+
+	// After the cooldown the breaker goes half-open; one success closes it.
+	time.Sleep(200 * time.Millisecond)
+	if st := s.breakers[prompt.BackendSQL].State(); st != BreakerHalfOpen {
+		t.Fatalf("sql breaker state = %q after cooldown, want half-open", st)
+	}
+	resp, err = s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2", Backend: prompt.BackendSQL})
+	if err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if resp.Backend != prompt.BackendSQL || resp.Degraded {
+		t.Fatalf("probe ran on %q (degraded %v), want sql", resp.Backend, resp.Degraded)
+	}
+	if st := s.breakers[prompt.BackendSQL].State(); st != BreakerClosed {
+		t.Fatalf("sql breaker state = %q after successful probe, want closed", st)
+	}
+}
+
+func TestSwapFlipsDatasetAtomically(t *testing.T) {
+	s := newTestService(t, nil)
+	resp, err := s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2"})
+	if err != nil || resp.Result != "30" {
+		t.Fatalf("before swap: result %q err %v, want 30", respResult(resp), err)
+	}
+	builder, name := TrafficBuilder(50, 50, 7)
+	if err := s.Swap(name, builder); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	resp, err = s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2"})
+	if err != nil || resp.Result != "50" {
+		t.Fatalf("after swap: result %q err %v, want 50", respResult(resp), err)
+	}
+	if !strings.Contains(resp.Dataset, "n50") {
+		t.Fatalf("response dataset = %q, want the swapped epoch", resp.Dataset)
+	}
+	if got := s.Stats().Swaps; got != 1 {
+		t.Fatalf("stats.Swaps = %d, want 1", got)
+	}
+}
+
+func TestDrainStopsAdmissionAndWaitsForInflight(t *testing.T) {
+	s := newTestService(t, nil)
+	release := make(chan struct{})
+	inflight := make(chan struct{})
+	go func() {
+		ep, err := s.acquire()
+		if err != nil {
+			t.Errorf("acquire: %v", err)
+			close(inflight)
+			return
+		}
+		close(inflight)
+		<-release
+		ep.release()
+	}()
+	<-inflight
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Drain must not complete while a query is in flight.
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) with a query still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// New work is rejected during the drain.
+	if _, err := s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do during drain: error = %v, want ErrDraining", err)
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := s.Do(context.Background(), &Request{Tenant: "t", QueryID: "ta-e2"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do after drain: error = %v, want ErrDraining", err)
+	}
+}
+
+func respResult(r *Response) string {
+	if r == nil {
+		return "<nil>"
+	}
+	return r.Result
+}

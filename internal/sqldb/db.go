@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -66,13 +67,21 @@ type Result struct {
 
 // Exec parses and executes one SQL statement against the database.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a cancellable context: the executor's row
+// loops (scans, joins, aggregates, updates) poll ctx at periodic
+// checkpoints and abandon the statement with an error wrapping ctx.Err()
+// once it is cancelled or past its deadline.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch s := st.(type) {
 	case *SelectStmt:
-		f, err := db.execSelect(s)
+		f, err := db.execSelect(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +90,7 @@ func (db *DB) Exec(sql string) (*Result, error) {
 		n, err := db.execInsert(s)
 		return &Result{Affected: n}, err
 	case *UpdateStmt:
-		n, err := db.execUpdate(s)
+		n, err := db.execUpdate(ctx, s)
 		return &Result{Affected: n}, err
 	case *DeleteStmt:
 		n, err := db.execDelete(s)
@@ -97,7 +106,12 @@ func (db *DB) Exec(sql string) (*Result, error) {
 // Query executes a SELECT and returns its frame; non-SELECT statements are
 // an error.
 func (db *DB) Query(sql string) (*dataframe.Frame, error) {
-	res, err := db.Exec(sql)
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a cancellable context (see ExecContext).
+func (db *DB) QueryContext(ctx context.Context, sql string) (*dataframe.Frame, error) {
+	res, err := db.ExecContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +158,7 @@ func (db *DB) execInsert(s *InsertStmt) (int64, error) {
 	return n, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt) (int64, error) {
+func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt) (int64, error) {
 	f, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -156,6 +170,9 @@ func (db *DB) execUpdate(s *UpdateStmt) (int64, error) {
 	}
 	var n int64
 	for i := 0; i < f.NumRows(); i++ {
+		if err := cancelled(ctx, i); err != nil {
+			return n, err
+		}
 		row := f.Row(i)
 		if s.Where != nil {
 			ok, err := evalBool(s.Where, scopeFromRow(row))

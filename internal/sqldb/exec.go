@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,23 @@ import (
 
 	"repro/internal/dataframe"
 )
+
+// cancelCheckEvery is the executor's row-loop checkpoint stride: the
+// statement context is polled once per this many rows, keeping the poll off
+// the per-row fast path while bounding cancellation latency to one stride.
+const cancelCheckEvery = 1024
+
+// cancelled reports the context error, if any, at checkpoint i (only
+// multiples of cancelCheckEvery are polled; pass i = 0 to force a poll).
+func cancelled(ctx context.Context, i int) error {
+	if ctx == nil || i%cancelCheckEvery != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sql: %w", err)
+	}
+	return nil
+}
 
 // workingSet is the intermediate relation a SELECT pipeline operates on:
 // rows are scopes with qualified keys, plus ordered output metadata so star
@@ -19,15 +37,18 @@ type workingSet struct {
 	cols []string
 }
 
-func (db *DB) execSelect(s *SelectStmt) (*dataframe.Frame, error) {
-	ws, err := db.buildFrom(s)
+func (db *DB) execSelect(ctx context.Context, s *SelectStmt) (*dataframe.Frame, error) {
+	ws, err := db.buildFrom(ctx, s)
 	if err != nil {
 		return nil, err
 	}
 	// WHERE
 	if s.Where != nil {
 		filtered := ws.rows[:0:0]
-		for _, row := range ws.rows {
+		for ri, row := range ws.rows {
+			if err := cancelled(ctx, ri); err != nil {
+				return nil, err
+			}
 			ok, err := evalBool(s.Where, row)
 			if err != nil {
 				return nil, err
@@ -42,9 +63,9 @@ func (db *DB) execSelect(s *SelectStmt) (*dataframe.Frame, error) {
 	aggregated := len(s.GroupBy) > 0 || s.Having != nil || selectHasAggregate(s.Items)
 	var out *dataframe.Frame
 	if aggregated {
-		out, err = projectAggregate(s, ws)
+		out, err = projectAggregate(ctx, s, ws)
 	} else {
-		out, err = projectPlain(s, ws)
+		out, err = projectPlain(ctx, s, ws)
 	}
 	if err != nil {
 		return nil, err
@@ -55,6 +76,9 @@ func (db *DB) execSelect(s *SelectStmt) (*dataframe.Frame, error) {
 	// predictability we order by output column references and fall back to
 	// expression text lookup.
 	if len(s.OrderBy) > 0 {
+		if err := cancelled(ctx, 0); err != nil {
+			return nil, err
+		}
 		out, err = orderResult(s, ws, out, aggregated)
 		if err != nil {
 			return nil, err
@@ -94,7 +118,7 @@ func (db *DB) execSelect(s *SelectStmt) (*dataframe.Frame, error) {
 }
 
 // buildFrom materializes the FROM clause (with joins) into a working set.
-func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
+func (db *DB) buildFrom(ctx context.Context, s *SelectStmt) (*workingSet, error) {
 	ws := &workingSet{}
 	if s.From == nil {
 		// SELECT without FROM: one empty row so constant expressions work.
@@ -141,7 +165,10 @@ func (db *DB) buildFrom(s *SelectStmt) (*workingSet, error) {
 			}
 		}
 		var joined []scope
-		for _, l := range ws.rows {
+		for li, l := range ws.rows {
+			if err := cancelled(ctx, li); err != nil {
+				return nil, err
+			}
 			candidates := rightRows
 			if rightIndex != nil {
 				lv, err := l.lookup(leftKey)
@@ -407,7 +434,7 @@ func outputName(it SelectItem, pos int) string {
 	}
 }
 
-func projectPlain(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
+func projectPlain(ctx context.Context, s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
 	// Expand stars into column refs.
 	var names []string
 	var exprs []Expr
@@ -425,7 +452,10 @@ func projectPlain(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
 	}
 	names = dedupeNames(names)
 	out := dataframe.New(names...)
-	for _, row := range ws.rows {
+	for ri, row := range ws.rows {
+		if err := cancelled(ctx, ri); err != nil {
+			return nil, err
+		}
 		vals := make([]any, len(exprs))
 		for i, e := range exprs {
 			v, err := evalExpr(e, row)
@@ -468,7 +498,7 @@ func dedupeNames(names []string) []string {
 	return out
 }
 
-func projectAggregate(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
+func projectAggregate(ctx context.Context, s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
 	// Partition rows into groups by the GROUP BY key values.
 	type group struct {
 		key  []any
@@ -477,7 +507,10 @@ func projectAggregate(s *SelectStmt, ws *workingSet) (*dataframe.Frame, error) {
 	var groups []*group
 	index := map[string]*group{}
 	var kb strings.Builder
-	for _, row := range ws.rows {
+	for ri, row := range ws.rows {
+		if err := cancelled(ctx, ri); err != nil {
+			return nil, err
+		}
 		key := make([]any, len(s.GroupBy))
 		kb.Reset()
 		for i, ge := range s.GroupBy {

@@ -61,9 +61,138 @@ func TestSkewRejectsSubcriticalAlpha(t *testing.T) {
 	}
 }
 
-func TestStreamRejectsSkew(t *testing.T) {
-	if _, err := NewStream(Config{Nodes: 10, Edges: 10, Seed: 1, SkewAlpha: 1.5}); err == nil {
-		t.Fatal("NewStream accepted a skewed config, want error")
+func TestStreamRejectsSubcriticalAlpha(t *testing.T) {
+	for _, alpha := range []float64{-1, 0.5, 1} {
+		if _, err := NewStream(Config{Nodes: 10, Edges: 10, Seed: 1, SkewAlpha: alpha}); err == nil {
+			t.Fatalf("SkewAlpha %g accepted by NewStream, want error", alpha)
+		}
+	}
+}
+
+// drainStream pulls every remaining edge in the given batch sizes (cycling),
+// asserting the stream terminates exactly at cfg.Edges.
+func drainStream(t *testing.T, s *Stream, batches ...int) []StreamEdge {
+	t.Helper()
+	var out []StreamEdge
+	for i := 0; s.Remaining() > 0; i++ {
+		got := s.Next(batches[i%len(batches)])
+		if len(got) == 0 {
+			t.Fatalf("stream stalled at %d edges with %d remaining", len(out), s.Remaining())
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+func TestStreamSkewExactDistinctNoSelfLoops(t *testing.T) {
+	cfg := Config{Nodes: 100, Edges: 500, Seed: 9, SkewAlpha: 1.5}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drainStream(t, s, 7, 64, 1)
+	if len(edges) != cfg.Edges {
+		t.Fatalf("skewed stream emitted %d edges, want %d", len(edges), cfg.Edges)
+	}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		if e.UIdx == e.VIdx {
+			t.Fatalf("self-loop %s -> %s", e.U, e.V)
+		}
+		if e.UIdx < 0 || e.UIdx >= cfg.Nodes || e.VIdx < 0 || e.VIdx >= cfg.Nodes {
+			t.Fatalf("endpoint out of range: %d -> %d", e.UIdx, e.VIdx)
+		}
+		p := [2]int{e.UIdx, e.VIdx}
+		if seen[p] {
+			t.Fatalf("duplicate edge %d -> %d", e.UIdx, e.VIdx)
+		}
+		seen[p] = true
+	}
+}
+
+func TestStreamSkewProducesHubs(t *testing.T) {
+	uniform, err := NewStream(Config{Nodes: 200, Edges: 600, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := NewStream(Config{Nodes: 200, Edges: 600, Seed: 11, SkewAlpha: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := func(edges []StreamEdge) int {
+		out := map[int]int{}
+		max := 0
+		for _, e := range edges {
+			out[e.UIdx]++
+			if out[e.UIdx] > max {
+				max = out[e.UIdx]
+			}
+		}
+		return max
+	}
+	um := deg(drainStream(t, uniform, 100))
+	sm := deg(drainStream(t, skewed, 100))
+	if sm < 3*um {
+		t.Fatalf("expected stream skew to produce hubs: uniform max out-degree %d, skewed %d", um, sm)
+	}
+}
+
+// TestStreamSkewResumeByteIdentical stops a skewed stream at several
+// positions, round-trips the cursor through JSON, and checks the resumed
+// tail matches a straight-through run edge for edge.
+func TestStreamSkewResumeByteIdentical(t *testing.T) {
+	cfg := Config{Nodes: 120, Edges: 700, Seed: 3, SkewAlpha: 1.3}
+	full, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainStream(t, full, cfg.Edges)
+	for _, stop := range []int{0, 1, 137, 699, 700} {
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Next(stop)
+		cur, err := ParseCursor(s.Cursor().Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ResumeStream(cur)
+		if err != nil {
+			t.Fatalf("resume at %d: %v", stop, err)
+		}
+		got := r.Next(cfg.Edges)
+		if len(got) != cfg.Edges-stop {
+			t.Fatalf("resume at %d returned %d edges, want %d", stop, len(got), cfg.Edges-stop)
+		}
+		for i, e := range got {
+			if e != want[stop+i] {
+				t.Fatalf("resume at %d diverged at edge %d: got %+v, want %+v", stop, i, e, want[stop+i])
+			}
+		}
+	}
+}
+
+// TestStreamSkewSaturatedGraph drives the sampler at full pair-space
+// capacity, where every source's quota caps at Nodes-1 and the fallback
+// scan must complete the shortfall — the stream still emits every edge.
+func TestStreamSkewSaturatedGraph(t *testing.T) {
+	n := 6
+	cfg := Config{Nodes: n, Edges: int(MaxEdges(n)), Seed: 1, SkewAlpha: 2}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := drainStream(t, s, 3)
+	if len(edges) != cfg.Edges {
+		t.Fatalf("saturated skewed stream emitted %d edges, want %d", len(edges), cfg.Edges)
+	}
+	seen := make(map[[2]int]bool)
+	for _, e := range edges {
+		seen[[2]int{e.UIdx, e.VIdx}] = true
+	}
+	if len(seen) != cfg.Edges {
+		t.Fatalf("saturated skewed stream emitted %d distinct edges, want %d", len(seen), cfg.Edges)
 	}
 }
 

@@ -3,6 +3,8 @@ package traffic
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 
 	"repro/internal/graph"
 )
@@ -28,11 +30,12 @@ func (e StreamEdge) Attrs() graph.Attrs {
 // stream byte-identically to an uninterrupted run — every edge is a pure
 // function of (config, position), so position is the only state.
 type Cursor struct {
-	Nodes    int   `json:"nodes"`
-	Edges    int   `json:"edges"`
-	Seed     int64 `json:"seed"`
-	Prefixes int   `json:"prefixes"`
-	Pos      int64 `json:"pos"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	Seed      int64   `json:"seed"`
+	Prefixes  int     `json:"prefixes"`
+	SkewAlpha float64 `json:"skew_alpha,omitempty"`
+	Pos       int64   `json:"pos"`
 }
 
 // Encode renders the cursor as a compact JSON string.
@@ -58,6 +61,15 @@ func ParseCursor(s string) (Cursor, error) {
 // scale-out path for Figure-4-style sweeps that no longer fit a single
 // in-memory build. Streams with the same config are byte-identical
 // regardless of batch sizes or stop/resume points.
+//
+// With cfg.SkewAlpha > 1 the stream draws hub-heavy edges instead: each
+// source's edge quota follows a Zipf(SkewAlpha) distribution over the node
+// index space (largest-remainder rounded so quotas sum to exactly
+// cfg.Edges) and its destinations are Zipf-drawn without replacement, so
+// distinctness is preserved by construction. The skewed sampler keeps
+// O(Nodes + max-quota) state rather than O(1), and a resumed skewed stream
+// re-derives its per-source position from the quota table (O(Nodes) work,
+// still byte-identical).
 type Stream struct {
 	cfg      Config
 	width    int      // node-ID digit width (IDWidth)
@@ -66,7 +78,17 @@ type Stream struct {
 	halfBits uint     // Feistel half width; domain is 1<<(2*halfBits)
 	halfMask uint64
 	keys     [feistelRounds]uint64
-	pos      int64 // next edge position in [0, cfg.Edges]
+	pos      int64      // next edge position in [0, cfg.Edges]
+	sk       *skewState // non-nil iff cfg.SkewAlpha > 1
+}
+
+// skewState is the skewed sampler's iteration state: the per-source edge
+// quotas plus the current source's destination list and offset.
+type skewState struct {
+	quotas []int64 // per-source edge counts, summing to cfg.Edges
+	src    int     // current source node index
+	dests  []int   // current source's destinations, draw order
+	di     int     // next index into dests
 }
 
 const feistelRounds = 4
@@ -80,7 +102,7 @@ func NewStream(cfg Config) (*Stream, error) {
 
 // ResumeStream reopens a stream at a cursor's position.
 func ResumeStream(c Cursor) (*Stream, error) {
-	return StreamAt(Config{Nodes: c.Nodes, Edges: c.Edges, Seed: c.Seed, Prefixes: c.Prefixes}, c.Pos)
+	return StreamAt(Config{Nodes: c.Nodes, Edges: c.Edges, Seed: c.Seed, Prefixes: c.Prefixes, SkewAlpha: c.SkewAlpha}, c.Pos)
 }
 
 // StreamAt opens a stream positioned at edge pos (0 <= pos <= cfg.Edges).
@@ -91,11 +113,8 @@ func StreamAt(cfg Config, pos int64) (*Stream, error) {
 	if cfg.Edges < 0 || cfg.Nodes < 0 {
 		return nil, fmt.Errorf("traffic: negative stream config %+v", cfg)
 	}
-	if cfg.SkewAlpha != 0 {
-		// The stream's distinctness guarantee comes from a uniform
-		// permutation of the pair space; weighted sampling without
-		// replacement in O(1) memory is a ROADMAP follow-on.
-		return nil, fmt.Errorf("traffic: streamed generation does not support SkewAlpha (got %g); use Generate", cfg.SkewAlpha)
+	if cfg.SkewAlpha != 0 && cfg.SkewAlpha <= 1 {
+		return nil, fmt.Errorf("traffic: SkewAlpha must be > 1 (Zipf exponent), got %g", cfg.SkewAlpha)
 	}
 	if max := MaxEdges(cfg.Nodes); int64(cfg.Edges) > max {
 		return nil, fmt.Errorf("traffic: %d nodes can hold at most %d edges, %d requested", cfg.Nodes, max, cfg.Edges)
@@ -111,6 +130,21 @@ func StreamAt(cfg Config, pos int64) (*Stream, error) {
 		s.keys[i] = splitmix64(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15*uint64(i+1))
 	}
 	s.prefixes = streamPrefixes(cfg.Seed, cfg.Prefixes)
+	if cfg.SkewAlpha > 1 {
+		// Position the skewed sampler at pos: walk the quota table to the
+		// owning source and re-draw that source's destination list. The
+		// replay makes resume byte-identical to a straight-through run.
+		s.sk = &skewState{quotas: skewQuotas(cfg.Nodes, cfg.Edges, cfg.SkewAlpha)}
+		var cum int64
+		for s.sk.src < cfg.Nodes && cum+s.sk.quotas[s.sk.src] <= pos {
+			cum += s.sk.quotas[s.sk.src]
+			s.sk.src++
+		}
+		if s.sk.src < cfg.Nodes {
+			s.sk.dests = s.skewDests(s.sk.src, s.sk.quotas[s.sk.src])
+			s.sk.di = int(pos - cum)
+		}
+	}
 	return s, nil
 }
 
@@ -119,7 +153,8 @@ func (s *Stream) Config() Config { return s.cfg }
 
 // Cursor returns the serializable resume point at the current position.
 func (s *Stream) Cursor() Cursor {
-	return Cursor{Nodes: s.cfg.Nodes, Edges: s.cfg.Edges, Seed: s.cfg.Seed, Prefixes: s.cfg.Prefixes, Pos: s.pos}
+	return Cursor{Nodes: s.cfg.Nodes, Edges: s.cfg.Edges, Seed: s.cfg.Seed,
+		Prefixes: s.cfg.Prefixes, SkewAlpha: s.cfg.SkewAlpha, Pos: s.pos}
 }
 
 // Remaining returns how many edges the stream has yet to emit.
@@ -134,10 +169,110 @@ func (s *Stream) Next(n int) []StreamEdge {
 	if n <= 0 {
 		return nil
 	}
+	if s.sk != nil {
+		return s.nextSkew(n)
+	}
 	out := make([]StreamEdge, n)
 	for i := range out {
 		out[i] = s.edgeAt(uint64(s.pos))
 		s.pos++
+	}
+	return out
+}
+
+// nextSkew emits the next n skewed edges (n already clamped to Remaining):
+// sources are consumed in index order, each contributing its quota of
+// distinct destinations.
+func (s *Stream) nextSkew(n int) []StreamEdge {
+	out := make([]StreamEdge, 0, n)
+	for len(out) < n {
+		for s.sk.di >= len(s.sk.dests) {
+			s.sk.src++
+			s.sk.di = 0
+			s.sk.dests = s.skewDests(s.sk.src, s.sk.quotas[s.sk.src])
+		}
+		v := s.sk.dests[s.sk.di]
+		s.sk.di++
+		out = append(out, s.edgeFor(s.sk.src, v, uint64(s.pos)))
+		s.pos++
+	}
+	return out
+}
+
+// skewQuotas apportions exactly `edges` edges across sources by Zipf
+// weight w(u) = 1/(u+1)^alpha via cumulative largest-remainder rounding
+// (so no drift accumulates), capping each source at its out-degree
+// capacity and spilling any capped remainder into spare capacity in index
+// order. The result is deterministic in (nodes, edges, alpha) alone.
+func skewQuotas(nodes, edges int, alpha float64) []int64 {
+	quotas := make([]int64, nodes)
+	if nodes < 2 || edges <= 0 {
+		return quotas
+	}
+	weights := make([]float64, nodes)
+	total := 0.0
+	for u := range weights {
+		weights[u] = 1 / math.Pow(float64(u+1), alpha)
+		total += weights[u]
+	}
+	capacity := int64(nodes - 1)
+	var cum float64
+	var assigned int64
+	for u := 0; u < nodes; u++ {
+		cum += weights[u]
+		q := int64(math.Round(cum/total*float64(edges))) - assigned
+		if q < 0 {
+			q = 0
+		}
+		if q > capacity {
+			q = capacity
+		}
+		quotas[u] = q
+		assigned += q
+	}
+	for u := 0; u < nodes && assigned < int64(edges); u++ {
+		spare := capacity - quotas[u]
+		if need := int64(edges) - assigned; spare > need {
+			spare = need
+		}
+		quotas[u] += spare
+		assigned += spare
+	}
+	return quotas
+}
+
+// skewDests draws source u's q distinct destinations: Zipf(alpha) draws
+// over the destination index space (self-loop excluded by shifting draws
+// at or above u), deduplicated, with a bounded attempt budget and a
+// deterministic hub-order scan completing any shortfall — so the list
+// always has exactly q entries and the stream can never fall short.
+func (s *Stream) skewDests(u int, q int64) []int {
+	if q <= 0 {
+		return nil
+	}
+	n := s.cfg.Nodes
+	out := make([]int, 0, q)
+	seen := make(map[int]bool, q)
+	if n > 2 {
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(s.cfg.Seed) ^ 0xa0761d6478bd642f ^ uint64(u)))))
+		zipf := rand.NewZipf(rng, s.cfg.SkewAlpha, 1, uint64(n-2))
+		for attempts := int64(0); int64(len(out)) < q && attempts < 30*q+100; attempts++ {
+			v := int(zipf.Uint64())
+			if v >= u {
+				v++ // skip the self-loop, preserving Zipf rank elsewhere
+			}
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for v := 0; int64(len(out)) < q && v < n; v++ {
+		if v == u || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
 	}
 	return out
 }
@@ -152,6 +287,12 @@ func (s *Stream) edgeAt(i uint64) StreamEdge {
 	if v >= u {
 		v++
 	}
+	return s.edgeFor(u, v, i)
+}
+
+// edgeFor assembles edge number i between fixed endpoints; attributes are
+// a pure function of (seed, position), shared by both samplers.
+func (s *Stream) edgeFor(u, v int, i uint64) StreamEdge {
 	h := splitmix64(uint64(s.cfg.Seed) ^ 0xbf58476d1ce4e5b9 ^ i)
 	h2 := splitmix64(h)
 	h3 := splitmix64(h2)

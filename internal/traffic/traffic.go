@@ -31,8 +31,10 @@ type Config struct {
 	// graphs real networks exhibit — low-index nodes become hubs. 0 (the
 	// default) keeps the historical uniform generator and its outputs
 	// byte-identical; values in (0, 1] are rejected (the Zipf sampler
-	// needs s > 1). Streamed generation (NewStream) does not support skew
-	// yet and rejects skewed configs.
+	// needs s > 1). Streamed generation (NewStream) honors skew too: each
+	// source's quota is Zipf-apportioned and its destinations Zipf-drawn
+	// without replacement, so the stream still emits exactly Edges
+	// distinct edges.
 	//
 	// Skew is meaningful in the sparse regime. When the requested edge
 	// count approaches what the hub pairs can hold (dense configs, or
