@@ -1,7 +1,7 @@
 # Build/verify/benchmark entry points. `make verify` is the tier-1 gate
 # (build + vet + tests); `make lint` adds staticcheck when installed;
 # `make bench` records the benchmark suite as JSON so successive PRs can
-# track the perf trajectory (BENCH_6.json for this PR, bump BENCH_OUT for
+# track the perf trajectory (BENCH_7.json for this PR, bump BENCH_OUT for
 # the next); `make benchdiff` compares the two most recent snapshots and
 # fails on >10% regressions — of ns/op, B/op, allocs/op or tail latency
 # alike — on the ROADMAP watchlist (Table2 / Table4 / Clone / PageRank /
@@ -9,7 +9,7 @@
 # ServiceQuery).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 
 .PHONY: verify test lint race bench bench-quick benchdiff
 
@@ -37,7 +37,7 @@ lint:
 # netqueryd service's chaos suite — swap under load, client disconnects,
 # backend stalls, tenant isolation).
 race:
-	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service ./internal/obs
 
 # Record the benchmark suite as test2json records for tooling: the macro
 # benchmarks (whole tables/figures/ablations) run one iteration, while the
@@ -48,7 +48,7 @@ race:
 # fake a regression (or mask one by inflating the baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep|GatewayThroughput' -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
-	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token' -benchmem -benchtime=0.5s -count=3 -json . | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token|ObsOverhead' -benchmem -benchtime=0.5s -count=3 -json . | tee -a $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'ServiceQuery' -benchmem -benchtime=0.5s -count=3 -json ./internal/service | tee -a $(BENCH_OUT)
 
 # Stable-ish numbers for the substrate micro-benchmarks only.

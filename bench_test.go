@@ -9,6 +9,7 @@ package repro
 //	go test -bench=BenchmarkTable2 -benchtime=1x
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
 	"repro/internal/nqlbind"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/queries"
 	"repro/internal/sandbox"
@@ -392,6 +394,42 @@ func BenchmarkSandboxGoldenQuery(b *testing.B) {
 			b.Fatal(res.Err)
 		}
 	}
+}
+
+// BenchmarkObsOverhead gates the observability layer's cost on the hot
+// query path: the same sandboxed golden query with instrumentation fully
+// off (the production default — nil-receiver no-ops everywhere) and with
+// tracing plus operator/VM profiling fully on. "disabled" is watched by
+// benchdiff against the uninstrumented baseline; "enabled" documents the
+// price of -trace-sample 1 plus "profile": true.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := benchGraph(80, 80)
+	g.Freeze()
+	q, _ := queries.ByID("ta-h1")
+	src := q.Golden["networkx"]
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := sandbox.Run(src, nqlbind.Globals(g.Clone(), nil), sandbox.DefaultPolicy)
+			if !res.OK() {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench-1")
+			ctx := obs.WithProfile(obs.WithTrace(context.Background(), tr), obs.NewProfile())
+			_, span := obs.StartSpan(ctx, "query")
+			policy := sandbox.DefaultPolicy
+			policy.Profile = nql.NewVMProfile()
+			policy.Context = ctx
+			res := sandbox.Run(src, nqlbind.Globals(g.Clone(), nil), policy)
+			span.End()
+			if !res.OK() {
+				b.Fatal(res.Err)
+			}
+		}
+	})
 }
 
 // BenchmarkFederatedJoin measures the federated planner's hot path: a

@@ -13,9 +13,12 @@
 //	          [-tenant-rps 50] [-tenant-burst 16] [-tenant-concurrency 8]
 //	          [-default-timeout 2s] [-max-timeout 10s]
 //	          [-breaker-threshold 5] [-breaker-cooldown 1s]
+//	          [-trace-sample 0] [-pprof]
 //
-// Endpoints: POST /v1/query, POST /admin/swap, GET /healthz, GET /statsz.
-// See doc.go in internal/service for the runbook.
+// Endpoints: POST /v1/query, POST /admin/swap, GET /healthz, GET /statsz,
+// GET /metricsz (Prometheus text), GET /tracez (sampled traces), and — with
+// -pprof — GET /debug/pprof/*. See doc.go in internal/service for the
+// runbook.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,42 +52,86 @@ func main() {
 	brThreshold := flag.Int("breaker-threshold", 5, "consecutive timeouts tripping a substrate breaker")
 	brCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace (0 disables, 1 traces all)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof handlers")
 	flag.Parse()
+
+	os.Exit(run(*addr, *app, *nodes, *edges, *seed, *tenantRPS, *tenantBurst, *tenantConc,
+		*defTimeout, *maxTimeout, *brThreshold, *brCooldown, *drainTimeout, *traceSample, *pprofOn))
+}
+
+func run(addr, app string, nodes, edges int, seed int64, tenantRPS, tenantBurst float64,
+	tenantConc int, defTimeout, maxTimeout time.Duration, brThreshold int,
+	brCooldown, drainTimeout time.Duration, traceSample float64, pprofOn bool) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+		return 2
+	}
+	// Fail fast on nonsense flags rather than surfacing them as runtime
+	// misbehaviour deep in the service.
+	if nodes <= 0 || edges < 0 {
+		return fail("-nodes must be > 0 and -edges >= 0 (got %d, %d)", nodes, edges)
+	}
+	if tenantRPS <= 0 || tenantBurst <= 0 {
+		return fail("-tenant-rps and -tenant-burst must be > 0 (got %g, %g)", tenantRPS, tenantBurst)
+	}
+	if defTimeout <= 0 || maxTimeout <= 0 || defTimeout > maxTimeout {
+		return fail("need 0 < -default-timeout <= -max-timeout (got %v, %v)", defTimeout, maxTimeout)
+	}
+	if brThreshold <= 0 || brCooldown <= 0 {
+		return fail("-breaker-threshold and -breaker-cooldown must be > 0 (got %d, %v)", brThreshold, brCooldown)
+	}
+	if drainTimeout <= 0 {
+		return fail("-drain-timeout must be > 0 (got %v)", drainTimeout)
+	}
+	if traceSample < 0 || traceSample > 1 {
+		return fail("-trace-sample must be in [0, 1] (got %g)", traceSample)
+	}
 
 	var (
 		builder nemoeval.InstanceBuilder
 		name    string
 	)
-	switch *app {
+	switch app {
 	case "traffic":
-		builder, name = service.TrafficBuilder(*nodes, *edges, *seed)
+		builder, name = service.TrafficBuilder(nodes, edges, seed)
 	case "malt":
 		builder, name = nemoeval.MALTDataset(), "malt"
 	case "diagnosis":
 		builder, name = nemoeval.DiagnosisDataset(diagnosis.DefaultConfig), "diagnosis"
 	default:
-		fmt.Fprintf(os.Stderr, "unknown app %q (have traffic, malt, diagnosis)\n", *app)
-		os.Exit(2)
+		return fail("unknown app %q (have traffic, malt, diagnosis)", app)
 	}
 
 	svc, err := service.New(service.Config{
 		Dataset:           builder,
 		DatasetName:       name,
-		TenantRPS:         *tenantRPS,
-		TenantBurst:       *tenantBurst,
-		TenantConcurrency: *tenantConc,
-		DefaultTimeout:    *defTimeout,
-		MaxTimeout:        *maxTimeout,
-		BreakerThreshold:  *brThreshold,
-		BreakerCooldown:   *brCooldown,
+		TenantRPS:         tenantRPS,
+		TenantBurst:       tenantBurst,
+		TenantConcurrency: tenantConc,
+		DefaultTimeout:    defTimeout,
+		MaxTimeout:        maxTimeout,
+		BreakerThreshold:  brThreshold,
+		BreakerCooldown:   brCooldown,
+		TraceSample:       traceSample,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 
-	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(svc))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	server := &http.Server{Addr: addr, Handler: mux}
 	go func() {
-		log.Printf("netqueryd: serving %s on %s", name, *addr)
+		log.Printf("netqueryd: serving %s on %s", name, addr)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
@@ -94,8 +142,8 @@ func main() {
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
-	log.Printf("netqueryd: draining (up to %s)...", *drainTimeout)
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Printf("netqueryd: draining (up to %s)...", drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	go func() {
 		<-sigs
@@ -108,4 +156,5 @@ func main() {
 		log.Printf("netqueryd: drain: %v", err)
 	}
 	log.Printf("netqueryd: done")
+	return 0
 }

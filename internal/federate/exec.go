@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataframe"
 	"repro/internal/graph"
 	"repro/internal/nql"
+	"repro/internal/obs"
 )
 
 // Run optimizes a logical plan and executes it against the catalog. The
@@ -31,9 +32,11 @@ func RunContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error)
 // ExecContext executes an already-optimized plan under a cancellable
 // context (see RunContext).
 func ExecContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error) {
-	if ctx != nil && ctx != context.Background() {
+	prof := obs.ProfileFrom(ctx)
+	if (ctx != nil && ctx != context.Background()) || prof != nil {
 		run := *cat
 		run.ctx = ctx
+		run.prof = prof
 		cat = &run
 		// Refuse to start on a dead context — a plan whose operators all
 		// finish under one checkpoint stride would otherwise never poll.
@@ -44,8 +47,51 @@ func ExecContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error
 	return Exec(cat, plan)
 }
 
-// Exec executes an already-optimized plan.
+// Exec executes an already-optimized plan. When the catalog carries an
+// operator profile (installed by ExecContext from an obs.WithProfile
+// context), every node contributes an Enter/Exit frame recording its
+// label, output rows and wall/own time — the raw material for the
+// EXPLAIN ANALYZE-style query profile; an unprofiled run takes the
+// direct path with zero extra work.
 func Exec(cat *Catalog, plan Node) (*Relation, error) {
+	if cat.prof == nil {
+		return execNode(cat, plan)
+	}
+	name := opName(plan)
+	frame := cat.prof.Enter(name, strings.TrimPrefix(strings.TrimPrefix(plan.label(), name), " "))
+	rel, err := execNode(cat, plan)
+	rows := int64(-1)
+	if err == nil && rel != nil {
+		rows = int64(len(rel.Rows))
+	}
+	cat.prof.Exit(frame, rows)
+	return rel, err
+}
+
+// opName is the operator-kind half of a profile frame (the node label
+// carries the operator-specific detail).
+func opName(plan Node) string {
+	switch plan.(type) {
+	case *Scan:
+		return "scan"
+	case *Filter:
+		return "filter"
+	case *Project:
+		return "project"
+	case *Join:
+		return "join"
+	case *Aggregate:
+		return "aggregate"
+	case *Sort:
+		return "sort"
+	case *Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("%T", plan)
+	}
+}
+
+func execNode(cat *Catalog, plan Node) (*Relation, error) {
 	switch x := plan.(type) {
 	case *Scan:
 		return execScan(cat, x)

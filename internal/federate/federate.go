@@ -30,6 +30,7 @@ import (
 	"repro/internal/dataframe"
 	"repro/internal/graph"
 	"repro/internal/nql"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -65,6 +66,11 @@ type Catalog struct {
 	// checkpoints so a cancelled request abandons a large join or
 	// aggregation promptly.
 	ctx context.Context
+
+	// prof is the per-operator execution profile, installed alongside ctx
+	// by ExecContext when the context carries an obs.Profile. Nil (the
+	// default) keeps execution on the unprofiled fast path.
+	prof *obs.Profile
 }
 
 // cancelCheckEvery is the operator row-loop checkpoint stride: contexts

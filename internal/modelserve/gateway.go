@@ -6,11 +6,11 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/limiter"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/tokens"
 )
 
@@ -104,14 +104,13 @@ type Gateway struct {
 	jmu  sync.Mutex
 	jrng *rand.Rand
 
-	requests      atomic.Int64
-	providerCalls atomic.Int64
-	batched       atomic.Int64
-	maxBatch      atomic.Int64
-	retries       atomic.Int64
-	failures      atomic.Int64
-	rateWaits     atomic.Int64
-	rateWaited    atomic.Int64 // nanoseconds
+	reg           *obs.Registry
+	requests      *obs.Counter
+	providerCalls *obs.Counter
+	retries       *obs.Counter
+	failures      *obs.Counter
+	batchHist     *obs.Histogram // occupancy of every dispatched batch
+	rateWaitHist  *obs.Histogram // nanoseconds stalled on rate limits
 
 	// Clock hooks, swappable in tests.
 	now   func() time.Time
@@ -146,14 +145,26 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.RPS < 0 || cfg.TPM < 0 {
 		return nil, fmt.Errorf("modelserve: negative rate limit (rps %v, tpm %v)", cfg.RPS, cfg.TPM)
 	}
+	reg := obs.NewRegistry()
 	return &Gateway{
-		cfg:   cfg,
-		lanes: map[string]*lane{},
-		jrng:  rand.New(rand.NewSource(cfg.Seed)),
-		now:   time.Now,
-		sleep: time.Sleep,
+		cfg:           cfg,
+		lanes:         map[string]*lane{},
+		jrng:          rand.New(rand.NewSource(cfg.Seed)),
+		now:           time.Now,
+		sleep:         time.Sleep,
+		reg:           reg,
+		requests:      reg.Counter("modelserve_requests_total"),
+		providerCalls: reg.Counter("modelserve_provider_calls_total"),
+		retries:       reg.Counter("modelserve_retries_total"),
+		failures:      reg.Counter("modelserve_failures_total"),
+		batchHist:     reg.Histogram("modelserve_batch_size"),
+		rateWaitHist:  reg.Histogram("modelserve_rate_wait_ns"),
 	}, nil
 }
+
+// Metrics exposes the gateway's observability registry (counters plus the
+// batch-occupancy and rate-wait histograms behind Stats).
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
 
 // Provider returns the configured downstream provider chain.
 func (g *Gateway) Provider() Provider { return g.cfg.Provider }
@@ -161,15 +172,19 @@ func (g *Gateway) Provider() Provider { return g.cfg.Provider }
 // Stats snapshots the gateway counters, folding in cache activity from
 // any Recorder/Replay in the provider chain.
 func (g *Gateway) Stats() Stats {
+	batch := g.batchHist.Snapshot()
+	waits := g.rateWaitHist.Snapshot()
 	s := Stats{
 		Requests:      g.requests.Load(),
 		ProviderCalls: g.providerCalls.Load(),
-		Batched:       g.batched.Load(),
-		MaxBatch:      g.maxBatch.Load(),
+		Batched:       batch.CountAbove(1),
 		Retries:       g.retries.Load(),
 		Failures:      g.failures.Load(),
-		RateWaits:     g.rateWaits.Load(),
-		RateWaited:    time.Duration(g.rateWaited.Load()),
+		RateWaits:     waits.Count,
+		RateWaited:    time.Duration(waits.Sum),
+	}
+	if s.Batched > 0 {
+		s.MaxBatch = batch.Max()
 	}
 	for p := g.cfg.Provider; p != nil; {
 		if cc, ok := p.(cacheCounters); ok {
@@ -235,7 +250,7 @@ func (g *Gateway) lane(model string) *lane {
 // Generate implements llm.Provider: it parks the request on the model's
 // lane and blocks until the dispatcher fulfills it.
 func (g *Gateway) Generate(model string, req llm.Request) (*llm.Response, error) {
-	g.requests.Add(1)
+	g.requests.Inc()
 	c := &call{req: req, done: make(chan struct{})}
 	l := g.lane(model)
 	l.mu.Lock()
@@ -247,7 +262,7 @@ func (g *Gateway) Generate(model string, req llm.Request) (*llm.Response, error)
 	l.mu.Unlock()
 	<-c.done
 	if c.err != nil {
-		g.failures.Add(1)
+		g.failures.Inc()
 	}
 	return c.resp, c.err
 }
@@ -296,15 +311,7 @@ func (l *lane) run() {
 // retry the transient failures with backoff, classify what remains.
 func (l *lane) process(batch []*call) {
 	g := l.gw
-	if n := int64(len(batch)); n > 1 {
-		g.batched.Add(1)
-		for {
-			cur := g.maxBatch.Load()
-			if n <= cur || g.maxBatch.CompareAndSwap(cur, n) {
-				break
-			}
-		}
-	}
+	g.batchHist.Observe(int64(len(batch)))
 	pending := batch
 	for attempt := 1; ; attempt++ {
 		l.rateLimit(pending)
@@ -312,7 +319,7 @@ func (l *lane) process(batch []*call) {
 		for i, c := range pending {
 			reqs[i] = c.req
 		}
-		g.providerCalls.Add(1)
+		g.providerCalls.Inc()
 		resps, errs := g.cfg.Provider.GenerateBatch(l.model, reqs)
 		var retry []*call
 		for i, c := range pending {
@@ -384,8 +391,7 @@ func (l *lane) rateLimit(calls []*call) {
 		}
 	}
 	if wait > 0 {
-		g.rateWaits.Add(1)
-		g.rateWaited.Add(int64(wait))
+		g.rateWaitHist.ObserveDuration(wait)
 		g.sleep(wait)
 	}
 }
@@ -405,4 +411,3 @@ func (l *lane) backoff(attempt int) time.Duration {
 	g.jmu.Unlock()
 	return d/2 + time.Duration(j)
 }
-

@@ -22,6 +22,12 @@ type Limits struct {
 	// operations (federated plans, SQL queries) read it via
 	// Interp.Context and add their own checkpoints.
 	Context context.Context
+
+	// Profile, when non-nil, collects an opcode-class and builtin
+	// time/alloc profile for the run (see VMProfile). Strictly opt-in:
+	// a nil Profile costs the VM one predictable branch per instruction
+	// and the tree-walker nothing.
+	Profile *VMProfile
 }
 
 // DefaultLimits are generous enough for every benchmark query yet small
@@ -615,6 +621,13 @@ func (in *Interp) Call(fn Value, args []Value, line int) (Value, error) {
 	}
 	switch f := fn.(type) {
 	case *Builtin:
+		if p := in.limits.Profile; p != nil {
+			t0 := time.Now()
+			a0 := in.allocs
+			v, err := f.Fn(in, line, args)
+			p.noteBuiltin(f.Name, time.Since(t0), in.allocs-a0)
+			return v, err
+		}
 		return f.Fn(in, line, args)
 	case *Closure:
 		if len(args) != len(f.Params) {

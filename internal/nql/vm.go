@@ -2,6 +2,7 @@ package nql
 
 import (
 	"sync"
+	"time"
 )
 
 // cell boxes a variable captured by a closure. The compiler promotes a
@@ -359,10 +360,17 @@ func (in *Interp) vmCall(f *Closure, args []Value, line int) (Value, error) {
 func (m *machine) run(in *Interp, entry int) (Value, error) {
 	fr := &m.frames[len(m.frames)-1]
 	code := fr.proto.owner
+	// Hoisted once: with profiling off this is a nil local and every
+	// instruction pays exactly one predictable branch (the overhead gated
+	// by BenchmarkObsOverhead/disabled and the NQLVM benchdiff watch).
+	prof := in.limits.Profile
 	for {
 		ins := fr.proto.code[fr.pc]
 		fr.pc++
 		line := int(ins.line)
+		if prof != nil {
+			prof.note(ins.op)
+		}
 
 		// Resource accounting mirrors Interp.step: one step per
 		// instruction, with the wall clock and the host context sampled
@@ -537,7 +545,16 @@ func (m *machine) run(in *Interp, entry int) (Value, error) {
 					in.depth--
 					return nil, errf(ErrLimit, line, "call depth exceeded (%d)", in.limits.MaxDepth)
 				}
-				v, err := f.Fn(in, line, m.stack[m.sp-n:m.sp])
+				var v Value
+				var err error
+				if prof != nil {
+					t0 := time.Now()
+					a0 := in.allocs
+					v, err = f.Fn(in, line, m.stack[m.sp-n:m.sp])
+					prof.noteBuiltin(f.Name, time.Since(t0), in.allocs-a0)
+				} else {
+					v, err = f.Fn(in, line, m.stack[m.sp-n:m.sp])
+				}
 				in.depth--
 				// The builtin may have re-entered the VM (sorted's key
 				// function, frame.apply, ...), growing the frame slice.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/federate"
 	"repro/internal/nql"
+	"repro/internal/obs"
 )
 
 // FedObject exposes the federated query planner to NQL scripts as the
@@ -319,6 +320,25 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 				return nil, argCount(line, "explain", "0", len(args))
 			}
 			return federate.Explain(federate.Optimize(p.Plan)), nil
+		}), true
+	case "explain_analyze":
+		// EXPLAIN ANALYZE: execute the optimized plan under a fresh
+		// operator profile (layered over the request context, so
+		// cancellation and any request-level profile keep working) and
+		// render the tree with per-operator rows and wall/own time.
+		return method("explain_analyze", func(in *nql.Interp, line int, args []nql.Value) (nql.Value, error) {
+			if len(args) != 0 {
+				return nil, argCount(line, "explain_analyze", "0", len(args))
+			}
+			prof := obs.NewProfile()
+			ctx := obs.WithProfile(in.Context(), prof)
+			if _, err := federate.ExecContext(ctx, p.Cat, federate.Optimize(p.Plan)); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, nql.CancelError(line, err)
+				}
+				return nil, runtimeErr(nql.ErrValue, line, err)
+			}
+			return strings.TrimRight(prof.String(), "\n"), nil
 		}), true
 	default:
 		return nil, false

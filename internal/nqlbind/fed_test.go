@@ -137,3 +137,23 @@ return rows[0]["id"]`)
 		t.Errorf("top by out_degree: got %s", got)
 	}
 }
+
+func TestFedExplainAnalyze(t *testing.T) {
+	ev := runFed(t, `return fed.scan("sql", "edges").filter("bytes", ">", 60).project("src").explain_analyze()`)
+	s, ok := ev.(string)
+	if !ok {
+		t.Fatalf("explain_analyze returned %s, want string", nql.Repr(ev))
+	}
+	// The rendered profile carries the optimized operator tree with row
+	// counts and wall/own timings per node, the pushed-down scan included.
+	if !strings.Contains(s, "scan sql.edges [bytes > 60] cols=(src)") {
+		t.Errorf("explain_analyze lost the optimized plan shape:\n%s", s)
+	}
+	if !strings.Contains(s, "rows=2 wall=") || !strings.Contains(s, "own=") {
+		t.Errorf("explain_analyze missing rows/timing annotations:\n%s", s)
+	}
+	// The SQL substrate's own frames nest under the federated scan.
+	if !strings.Contains(s, "sql.select") {
+		t.Errorf("explain_analyze missing nested sqldb frames:\n%s", s)
+	}
+}

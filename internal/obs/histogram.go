@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-linear histogram of non-negative int64
+// observations (latencies in nanoseconds, batch sizes, row counts). Values
+// below 2^subBits land in exact unit buckets; above that each power of two
+// is split into 2^subBits sub-buckets, so the bucket width is always at
+// most 1/2^subBits of the bucket's lower bound. With subBits = 5 a
+// quantile estimated from a bucket midpoint is within ~1.6% of the true
+// sample (bounded by 1/32), while count, sum, min and max are exact.
+//
+// All methods are safe for concurrent use. Snapshots taken from different
+// histograms (or shards of one logical histogram) merge associatively,
+// which is what lets the load generator and sharded sweeps aggregate
+// without a coordination point.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per power of two
+	// The largest index is reached at v = math.MaxInt64 (bit length 63):
+	// exp = 63-1-subBits, idx = (exp+1)*histSub + histSub - 1.
+	histBuckets = (63-histSubBits)*histSub + histSub
+)
+
+// Histogram accumulates observations. The zero value is NOT ready for use;
+// call NewHistogram (min tracking needs a sentinel).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 until the first observation
+	max    atomic.Int64 // -1 until the first observation
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(-1)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := uint(bits.Len64(uint64(v))) - 1 - histSubBits
+	return (int(exp)+1)*histSub + int(v>>exp) - histSub
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of a bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histSub {
+		return int64(idx), int64(idx)
+	}
+	exp := uint(idx/histSub - 1)
+	m := int64(idx%histSub + histSub)
+	lo = m << exp
+	hi = (m+1)<<exp - 1
+	return lo, hi
+}
+
+// Observe records one value. Negative values are clamped to zero (they can
+// only arise from clock steps backwards mid-measurement).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may tear
+// between buckets and the aggregate fields; each field is individually
+// consistent, which is all quantile estimation needs.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		min:   h.min.Load(),
+		max:   h.max.Load(),
+	}
+	s.Counts = make([]int64, histBuckets)
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram. Merge combines
+// snapshots associatively; Quantile answers nearest-rank quantile queries
+// from bucket midpoints clamped to the observed [Min, Max].
+type HistSnapshot struct {
+	Counts []int64
+	Count  int64
+	Sum    int64
+	min    int64 // math.MaxInt64 when empty
+	max    int64 // -1 when empty
+}
+
+// Min returns the smallest observed value, 0 when empty.
+func (s *HistSnapshot) Min() int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observed value, 0 when empty.
+func (s *HistSnapshot) Max() int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Merge returns a new snapshot combining s and o. Either side may be nil.
+// Merge is associative and commutative: bucket counts and sums add, min
+// and max take the extremes, so any merge tree over the same shards yields
+// the same result.
+func (s *HistSnapshot) Merge(o *HistSnapshot) *HistSnapshot {
+	out := &HistSnapshot{
+		Counts: make([]int64, histBuckets),
+		min:    math.MaxInt64,
+		max:    -1,
+	}
+	for _, src := range []*HistSnapshot{s, o} {
+		if src == nil {
+			continue
+		}
+		for i, c := range src.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += src.Count
+		out.Sum += src.Sum
+		if src.Count > 0 {
+			if src.min < out.min {
+				out.min = src.min
+			}
+			if src.max > out.max {
+				out.max = src.max
+			}
+		}
+	}
+	return out
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0, 1]). The estimate
+// is the midpoint of the bucket holding the ranked sample, clamped to the
+// observed min/max, so the relative error is bounded by the bucket width:
+// at most 1/2^subBits (~3.1%), half that in expectation. Returns 0 when
+// the snapshot is empty.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= s.Count {
+		return s.max // the top-ranked sample is tracked exactly
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			v := lo + (hi-lo)/2
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max // unreachable unless counts tore below Count
+}
+
+// CountAbove returns how many observations fell in buckets whose entire
+// range is above v. For values below 2^subBits (unit buckets) this is the
+// exact count of observations strictly greater than v.
+func (s *HistSnapshot) CountAbove(v int64) int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		lo, _ := bucketBounds(i)
+		if lo <= v {
+			break
+		}
+		n += s.Counts[i]
+	}
+	return n
+}

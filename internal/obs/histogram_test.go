@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank quantile over sorted samples, the
+// reference the histogram estimate is checked against.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < histSub; v++ {
+		for i := int64(0); i <= v; i++ {
+			h.Observe(v)
+		}
+	}
+	s := h.Snapshot()
+	for v := int64(0); v < histSub; v++ {
+		if got := s.Counts[v]; got != v+1 {
+			t.Fatalf("bucket %d count = %d, want %d (values below %d must be exact)", v, got, v+1, histSub)
+		}
+	}
+	if s.Min() != 0 || s.Max() != histSub-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min(), s.Max(), histSub-1)
+	}
+}
+
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must map back to that bucket, and bounds must
+	// tile the value space with no gaps.
+	prevHi := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d lo = %d, want %d (gap or overlap)", i, lo, prevHi+1)
+		}
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d bounds [%d,%d] map to [%d,%d]", i, lo, hi, bucketIndex(lo), bucketIndex(hi))
+		}
+		prevHi = hi
+	}
+	if bucketIndex(math.MaxInt64) != histBuckets-1 {
+		t.Fatalf("MaxInt64 maps to %d, want %d", bucketIndex(math.MaxInt64), histBuckets-1)
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, gen := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(10_000_000) }},
+		{"lognormal", func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 12)) }},
+		{"heavy-tail", func() int64 {
+			if rng.Intn(100) == 0 {
+				return rng.Int63n(1_000_000_000)
+			}
+			return rng.Int63n(50_000)
+		}},
+	} {
+		h := NewHistogram()
+		samples := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := gen.draw()
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+			got := s.Quantile(q)
+			want := exactQuantile(samples, q)
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("%s q%.2f = %d, want 0", gen.name, q, got)
+				}
+				continue
+			}
+			rel := math.Abs(float64(got-want)) / float64(want)
+			if rel > 1.0/histSub {
+				t.Fatalf("%s q%.2f = %d, exact %d: relative error %.4f exceeds bound %.4f",
+					gen.name, q, got, want, rel, 1.0/histSub)
+			}
+		}
+		if s.Quantile(1.0) != samples[len(samples)-1] {
+			t.Fatalf("%s q1.00 = %d, want exact max %d", gen.name, s.Quantile(1.0), samples[len(samples)-1])
+		}
+	}
+}
+
+func TestHistogramSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(n int) *HistSnapshot {
+		h := NewHistogram()
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1_000_000))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(500), mk(300), mk(700)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left.Count != right.Count || left.Sum != right.Sum ||
+		left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatalf("merge not associative: (a·b)·c = {%d,%d,%d,%d}, a·(b·c) = {%d,%d,%d,%d}",
+			left.Count, left.Sum, left.Min(), left.Max(),
+			right.Count, right.Sum, right.Min(), right.Max())
+	}
+	for i := range left.Counts {
+		if left.Counts[i] != right.Counts[i] {
+			t.Fatalf("bucket %d differs: %d vs %d", i, left.Counts[i], right.Counts[i])
+		}
+	}
+	// Identity and nil-safety.
+	if got := a.Merge(nil); got.Count != a.Count || got.Sum != a.Sum {
+		t.Fatalf("merge with nil changed aggregates")
+	}
+	var empty *HistSnapshot
+	if got := empty.Merge(a); got.Count != a.Count || got.Min() != a.Min() {
+		t.Fatalf("nil.Merge(a) lost observations")
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := NewHistogram()
+	const writers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*each {
+		t.Fatalf("count = %d, want %d", s.Count, writers*each)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Min() > s.Max() {
+		t.Fatalf("min %d > max %d", s.Min(), s.Max())
+	}
+}
+
+func TestHistogramCountAbove(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 1, 1, 2, 3, 5, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ v, want int64 }{{0, 7}, {1, 4}, {2, 3}, {8, 0}} {
+		if got := s.CountAbove(tc.v); got != tc.want {
+			t.Fatalf("CountAbove(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if (*HistSnapshot)(nil).CountAbove(0) != 0 {
+		t.Fatal("nil snapshot CountAbove != 0")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("empty snapshot not all-zero: count=%d sum=%d min=%d max=%d q99=%d",
+			s.Count, s.Sum, s.Min(), s.Max(), s.Quantile(0.99))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Counts[0] != 1 || s.Min() != 0 {
+		t.Fatalf("negative observation not clamped to zero bucket")
+	}
+}

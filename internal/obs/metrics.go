@@ -1,0 +1,223 @@
+// Package obs is the dependency-free observability core shared by every
+// execution layer: lock-free counters and gauges, log-bucketed latency
+// histograms with mergeable snapshots (histogram.go), lightweight spans
+// propagated via context.Context (trace.go), and single-query operator
+// profiles for EXPLAIN ANALYZE-style output (profile.go).
+//
+// A Registry names and renders metric series; the instruments themselves
+// (Counter, Gauge, Histogram) are plain atomics with no registry
+// back-pointer, so hot paths touch one cache line and never a lock.
+// Rendering follows the Prometheus text exposition format closely enough
+// for standard scrapers: counters and gauges as `name{labels} value`,
+// histograms as cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers keep counters monotone; negative deltas are the
+// caller's bug, not checked here to keep the hot path branch-free).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value (inflight requests, epoch).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one named, labelled instrument in a registry.
+type series struct {
+	name   string
+	labels string // canonical rendered {k="v",...} or ""
+	kind   int
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// Registry names instruments and renders them. Lookup takes an RWMutex;
+// callers on hot paths resolve their instruments once and keep the
+// pointer (see internal/service's per-tenant cache).
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// canonLabels renders alternating key, value pairs as a canonical sorted
+// label block. Panics on an odd pair count — a compile-time-shaped bug.
+func canonLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label key/value count")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`=`)
+		sb.WriteString(strconv.Quote(p.v))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func (r *Registry) lookup(name string, kind int, labels []string) *series {
+	lbl := canonLabels(labels)
+	key := name + lbl
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.series[key]; s == nil {
+			s = &series{name: name, labels: lbl, kind: kind}
+			switch kind {
+			case kindCounter:
+				s.ctr = &Counter{}
+			case kindGauge:
+				s.gauge = &Gauge{}
+			case kindHistogram:
+				s.hist = NewHistogram()
+			}
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obs: %s%s registered with conflicting kinds", name, lbl))
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter for name and the
+// alternating key, value label pairs. Repeat calls return the same
+// instrument.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, labels).ctr
+}
+
+// Gauge returns (registering on first use) the gauge for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, labels).gauge
+}
+
+// Histogram returns (registering on first use) the histogram for name and
+// labels.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	return r.lookup(name, kindHistogram, labels).hist
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format, deterministically: families sorted by name, series within a
+// family sorted by label block. Histograms emit cumulative buckets at the
+// upper bound of each non-empty bucket plus the mandatory +Inf bucket, so
+// bucket lines stay proportional to the value spread rather than the
+// full 1888-bucket layout.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			lastName = s.name
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, kindName(s.kind))
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.ctr.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.gauge.Load())
+		case kindHistogram:
+			writeHistProm(w, s.name, s.labels, s.hist.Snapshot())
+		}
+	}
+}
+
+func kindName(kind int) string {
+	switch kind {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// writeHistProm renders one histogram series. le labels carry the
+// inclusive upper bound of each non-empty bucket (cumulative, per the
+// exposition format).
+func writeHistProm(w io.Writer, name, labels string, s *HistSnapshot) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	withLE := func(le string) string {
+		if inner == "" {
+			return `{le="` + le + `"}`
+		}
+		return "{" + inner + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(strconv.FormatInt(hi, 10)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}

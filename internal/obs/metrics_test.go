@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "tenant", "acme")
+	b := r.Counter("requests_total", "tenant", "acme")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if r.Counter("requests_total", "tenant", "beta") == a {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Add(3)
+	if b.Load() != 3 {
+		t.Fatalf("shared counter = %d, want 3", b.Load())
+	}
+}
+
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "b", "2", "a", "1")
+	b := r.Counter("x_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+	a.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `x_total{a="1",b="2"} 1`) {
+		t.Fatalf("labels not rendered sorted:\n%s", sb.String())
+	}
+}
+
+func TestRegistryWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "tenant", "acme").Add(5)
+	r.Gauge("inflight").Set(2)
+	h := r.Histogram("latency_ns", "tenant", "acme")
+	h.Observe(7)
+	h.Observe(7)
+	h.Observe(100)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE inflight gauge\n",
+		"inflight 2\n",
+		"# TYPE latency_ns histogram\n",
+		`latency_ns_bucket{tenant="acme",le="7"} 2` + "\n",
+		`latency_ns_bucket{tenant="acme",le="+Inf"} 3` + "\n",
+		`latency_ns_sum{tenant="acme"} 114` + "\n",
+		`latency_ns_count{tenant="acme"} 3` + "\n",
+		"# TYPE req_total counter\n",
+		`req_total{tenant="acme"} 5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The 100 observation lands in a log bucket: its cumulative line must
+	// include the two 7s.
+	idx := bucketIndex(100)
+	_, hi := bucketBounds(idx)
+	if !strings.Contains(out, `latency_ns_bucket{tenant="acme",le="`+strconv.FormatInt(hi, 10)+`"} 3`) {
+		t.Fatalf("cumulative bucket for 100 missing:\n%s", out)
+	}
+	// Rendering is deterministic.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Fatal("two renders differ")
+	}
+}
+
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "k", "v").Inc()
+				r.Histogram("h_ns").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "k", "v").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_ns").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting kind did not panic")
+		}
+	}()
+	r.Gauge("dual")
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects the spans of one request. Traces are sampled: when a
+// request is not traced there is no Trace in its context, every helper
+// returns a nil *Span, and all Span methods no-op on nil receivers — the
+// disabled path costs one context lookup at span boundaries and nothing
+// per operation, which is what keeps BenchmarkObsOverhead/disabled flat.
+type Trace struct {
+	ID     string
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace returns an empty trace with the given ID (the service derives
+// IDs from a per-process counter; obs imposes no format).
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// Tag is one key/value annotation on a span.
+type Tag struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. Wall time is measured from
+// StartSpan to End; own time is wall minus the wall time of direct
+// children, attributed when each child ends.
+type Span struct {
+	tr      *Trace
+	parent  *Span
+	id      int64
+	pid     int64
+	name    string
+	start   time.Time
+	wall    atomic.Int64 // ns, set at End
+	childNS atomic.Int64
+	ended   atomic.Bool
+
+	tagMu sync.Mutex
+	tags  []Tag
+}
+
+func (t *Trace) newSpan(name string, parent *Span) *Span {
+	s := &Span{tr: t, parent: parent, id: t.nextID.Add(1), name: name, start: time.Now()}
+	if parent != nil {
+		s.pid = parent.id
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan starts a root-level span on the trace. Nil-safe.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, nil)
+}
+
+// Child starts a span under s. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s)
+}
+
+// Tag attaches a string annotation. Nil-safe.
+func (s *Span) Tag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tagMu.Lock()
+	s.tags = append(s.tags, Tag{key, value})
+	s.tagMu.Unlock()
+}
+
+// TagInt attaches an integer annotation. Nil-safe.
+func (s *Span) TagInt(key string, value int64) {
+	s.Tag(key, strconv.FormatInt(value, 10))
+}
+
+// End closes the span, fixing its wall time and attributing it to the
+// parent's child-time. Repeat Ends are ignored. Nil-safe.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	wall := time.Since(s.start).Nanoseconds()
+	s.wall.Store(wall)
+	if s.parent != nil {
+		s.parent.childNS.Add(wall)
+	}
+}
+
+// SpanStat is the immutable snapshot of one span.
+type SpanStat struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent"` // 0 for root spans
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	OwnNS  int64  `json:"own_ns"`
+	Tags   []Tag  `json:"tags,omitempty"`
+}
+
+// Snapshot returns the spans recorded so far, in start order. Spans still
+// open report wall time elapsed so far. Nil-safe.
+func (t *Trace) Snapshot() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	out := make([]SpanStat, 0, len(spans))
+	for _, s := range spans {
+		wall := s.wall.Load()
+		if !s.ended.Load() {
+			wall = time.Since(s.start).Nanoseconds()
+		}
+		own := wall - s.childNS.Load()
+		if own < 0 {
+			own = 0
+		}
+		s.tagMu.Lock()
+		tags := append([]Tag(nil), s.tags...)
+		s.tagMu.Unlock()
+		out = append(out, SpanStat{ID: s.id, Parent: s.pid, Name: s.name, WallNS: wall, OwnNS: own, Tags: tags})
+	}
+	return out
+}
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the request is
+// untraced.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanFrom returns the innermost span in the context, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span as a child of the context's current span (or a
+// root span of the context's trace) and returns a context carrying it.
+// When the context has no trace it returns ctx unchanged and a nil span,
+// so the disabled path allocates nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var sp *Span
+	if parent := SpanFrom(ctx); parent != nil {
+		sp = parent.Child(name)
+	} else {
+		sp = tr.StartSpan(name)
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

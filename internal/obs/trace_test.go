@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChildInvariants(t *testing.T) {
+	tr := NewTrace("t-1")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "query")
+	root.Tag("tenant", "acme")
+	cctx, child := StartSpan(ctx, "execute")
+	child.TagInt("rows", 42)
+	_, grand := StartSpan(cctx, "scan")
+	time.Sleep(2 * time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	stats := tr.Snapshot()
+	if len(stats) != 3 {
+		t.Fatalf("got %d spans, want 3", len(stats))
+	}
+	byName := map[string]SpanStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	q, e, sc := byName["query"], byName["execute"], byName["scan"]
+	if q.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", q.Parent)
+	}
+	if e.Parent != q.ID || sc.Parent != e.ID {
+		t.Fatalf("parent chain broken: execute.parent=%d (query=%d), scan.parent=%d (execute=%d)",
+			e.Parent, q.ID, sc.Parent, e.ID)
+	}
+	// Wall times nest: parent wall >= child wall; own = wall - children.
+	if q.WallNS < e.WallNS || e.WallNS < sc.WallNS {
+		t.Fatalf("wall times do not nest: q=%d e=%d scan=%d", q.WallNS, e.WallNS, sc.WallNS)
+	}
+	if q.OwnNS != q.WallNS-e.WallNS {
+		t.Fatalf("root own = %d, want wall-child = %d", q.OwnNS, q.WallNS-e.WallNS)
+	}
+	if e.OwnNS != e.WallNS-sc.WallNS {
+		t.Fatalf("child own = %d, want wall-grandchild = %d", e.OwnNS, e.WallNS-sc.WallNS)
+	}
+	if sc.OwnNS != sc.WallNS {
+		t.Fatalf("leaf own = %d, want wall = %d", sc.OwnNS, sc.WallNS)
+	}
+	if len(q.Tags) != 1 || q.Tags[0] != (Tag{"tenant", "acme"}) {
+		t.Fatalf("root tags = %v", q.Tags)
+	}
+	if len(e.Tags) != 1 || e.Tags[0] != (Tag{"rows", "42"}) {
+		t.Fatalf("child tags = %v", e.Tags)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	// No trace in the context: every operation must no-op without
+	// allocating a span.
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatal("untraced context produced a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan rewrapped the context")
+	}
+	sp.Tag("k", "v")
+	sp.TagInt("n", 1)
+	sp.Child("c").End()
+	sp.End()
+	if TraceFrom(nil) != nil || SpanFrom(nil) != nil || ProfileFrom(nil) != nil {
+		t.Fatal("nil context lookups not nil")
+	}
+	var tr *Trace
+	if tr.StartSpan("x") != nil || tr.Snapshot() != nil {
+		t.Fatal("nil trace methods not nil-safe")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("t-conc")
+	root := tr.StartSpan("root")
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := root.Child("worker")
+			s.Tag("k", "v")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	stats := tr.Snapshot()
+	if len(stats) != n+1 {
+		t.Fatalf("got %d spans, want %d", len(stats), n+1)
+	}
+	seen := map[int64]bool{}
+	for _, s := range stats {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Name == "worker" && s.Parent == 0 {
+			t.Fatal("worker span lost its parent")
+		}
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTrace("t-2")
+	s := tr.StartSpan("once")
+	s.End()
+	wall := tr.Snapshot()[0].WallNS
+	time.Sleep(2 * time.Millisecond)
+	s.End() // ignored
+	if got := tr.Snapshot()[0].WallNS; got != wall {
+		t.Fatalf("second End changed wall time: %d -> %d", wall, got)
+	}
+}

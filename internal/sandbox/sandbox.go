@@ -29,6 +29,11 @@ type Policy struct {
 	// thread it through their own row-loop checkpoints. A cancelled run
 	// fails with an nql.ErrCancel-class error wrapping ctx.Err().
 	Context context.Context
+
+	// Profile, when non-nil, collects the VM's opcode-class and builtin
+	// time/alloc profile for this run (strictly opt-in; see
+	// nql.VMProfile). Policy stays comparable — the field is a pointer.
+	Profile *nql.VMProfile
 }
 
 // DefaultPolicy matches nql.DefaultLimits.
@@ -128,6 +133,7 @@ func RunProgram(prog *nql.Program, globals map[string]nql.Value, policy Policy) 
 		MaxAllocs:   policy.MaxAllocs,
 		MaxDuration: policy.MaxDuration,
 		Context:     policy.Context,
+		Profile:     policy.Profile,
 	}, globals)
 	v, err := in.RunProgram(prog)
 	res.Stdout = in.Stdout()

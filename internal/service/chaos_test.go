@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestChaosSwapUnderLoad drives sustained concurrent load (Zipf-skewed
@@ -125,10 +127,19 @@ func TestChaosClientDisconnects(t *testing.T) {
 			t.Fatalf("client %d: error does not wrap context.Canceled: %v", i, err)
 		}
 	}
-	for b, state := range s.Stats().Breakers {
+	st := s.Stats()
+	for b, state := range st.Breakers {
 		if state != BreakerClosed {
 			t.Fatalf("breaker %q = %q after client disconnects, want closed (disconnects are not substrate timeouts)", b, state)
 		}
+	}
+	// Disconnects must land in their own counter, never conflated with
+	// server-side deadline expiry or generic failures.
+	if st.Disconnects != clients {
+		t.Fatalf("Disconnects = %d, want %d", st.Disconnects, clients)
+	}
+	if st.Timeouts != 0 || st.Failures != 0 {
+		t.Fatalf("client hangups miscounted: Timeouts=%d Failures=%d, want 0/0", st.Timeouts, st.Failures)
 	}
 	// Hand-rolled leak check: all request goroutines are synchronous, so
 	// the count must return to baseline (with retries for runtime noise).
@@ -167,6 +178,16 @@ return n`
 	}
 }
 
+// histP99 computes a p99 over raw samples through the shared obs
+// histogram, the same estimator the service and load generator report.
+func histP99(lats []time.Duration) time.Duration {
+	h := obs.NewHistogram()
+	for _, d := range lats {
+		h.ObserveDuration(d)
+	}
+	return time.Duration(h.Snapshot().Quantile(0.99))
+}
+
 // TestChaosOverBudgetTenantIsolation floods one tenant far past its
 // admitted rate while a well-behaved tenant keeps issuing queries: the
 // flooding tenant is shed with Retry-After, and the victim's p99 stays
@@ -194,7 +215,7 @@ func TestChaosOverBudgetTenantIsolation(t *testing.T) {
 	if len(unloaded) < probes/2 {
 		t.Fatalf("unloaded victim only completed %d/%d probes", len(unloaded), probes)
 	}
-	unloadedP99 := percentile(unloaded, 99)
+	unloadedP99 := histP99(unloaded)
 
 	// Flood: a tenant offering far more than its budget.
 	stop := make(chan struct{})
@@ -231,7 +252,7 @@ func TestChaosOverBudgetTenantIsolation(t *testing.T) {
 	if len(loaded) < probes/2 {
 		t.Fatalf("loaded victim only completed %d/%d probes (flood starved admission)", len(loaded), probes)
 	}
-	loadedP99 := percentile(loaded, 99)
+	loadedP99 := histP99(loaded)
 	bound := 2 * unloadedP99
 	if floor := 20 * time.Millisecond; bound < floor {
 		bound = floor

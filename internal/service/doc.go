@@ -87,4 +87,35 @@
 // a fresh cooldown. Breaker states are visible in /healthz and trip
 // counts in /statsz. A breaker that flaps open on a healthy substrate
 // usually means -default-timeout is too tight for the dataset scale.
+//
+// # Runbook: metrics, traces and query profiles
+//
+// GET /metricsz exposes the service's obs registry in Prometheus text
+// format: netqueryd_results_total{result=ok|shed|timeout|disconnect|error}
+// splits outcomes (client hangups are "disconnect", never conflated with
+// server-side "timeout" — only the latter feeds the breakers);
+// netqueryd_inflight gauges admitted concurrency; per-tenant series
+// (netqueryd_tenant_requests_total, _shed_total, and the
+// netqueryd_tenant_latency_ns histogram) attribute load and latency to
+// tenants; per-backend series (netqueryd_backend_requests_total,
+// _latency_ns) do the same per substrate. Histogram buckets are
+// log-spaced with ~3% relative error; _sum/_count give exact means.
+//
+// Request tracing is off by default. -trace-sample F traces roughly one
+// in 1/F arrivals (1 traces everything) into a 32-entry ring served as
+// JSON at GET /tracez; each trace holds query/bind/execute spans with
+// wall and own (self) nanoseconds plus tenant/backend/query_id tags.
+// Profiled requests are always traced regardless of the sample rate.
+//
+// For one slow query, POST /v1/query with "profile": true. The response's
+// "profile" object carries: "operators" — the federated plan's EXPLAIN
+// ANALYZE tree (operator, detail, depth, rows, wall_ns, own_ns; sqldb
+// contributes nested sql.select/sql.scan/sql.join/sql.filter frames);
+// "vm" — the NQL VM's opcode-class counts with sampled time attribution
+// and exact builtin call/time/alloc stats; "spans" — the request's span
+// tree; and "trace_id" to correlate with /tracez. Rows of -1 mark frames
+// that failed. High sql.scan rows with low final rows suggests a missing
+// pushdown; wall >> own on a frame means the time is in its children.
+// -pprof additionally mounts Go's /debug/pprof handlers for CPU and heap
+// profiling of the process itself.
 package service

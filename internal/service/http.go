@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/diagnosis"
 	"repro/internal/nemoeval"
+	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/traffic"
 )
@@ -22,16 +23,18 @@ type queryRequest struct {
 	QueryID   string `json:"query_id,omitempty"`
 	Backend   string `json:"backend,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Profile   bool   `json:"profile,omitempty"`
 }
 
 // queryResponse is the POST /v1/query success body.
 type queryResponse struct {
-	Result     string `json:"result"`
-	Stdout     string `json:"stdout,omitempty"`
-	Backend    string `json:"backend"`
-	Dataset    string `json:"dataset"`
-	Degraded   bool   `json:"degraded,omitempty"`
-	DurationMS int64  `json:"duration_ms"`
+	Result     string        `json:"result"`
+	Stdout     string        `json:"stdout,omitempty"`
+	Backend    string        `json:"backend"`
+	Dataset    string        `json:"dataset"`
+	Degraded   bool          `json:"degraded,omitempty"`
+	DurationMS int64         `json:"duration_ms"`
+	Profile    *QueryProfile `json:"profile,omitempty"`
 }
 
 // errorResponse is every non-2xx body.
@@ -62,6 +65,8 @@ const maxBodyBytes = 1 << 20
 //	POST /admin/swap — load a dataset and atomically flip to it
 //	GET  /healthz    — liveness, current dataset, breaker states
 //	GET  /statsz     — counter snapshot
+//	GET  /metricsz   — Prometheus text exposition of the obs registry
+//	GET  /tracez     — recent sampled traces (spans with wall/own time)
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +85,7 @@ func NewHandler(s *Service) http.Handler {
 			QueryID: qr.QueryID,
 			Backend: qr.Backend,
 			Timeout: time.Duration(qr.TimeoutMS) * time.Millisecond,
+			Profile: qr.Profile,
 		}
 		// The client closing its connection cancels r.Context(), which
 		// cancels the query at its next checkpoint.
@@ -95,6 +101,7 @@ func NewHandler(s *Service) http.Handler {
 			Dataset:    resp.Dataset,
 			Degraded:   resp.Degraded,
 			DurationMS: resp.Duration.Milliseconds(),
+			Profile:    resp.Profile,
 		})
 	})
 	mux.HandleFunc("/admin/swap", func(w http.ResponseWriter, r *http.Request) {
@@ -137,6 +144,21 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		type traceJSON struct {
+			ID    string         `json:"id"`
+			Spans []obs.SpanStat `json:"spans"`
+		}
+		out := []traceJSON{}
+		for _, tr := range s.RecentTraces() {
+			out = append(out, traceJSON{ID: tr.ID, Spans: tr.Snapshot()})
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	return mux
 }

@@ -153,9 +153,9 @@ func TestHTTPClientDisconnectCancelsQuery(t *testing.T) {
 		t.Fatal("expected the client timeout to abort the request")
 	}
 	// The server-side query must be cancelled promptly: once it finishes,
-	// its failure is counted and the tenant's slot frees up.
+	// the disconnect is counted and the tenant's slot frees up.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.Stats().Failures == 0 {
+	for s.Stats().Disconnects == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server-side query was not cancelled after client disconnect")
 		}

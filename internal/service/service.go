@@ -12,6 +12,7 @@ import (
 	"repro/internal/limiter"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/queries"
 	"repro/internal/sandbox"
@@ -61,6 +62,17 @@ type Config struct {
 	// overrides Policy.Context.
 	Policy sandbox.Policy
 
+	// TraceSample is the fraction of requests traced (0 disables tracing,
+	// 1 traces every request; values in between sample deterministically,
+	// one trace per round(1/TraceSample) arrivals). Requests that ask for
+	// a profile are always traced. Untraced requests pay nothing.
+	TraceSample float64
+
+	// Metrics, when non-nil, is the registry the service records into —
+	// share one registry across components to serve a single /metricsz.
+	// Nil creates a private registry (exposed via Service.Metrics).
+	Metrics *obs.Registry
+
 	// now is the clock hook, swappable in tests.
 	now func() time.Time
 }
@@ -82,6 +94,11 @@ type Request struct {
 	Backend string
 	// Timeout bounds execution (0 = DefaultTimeout, capped at MaxTimeout).
 	Timeout time.Duration
+	// Profile requests an execution profile on the response: per-operator
+	// rows and wall/own time for federated plans (plus nested sqldb scan/
+	// join frames), an opcode-class and builtin profile from the NQL VM,
+	// and the request's trace spans.
+	Profile bool
 }
 
 // Response is one successful execution.
@@ -93,6 +110,20 @@ type Response struct {
 	Dataset  string        // epoch the query ran against
 	Degraded bool          // true when the breaker rerouted the substrate
 	Duration time.Duration // execution wall time
+	Profile  *QueryProfile // execution profile (only when requested)
+}
+
+// QueryProfile is the EXPLAIN ANALYZE-style execution profile attached to
+// a response when the request set Profile.
+type QueryProfile struct {
+	TraceID string `json:"trace_id,omitempty"`
+	// Operators is the operator tree in pre-order (depth reconstructs the
+	// nesting): federated plan nodes with nested sqldb scan/join frames.
+	Operators []obs.OpStat `json:"operators,omitempty"`
+	// VM is the NQL VM's opcode-class and builtin time/alloc profile.
+	VM *nql.VMProfileReport `json:"vm,omitempty"`
+	// Spans are the request's trace spans (query > bind > execute).
+	Spans []obs.SpanStat `json:"spans,omitempty"`
 }
 
 // ShedError reports a request rejected by admission control; RetryAfter
@@ -142,10 +173,16 @@ type epoch struct {
 	drained  chan struct{}
 }
 
-// tenant is one tenant's admission state.
+// tenant is one tenant's admission state plus its cached metric
+// instruments (resolved once here so the per-request hot path never takes
+// the registry lock).
 type tenant struct {
 	requests *limiter.Bucket
 	gauge    *limiter.Gauge
+
+	reqCtr  *obs.Counter   // netqueryd_tenant_requests_total{tenant=...}
+	shedCtr *obs.Counter   // netqueryd_tenant_shed_total{tenant=...}
+	latency *obs.Histogram // netqueryd_tenant_latency_ns{tenant=...}
 }
 
 // Service is the netqueryd query engine. Safe for concurrent use.
@@ -161,12 +198,59 @@ type Service struct {
 
 	breakers map[string]*Breaker
 
-	served   atomic.Int64
-	shed     atomic.Int64
-	timeouts atomic.Int64
-	failures atomic.Int64
-	degraded atomic.Int64
-	swaps    atomic.Int64
+	// Every counter below lives in reg (rendered by /metricsz); the
+	// fields cache the instruments so Do never takes the registry lock.
+	reg           *obs.Registry
+	resOK         *obs.Counter // netqueryd_results_total{result="ok"}
+	resShed       *obs.Counter // ...{result="shed"}
+	resTimeout    *obs.Counter // ...{result="timeout"}: our deadline fired
+	resDisconnect *obs.Counter // ...{result="disconnect"}: client went away
+	resError      *obs.Counter // ...{result="error"}: other failures
+	degraded      *obs.Counter
+	swaps         *obs.Counter
+	inflight      *obs.Gauge
+	backendCtr    map[string]*obs.Counter
+	backendLat    map[string]*obs.Histogram
+
+	// Trace sampling state: traceEvery = round(1/TraceSample) arrivals per
+	// trace (0 = off); traceSeq rotates through it; traceID names traces.
+	traceEvery int64
+	traceSeq   atomic.Int64
+	traceID    atomic.Int64
+	traces     traceRing
+}
+
+// traceRing keeps the most recent sampled traces for /tracez.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  [32]*obs.Trace
+	next int
+	n    int
+}
+
+func (r *traceRing) add(t *obs.Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// recent returns the retained traces, oldest first.
+func (r *traceRing) recent() []*obs.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*obs.Trace, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
 }
 
 // New builds a service over cfg, applying defaults.
@@ -200,13 +284,40 @@ func New(cfg Config) (*Service, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return nil, fmt.Errorf("service: TraceSample must be in [0, 1], got %g", cfg.TraceSample)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	reg := cfg.Metrics
 	s := &Service{
 		cfg:      cfg,
 		tenants:  map[string]*tenant{},
 		breakers: map[string]*Breaker{},
+
+		reg:           reg,
+		resOK:         reg.Counter("netqueryd_results_total", "result", "ok"),
+		resShed:       reg.Counter("netqueryd_results_total", "result", "shed"),
+		resTimeout:    reg.Counter("netqueryd_results_total", "result", "timeout"),
+		resDisconnect: reg.Counter("netqueryd_results_total", "result", "disconnect"),
+		resError:      reg.Counter("netqueryd_results_total", "result", "error"),
+		degraded:      reg.Counter("netqueryd_degraded_total"),
+		swaps:         reg.Counter("netqueryd_swaps_total"),
+		inflight:      reg.Gauge("netqueryd_inflight"),
+		backendCtr:    map[string]*obs.Counter{},
+		backendLat:    map[string]*obs.Histogram{},
+	}
+	if cfg.TraceSample > 0 {
+		s.traceEvery = int64(1/cfg.TraceSample + 0.5)
+		if s.traceEvery < 1 {
+			s.traceEvery = 1
+		}
 	}
 	for _, b := range substrateCost {
 		s.breakers[b] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now)
+		s.backendCtr[b] = reg.Counter("netqueryd_backend_requests_total", "backend", b)
+		s.backendLat[b] = reg.Histogram("netqueryd_backend_latency_ns", "backend", b)
 	}
 	first := &epoch{name: cfg.DatasetName, builder: cfg.Dataset, drained: make(chan struct{})}
 	s.ep.Store(first)
@@ -222,6 +333,9 @@ func (s *Service) tenantState(name string) *tenant {
 		t = &tenant{
 			requests: limiter.NewBucket(s.cfg.TenantRPS, s.cfg.TenantBurst, s.cfg.now()),
 			gauge:    limiter.NewGauge(s.cfg.TenantConcurrency),
+			reqCtr:   s.reg.Counter("netqueryd_tenant_requests_total", "tenant", name),
+			shedCtr:  s.reg.Counter("netqueryd_tenant_shed_total", "tenant", name),
+			latency:  s.reg.Histogram("netqueryd_tenant_latency_ns", "tenant", name),
 		}
 		s.tenants[name] = t
 	}
@@ -290,7 +404,7 @@ func (s *Service) Swap(name string, builder nemoeval.InstanceBuilder) error {
 	next := &epoch{name: name, builder: builder, drained: make(chan struct{})}
 	old := s.ep.Swap(next)
 	<-old.close()
-	s.swaps.Add(1)
+	s.swaps.Inc()
 	return nil
 }
 
@@ -393,13 +507,16 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 
 	// Admission: shed over-budget work before paying for anything else.
 	t := s.tenantState(req.Tenant)
+	t.reqCtr.Inc()
 	ok, retryAfter := t.requests.TryTake(1, s.cfg.now())
 	if !ok {
-		s.shed.Add(1)
+		s.resShed.Inc()
+		t.shedCtr.Inc()
 		return nil, &ShedError{Reason: "request rate", RetryAfter: retryAfter}
 	}
 	if !t.gauge.Acquire() {
-		s.shed.Add(1)
+		s.resShed.Inc()
+		t.shedCtr.Inc()
 		return nil, &ShedError{Reason: "concurrency", RetryAfter: 10 * time.Millisecond}
 	}
 	defer t.gauge.Release()
@@ -422,56 +539,119 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	// Tracing: profiled requests are always traced; otherwise the sampler
+	// admits one arrival per traceEvery. Untraced requests leave tr nil
+	// and every span operation below no-ops.
+	var tr *obs.Trace
+	if req.Profile || (s.traceEvery > 0 && s.traceSeq.Add(1)%s.traceEvery == 0) {
+		tr = obs.NewTrace(fmt.Sprintf("%s-%d", req.Tenant, s.traceID.Add(1)))
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	ctx, root := obs.StartSpan(ctx, "query")
+	root.Tag("tenant", req.Tenant)
+	root.Tag("backend", backend)
+	if req.QueryID != "" {
+		root.Tag("query_id", req.QueryID)
+	}
+	defer func() {
+		root.End()
+		if tr != nil {
+			s.traces.add(tr)
+		}
+	}()
+
+	// Profiling: the operator profile rides the context (federate and
+	// sqldb pick it up), the VM profile rides the sandbox policy.
+	var prof *obs.Profile
+	var vmProf *nql.VMProfile
+	if req.Profile {
+		prof = obs.NewProfile()
+		vmProf = nql.NewVMProfile()
+		ctx = obs.WithProfile(ctx, prof)
+	}
+
 	ep, err := s.acquire()
 	if err != nil {
 		return nil, err
 	}
 	defer ep.release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 
+	bctx, bind := obs.StartSpan(ctx, "bind")
 	inst := ep.builder()
+	globals := inst.Bindings(backend)
+	bind.End()
+	_, exec := obs.StartSpan(bctx, "execute")
 	policy := s.cfg.Policy
 	policy.Context = ctx
+	policy.Profile = vmProf
 	start := s.cfg.now()
-	res := sandbox.Run(src, inst.Bindings(backend), policy)
+	res := sandbox.Run(src, globals, policy)
+	d := s.cfg.now().Sub(start)
+	exec.TagInt("steps", int64(res.Steps))
+	exec.End()
+
+	t.latency.ObserveDuration(d)
+	s.backendCtr[backend].Inc()
+	s.backendLat[backend].ObserveDuration(d)
 
 	// Feed the breaker: only our own deadline firing counts as a substrate
 	// timeout — a client disconnect says nothing about substrate health.
+	// The two are split in the result counters too: "timeout" is the
+	// server's deadline, "disconnect" is the client abandoning the query.
 	timedOut := errors.Is(res.Err, context.DeadlineExceeded)
+	disconnected := !timedOut && errors.Is(res.Err, context.Canceled)
 	s.breakers[backend].Record(timedOut)
 	if degraded {
-		s.degraded.Add(1)
+		s.degraded.Inc()
 	}
 	if res.Err != nil {
-		if timedOut {
-			s.timeouts.Add(1)
-		} else {
-			s.failures.Add(1)
+		switch {
+		case timedOut:
+			s.resTimeout.Inc()
+		case disconnected:
+			s.resDisconnect.Inc()
+		default:
+			s.resError.Inc()
 		}
 		return nil, &QueryError{Class: res.ErrClass, Err: res.Err}
 	}
-	s.served.Add(1)
-	return &Response{
+	s.resOK.Inc()
+	resp := &Response{
 		Value:    res.Value,
 		Result:   nql.Repr(res.Value),
 		Stdout:   res.Stdout,
 		Backend:  backend,
 		Dataset:  ep.name,
 		Degraded: degraded,
-		Duration: s.cfg.now().Sub(start),
-	}, nil
+		Duration: d,
+	}
+	if req.Profile {
+		root.End() // fix the root span before snapshotting
+		resp.Profile = &QueryProfile{
+			TraceID:   tr.ID,
+			Operators: prof.Flatten(),
+			VM:        vmProf.Report(),
+			Spans:     tr.Snapshot(),
+		}
+	}
+	return resp, nil
 }
 
-// Stats is a counter snapshot for /statsz and tests.
+// Stats is a counter snapshot for /statsz and tests, derived from the
+// same obs registry /metricsz renders.
 type Stats struct {
-	Served   int64             // successful executions
-	Shed     int64             // rejected by admission control
-	Timeouts int64             // deadline-exceeded executions
-	Failures int64             // other execution failures
-	Degraded int64             // requests rerouted by an open breaker
-	Swaps    int64             // completed dataset swaps
-	Inflight int               // queries running right now
-	Dataset  string            // current epoch name
-	Breakers map[string]string // substrate → breaker state
+	Served      int64             // successful executions
+	Shed        int64             // rejected by admission control
+	Timeouts    int64             // server-deadline-exceeded executions
+	Disconnects int64             // client-disconnect-cancelled executions
+	Failures    int64             // other execution failures
+	Degraded    int64             // requests rerouted by an open breaker
+	Swaps       int64             // completed dataset swaps
+	Inflight    int               // queries running right now
+	Dataset     string            // current epoch name
+	Breakers    map[string]string // substrate → breaker state
 }
 
 // Stats snapshots the service counters and breaker states.
@@ -482,21 +662,29 @@ func (s *Service) Stats() Stats {
 	name := e.name
 	e.mu.Unlock()
 	st := Stats{
-		Served:   s.served.Load(),
-		Shed:     s.shed.Load(),
-		Timeouts: s.timeouts.Load(),
-		Failures: s.failures.Load(),
-		Degraded: s.degraded.Load(),
-		Swaps:    s.swaps.Load(),
-		Inflight: inflight,
-		Dataset:  name,
-		Breakers: map[string]string{},
+		Served:      s.resOK.Load(),
+		Shed:        s.resShed.Load(),
+		Timeouts:    s.resTimeout.Load(),
+		Disconnects: s.resDisconnect.Load(),
+		Failures:    s.resError.Load(),
+		Degraded:    s.degraded.Load(),
+		Swaps:       s.swaps.Load(),
+		Inflight:    inflight,
+		Dataset:     name,
+		Breakers:    map[string]string{},
 	}
 	for b, br := range s.breakers {
 		st.Breakers[b] = br.State()
 	}
 	return st
 }
+
+// Metrics returns the registry the service records into, for mounting on
+// /metricsz (possibly shared with other components).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// RecentTraces snapshots the most recent sampled traces, oldest first.
+func (s *Service) RecentTraces() []*obs.Trace { return s.traces.recent() }
 
 // Substrates lists the substrates the service routes across, cheapest
 // first (the breaker-degradation order).

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/dataframe"
+	"repro/internal/obs"
 )
 
 // cancelCheckEvery is the executor's row-loop checkpoint stride: the
@@ -38,19 +39,36 @@ type workingSet struct {
 }
 
 func (db *DB) execSelect(ctx context.Context, s *SelectStmt) (*dataframe.Frame, error) {
+	// Profiling is opt-in via the statement context (obs.WithProfile); an
+	// unprofiled query pays one context lookup and nil-safe no-op calls.
+	prof := obs.ProfileFrom(ctx)
+	sel := prof.Enter("sql.select", selectDetail(s))
+	out, err := db.execSelectBody(ctx, prof, s)
+	rows := int64(-1)
+	if err == nil && out != nil {
+		rows = int64(out.NumRows())
+	}
+	prof.Exit(sel, rows)
+	return out, err
+}
+
+func (db *DB) execSelectBody(ctx context.Context, prof *obs.Profile, s *SelectStmt) (*dataframe.Frame, error) {
 	ws, err := db.buildFrom(ctx, s)
 	if err != nil {
 		return nil, err
 	}
 	// WHERE
 	if s.Where != nil {
+		filt := prof.Enter("sql.filter", "")
 		filtered := ws.rows[:0:0]
 		for ri, row := range ws.rows {
 			if err := cancelled(ctx, ri); err != nil {
+				prof.Exit(filt, -1)
 				return nil, err
 			}
 			ok, err := evalBool(s.Where, row)
 			if err != nil {
+				prof.Exit(filt, -1)
 				return nil, err
 			}
 			if ok {
@@ -58,6 +76,7 @@ func (db *DB) execSelect(ctx context.Context, s *SelectStmt) (*dataframe.Frame, 
 			}
 		}
 		ws.rows = filtered
+		prof.Exit(filt, int64(len(ws.rows)))
 	}
 
 	aggregated := len(s.GroupBy) > 0 || s.Having != nil || selectHasAggregate(s.Items)
@@ -133,7 +152,10 @@ func (db *DB) buildFrom(ctx context.Context, s *SelectStmt) (*workingSet, error)
 	if alias == "" {
 		alias = s.From.Name
 	}
+	prof := obs.ProfileFrom(ctx)
+	scan := prof.Enter("sql.scan", s.From.Name)
 	ws.rows = tableScopes(base, alias)
+	prof.Exit(scan, int64(len(ws.rows)))
 	for _, c := range base.Columns() {
 		ws.cols = append(ws.cols, alias+"."+c)
 	}
@@ -146,71 +168,107 @@ func (db *DB) buildFrom(ctx context.Context, s *SelectStmt) (*workingSet, error)
 		if ralias == "" {
 			ralias = j.Table.Name
 		}
+		jf := prof.Enter("sql.join", joinDetail(j))
+		rscan := prof.Enter("sql.scan", j.Table.Name)
 		rightRows := tableScopes(right, ralias)
-		// Hash-join fast path: when the ON clause contains an equality
-		// between a left column and a right column, bucket the right side
-		// by that key and probe instead of the quadratic nested loop. Any
-		// remaining ON conjuncts are still evaluated per candidate pair.
-		leftKey, rightKey, residual := equiJoinKeys(j.On, ws.cols, right.Columns(), ralias)
-		var rightIndex map[joinKey][]scope
-		if leftKey != nil {
-			rightIndex = make(map[joinKey][]scope, len(rightRows))
-			for _, r := range rightRows {
-				v, err := r.lookup(rightKey)
-				if err != nil {
-					return nil, err
-				}
-				k := keyOf(v)
-				rightIndex[k] = append(rightIndex[k], r)
-			}
-		}
-		var joined []scope
-		for li, l := range ws.rows {
-			if err := cancelled(ctx, li); err != nil {
-				return nil, err
-			}
-			candidates := rightRows
-			if rightIndex != nil {
-				lv, err := l.lookup(leftKey)
-				if err != nil {
-					return nil, err
-				}
-				candidates = rightIndex[keyOf(lv)]
-			}
-			matched := false
-			for _, r := range candidates {
-				merged := mergeScopes(l, r)
-				cond := residual
-				if rightIndex == nil {
-					cond = j.On
-				}
-				ok := true
-				if cond != nil {
-					var err error
-					ok, err = evalBool(cond, merged)
-					if err != nil {
-						return nil, err
-					}
-				}
-				if ok {
-					joined = append(joined, merged)
-					matched = true
-				}
-			}
-			if !matched && j.Kind == "left" {
-				nulls := scope{}
-				for _, c := range right.Columns() {
-					nulls[ralias+"."+c] = nil
-				}
-				joined = append(joined, mergeScopes(l, nulls))
-			}
+		prof.Exit(rscan, int64(len(rightRows)))
+		joined, err := joinRows(ctx, ws, j, right, rightRows, ralias)
+		if err != nil {
+			prof.Exit(jf, -1)
+			return nil, err
 		}
 		ws.rows = joined
+		prof.Exit(jf, int64(len(joined)))
 		for _, c := range right.Columns() {
 			ws.cols = append(ws.cols, ralias+"."+c)
 		}
 	}
 	return ws, nil
+}
+
+// joinDetail renders one JOIN clause for a profile frame.
+func joinDetail(j JoinClause) string {
+	kind := j.Kind
+	if kind == "" {
+		kind = "inner"
+	}
+	name := j.Table.Name
+	if j.Table.Alias != "" && j.Table.Alias != j.Table.Name {
+		name += " " + j.Table.Alias
+	}
+	return kind + " " + name
+}
+
+// selectDetail renders the FROM shape of a SELECT for a profile frame.
+func selectDetail(s *SelectStmt) string {
+	if s.From == nil {
+		return ""
+	}
+	return s.From.Name
+}
+
+// joinRows joins ws against one table per the JOIN clause, via the hash
+// fast path when equiJoinKeys finds a usable equality.
+func joinRows(ctx context.Context, ws *workingSet, j JoinClause, right *dataframe.Frame, rightRows []scope, ralias string) ([]scope, error) {
+	// Hash-join fast path: when the ON clause contains an equality
+	// between a left column and a right column, bucket the right side
+	// by that key and probe instead of the quadratic nested loop. Any
+	// remaining ON conjuncts are still evaluated per candidate pair.
+	leftKey, rightKey, residual := equiJoinKeys(j.On, ws.cols, right.Columns(), ralias)
+	var rightIndex map[joinKey][]scope
+	if leftKey != nil {
+		rightIndex = make(map[joinKey][]scope, len(rightRows))
+		for _, r := range rightRows {
+			v, err := r.lookup(rightKey)
+			if err != nil {
+				return nil, err
+			}
+			k := keyOf(v)
+			rightIndex[k] = append(rightIndex[k], r)
+		}
+	}
+	var joined []scope
+	for li, l := range ws.rows {
+		if err := cancelled(ctx, li); err != nil {
+			return nil, err
+		}
+		candidates := rightRows
+		if rightIndex != nil {
+			lv, err := l.lookup(leftKey)
+			if err != nil {
+				return nil, err
+			}
+			candidates = rightIndex[keyOf(lv)]
+		}
+		matched := false
+		for _, r := range candidates {
+			merged := mergeScopes(l, r)
+			cond := residual
+			if rightIndex == nil {
+				cond = j.On
+			}
+			ok := true
+			if cond != nil {
+				var err error
+				ok, err = evalBool(cond, merged)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				joined = append(joined, merged)
+				matched = true
+			}
+		}
+		if !matched && j.Kind == "left" {
+			nulls := scope{}
+			for _, c := range right.Columns() {
+				nulls[ralias+"."+c] = nil
+			}
+			joined = append(joined, mergeScopes(l, nulls))
+		}
+	}
+	return joined, nil
 }
 
 // equiJoinKeys extracts one "left.col = right.col" equality from an ON

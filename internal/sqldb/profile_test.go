@@ -1,0 +1,77 @@
+package sqldb
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataframe"
+	"repro/internal/obs"
+)
+
+func profileTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	nodes := dataframe.New("id", "kind")
+	nodes.AppendRow("a", "spine")
+	nodes.AppendRow("b", "leaf")
+	nodes.AppendRow("c", "leaf")
+	db.CreateTable("nodes", nodes)
+	edges := dataframe.New("src", "dst")
+	edges.AppendRow("a", "b")
+	edges.AppendRow("a", "c")
+	edges.AppendRow("b", "c")
+	db.CreateTable("edges", edges)
+	return db
+}
+
+func TestQueryProfileScanJoinFrames(t *testing.T) {
+	db := profileTestDB(t)
+	prof := obs.NewProfile()
+	ctx := obs.WithProfile(context.Background(), prof)
+	out, err := db.QueryContext(ctx,
+		`SELECT n.id FROM nodes n JOIN edges e ON n.id = e.src WHERE n.kind = 'leaf'`)
+	if err != nil {
+		t.Fatalf("QueryContext: %v", err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+	flat := prof.Flatten()
+	byOp := map[string][]obs.OpStat{}
+	for _, st := range flat {
+		byOp[st.Op] = append(byOp[st.Op], st)
+	}
+	sel := byOp["sql.select"]
+	if len(sel) != 1 || sel[0].Depth != 0 || sel[0].Rows != 1 || sel[0].Detail != "nodes" {
+		t.Fatalf("sql.select frame = %+v", sel)
+	}
+	scans := byOp["sql.scan"]
+	if len(scans) != 2 {
+		t.Fatalf("got %d sql.scan frames, want 2 (base + join side): %+v", len(scans), flat)
+	}
+	if scans[0].Detail != "nodes" || scans[0].Rows != 3 {
+		t.Fatalf("base scan = %+v", scans[0])
+	}
+	if scans[1].Detail != "edges" || scans[1].Rows != 3 {
+		t.Fatalf("join-side scan = %+v", scans[1])
+	}
+	join := byOp["sql.join"]
+	if len(join) != 1 || join[0].Detail != "inner edges e" || join[0].Rows != 3 {
+		t.Fatalf("join frame = %+v", join)
+	}
+	filt := byOp["sql.filter"]
+	if len(filt) != 1 || filt[0].Rows != 1 {
+		t.Fatalf("filter frame = %+v", filt)
+	}
+}
+
+func TestQueryUnprofiledUnchanged(t *testing.T) {
+	db := profileTestDB(t)
+	out, err := db.Query(`SELECT COUNT(*) AS n FROM edges`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+}
