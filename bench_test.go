@@ -463,6 +463,55 @@ func BenchmarkFederatedJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkFederatedPipeline compares the staged columnar executor against
+// the legacy row-at-a-time recursive executor on the same prepared plan —
+// a filtered scan aggregated and sorted over a larger traffic graph, where
+// batching and stage overlap should pay. Run keeps routing through Prepare
+// (pipeline mode); Exec is the retained recursive path.
+func BenchmarkFederatedPipeline(b *testing.B) {
+	cfg := nemoeval.DefaultTrafficConfig
+	cfg.Nodes, cfg.Edges = 600, 6000
+	inst := nemoeval.TrafficDataset(cfg)()
+	cat := inst.Federation()
+	plan := federate.Node(&federate.Sort{
+		Ascending: false, Cols: []string{"total"},
+		Input: &federate.Aggregate{
+			GroupBy: []string{"src"},
+			Aggs: []federate.AggSpec{
+				{Col: "bytes", Fn: "sum", As: "total"},
+				{Col: "bytes", Fn: "count", As: "n"},
+			},
+			Input: &federate.Filter{
+				Input: &federate.Scan{Source: federate.SourceSQL, Table: "edges"},
+				Pred:  federate.Cmp{Col: "bytes", Op: ">", Value: int64(1000)},
+			},
+		},
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel, err := federate.Run(cat, plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rel.NumRows() == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		opt := federate.Optimize(plan)
+		for i := 0; i < b.N; i++ {
+			rel, err := federate.Exec(cat, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rel.NumRows() == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+}
+
 // BenchmarkFederatedGoldenQuery runs a complete federated golden (plan
 // construction in NQL + execution) against a fresh instance per iteration,
 // the federated analogue of BenchmarkSandboxGoldenQuery.

@@ -3,17 +3,22 @@
 // watched benchmarks, per the ROADMAP's perf-trajectory gate: >10% worse
 // on any gated metric of Table2 / Table4 / GraphClone / GraphPageRank /
 // SandboxGoldenQuery / NQLVM / StreamSweep / GatewayThroughput /
-// ServiceQuery fails the diff. Time (ns/op), the allocation bill (B/op,
-// allocs/op) and tail latency (the p99-ns custom metric, when a benchmark
+// ServiceQuery / FederatedJoin / FederatedGoldenQuery fails the diff.
+// Time (ns/op) and the allocation bill (B/op, allocs/op) are gated at
+// -threshold; tail latency (the p99-ns custom metric, when a benchmark
 // reports one — open-loop load benchmarks pin ns/op to the arrival
-// schedule, so their tail is the real signal) are gated alike — a PR that
-// gets faster by allocating wildly more, or leaner by getting slower,
-// fails.
+// schedule, so their tail is the real signal) is gated at the wider
+// -p99-threshold, because p99 is an order statistic rendered from
+// log-bucketed histograms whose bucket step (~12% in the observed range)
+// exceeds the base threshold: identical code wobbles one bucket run to
+// run. A PR that gets faster by allocating wildly more, or leaner by
+// getting slower, still fails.
 //
 // Usage:
 //
 //	benchdiff [-old BENCH_1.json] [-new BENCH_2.json]
-//	          [-threshold 0.10] [-watch Table2,GraphClone,...]
+//	          [-threshold 0.10] [-p99-threshold 0.25]
+//	          [-watch Table2,GraphClone,...]
 //
 // Without -old/-new it auto-discovers the two highest-numbered
 // BENCH_<n>.json files in the current directory and compares them. Exits 1
@@ -66,12 +71,13 @@ var (
 )
 
 // defaultWatch is the ROADMAP's regression watchlist.
-const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep,GatewayThroughput,ServiceQuery,ObsOverhead/disabled"
+const defaultWatch = "Table2,Table4,GraphClone,GraphPageRank,SandboxGoldenQuery,NQLVM,StreamSweep,GatewayThroughput,ServiceQuery,ObsOverhead/disabled,FederatedJoin,FederatedGoldenQuery"
 
 func main() {
 	oldPath := flag.String("old", "", "baseline BENCH_<n>.json (default: second-newest in .)")
 	newPath := flag.String("new", "", "candidate BENCH_<n>.json (default: newest in .)")
 	threshold := flag.Float64("threshold", 0.10, "relative ns/op, B/op or allocs/op increase that counts as a regression")
+	p99Threshold := flag.Float64("p99-threshold", 0.25, "relative p99-ns increase that counts as a regression; wider than -threshold because p99 is an order statistic read from log-bucketed histograms (~12% per bucket), so a one-bucket wobble on identical code already exceeds 10%")
 	watch := flag.String("watch", defaultWatch, "comma-separated benchmark name substrings to gate on")
 	flag.Parse()
 
@@ -98,7 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	report, regressed := diff(oldM, newM, splitWatch(*watch), *threshold)
+	report, regressed := diff(oldM, newM, splitWatch(*watch), *threshold, *p99Threshold)
 	fmt.Printf("benchdiff: %s -> %s (threshold %+.0f%%)\n", *oldPath, *newPath, *threshold*100)
 	fmt.Print(report)
 	if regressed {
@@ -273,9 +279,10 @@ func fmtDelta(d float64) string {
 
 // diff renders the comparison of every watched benchmark and reports
 // whether any regressed beyond the threshold on any gated metric (ns/op,
-// B/op, allocs/op). Unwatched benchmarks are listed only when their ns/op
-// regressed, as informational lines.
-func diff(oldM, newM map[string]measure, watch []string, threshold float64) (string, bool) {
+// B/op, allocs/op at threshold; p99-ns at the wider p99Threshold).
+// Unwatched benchmarks are listed only when their ns/op regressed, as
+// informational lines.
+func diff(oldM, newM map[string]measure, watch []string, threshold, p99Threshold float64) (string, bool) {
 	names := make([]string, 0, len(newM))
 	for name := range newM {
 		names = append(names, name)
@@ -313,13 +320,9 @@ func diff(oldM, newM map[string]measure, watch []string, threshold float64) (str
 		aDelta := metricDelta(before.allocs, after.allocs)
 		pDelta := metricDelta(before.p99, after.p99)
 		flag := ""
-		worst := nsDelta
-		for _, d := range []float64{bDelta, aDelta, pDelta} {
-			if !math.IsNaN(d) && (math.IsNaN(worst) || d > worst) {
-				worst = d
-			}
-		}
-		if !math.IsNaN(worst) && worst > threshold {
+		exceeded := func(d, limit float64) bool { return !math.IsNaN(d) && d > limit }
+		if exceeded(nsDelta, threshold) || exceeded(bDelta, threshold) ||
+			exceeded(aDelta, threshold) || exceeded(pDelta, p99Threshold) {
 			if gate {
 				flag = "  REGRESSION"
 				regressed = true

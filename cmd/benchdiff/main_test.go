@@ -62,7 +62,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 		"BenchmarkFederatedJoin":      {ns: 42},                         // new watched entries are informational
 	}
 	watch := splitWatch(defaultWatch + ",FederatedJoin")
-	report, regressed := diff(oldM, newM, watch, 0.10)
+	report, regressed := diff(oldM, newM, watch, 0.10, 0.25)
 	if !regressed {
 		t.Fatalf("expected regression:\n%s", report)
 	}
@@ -87,7 +87,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	// Within threshold on every watched benchmark -> clean diff.
 	newM["BenchmarkGraphPageRank"] = measure{ns: 210, bytes: nan, allocs: nan}
 	newM["BenchmarkTable4"] = measure{ns: 900, bytes: 95, allocs: 10}
-	report, regressed = diff(oldM, newM, watch, 0.10)
+	report, regressed = diff(oldM, newM, watch, 0.10, 0.25)
 	if regressed {
 		t.Errorf("unexpected regression:\n%s", report)
 	}
@@ -96,16 +96,43 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestDiffP99UsesOwnThreshold(t *testing.T) {
+	// p99 is gated at its own (wider) threshold: a +15% tail move passes
+	// under a 0.25 p99 gate even with ns/B/allocs gated at 0.10, but the
+	// same move is a regression when the p99 gate is tightened to 0.10.
+	oldM := map[string]measure{
+		"BenchmarkServiceQuery": {ns: 1000, bytes: 100, allocs: 10, p99: 80000},
+	}
+	newM := map[string]measure{
+		"BenchmarkServiceQuery": {ns: 1000, bytes: 100, allocs: 10, p99: 92000},
+	}
+	watch := splitWatch(defaultWatch)
+	report, regressed := diff(oldM, newM, watch, 0.10, 0.25)
+	if regressed {
+		t.Errorf("+15%% p99 flagged under the 0.25 p99 gate:\n%s", report)
+	}
+	report, regressed = diff(oldM, newM, watch, 0.10, 0.10)
+	if !regressed {
+		t.Errorf("+15%% p99 not flagged under a 0.10 p99 gate:\n%s", report)
+	}
+	// A +30% tail move exceeds even the wide gate.
+	newM["BenchmarkServiceQuery"] = measure{ns: 1000, bytes: 100, allocs: 10, p99: 104000}
+	report, regressed = diff(oldM, newM, watch, 0.10, 0.25)
+	if !regressed {
+		t.Errorf("+30%% p99 not flagged under the 0.25 p99 gate:\n%s", report)
+	}
+}
+
 func TestDiffFlagsZeroBaselineGrowth(t *testing.T) {
 	oldM := map[string]measure{"BenchmarkNQLVM": {ns: 100, bytes: 0, allocs: 0}}
 	newM := map[string]measure{"BenchmarkNQLVM": {ns: 100, bytes: 500, allocs: 20}}
-	report, regressed := diff(oldM, newM, splitWatch(defaultWatch), 0.10)
+	report, regressed := diff(oldM, newM, splitWatch(defaultWatch), 0.10, 0.25)
 	if !regressed {
 		t.Fatalf("zero-baseline allocation growth not flagged:\n%s", report)
 	}
 	// Staying at zero is clean.
 	newM["BenchmarkNQLVM"] = measure{ns: 100, bytes: 0, allocs: 0}
-	report, regressed = diff(oldM, newM, splitWatch(defaultWatch), 0.10)
+	report, regressed = diff(oldM, newM, splitWatch(defaultWatch), 0.10, 0.25)
 	if regressed {
 		t.Fatalf("zero-to-zero flagged as regression:\n%s", report)
 	}

@@ -14,11 +14,14 @@ import (
 	"repro/internal/obs"
 )
 
-// Run optimizes a logical plan and executes it against the catalog. The
-// catalog is only read: scans lift rows out of the substrates, every later
-// stage operates on the lifted relation.
+// Run optimizes a logical plan, plans it against the catalog's statistics
+// (recalling cached decisions when the catalog carries an epoch) and
+// executes it — through the pipelined columnar executor where classify
+// allows, the recursive row executor otherwise. The catalog is only read:
+// scans lift rows out of the substrates, every later stage operates on the
+// lifted relation.
 func Run(cat *Catalog, plan Node) (*Relation, error) {
-	return Exec(cat, Optimize(plan))
+	return Prepare(cat, plan).ExecuteContext(context.Background(), cat)
 }
 
 // RunContext is Run under a cancellable context: operator row loops poll
@@ -26,7 +29,17 @@ func Run(cat *Catalog, plan Node) (*Relation, error) {
 // ctx.Err() once it is cancelled or past its deadline. The caller's
 // catalog is not mutated (the context rides a per-run shallow copy).
 func RunContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error) {
-	return ExecContext(ctx, cat, Optimize(plan))
+	return Prepare(cat, plan).ExecuteContext(ctx, cat)
+}
+
+// ExecuteContext executes a prepared plan against a catalog sharing the
+// Prepare-time catalog's epoch (any catalog works — decisions re-validate
+// against live state at execution time).
+func (p *Prepared) ExecuteContext(ctx context.Context, cat *Catalog) (*Relation, error) {
+	if p.mode != modePipeline {
+		return ExecContext(ctx, cat, p.plan)
+	}
+	return runPipeline(ctx, cat, p)
 }
 
 // ExecContext executes an already-optimized plan under a cancellable
@@ -387,17 +400,13 @@ func execFilter(cat *Catalog, f *Filter) (*Relation, error) {
 	switch p := f.Pred.(type) {
 	case Cmp:
 		return finishScan(cat, in, []Cmp{p}, nil)
-	case FuncPred:
+	case FuncPred, And:
 		out := &Relation{Cols: in.Cols}
 		for i, row := range in.Rows {
 			if err := cat.cancelled(i); err != nil {
 				return nil, err
 			}
-			m := nql.NewMap()
-			for j, c := range in.Cols {
-				_ = m.Set(c, row[j])
-			}
-			keep, err := p.Fn(m)
+			keep, err := evalPred(in, row, p)
 			if err != nil {
 				return nil, err
 			}
@@ -408,6 +417,40 @@ func execFilter(cat *Catalog, f *Filter) (*Relation, error) {
 		return out, nil
 	default:
 		return nil, fmt.Errorf("federate: unsupported predicate %T", f.Pred)
+	}
+}
+
+// evalPred evaluates one predicate against a row: Cmp resolves its column
+// lazily (like rowMatches), FuncPred lifts the row to a map, And
+// short-circuits left to right.
+func evalPred(rel *Relation, row []nql.Value, pred Pred) (bool, error) {
+	switch p := pred.(type) {
+	case Cmp:
+		i, err := rel.colIndex(p.Col)
+		if err != nil {
+			return false, err
+		}
+		return evalCmp(p.Op, row[i], p.Value)
+	case FuncPred:
+		m := nql.NewMap()
+		for j, c := range rel.Cols {
+			_ = m.Set(c, row[j])
+		}
+		keep, err := p.Fn(m)
+		if err != nil {
+			return false, err
+		}
+		return keep, nil
+	case And:
+		for _, sub := range p.Preds {
+			ok, err := evalPred(rel, row, sub)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("federate: unsupported predicate %T", pred)
 	}
 }
 
@@ -448,6 +491,16 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return joinRelations(cat, j, false, left, right)
+}
+
+// joinRelations is the hash equi-join over two materialized inputs, shared
+// by the recursive executor (always build-right) and the pipelined join
+// stage (build side chosen by the planner). Output is identical either
+// way: left-major, each left row's matches in right-row order; key errors
+// keep their legacy precedence (all right keys are computed before any
+// left key) regardless of the build side.
+func joinRelations(cat *Catalog, j *Join, buildLeft bool, left, right *Relation) (*Relation, error) {
 	li, err := left.colIndex(j.LeftKey)
 	if err != nil {
 		return nil, err
@@ -475,28 +528,53 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 		taken[c] = true
 		cols = append(cols, c)
 	}
-	// Hash the right side; matches preserve right-row order per left row.
-	index := map[string][]int{}
+	rkeys := make([]vkey, len(right.Rows))
 	for i, row := range right.Rows {
 		if err := cat.cancelled(i); err != nil {
 			return nil, err
 		}
-		k, err := hashKey(row[ri])
+		k, err := valueKey(row[ri])
 		if err != nil {
 			return nil, fmt.Errorf("federate: join key %s: %w", j.RightKey, err)
 		}
-		index[k] = append(index[k], i)
+		rkeys[i] = k
 	}
-	out := &Relation{Cols: cols}
-	for li2, lrow := range left.Rows {
-		if err := cat.cancelled(li2); err != nil {
+	lkeys := make([]vkey, len(left.Rows))
+	for i, row := range left.Rows {
+		if err := cat.cancelled(i); err != nil {
 			return nil, err
 		}
-		k, err := hashKey(lrow[li])
+		k, err := valueKey(row[li])
 		if err != nil {
 			return nil, fmt.Errorf("federate: join key %s: %w", j.LeftKey, err)
 		}
-		for _, i := range index[k] {
+		lkeys[i] = k
+	}
+	// matches[i] lists, in right-row order, the right rows joining left row
+	// i; built by probing whichever side is hashed.
+	matches := make([][]int, len(left.Rows))
+	if buildLeft {
+		index := make(map[vkey][]int, len(left.Rows))
+		for i, k := range lkeys {
+			index[k] = append(index[k], i)
+		}
+		for ji, k := range rkeys {
+			for _, i := range index[k] {
+				matches[i] = append(matches[i], ji)
+			}
+		}
+	} else {
+		index := make(map[vkey][]int, len(right.Rows))
+		for ji, k := range rkeys {
+			index[k] = append(index[k], ji)
+		}
+		for i, k := range lkeys {
+			matches[i] = index[k]
+		}
+	}
+	out := &Relation{Cols: cols}
+	for i, lrow := range left.Rows {
+		for _, ji := range matches[i] {
 			// Checkpoint on output rows too: a skewed key can fan one left
 			// row out to millions of matches, and the per-left-row poll
 			// alone would leave cancellation latency unbounded. The nil
@@ -509,7 +587,7 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 			row := make([]nql.Value, 0, len(cols))
 			row = append(row, lrow...)
 			for _, c := range rightCols {
-				row = append(row, right.Rows[i][c])
+				row = append(row, right.Rows[ji][c])
 			}
 			out.Rows = append(out.Rows, row)
 		}
@@ -517,23 +595,61 @@ func execJoin(cat *Catalog, j *Join) (*Relation, error) {
 	return out, nil
 }
 
-// hashKey renders a scalar join/group key canonically (numbers compare
-// across int64/float64, mirroring the dataframe's value semantics).
-func hashKey(v nql.Value) (string, error) {
+// vkey is the comparable hash key for a scalar join/group value (the
+// sqldb struct-key idiom, replacing the old canonical-string rendering).
+// Numbers collapse across int64/float64 by keying on the float64 bit
+// pattern, with every NaN canonicalized to a single representation so NaN
+// keys still group together; -0.0 and 0.0 stay distinct, exactly like the
+// old "%v" rendering.
+type vkey struct {
+	kind uint8 // 0 nil, 1 bool, 2 number, 3 string
+	bits uint64
+	str  string
+}
+
+// valueKey builds the hash key for a scalar value; non-scalar values are
+// unhashable, with the same error as the old string rendering.
+func valueKey(v nql.Value) (vkey, error) {
 	switch x := v.(type) {
 	case nil:
-		return "\x00", nil
+		return vkey{}, nil
 	case bool:
-		return fmt.Sprintf("\x01%v", x), nil
+		var b uint64
+		if x {
+			b = 1
+		}
+		return vkey{kind: 1, bits: b}, nil
 	case int64:
-		return fmt.Sprintf("\x02%v", float64(x)), nil
+		return vkey{kind: 2, bits: canonFloatBits(float64(x))}, nil
 	case float64:
-		return fmt.Sprintf("\x02%v", x), nil
+		return vkey{kind: 2, bits: canonFloatBits(x)}, nil
 	case string:
-		return "\x03" + x, nil
+		return vkey{kind: 3, str: x}, nil
 	default:
-		return "", fmt.Errorf("unhashable value of type %s", nql.TypeName(v))
+		return vkey{}, fmt.Errorf("unhashable value of type %s", nql.TypeName(v))
 	}
+}
+
+func canonFloatBits(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
+
+// appendTo serializes a vkey into a composite group-key buffer (kind
+// byte, then the payload, then a field separator).
+func (k vkey) appendTo(buf []byte) []byte {
+	buf = append(buf, k.kind)
+	switch k.kind {
+	case 1, 2:
+		buf = append(buf,
+			byte(k.bits>>56), byte(k.bits>>48), byte(k.bits>>40), byte(k.bits>>32),
+			byte(k.bits>>24), byte(k.bits>>16), byte(k.bits>>8), byte(k.bits))
+	case 3:
+		buf = append(buf, k.str...)
+	}
+	return append(buf, 0x1f)
 }
 
 func execAggregate(cat *Catalog, a *Aggregate) (*Relation, error) {
@@ -541,6 +657,48 @@ func execAggregate(cat *Catalog, a *Aggregate) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	st, err := newAggState(a, in.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for ri, row := range in.Rows {
+		if err := cat.cancelled(ri); err != nil {
+			return nil, err
+		}
+		if err := st.add(row); err != nil {
+			return nil, err
+		}
+	}
+	return st.finish(), nil
+}
+
+// aggGroup is one group's key values and accumulators.
+type aggGroup struct {
+	key  []nql.Value
+	accs []*agg
+}
+
+// aggState is the streaming core of Aggregate, shared by the recursive
+// executor and the pipelined aggregate stage: column resolution happens at
+// construction (so an unknown column errors even over empty input, in the
+// legacy order — group keys first, then each spec's function before its
+// column), rows fold in one at a time, and finish emits groups in
+// first-appearance order.
+type aggState struct {
+	a    *Aggregate
+	cols []string
+	gidx []int
+	aidx []int
+	// Single-column groups hash on the comparable struct key directly;
+	// composite groups serialize the per-column keys into one buffer.
+	single map[vkey]*aggGroup
+	groups map[string]*aggGroup
+	order  []*aggGroup
+	kbuf   []byte
+}
+
+func newAggState(a *Aggregate, cols []string) (*aggState, error) {
+	in := &Relation{Cols: cols}
 	gidx := make([]int, len(a.GroupBy))
 	for i, c := range a.GroupBy {
 		j, err := in.colIndex(c)
@@ -564,77 +722,94 @@ func execAggregate(cat *Catalog, a *Aggregate) (*Relation, error) {
 		}
 		aidx[i] = j
 	}
-	type group struct {
-		key  []nql.Value
-		accs []*agg
+	return &aggState{
+		a: a, cols: cols, gidx: gidx, aidx: aidx,
+		single: map[vkey]*aggGroup{}, groups: map[string]*aggGroup{},
+	}, nil
+}
+
+func (st *aggState) newGroup(row []nql.Value) *aggGroup {
+	g := &aggGroup{key: make([]nql.Value, len(st.gidx)), accs: make([]*agg, len(st.a.Aggs))}
+	for i, j := range st.gidx {
+		g.key[i] = row[j]
 	}
-	var order []*group
-	groups := map[string]*group{}
-	lookup := func(row []nql.Value) (*group, error) {
-		var sb strings.Builder
-		for _, j := range gidx {
-			k, err := hashKey(row[j])
-			if err != nil {
-				return nil, fmt.Errorf("federate: group key %s: %w", in.Cols[j], err)
-			}
-			sb.WriteString(k)
-			sb.WriteByte('\x1f')
+	for i := range g.accs {
+		g.accs[i] = &agg{}
+	}
+	st.order = append(st.order, g)
+	return g
+}
+
+func (st *aggState) lookup(row []nql.Value) (*aggGroup, error) {
+	if len(st.gidx) == 1 {
+		k, err := valueKey(row[st.gidx[0]])
+		if err != nil {
+			return nil, fmt.Errorf("federate: group key %s: %w", st.cols[st.gidx[0]], err)
 		}
-		k := sb.String()
-		g, ok := groups[k]
+		g, ok := st.single[k]
 		if !ok {
-			g = &group{key: make([]nql.Value, len(gidx)), accs: make([]*agg, len(a.Aggs))}
-			for i, j := range gidx {
-				g.key[i] = row[j]
-			}
-			for i := range g.accs {
-				g.accs[i] = &agg{}
-			}
-			groups[k] = g
-			order = append(order, g)
+			g = st.newGroup(row)
+			st.single[k] = g
 		}
 		return g, nil
 	}
-	for ri, row := range in.Rows {
-		if err := cat.cancelled(ri); err != nil {
-			return nil, err
-		}
-		g, err := lookup(row)
+	st.kbuf = st.kbuf[:0]
+	for _, j := range st.gidx {
+		k, err := valueKey(row[j])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("federate: group key %s: %w", st.cols[j], err)
 		}
-		for i, sp := range a.Aggs {
-			var v nql.Value
-			if aidx[i] >= 0 {
-				v = row[aidx[i]]
-			}
-			if err := g.accs[i].add(sp.Fn, v); err != nil {
-				return nil, fmt.Errorf("federate: %s(%s): %w", sp.Fn, sp.Col, err)
-			}
+		st.kbuf = k.appendTo(st.kbuf)
+	}
+	g, ok := st.groups[string(st.kbuf)]
+	if !ok {
+		g = st.newGroup(row)
+		st.groups[string(st.kbuf)] = g
+	}
+	return g, nil
+}
+
+func (st *aggState) add(row []nql.Value) error {
+	g, err := st.lookup(row)
+	if err != nil {
+		return err
+	}
+	for i, sp := range st.a.Aggs {
+		var v nql.Value
+		if st.aidx[i] >= 0 {
+			v = row[st.aidx[i]]
+		}
+		if err := g.accs[i].add(sp.Fn, v); err != nil {
+			return fmt.Errorf("federate: %s(%s): %w", sp.Fn, sp.Col, err)
 		}
 	}
-	if len(gidx) == 0 && len(order) == 0 {
+	return nil
+}
+
+func (st *aggState) finish() *Relation {
+	order := st.order
+	if len(st.gidx) == 0 && len(order) == 0 {
 		// A global aggregate always emits one row, even over zero input
 		// rows (count 0, other aggregates nil — SQL semantics).
-		g := &group{accs: make([]*agg, len(a.Aggs))}
+		g := &aggGroup{accs: make([]*agg, len(st.a.Aggs))}
 		for i := range g.accs {
 			g.accs[i] = &agg{}
 		}
 		order = append(order, g)
 	}
-	cols := append([]string(nil), a.GroupBy...)
-	for _, sp := range a.Aggs {
+	cols := append([]string(nil), st.a.GroupBy...)
+	for _, sp := range st.a.Aggs {
 		cols = append(cols, sp.As)
 	}
 	out := &Relation{Cols: cols}
 	for _, g := range order {
 		row := append([]nql.Value(nil), g.key...)
-		for i, sp := range a.Aggs {
+		for i, sp := range st.a.Aggs {
 			row = append(row, g.accs[i].result(sp.Fn))
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return out
 }
 
 func validAggFn(fn string) bool {

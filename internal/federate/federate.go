@@ -14,6 +14,42 @@
 // can join, say, a SQL probe table against graph centrality, which none of
 // the single-substrate backends can express.
 //
+// # Prepare and execute
+//
+// Run/RunContext split a query into a prepare step and an execute step.
+// Prepare optimizes the plan (filter and projection pushdown, conjunction
+// folding), collects table statistics from the catalog, and derives a
+// per-node decision list from a simple cost model: which source serves a
+// SourceAny scan, whether a SQL scan takes the native columnar path or the
+// text path, which side of a hash join builds the table (the smaller
+// estimated input), and whether a join or aggregate over native SQL scans
+// fuses into a single sqldb pushdown call. Execution then runs the decided
+// plan either on the legacy row-at-a-time interpreter (Exec) or, for plans
+// without blocking Go predicates in awkward positions, on the pipelined
+// executor: each operator stage is a goroutine streaming columnar batches
+// (up to batchRows rows, one []nql.Value per column) over bounded channels,
+// so scan, filter, join and aggregation overlap instead of materializing
+// between stages. Both executors honor context cancellation at row-loop
+// checkpoints and emit identical obs.Profile operator frames, and the
+// pipeline is differentially tested against the legacy interpreter for
+// byte-identical results, schemas and error text.
+//
+// # Statistics and the plan cache
+//
+// Statistics (row counts, sampled per-column distinct counts, graph degree
+// histograms) are collected per catalog epoch and cached, and prepared
+// decision lists are cached process-wide in DefaultCache keyed by the
+// optimized plan's Explain fingerprint plus the catalog epoch. Catalogs
+// sharing an epoch — clones of one frozen dataset master — therefore pay
+// the planning cost once; a zero epoch opts a catalog out of both caches.
+// Cached decisions are re-validated against the live plan shape when
+// applied, so a stale or poisoned entry degrades to a fresh cost pass, and
+// closures in the plan (FuncPred, custom aggregates) are rebound on every
+// execution, never captured by the cache. Explain on a prepared plan
+// annotates each node with the cost model's view: "rows~N cost~C", a
+// "native" marker on pushdown scans, "build=left|right" on joins, and
+// "fused=sql-join|sql-agg" where a subtree collapsed into one SQL call.
+//
 // The planner is read-only by construction: scans lift rows out of the
 // substrates and never write back, so running a federated plan against the
 // cloned state of a sandbox run is exactly as safe as the per-substrate
@@ -59,6 +95,15 @@ type Catalog struct {
 	Graph  *graph.Graph
 	Frames map[string]*dataframe.Frame
 	DB     *sqldb.DB
+
+	// Epoch tags the catalog's dataset generation for the plan cache and
+	// the statistics cache: catalogs sharing an epoch (clones of one
+	// frozen master) share prepared-plan decisions and table statistics.
+	// Allocate epochs with NewEpoch; zero (the default) disables caching
+	// for this catalog. Epoch staleness is a plan-quality concern only —
+	// every cached decision is re-validated against live state at
+	// execution time, falling back to the generic path on any mismatch.
+	Epoch uint64
 
 	// ctx is the execution context installed by RunContext/ExecContext on
 	// a per-run shallow copy of the catalog (the caller's catalog is never

@@ -1,0 +1,500 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataframe"
+	"repro/internal/nql"
+	"repro/internal/obs"
+	"repro/internal/sqldb"
+)
+
+// forcePipeline returns a Prepared that runs the staged executor even when
+// the volume rule would route a small plan to the row interpreter, or nil
+// when the safety classifier forbids the pipeline. Test fixtures are tiny
+// by design, so this is how pipeline tests bypass worthPipelining without
+// weakening the FuncPred safety rule.
+func forcePipeline(cat *Catalog, plan Node) *Prepared {
+	p := Prepare(cat, plan)
+	if classify(p.plan) != modePipeline {
+		return nil
+	}
+	p.mode = modePipeline
+	return p
+}
+
+// diffRun executes a plan through both executors — the staged pipeline
+// (forced past the volume rule when the safety classifier allows it) and
+// the legacy recursive executor on the same optimized tree — and requires
+// identical results or identical error text.
+func diffRun(t *testing.T, cat *Catalog, plan Node) {
+	t.Helper()
+	var pipeRel *Relation
+	var pipeErr error
+	prep := Prepare(cat, plan)
+	if forced := forcePipeline(cat, plan); forced != nil {
+		pipeRel, pipeErr = forced.ExecuteContext(context.Background(), cat)
+	} else {
+		// Safety-classified legacy: Run must agree with Exec on routing too.
+		pipeRel, pipeErr = Run(cat, plan)
+	}
+	// The legacy executor runs the same optimized tree with SourceAny
+	// already resolved (resolution is Prepare's job, shared by both paths).
+	legRel, legErr := Exec(cat, prep.plan)
+	switch {
+	case pipeErr != nil && legErr != nil:
+		if pipeErr.Error() != legErr.Error() {
+			t.Errorf("error divergence for\n%s  pipeline: %v\n  legacy:   %v",
+				Explain(Optimize(plan)), pipeErr, legErr)
+		}
+	case pipeErr != nil || legErr != nil:
+		t.Errorf("one executor failed for\n%s  pipeline: %v\n  legacy:   %v",
+			Explain(Optimize(plan)), pipeErr, legErr)
+	default:
+		if strings.Join(pipeRel.Cols, ",") != strings.Join(legRel.Cols, ",") {
+			t.Errorf("schema divergence for\n%s  pipeline: %v\n  legacy:   %v",
+				Explain(Optimize(plan)), pipeRel.Cols, legRel.Cols)
+		} else if nql.Repr(pipeRel.Value()) != nql.Repr(legRel.Value()) {
+			t.Errorf("result divergence for\n%s  pipeline: %s\n  legacy:   %s",
+				Explain(Optimize(plan)), nql.Repr(pipeRel.Value()), nql.Repr(legRel.Value()))
+		}
+	}
+}
+
+// TestPipelineMatchesLegacyCorpus is the differential corpus: every plan
+// shape the pipeline accepts must be observationally identical to the
+// legacy executor — results, schemas, and error text alike.
+func TestPipelineMatchesLegacyCorpus(t *testing.T) {
+	cat := testCatalog()
+	sqlEdges := func() Node { return &Scan{Source: SourceSQL, Table: "edges"} }
+	okFn := FuncPred{Fn: func(row *nql.Map) (bool, error) {
+		v, _ := row.Get("n")
+		i, _ := v.(int64)
+		return i >= 1, nil
+	}}
+	plans := []Node{
+		// Scans of every substrate and virtual tables.
+		sqlEdges(),
+		&Scan{Source: SourceFrame, Table: "edges"},
+		&Scan{Source: SourceGraph, Table: "edges"},
+		&Scan{Source: SourceGraph, Table: "degree"},
+		&Scan{Source: SourceAny, Table: "nodes"},
+		// Filter folds (And-conjunctions) with residuals, projections.
+		&Project{Cols: []string{"src", "bytes"}, Input: &Filter{
+			Pred: And{Preds: []Pred{
+				Cmp{Col: "bytes", Op: ">", Value: int64(60)},
+				Cmp{Col: "src", Op: "!=", Value: "o'brien"},
+			}},
+			Input: sqlEdges(),
+		}},
+		// Cross-substrate join + sort.
+		&Sort{Ascending: true, Cols: []string{"dst"}, Input: &Join{
+			Left:    &Filter{Input: sqlEdges(), Pred: Cmp{Col: "bytes", Op: ">=", Value: int64(100)}},
+			Right:   &Scan{Source: SourceGraph, Table: "degree"},
+			LeftKey: "dst", RightKey: "id",
+		}},
+		// Self-join with colliding columns (fused sql-join candidate).
+		&Join{Left: sqlEdges(), Right: sqlEdges(), LeftKey: "dst", RightKey: "src"},
+		// Aggregates: grouped, global, empty-input global.
+		&Aggregate{Input: sqlEdges(), GroupBy: []string{"src"}, Aggs: []AggSpec{
+			{Col: "bytes", Fn: AggSum, As: "total"},
+			{Col: "bytes", Fn: AggMean, As: "avg"},
+			{Col: "bytes", Fn: AggMin, As: "lo"},
+			{Col: "bytes", Fn: AggMax, As: "hi"},
+			{Fn: AggCount, As: "n"},
+		}},
+		&Aggregate{Input: &Filter{
+			Input: sqlEdges(), Pred: Cmp{Col: "bytes", Op: ">", Value: int64(1 << 40)},
+		}, Aggs: []AggSpec{{Fn: AggCount, As: "n"}, {Col: "bytes", Fn: AggSum, As: "s"}}},
+		// Sort stability (two-pass) + limit, limit 0, negative limit.
+		&Limit{N: 2, Input: &Sort{Ascending: false, Cols: []string{"out_degree"},
+			Input: &Sort{Ascending: true, Cols: []string{"id"},
+				Input: &Scan{Source: SourceGraph, Table: "degree"}}}},
+		&Limit{N: 0, Input: sqlEdges()},
+		&Limit{N: -3, Input: sqlEdges()},
+		&Limit{N: 100, Input: sqlEdges()},
+		// FuncPred above an aggregate (the ta-h7 shape; pipeline-safe).
+		&Sort{Ascending: true, Cols: []string{"src"}, Input: &Filter{
+			Pred: okFn,
+			Input: &Aggregate{Input: sqlEdges(), GroupBy: []string{"src"},
+				Aggs: []AggSpec{{Col: "bytes", Fn: AggCount, As: "n"}}},
+		}},
+		// FuncPred with a join: classified legacy, must still agree.
+		&Filter{Pred: okFn, Input: &Join{
+			Left: sqlEdges(), Right: sqlEdges(), LeftKey: "dst", RightKey: "src"}},
+		// Error cases: text must match the legacy executor verbatim.
+		&Scan{Source: "mongo", Table: "edges"},
+		&Scan{Source: SourceSQL, Table: "ghost"},
+		&Sort{Cols: []string{"ghost"}, Input: sqlEdges()},
+		&Project{Cols: []string{"ghost"}, Input: sqlEdges()},
+		&Aggregate{Input: sqlEdges(), GroupBy: []string{"ghost"},
+			Aggs: []AggSpec{{Fn: AggCount, As: "n"}}},
+		&Aggregate{Input: sqlEdges(),
+			Aggs: []AggSpec{{Col: "ghost", Fn: AggSum, As: "s"}}},
+		&Aggregate{Input: sqlEdges(),
+			Aggs: []AggSpec{{Col: "bytes", Fn: "median", As: "m"}}},
+		&Join{Left: sqlEdges(), Right: sqlEdges(), LeftKey: "ghost", RightKey: "src"},
+		&Join{Left: sqlEdges(), Right: sqlEdges(), LeftKey: "dst", RightKey: "ghost"},
+		// Upstream error precedence: the scan's error, not the sort's.
+		&Sort{Cols: []string{"ghost"}, Input: &Scan{Source: SourceSQL, Table: "missing"}},
+	}
+	for _, plan := range plans {
+		diffRun(t, cat, plan)
+	}
+}
+
+// TestPipelineNaNKeys pins NaN canonicalization across join and group keys
+// in both executors: every NaN payload is one equivalence class, and
+// int64/float64 collapse.
+func TestPipelineNaNKeys(t *testing.T) {
+	f := dataframe.New("k", "v")
+	f.AppendRow(math.NaN(), int64(1))
+	f.AppendRow(math.Float64frombits(0x7ff8000000000001), int64(2)) // another NaN payload
+	f.AppendRow(int64(3), int64(3))
+	f.AppendRow(3.0, int64(4))
+	cat := &Catalog{Frames: map[string]*dataframe.Frame{"t": f}}
+	db := sqldb.NewDB()
+	tf, _ := f.Clone(), f
+	db.CreateTable("t", tf)
+	cat.DB = db
+
+	for _, src := range []string{SourceFrame, SourceSQL} {
+		diffRun(t, cat, &Aggregate{
+			Input:   &Scan{Source: src, Table: "t"},
+			GroupBy: []string{"k"},
+			Aggs:    []AggSpec{{Col: "v", Fn: AggCount, As: "n"}},
+		})
+		diffRun(t, cat, &Join{
+			Left:    &Scan{Source: src, Table: "t"},
+			Right:   &Scan{Source: src, Table: "t"},
+			LeftKey: "k", RightKey: "k",
+		})
+	}
+	// Both NaNs group together; 3 and 3.0 group together.
+	p := forcePipeline(cat, &Aggregate{
+		Input:   &Scan{Source: SourceSQL, Table: "t"},
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Col: "v", Fn: AggCount, As: "n"}},
+	})
+	rel, err := p.ExecuteContext(context.Background(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 {
+		t.Fatalf("NaN grouping: %d groups, want 2:\n%s", rel.NumRows(), nql.Repr(rel.Value()))
+	}
+}
+
+// TestPipelineFuncPredNotCalledOnUpstreamError: the legacy executor never
+// invokes an opaque predicate when its input fails; the pipeline must
+// match (this is what the classifier's materializing-boundary rule
+// guarantees).
+func TestPipelineFuncPredNotCalledOnUpstreamError(t *testing.T) {
+	cat := testCatalog()
+	called := false
+	plan := &Filter{
+		Pred: FuncPred{Fn: func(*nql.Map) (bool, error) {
+			called = true
+			return true, nil
+		}},
+		Input: &Aggregate{
+			Input:   &Scan{Source: SourceSQL, Table: "edges"},
+			GroupBy: []string{"ghost"},
+			Aggs:    []AggSpec{{Fn: AggCount, As: "n"}},
+		},
+	}
+	p := forcePipeline(cat, plan)
+	if p == nil {
+		t.Fatal("plan classified legacy, test would not exercise the pipeline")
+	}
+	_, err := p.ExecuteContext(context.Background(), cat)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v, want group-key error", err)
+	}
+	if called {
+		t.Error("FuncPred ran despite upstream error")
+	}
+}
+
+// TestPipelinePanicPropagates: a panic inside a stage must surface as a
+// panic in the caller (matching the legacy executor), not a hang or a
+// swallowed error.
+func TestPipelinePanicPropagates(t *testing.T) {
+	cat := testCatalog()
+	plan := &Filter{
+		Pred:  FuncPred{Fn: func(*nql.Map) (bool, error) { panic("boom") }},
+		Input: &Scan{Source: SourceSQL, Table: "edges"},
+	}
+	p := forcePipeline(cat, plan)
+	if p == nil {
+		t.Fatal("plan classified legacy, test would not exercise the pipeline")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("stage panic did not propagate")
+		} else if fmt.Sprint(r) != "boom" {
+			t.Errorf("panic value = %v, want boom", r)
+		}
+	}()
+	_, _ = p.ExecuteContext(context.Background(), cat)
+}
+
+// bigCatalog builds rows-row frame and SQL copies of one table for the
+// per-stage cancellation tests.
+func bigCatalog(rows int) *Catalog {
+	f := dataframe.New("k", "v")
+	for i := 0; i < rows; i++ {
+		f.AppendRow(int64(i%97), int64(i))
+	}
+	db := sqldb.NewDB()
+	db.CreateTable("t", f.Clone())
+	return &Catalog{Frames: map[string]*dataframe.Frame{"t": f}, DB: db}
+}
+
+// TestPipelineStageCancellation arms a short deadline against plans whose
+// hot loop sits in each pipelined stage in turn; every one must abort with
+// the deadline error instead of running to completion.
+func TestPipelineStageCancellation(t *testing.T) {
+	const rows = 400_000
+	cat := bigCatalog(rows)
+	slowFn := FuncPred{Fn: func(row *nql.Map) (bool, error) { return true, nil }}
+	stages := []struct {
+		name string
+		plan Node
+	}{
+		{"filter-funcpred", &Filter{Pred: slowFn, Input: &Scan{Source: SourceFrame, Table: "t"}}},
+		{"aggregate", &Aggregate{Input: &Scan{Source: SourceFrame, Table: "t"},
+			GroupBy: []string{"k"}, Aggs: []AggSpec{{Col: "v", Fn: AggSum, As: "s"}}}},
+		{"sort", &Sort{Cols: []string{"v"}, Ascending: false,
+			Input: &Scan{Source: SourceFrame, Table: "t"}}},
+		{"fused-agg", &Aggregate{Input: &Scan{Source: SourceSQL, Table: "t"},
+			GroupBy: []string{"k"}, Aggs: []AggSpec{{Col: "v", Fn: AggSum, As: "s"}}}},
+		{"fused-join", &Limit{N: 1, Input: &Join{
+			Left:    &Scan{Source: SourceSQL, Table: "t"},
+			Right:   &Scan{Source: SourceSQL, Table: "t"},
+			LeftKey: "k", RightKey: "k"}}},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			if p := Prepare(cat, st.plan); p.mode != modePipeline {
+				t.Fatalf("plan classified legacy, test would not exercise the pipeline")
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := RunContext(ctx, cat, st.plan)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want wrapped DeadlineExceeded", err)
+			}
+			if elapsed := time.Since(start); elapsed > 2*time.Second {
+				t.Fatalf("abort took %v, want a prompt checkpoint return", elapsed)
+			}
+		})
+	}
+}
+
+// TestPipelineCancelLeavesNoGoroutines cancels multi-stage pipelined plans
+// concurrently and requires the process to return to its goroutine
+// baseline — no stage may strand on a channel send.
+func TestPipelineCancelLeavesNoGoroutines(t *testing.T) {
+	cat := bigCatalog(400_000)
+	plan := &Limit{N: 3, Input: &Sort{Cols: []string{"s"}, Ascending: false,
+		Input: &Aggregate{
+			Input:   &Filter{Pred: Cmp{Col: "v", Op: ">=", Value: int64(0)}, Input: &Scan{Source: SourceFrame, Table: "t"}},
+			GroupBy: []string{"k"},
+			Aggs:    []AggSpec{{Col: "v", Fn: AggSum, As: "s"}},
+		}}}
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i)*time.Millisecond)
+			defer cancel()
+			_, _ = RunContext(ctx, cat, plan)
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled pipelines: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Mid-pipeline errors (not cancellations) must also tear down cleanly.
+	bad := &Sort{Cols: []string{"s"}, Input: &Aggregate{
+		Input:   &Scan{Source: SourceFrame, Table: "t"},
+		GroupBy: []string{"ghost"},
+		Aggs:    []AggSpec{{Col: "v", Fn: AggSum, As: "s"}},
+	}}
+	for i := 0; i < 4; i++ {
+		if _, err := Run(cat, bad); err == nil {
+			t.Fatal("expected group-key error")
+		}
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after erroring pipelines: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPipelineProfileOperatorTree: the pipelined executor must emit one
+// frame per stage, nested like the plan, with output row counts — the
+// explain-analyze contract the legacy executor established.
+func TestPipelineProfileOperatorTree(t *testing.T) {
+	cat := testCatalog()
+	plan := &Sort{
+		Cols: []string{"src"},
+		Input: &Aggregate{
+			Input:   &Scan{Source: SourceGraph, Table: "edges"},
+			GroupBy: []string{"src"},
+			Aggs:    []AggSpec{{Col: "bytes", Fn: AggSum, As: "total"}},
+		},
+	}
+	p := forcePipeline(cat, plan)
+	if p == nil {
+		t.Fatal("plan classified legacy")
+	}
+	prof := obs.NewProfile()
+	ctx := obs.WithProfile(context.Background(), prof)
+	rel, err := p.ExecuteContext(ctx, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", rel.NumRows())
+	}
+	flat := prof.Flatten()
+	if len(flat) != 3 {
+		t.Fatalf("got %d frames, want 3 (sort > aggregate > scan):\n%s", len(flat), prof.String())
+	}
+	want := []struct {
+		op    string
+		depth int
+		rows  int64
+	}{
+		{"sort", 0, 3},
+		{"aggregate", 1, 3},
+		{"scan", 2, 4},
+	}
+	for i, w := range want {
+		got := flat[i]
+		if got.Op != w.op || got.Depth != w.depth || got.Rows != w.rows {
+			t.Fatalf("frame %d = %+v, want op=%s depth=%d rows=%d\n%s", i, got, w.op, w.depth, w.rows, prof.String())
+		}
+		if got.WallNS < got.OwnNS {
+			t.Fatalf("frame %d wall %d < own %d", i, got.WallNS, got.OwnNS)
+		}
+	}
+	if cat.prof != nil || cat.ctx != nil {
+		t.Fatal("RunContext mutated the caller's catalog")
+	}
+}
+
+// TestPipelineProfileNativeScanFrames: a pushed-down SQL scan nests the
+// substrate's frames (sql.select > sql.scan > sql.filter) under the scan
+// stage, exactly like the text path would.
+func TestPipelineProfileNativeScanFrames(t *testing.T) {
+	cat := testCatalog()
+	plan := &Filter{
+		Input: &Scan{Source: SourceSQL, Table: "edges"},
+		Pred:  Cmp{Col: "bytes", Op: ">=", Value: int64(100)},
+	}
+	p := forcePipeline(cat, plan)
+	if p == nil {
+		t.Fatal("plan classified legacy")
+	}
+	prof := obs.NewProfile()
+	ctx := obs.WithProfile(context.Background(), prof)
+	rel, err := p.ExecuteContext(ctx, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", rel.NumRows())
+	}
+	byOp := map[string]int{}
+	var scanDepth, selectDepth = -1, -1
+	for _, fr := range prof.Flatten() {
+		byOp[fr.Op]++
+		switch fr.Op {
+		case "scan":
+			scanDepth = fr.Depth
+		case "sql.select":
+			selectDepth = fr.Depth
+		}
+	}
+	for _, op := range []string{"scan", "sql.select", "sql.scan", "sql.filter"} {
+		if byOp[op] != 1 {
+			t.Errorf("op %q appears %d times, want 1:\n%s", op, byOp[op], prof.String())
+		}
+	}
+	if selectDepth != scanDepth+1 {
+		t.Errorf("sql.select depth %d, want nested under scan (depth %d):\n%s",
+			selectDepth, scanDepth, prof.String())
+	}
+}
+
+// TestPipelineFusedAggProfile: a fused sql group-by emits the aggregate's
+// logical frame with the substrate frames under it and no separate scan
+// stage.
+func TestPipelineFusedAggProfile(t *testing.T) {
+	cat := testCatalog()
+	plan := &Aggregate{
+		Input:   &Scan{Source: SourceSQL, Table: "edges"},
+		GroupBy: []string{"src"},
+		Aggs:    []AggSpec{{Col: "bytes", Fn: AggSum, As: "total"}},
+	}
+	p := forcePipeline(cat, plan)
+	if p == nil || p.decs[0].Fuse != fuseSQLAgg {
+		t.Fatalf("plan not a fused pipeline aggregate: %+v", p)
+	}
+	prof := obs.NewProfile()
+	ctx := obs.WithProfile(context.Background(), prof)
+	if _, err := p.ExecuteContext(ctx, cat); err != nil {
+		t.Fatal(err)
+	}
+	flat := prof.Flatten()
+	if len(flat) == 0 || flat[0].Op != "aggregate" || flat[0].Rows != 3 {
+		t.Fatalf("fused agg root frame = %+v, want aggregate rows=3:\n%s", flat, prof.String())
+	}
+	for _, fr := range flat[1:] {
+		if fr.Op == "scan" {
+			t.Errorf("fused aggregate emitted a separate scan stage frame:\n%s", prof.String())
+		}
+	}
+}
+
+// TestPipelineLargeResultRoundTrip pushes multi-batch volumes through
+// every streaming stage to cover the batch boundaries (batchRows splits).
+func TestPipelineLargeResultRoundTrip(t *testing.T) {
+	cat := bigCatalog(3*batchRows + 17)
+	diffRun(t, cat, &Scan{Source: SourceFrame, Table: "t"})
+	diffRun(t, cat, &Project{Cols: []string{"v"}, Input: &Scan{Source: SourceFrame, Table: "t"}})
+	diffRun(t, cat, &Limit{N: batchRows + 5, Input: &Scan{Source: SourceFrame, Table: "t"}})
+	diffRun(t, cat, &Filter{Pred: Cmp{Col: "v", Op: ">=", Value: int64(batchRows)},
+		Input: &Scan{Source: SourceFrame, Table: "t"}})
+	diffRun(t, cat, &Scan{Source: SourceSQL, Table: "t"})
+	diffRun(t, cat, &Limit{N: batchRows, Input: &Scan{Source: SourceSQL, Table: "t"}})
+}

@@ -50,6 +50,21 @@ type FuncPred struct {
 
 func (FuncPred) predLabel() string { return "fn(row)" }
 
+// And is a conjunction of predicates, evaluated left to right with
+// short-circuiting. The optimizer splits an And directly above a scan and
+// folds each Cmp conjunct into the scan's pushdown list individually.
+type And struct {
+	Preds []Pred
+}
+
+func (a And) predLabel() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.predLabel()
+	}
+	return strings.Join(parts, " and ")
+}
+
 // Scan reads one table of one source. Pushed and Cols are filled by the
 // optimizer: the scan applies Pushed predicates natively (a SQL WHERE
 // clause where expressible, during row lift otherwise) and then projects to

@@ -19,6 +19,35 @@ func Optimize(n Node) Node {
 				return scanWith(scan, append(append([]Cmp(nil), scan.Pushed...), cmp), scan.Cols)
 			}
 		}
+		if and, ok := x.Pred.(And); ok {
+			if scan, ok := in.(*Scan); ok {
+				// Split the conjunction: every Cmp conjunct the scan can
+				// still see (same visibility guard as above) folds into the
+				// pushdown list; the rest stay in a residual filter. And
+				// evaluation order across pushed/residual conjuncts is the
+				// optimizer's to choose — pushed conjuncts run first.
+				var fold []Cmp
+				var rest []Pred
+				for _, p := range flattenAnd(and) {
+					if cmp, ok := p.(Cmp); ok && (scan.Cols == nil || containsCol(scan.Cols, cmp.Col)) {
+						fold = append(fold, cmp)
+						continue
+					}
+					rest = append(rest, p)
+				}
+				if len(fold) > 0 {
+					folded := Node(scanWith(scan, append(append([]Cmp(nil), scan.Pushed...), fold...), scan.Cols))
+					switch len(rest) {
+					case 0:
+						return folded
+					case 1:
+						return &Filter{Input: folded, Pred: rest[0]}
+					default:
+						return &Filter{Input: folded, Pred: And{Preds: rest}}
+					}
+				}
+			}
+		}
 		if in == x.Input {
 			return x
 		}
@@ -66,6 +95,20 @@ func Optimize(n Node) Node {
 
 func scanWith(s *Scan, pushed []Cmp, cols []string) *Scan {
 	return &Scan{Source: s.Source, Table: s.Table, Pushed: pushed, Cols: cols}
+}
+
+// flattenAnd expands nested And predicates into one conjunct list,
+// preserving left-to-right evaluation order.
+func flattenAnd(a And) []Pred {
+	out := make([]Pred, 0, len(a.Preds))
+	for _, p := range a.Preds {
+		if sub, ok := p.(And); ok {
+			out = append(out, flattenAnd(sub)...)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 func containsCol(cols []string, col string) bool {

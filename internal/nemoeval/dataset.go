@@ -40,6 +40,14 @@ type Instance struct {
 	Probes     *dataframe.Frame // probes table (pandas backend)
 	ProbesList nql.Value        // probes list-of-maps (networkx backend)
 
+	// FedEpoch identifies the dataset generation every clone of one frozen
+	// master belongs to. Federation stamps it on the catalog so the
+	// federated planner's shared caches (statistics, prepared decisions)
+	// are reused across instances of the same master and invalidated the
+	// moment a new master is built. Zero means "uncacheable" and the
+	// planner recomputes from scratch.
+	FedEpoch uint64
+
 	lazyGraph  func() *graph.Graph
 	lazyFrames func() (nodes, edges *dataframe.Frame)
 	lazyDB     func() *sqldb.DB
@@ -85,7 +93,7 @@ func (inst *Instance) Federation() *federate.Catalog {
 	if inst.Probes != nil {
 		frames["probes"] = inst.Probes
 	}
-	return &federate.Catalog{Graph: inst.G(), Frames: frames, DB: inst.Database()}
+	return &federate.Catalog{Graph: inst.G(), Frames: frames, DB: inst.Database(), Epoch: inst.FedEpoch}
 }
 
 // Bindings returns the host globals for one backend, wrapping this
@@ -185,12 +193,14 @@ func TrafficDataset(cfg traffic.Config) InstanceBuilder {
 	// never builds them.
 	master := traffic.Generate(cfg)
 	master.Freeze()
+	epoch := federate.NewEpoch()
 	return func() *Instance {
 		g := master.Clone()
 		return &Instance{
-			App:     queries.AppTraffic,
-			Wrapper: traffic.NewWrapper(g),
-			Graph:   g,
+			App:      queries.AppTraffic,
+			Wrapper:  traffic.NewWrapper(g),
+			Graph:    g,
+			FedEpoch: epoch,
 			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
 				nodes, edges := traffic.Frames(g)
 				return nodes, edges
@@ -320,12 +330,14 @@ func BuildShardedTraffic(cfg traffic.Config, shards, batchSize int) (*ShardedTra
 // relational representations derived lazily exactly like TrafficDataset.
 func (d *ShardedTraffic) ShardDataset(shard int) InstanceBuilder {
 	master := d.Shards[shard].Master
+	epoch := federate.NewEpoch()
 	return func() *Instance {
 		g := master.Clone()
 		return &Instance{
-			App:     queries.AppTraffic,
-			Wrapper: traffic.NewWrapper(g),
-			Graph:   g,
+			App:      queries.AppTraffic,
+			Wrapper:  traffic.NewWrapper(g),
+			Graph:    g,
+			FedEpoch: epoch,
 			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
 				nodes, edges := traffic.Frames(g)
 				return nodes, edges
@@ -350,10 +362,12 @@ func MALTDataset() InstanceBuilder {
 	edges0.Freeze()
 	db0 := master.Database()
 	db0.Freeze()
+	epoch := federate.NewEpoch()
 	return func() *Instance {
 		return &Instance{
 			App:       queries.AppMALT,
 			Wrapper:   malt.NewWrapper(master),
+			FedEpoch:  epoch,
 			lazyGraph: func() *graph.Graph { return g0.Clone() },
 			lazyFrames: func() (*dataframe.Frame, *dataframe.Frame) {
 				return nodes0.Clone(), edges0.Clone()
@@ -390,6 +404,7 @@ func DiagnosisDataset(cfg diagnosis.Config) InstanceBuilder {
 // DiagnosisDatasetFromWorkload builds instances by cloning a caller-owned
 // workload.
 func DiagnosisDatasetFromWorkload(master *diagnosis.Workload) InstanceBuilder {
+	epoch := federate.NewEpoch()
 	return func() *Instance {
 		w := master.Clone()
 		nodes, edges, probes := w.Frames()
@@ -402,6 +417,7 @@ func DiagnosisDatasetFromWorkload(master *diagnosis.Workload) InstanceBuilder {
 			DB:         w.Database(),
 			Probes:     probes,
 			ProbesList: ProbesListValue(w),
+			FedEpoch:   epoch,
 		}
 	}
 }

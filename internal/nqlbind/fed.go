@@ -319,7 +319,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			if len(args) != 0 {
 				return nil, argCount(line, "explain", "0", len(args))
 			}
-			return federate.Explain(federate.Optimize(p.Plan)), nil
+			return federate.Prepare(p.Cat, p.Plan).Explain(), nil
 		}), true
 	case "explain_analyze":
 		// EXPLAIN ANALYZE: execute the optimized plan under a fresh
@@ -332,7 +332,7 @@ func (p *PlanObject) Member(name string) (nql.Value, bool) {
 			}
 			prof := obs.NewProfile()
 			ctx := obs.WithProfile(in.Context(), prof)
-			if _, err := federate.ExecContext(ctx, p.Cat, federate.Optimize(p.Plan)); err != nil {
+			if _, err := federate.RunContext(ctx, p.Cat, p.Plan); err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					return nil, nql.CancelError(line, err)
 				}

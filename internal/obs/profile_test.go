@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -76,6 +77,59 @@ func TestProfileNilSafety(t *testing.T) {
 	p.Exit(n, 1)
 	if p.Flatten() != nil || p.Roots() != nil || p.String() != "" {
 		t.Fatal("nil profile methods not inert")
+	}
+}
+
+// TestProfileEnterChild pins the explicit-parent API concurrent executors
+// rely on: frames attach under the given parent without moving the cursor,
+// concurrent Exits are safe, and WithFrame threads a parent through a
+// context.
+func TestProfileEnterChild(t *testing.T) {
+	p := NewProfile()
+	root := p.EnterChild(nil, "sort", "")
+	agg := p.EnterChild(root, "aggregate", "by src")
+	scan := p.EnterChild(agg, "scan", "sql.edges")
+	// The cursor never moved: a cursor-based Enter still opens a new root.
+	stray := p.Enter("stray", "")
+	p.Exit(stray, 0)
+	// Stages exit bottom-up from separate goroutines.
+	var wg sync.WaitGroup
+	for _, fr := range []struct {
+		n    *ProfNode
+		rows int64
+	}{{scan, 4}, {agg, 3}, {root, 3}} {
+		wg.Add(1)
+		go func(n *ProfNode, rows int64) {
+			defer wg.Done()
+			p.Exit(n, rows)
+		}(fr.n, fr.rows)
+	}
+	wg.Wait()
+	flat := p.Flatten()
+	if len(flat) != 4 {
+		t.Fatalf("got %d frames, want 4:\n%s", len(flat), p.String())
+	}
+	want := []struct {
+		op    string
+		depth int
+	}{{"sort", 0}, {"aggregate", 1}, {"scan", 2}, {"stray", 0}}
+	for i, w := range want {
+		if flat[i].Op != w.op || flat[i].Depth != w.depth {
+			t.Fatalf("frame %d = %+v, want %s at depth %d", i, flat[i], w.op, w.depth)
+		}
+	}
+	// WithFrame/FrameFrom round-trip; nil frame leaves the context bare.
+	ctx := WithFrame(context.Background(), root)
+	if FrameFrom(ctx) != root {
+		t.Fatal("frame lost in context")
+	}
+	if WithFrame(context.Background(), nil) != context.Background() {
+		t.Fatal("nil frame allocated a context")
+	}
+	// Nil-safety mirrors Enter.
+	var np *Profile
+	if np.EnterChild(nil, "x", "") != nil {
+		t.Fatal("nil profile allocated a node")
 	}
 }
 

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/diagnosis"
+	"repro/internal/federate"
 	"repro/internal/nemoeval"
 	"repro/internal/obs"
 	"repro/internal/queries"
@@ -145,7 +147,21 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	// The federated plan cache keeps its own cumulative tallies; sync them
+	// into the registry at scrape time (gauge for the entry count, delta
+	// adds for the monotonic hit/miss counters). The mutex keeps two
+	// concurrent scrapes from double-applying a delta.
+	var planCacheMu sync.Mutex
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		planCacheMu.Lock()
+		hits, misses, entries := federate.DefaultCache.Stats()
+		reg := s.Metrics()
+		reg.Gauge("netqueryd_plan_cache_entries").Set(int64(entries))
+		hc := reg.Counter("netqueryd_plan_cache_hits_total")
+		hc.Add(int64(hits) - hc.Load())
+		mc := reg.Counter("netqueryd_plan_cache_misses_total")
+		mc.Add(int64(misses) - mc.Load())
+		planCacheMu.Unlock()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.Metrics().WritePrometheus(w)
 	})

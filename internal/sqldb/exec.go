@@ -38,11 +38,23 @@ type workingSet struct {
 	cols []string
 }
 
+// enterFrame opens a profile frame, parenting it under the context's
+// explicit frame when one is set (concurrent callers — the federated
+// pipeline's operator stages — pre-wire parents that way) and falling back
+// to the cursor-based Enter for plain sequential execution. Nil-safe.
+func enterFrame(ctx context.Context, prof *obs.Profile, name, detail string) *obs.ProfNode {
+	if parent := obs.FrameFrom(ctx); parent != nil {
+		return prof.EnterChild(parent, name, detail)
+	}
+	return prof.Enter(name, detail)
+}
+
 func (db *DB) execSelect(ctx context.Context, s *SelectStmt) (*dataframe.Frame, error) {
 	// Profiling is opt-in via the statement context (obs.WithProfile); an
 	// unprofiled query pays one context lookup and nil-safe no-op calls.
 	prof := obs.ProfileFrom(ctx)
-	sel := prof.Enter("sql.select", selectDetail(s))
+	sel := enterFrame(ctx, prof, "sql.select", selectDetail(s))
+	ctx = obs.WithFrame(ctx, sel)
 	out, err := db.execSelectBody(ctx, prof, s)
 	rows := int64(-1)
 	if err == nil && out != nil {
@@ -59,7 +71,7 @@ func (db *DB) execSelectBody(ctx context.Context, prof *obs.Profile, s *SelectSt
 	}
 	// WHERE
 	if s.Where != nil {
-		filt := prof.Enter("sql.filter", "")
+		filt := enterFrame(ctx, prof, "sql.filter", "")
 		filtered := ws.rows[:0:0]
 		for ri, row := range ws.rows {
 			if err := cancelled(ctx, ri); err != nil {
@@ -153,7 +165,7 @@ func (db *DB) buildFrom(ctx context.Context, s *SelectStmt) (*workingSet, error)
 		alias = s.From.Name
 	}
 	prof := obs.ProfileFrom(ctx)
-	scan := prof.Enter("sql.scan", s.From.Name)
+	scan := enterFrame(ctx, prof, "sql.scan", s.From.Name)
 	ws.rows = tableScopes(base, alias)
 	prof.Exit(scan, int64(len(ws.rows)))
 	for _, c := range base.Columns() {
@@ -168,8 +180,8 @@ func (db *DB) buildFrom(ctx context.Context, s *SelectStmt) (*workingSet, error)
 		if ralias == "" {
 			ralias = j.Table.Name
 		}
-		jf := prof.Enter("sql.join", joinDetail(j))
-		rscan := prof.Enter("sql.scan", j.Table.Name)
+		jf := enterFrame(ctx, prof, "sql.join", joinDetail(j))
+		rscan := enterFrame(obs.WithFrame(ctx, jf), prof, "sql.scan", j.Table.Name)
 		rightRows := tableScopes(right, ralias)
 		prof.Exit(rscan, int64(len(rightRows)))
 		joined, err := joinRows(ctx, ws, j, right, rightRows, ralias)
