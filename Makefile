@@ -1,7 +1,8 @@
 # Build/verify/benchmark entry points. `make verify` is the tier-1 gate
-# (build + vet + tests); `make lint` adds staticcheck when installed;
+# (build + vet + tests); `make lint` adds the NQL registry vet (nqlvet
+# over every golden program x backend) and staticcheck when installed;
 # `make bench` records the benchmark suite as JSON so successive PRs can
-# track the perf trajectory (BENCH_8.json for this PR, bump BENCH_OUT for
+# track the perf trajectory (BENCH_9.json for this PR, bump BENCH_OUT for
 # the next); `make benchdiff` compares the two most recent snapshots and
 # fails on >10% regressions of ns/op, B/op or allocs/op (tail latency is
 # gated at a wider p99 threshold — see cmd/benchdiff) on the ROADMAP
@@ -10,9 +11,14 @@
 # ServiceQuery / FederatedJoin / FederatedGoldenQuery).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 
-.PHONY: verify test lint race bench bench-quick benchdiff
+# One pinned staticcheck for local lint and CI: an unpinned @latest can
+# start flagging new checks the day a release lands and break CI with no
+# repo change. Bump deliberately, in a PR that also fixes what it flags.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: verify test lint install-staticcheck race bench bench-quick benchdiff
 
 verify:
 	$(GO) build ./...
@@ -22,15 +28,22 @@ verify:
 test:
 	$(GO) test ./...
 
-# Static analysis beyond vet. staticcheck is optional locally (the CI job
-# installs it); the target degrades to vet-only with a notice when absent.
+# Static analysis beyond vet: the NQL semantic analyzer over every golden
+# program x backend in the query catalog (any error-severity finding fails
+# the target), then staticcheck over the Go code. staticcheck is optional
+# locally (the CI job installs the pinned version via install-staticcheck);
+# the target degrades gracefully with a notice when absent.
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/nqlvet -registry
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "lint: staticcheck not installed, ran vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "lint: staticcheck not installed, skipped (make install-staticcheck)"; \
 	fi
+
+install-staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
 # Race-exercise the concurrent evaluation pipeline and its substrates
 # (includes the stream/shard sweep's parallel aggregation and PageRank,
@@ -38,23 +51,28 @@ lint:
 # netqueryd service's chaos suite — swap under load, client disconnects,
 # backend stalls, tenant isolation).
 race:
-	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service ./internal/obs
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/nql/analysis ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service ./internal/obs
 
 # Record the benchmark suite as test2json records for tooling: the macro
 # benchmarks (whole tables/figures/ablations) run one iteration, while the
 # substrate micro-benchmarks run long enough for stable ns/op — at a single
 # iteration they swing far beyond the 10% regression gate benchdiff applies.
-# The micro pass records -count=3 runs per benchmark and benchdiff keeps the
-# per-metric minimum, so transient co-tenant load on shared hardware cannot
-# fake a regression (or mask one by inflating the baseline). Every gated
+# The micro pass records repeated runs per benchmark and benchdiff keeps the
+# per-metric minimum (median for p99-ns, where a lucky run deflates the tail
+# and a min baseline would be the luckiest tail ever seen), so transient
+# co-tenant load on shared hardware cannot fake a regression (or mask one by
+# inflating the baseline). Every gated
 # benchmark short enough to repeat belongs in the micro pass for that
 # reason (GatewayThroughput moved there after its 1x sample flapped);
 # StreamSweep and the tables stay at 1x per record because one iteration
-# already runs hundreds of milliseconds, but record three times so the min
-# discards noisy passes.
+# already runs hundreds of milliseconds, but record repeatedly so the min
+# discards noisy passes. Counts were raised (micro 5->9, macro 3->5) after
+# a single-CPU host showed sustained multi-minute slow windows: the min
+# must span at least one fast window of the box or back-to-back recordings
+# of *identical* code diff at +10-20%.
 bench:
-	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep' -benchmem -benchtime=1x -count=3 -json . | tee $(BENCH_OUT)
-	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token|ObsOverhead|GatewayThroughput' -benchmem -benchtime=0.5s -count=5 -json . | tee -a $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table|Figure|Ablation|EndToEnd|StreamSweep' -benchmem -benchtime=1x -count=5 -json . | tee $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Graph|Dataframe|SQL|NQL|Sandbox|Federated|Token|ObsOverhead|GatewayThroughput' -benchmem -benchtime=0.5s -count=9 -json . | tee -a $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'ServiceQuery' -benchmem -benchtime=0.5s -count=5 -json ./internal/service | tee -a $(BENCH_OUT)
 
 # Stable-ish numbers for the substrate micro-benchmarks only.

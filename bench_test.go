@@ -23,6 +23,7 @@ import (
 	"repro/internal/modelserve"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
+	"repro/internal/nql/analysis"
 	"repro/internal/nqlbind"
 	"repro/internal/obs"
 	"repro/internal/prompt"
@@ -378,6 +379,27 @@ func BenchmarkNQLParse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := nql.Parse(src); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNQLAnalyze measures the semantic analyzer on a golden program
+// with name resolution against the federated surface — the exact work
+// sandbox.Vet and netqueryd's pre-admission gate add per (uncached)
+// program. Matched by the micro pass's NQL regex and tracked by benchdiff.
+func BenchmarkNQLAnalyze(b *testing.B) {
+	q, _ := queries.ByID("ta-h5")
+	src := q.Golden["federated"]
+	prog, err := nql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	globals := nemoeval.StaticGlobals(prompt.BackendFederated)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := analysis.Analyze(prog, analysis.Options{Globals: globals}); len(diags) != 0 {
+			b.Fatalf("golden program drew diagnostics: %v", diags)
 		}
 	}
 }

@@ -149,6 +149,38 @@ func TestRecordKeepsPerMetricMin(t *testing.T) {
 	}
 }
 
+// TestFinalizeMedianP99 proves p99 aggregates as the median of repeats,
+// not the minimum: one lucky collision-free run (the 58k outlier) must
+// not become the baseline a later identical run regresses against.
+func TestFinalizeMedianP99(t *testing.T) {
+	out := map[string]measure{}
+	for _, p := range []float64{89000, 58000, 91000, 95000, 89000} {
+		record(out, "BenchmarkServiceQuery", measure{ns: 500000, bytes: math.NaN(), allocs: math.NaN(), p99: p})
+	}
+	finalize(out)
+	if got := out["BenchmarkServiceQuery"].p99; got != 89000 {
+		t.Fatalf("median p99 = %v, want 89000 (min-of-N would give 58000)", got)
+	}
+
+	// Even sample count resolves to the lower-middle real sample.
+	out = map[string]measure{}
+	for _, p := range []float64{80000, 90000, 100000, 110000} {
+		record(out, "BenchmarkX", measure{ns: 1, bytes: math.NaN(), allocs: math.NaN(), p99: p})
+	}
+	finalize(out)
+	if got := out["BenchmarkX"].p99; got != 90000 {
+		t.Fatalf("even-count median p99 = %v, want 90000", got)
+	}
+
+	// No p99 metric reported: finalize yields NaN, diff renders "-".
+	out = map[string]measure{}
+	record(out, "BenchmarkY", measure{ns: 1, bytes: math.NaN(), allocs: math.NaN(), p99: math.NaN()})
+	finalize(out)
+	if got := out["BenchmarkY"].p99; !math.IsNaN(got) {
+		t.Fatalf("p99 with no samples = %v, want NaN", got)
+	}
+}
+
 func TestDefaultWatchCoversVMAndTable4(t *testing.T) {
 	for _, want := range []string{"Table2", "Table4", "NQLVM", "SandboxGoldenQuery", "StreamSweep"} {
 		if !strings.Contains(defaultWatch, want) {

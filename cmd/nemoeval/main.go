@@ -44,11 +44,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"repro/internal/modelserve"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
+	"repro/internal/nql/analysis"
 	"repro/internal/synthesis"
 	"repro/internal/traffic"
 )
@@ -78,6 +80,7 @@ func run() int {
 	federated := flag.Bool("federated", false, "cross-check federated plans against per-backend goldens")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU, 1 = serial)")
 	logPath := flag.String("log", "", "write evaluation records as JSON lines")
+	vet := flag.Bool("vet", false, "after the run, print static-diagnostic counts for generated programs to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	engine := flag.String("engine", "vm", "NQL execution engine: vm (bytecode, default) or interp (reference tree-walker)")
@@ -342,9 +345,54 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s (%s)\n", runner.Log.Len(), *logPath, runner.Log.Summary())
 	}
+	if *vet {
+		fmt.Fprint(os.Stderr, vetReport(runner.Log.Records()))
+	}
 	if parityErr != nil {
 		fmt.Fprintln(os.Stderr, "error:", parityErr)
 		return 1
 	}
 	return 0
+}
+
+// vetReport aggregates the semantic analyzer's findings over every
+// generated program the run evaluated, keyed by diagnostic code. It is a
+// diagnostic lens on the LLM-generated corpus — strictly stderr, so table
+// and figure stdout stays byte-identical with and without -vet.
+func vetReport(records []*nemoeval.Record) string {
+	programs := 0
+	counts := map[string]int{}
+	severity := map[string]string{}
+	for _, r := range records {
+		if r.Code == "" {
+			continue
+		}
+		programs++
+		prog, err := nql.Parse(r.Code)
+		if err != nil {
+			d := analysis.SyntaxDiagnostic(err)
+			counts[d.Code]++
+			severity[d.Code] = d.Severity.String()
+			continue
+		}
+		for _, d := range analysis.Analyze(prog, analysis.Options{Globals: nemoeval.StaticGlobals(r.Backend)}) {
+			counts[d.Code]++
+			severity[d.Code] = d.Severity.String()
+		}
+	}
+	codes := make([]string, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "static analysis: %d generated programs vetted\n", programs)
+	if len(codes) == 0 {
+		sb.WriteString("  no diagnostics\n")
+		return sb.String()
+	}
+	for _, c := range codes {
+		fmt.Fprintf(&sb, "  %s (%s): %d\n", c, severity[c], counts[c])
+	}
+	return sb.String()
 }

@@ -1,0 +1,115 @@
+// Command nqlvet runs the NQL semantic analyzer (internal/nql/analysis)
+// over programs and reports diagnostics in a compiler-style format:
+//
+//	nqlvet prog.nql other.nql      # vet files, surface-independent rules only
+//	nqlvet -backend sql prog.nql   # also resolve names against one backend surface
+//	nqlvet -registry               # vet every golden program × backend in the
+//	                               # query catalog (the CI gate)
+//
+// Exit status is 1 when any error-severity finding is reported, 2 on
+// usage errors, and 0 otherwise. Warnings are printed but never fail the
+// run — the analyzer's advisory rules must not block programs the
+// evaluation matrix executes successfully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/nemoeval"
+	"repro/internal/nql"
+	"repro/internal/nql/analysis"
+	"repro/internal/prompt"
+	"repro/internal/queries"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	registry := flag.Bool("registry", false, "vet every golden program x backend in the query catalog")
+	backend := flag.String("backend", "", "resolve names against one backend surface (sql, pandas, networkx, federated)")
+	flag.Parse()
+
+	if *registry {
+		if flag.NArg() > 0 || *backend != "" {
+			fmt.Fprintln(os.Stderr, "error: -registry takes no files and no -backend (it checks every backend)")
+			return 2
+		}
+		return vetRegistry()
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+	if *backend != "" && nemoeval.StaticGlobals(*backend) == nil {
+		fmt.Fprintf(os.Stderr, "error: unknown -backend %q (want sql, pandas, networkx or federated)\n", *backend)
+		return 2
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 2
+		}
+		diags := vetSource(string(src), nemoeval.StaticGlobals(*backend))
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", path, render(d))
+			if d.Severity == analysis.Error {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// vetSource runs parse + analyze over one program. A parse failure comes
+// back as the single NQ001 diagnostic; globals == nil leaves the
+// name-resolution rules off.
+func vetSource(src string, globals map[string]analysis.Type) []analysis.Diagnostic {
+	prog, err := nql.Parse(src)
+	if err != nil {
+		return []analysis.Diagnostic{analysis.SyntaxDiagnostic(err)}
+	}
+	return analysis.Analyze(prog, analysis.Options{Globals: globals})
+}
+
+// vetRegistry checks every golden program against the surface of the
+// backend it is written for: the whole catalog, every backend, in one
+// deterministic pass. Any error-severity finding fails CI.
+func vetRegistry() int {
+	all := queries.All()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	programs, errs, warns := 0, 0, 0
+	for _, q := range all {
+		for _, b := range prompt.AllBackends {
+			src, ok := q.Golden[b]
+			if !ok {
+				continue
+			}
+			programs++
+			for _, d := range vetSource(src, nemoeval.StaticGlobals(b)) {
+				fmt.Printf("%s/%s:%s\n", q.ID, b, render(d))
+				if d.Severity == analysis.Error {
+					errs++
+				} else {
+					warns++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nqlvet: %d programs, %d errors, %d warnings\n", programs, errs, warns)
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// render formats one diagnostic as "line: severity[CODE] message" so the
+// caller can prefix its own location (path or query/backend).
+func render(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%d: %s[%s] %s", d.Line, d.Severity, d.Code, d.Message)
+}

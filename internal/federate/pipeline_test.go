@@ -130,6 +130,25 @@ func TestPipelineMatchesLegacyCorpus(t *testing.T) {
 		// FuncPred with a join: classified legacy, must still agree.
 		&Filter{Pred: okFn, Input: &Join{
 			Left: sqlEdges(), Right: sqlEdges(), LeftKey: "dst", RightKey: "src"}},
+		// The same join shape with an analyzer-proven (NoErr) predicate:
+		// newly classified pipeline by the effect widening, so this is the
+		// plan family that must stay observationally identical now that it
+		// runs staged.
+		&Filter{Pred: FuncPred{Fn: okFn.Fn, NoErr: true}, Input: &Join{
+			Left: sqlEdges(), Right: sqlEdges(), LeftKey: "dst", RightKey: "src"}},
+		// Stacked NoErr predicates (previously legacy via the two-FuncPred
+		// rule).
+		&Filter{Pred: FuncPred{Fn: okFn.Fn, NoErr: true},
+			Input: &Filter{Pred: FuncPred{Fn: okFn.Fn, NoErr: true}, Input: sqlEdges()}},
+		// NoErr predicate above a join feeding an aggregate and sort.
+		&Sort{Ascending: true, Cols: []string{"src"}, Input: &Filter{
+			Pred: FuncPred{Fn: okFn.Fn, NoErr: true},
+			Input: &Aggregate{
+				Input: &Join{Left: sqlEdges(), Right: sqlEdges(),
+					LeftKey: "dst", RightKey: "src"},
+				GroupBy: []string{"src"},
+				Aggs:    []AggSpec{{Col: "bytes", Fn: AggCount, As: "n"}}},
+		}},
 		// Error cases: text must match the legacy executor verbatim.
 		&Scan{Source: "mongo", Table: "edges"},
 		&Scan{Source: SourceSQL, Table: "ghost"},

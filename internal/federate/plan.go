@@ -46,6 +46,17 @@ func (c Cmp) predLabel() string { return fmt.Sprintf("%s %s %s", c.Col, c.Op, nq
 // never pushed down.
 type FuncPred struct {
 	Fn func(row *nql.Map) (bool, error)
+
+	// NoErr marks a predicate proven pure and row-total by the NQL
+	// semantic analyzer (a single-parameter lambda whose body cannot fail
+	// or observe side effects when applied to a row map; see
+	// internal/nql/analysis). Calling a NoErr predicate earlier, later,
+	// or on rows the legacy executor would never reach is unobservable,
+	// so the pipeline-safety classifier ignores NoErr predicates when
+	// counting divergence risks. Resource-budget aborts (step/alloc/
+	// wall-clock) are excluded from the proof by contract: both executors
+	// share one budget and an abort cancels the whole run.
+	NoErr bool
 }
 
 func (FuncPred) predLabel() string { return "fn(row)" }

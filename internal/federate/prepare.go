@@ -228,6 +228,12 @@ func applyNode(n Node, decs []decision, pos *int) (Node, bool) {
 // present and every streaming operator strictly below it (project, limit)
 // cannot fail mid-stream — the first materializing operator below (scan,
 // aggregate, sort) absorbs upstream errors before emitting any batch.
+//
+// Predicates the semantic analyzer proved pure and row-total
+// (FuncPred.NoErr) carry no divergence risk at all — extra, fewer, or
+// reordered calls are unobservable — so they are invisible here: only
+// fallible FuncPreds count. This is what keeps join plans with vetted
+// NQL filter lambdas on the pipelined executor.
 func classify(plan Node) byte {
 	if !kindsKnown(plan) {
 		return modeLegacy
@@ -294,9 +300,14 @@ func countFuncPreds(n Node) int {
 	return c
 }
 
+// predFuncCount counts the fallible opaque predicates in p; NoErr
+// predicates are classification-invisible (see classify).
 func predFuncCount(p Pred) int {
 	switch x := p.(type) {
 	case FuncPred:
+		if x.NoErr {
+			return 0
+		}
 		return 1
 	case And:
 		n := 0

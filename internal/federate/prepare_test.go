@@ -304,6 +304,31 @@ func TestClassify(t *testing.T) {
 		{"two funcpreds", &Filter{Pred: And{Preds: []Pred{fn, fn}},
 			Input: scan()}, modeLegacy},
 	}
+	// Predicates the analyzer proved pure and row-total are invisible to
+	// the classifier: every legacy-forcing shape above widens back to the
+	// pipeline when its predicates carry the NoErr proof.
+	noerr := FuncPred{Fn: fn.Fn, NoErr: true}
+	cases = append(cases,
+		struct {
+			name string
+			plan Node
+			want byte
+		}{"noerr fn with join", &Filter{Pred: noerr, Input: &Join{
+			Left: scan(), Right: scan(), LeftKey: "dst", RightKey: "src"}}, modePipeline},
+		struct {
+			name string
+			plan Node
+			want byte
+		}{"noerr fn over filter", &Filter{Pred: noerr,
+			Input: &Filter{Pred: noerr, Input: scan()}}, modePipeline},
+		struct {
+			name string
+			plan Node
+			want byte
+		}{"noerr plus fallible fn with join", &Filter{Pred: And{Preds: []Pred{noerr, fn}},
+			Input: &Join{Left: scan(), Right: scan(),
+				LeftKey: "dst", RightKey: "src"}}, modeLegacy},
+	)
 	for _, c := range cases {
 		if got := classify(c.plan); got != c.want {
 			t.Errorf("classify(%s) = %d, want %d", c.name, got, c.want)

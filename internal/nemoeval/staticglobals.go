@@ -1,0 +1,43 @@
+package nemoeval
+
+import (
+	"repro/internal/nql/analysis"
+	"repro/internal/prompt"
+)
+
+// StaticGlobals describes one backend's host binding surface for the
+// semantic analyzer: every name Instance.Bindings can install, with its
+// static type. It is the bridge between the runtime surface and
+// analysis.CheckNames — netqueryd vets request programs against it before
+// admission, and nqlvet checks every golden program × backend in CI.
+//
+// The map is deliberately the permissive union: probe bindings are
+// dataset-conditional at runtime but always declared here, so a program
+// that uses them never draws a false NQ100 on instances that carry
+// probes. An unknown backend returns nil ("surface unknown"), which
+// disables name resolution entirely rather than mis-flagging.
+func StaticGlobals(backend string) map[string]analysis.Type {
+	g := map[string]analysis.Type{"kmeans": analysis.TFunc}
+	switch backend {
+	case prompt.BackendFederated:
+		g["graph"] = analysis.TGraph
+		g["nodes_df"] = analysis.TFrame
+		g["edges_df"] = analysis.TFrame
+		g["probes_df"] = analysis.TFrame
+		g["probes"] = analysis.TList
+		g["db"] = analysis.TObj
+		g["fed"] = analysis.TObj
+	case prompt.BackendNetworkX:
+		g["graph"] = analysis.TGraph
+		g["probes"] = analysis.TList
+	case prompt.BackendPandas:
+		g["nodes_df"] = analysis.TFrame
+		g["edges_df"] = analysis.TFrame
+		g["probes_df"] = analysis.TFrame
+	case prompt.BackendSQL:
+		g["db"] = analysis.TObj
+	default:
+		return nil
+	}
+	return g
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"strconv"
+
+	"repro/internal/nql"
+)
+
+// bspec describes one builtin's call shape for static checking: arity
+// bounds, per-argument acceptable types, and whether calling it is a side
+// effect in itself. Purity of fn-taking builtins (map, filter, sorted
+// with a key) is handled by builtinCallsFn; totality — the conditions
+// under which the call provably cannot fail — lives in builtinTotal,
+// derived case by case from the runtime implementations in
+// internal/nql/builtins.go.
+type bspec struct {
+	min, max int    // max < 0: unbounded
+	arity    string // human form for NQ200 messages, e.g. "1 or 2"
+	impure   bool   // the builtin itself mutates state or writes output
+	args     []argspec
+}
+
+type argspec struct {
+	kinds []Type // empty: any value accepted
+	desc  string
+}
+
+var (
+	numArg    = argspec{[]Type{TInt, TFloat, TNum, TBool}, "a number"}
+	strictNum = argspec{[]Type{TInt, TFloat, TNum}, "a number"}
+	intArg    = argspec{[]Type{TInt}, "an int"}
+	strArg    = argspec{[]Type{TStr}, "a string"}
+	listArg   = argspec{[]Type{TList}, "a list"}
+	mapArg    = argspec{[]Type{TMap}, "a map"}
+	fnArg     = argspec{[]Type{TFunc}, "a function"}
+	anyArg    = argspec{nil, ""}
+	sizedArg  = argspec{[]Type{TStr, TList, TMap, TFrame, TGraph, TObj}, "a string, list or map"}
+	keyedArg  = argspec{[]Type{TMap, TFrame, TGraph, TObj}, "a map"}
+	elemsArg  = argspec{[]Type{TList, TMap, TStr}, "a list, map or string"}
+	sliceArg  = argspec{[]Type{TList, TStr}, "a list or string"}
+	intoArg   = argspec{[]Type{TInt, TFloat, TNum, TBool, TStr}, "a number, bool or string"}
+	floatArg  = argspec{[]Type{TInt, TFloat, TNum, TStr}, "a number or string"}
+	keyOrRev  = argspec{[]Type{TFunc, TBool}, "a key function or bool"}
+	boolArg   = argspec{[]Type{TBool}, "a bool"}
+)
+
+var builtinSpecs = map[string]*bspec{
+	"print":      {0, -1, "any number of", true, nil},
+	"len":        {1, 1, "1", false, []argspec{sizedArg}},
+	"type":       {1, 1, "1", false, []argspec{anyArg}},
+	"str":        {1, 1, "1", false, []argspec{anyArg}},
+	"int":        {1, 1, "1", false, []argspec{intoArg}},
+	"float":      {1, 1, "1", false, []argspec{floatArg}},
+	"abs":        {1, 1, "1", false, []argspec{strictNum}},
+	"round":      {1, 2, "1 or 2", false, []argspec{numArg, intArg}},
+	"range":      {1, 3, "1-3", false, []argspec{intArg, intArg, intArg}},
+	"push":       {2, 2, "2", true, []argspec{listArg, anyArg}},
+	"pop":        {1, 1, "1", true, []argspec{listArg}},
+	"sum":        {1, 1, "1", false, []argspec{listArg}},
+	"min":        {1, -1, "1+", false, nil}, // 1-arg form needs a list: checked in builtinCall
+	"max":        {1, -1, "1+", false, nil},
+	"sorted":     {1, 3, "1-3", false, []argspec{listArg, keyOrRev, boolArg}},
+	"reversed":   {1, 1, "1", false, []argspec{listArg}},
+	"keys":       {1, 1, "1", false, []argspec{keyedArg}},
+	"values":     {1, 1, "1", false, []argspec{keyedArg}},
+	"items":      {1, 1, "1", false, []argspec{mapArg}},
+	"get":        {2, 3, "2 or 3", false, []argspec{mapArg, anyArg, anyArg}},
+	"setdefault": {3, 3, "3", true, []argspec{mapArg, anyArg, anyArg}},
+	"delete":     {2, 2, "2", true, []argspec{mapArg, anyArg}},
+	"contains":   {2, 2, "2", false, []argspec{elemsArg, anyArg}},
+	"upper":      {1, 1, "1", false, []argspec{strArg}},
+	"lower":      {1, 1, "1", false, []argspec{strArg}},
+	"strip":      {1, 1, "1", false, []argspec{strArg}},
+	"startswith": {2, 2, "2", false, []argspec{strArg, strArg}},
+	"endswith":   {2, 2, "2", false, []argspec{strArg, strArg}},
+	"split":      {2, 2, "2", false, []argspec{strArg, strArg}},
+	"replace":    {3, 3, "3", false, []argspec{strArg, strArg, strArg}},
+	"join":       {2, 2, "2", false, []argspec{strArg, listArg}},
+	"slice":      {3, 3, "3", false, []argspec{sliceArg, intArg, intArg}},
+	"map":        {2, 2, "2", false, []argspec{listArg, fnArg}},
+	"filter":     {2, 2, "2", false, []argspec{listArg, fnArg}},
+	"unique":     {1, 1, "1", false, []argspec{listArg}},
+	"zip":        {2, 2, "2", false, []argspec{listArg, listArg}},
+	"enumerate":  {1, 1, "1", false, []argspec{listArg}},
+	"sqrt":       {1, 1, "1", false, []argspec{numArg}},
+	"pow":        {2, 2, "2", false, []argspec{numArg, numArg}},
+}
+
+// builtinCallsFn reports builtins that invoke a caller-supplied function,
+// whose purity and totality the analyzer must then take from that
+// function rather than from the table (conservatively: opaque).
+func builtinCallsFn(name string, at []Type) bool {
+	switch name {
+	case "map", "filter":
+		return true
+	case "sorted":
+		// sorted(l, key) calls key; sorted(l, true) does not.
+		return len(at) >= 2 && at[1] != TBool
+	}
+	return false
+}
+
+// builtinTotal reports whether a well-arity call to name provably cannot
+// fail given the argument types (and, where the runtime checks values,
+// literal arguments). Resource-budget aborts (step/alloc/wall-clock) are
+// excluded from totality by contract — see the package comment.
+func builtinTotal(name string, x *nql.CallExpr, at []Type) bool {
+	n := len(at)
+	a0 := TAny
+	if n > 0 {
+		a0 = at[0]
+	}
+	switch name {
+	case "print", "type", "str":
+		return true
+	case "len":
+		return a0 == TStr || a0 == TList || a0 == TMap
+	case "int":
+		return isNumeric(a0) // string form can fail to parse
+	case "float":
+		return a0 == TInt || a0 == TFloat || a0 == TNum
+	case "abs":
+		return a0 == TInt || a0 == TFloat || a0 == TNum
+	case "round":
+		return isNumeric(a0) && (n == 1 || at[1] == TInt)
+	case "range":
+		for _, t := range at {
+			if t != TInt {
+				return false
+			}
+		}
+		return n < 3 || provenNonZeroInt(x.Args[2])
+	case "push":
+		return a0 == TList
+	case "reversed", "unique", "enumerate":
+		return a0 == TList
+	case "keys", "values", "items":
+		return a0 == TMap
+	case "get", "delete":
+		return a0 == TMap
+	case "setdefault":
+		return a0 == TMap && n == 3 && isHashable(at[1])
+	case "contains":
+		switch a0 {
+		case TList, TMap:
+			return true
+		case TStr:
+			return n == 2 && at[1] == TStr
+		}
+		return false
+	case "upper", "lower", "strip":
+		return a0 == TStr
+	case "startswith", "endswith", "split":
+		return a0 == TStr && n == 2 && at[1] == TStr
+	case "replace":
+		return n == 3 && at[0] == TStr && at[1] == TStr && at[2] == TStr
+	case "join":
+		// Elements must be strings; not provable from the list type.
+		return false
+	case "slice":
+		return n == 3 && (a0 == TList || a0 == TStr) && at[1] == TInt && at[2] == TInt
+	case "zip":
+		return n == 2 && at[0] == TList && at[1] == TList
+	case "sqrt":
+		f, ok := numLit(x.Args[0])
+		return ok && f >= 0
+	case "pow":
+		return n == 2 && isNumeric(at[0]) && isNumeric(at[1])
+	}
+	// sum, min, max, sorted, pop, map, filter: failure depends on values.
+	return false
+}
+
+// builtinResult gives the call's result type when the table knows it.
+func builtinResult(name string, at []Type, n int) Type {
+	switch name {
+	case "print", "delete":
+		return TNil
+	case "len", "int":
+		return TInt
+	case "type", "str", "upper", "lower", "strip", "replace", "join":
+		return TStr
+	case "float", "sqrt", "pow":
+		return TFloat
+	case "abs":
+		if n == 1 && (at[0] == TInt || at[0] == TFloat) {
+			return at[0]
+		}
+		return TNum
+	case "round":
+		if n == 1 {
+			return TInt
+		}
+		return TNum
+	case "sum":
+		return TNum
+	case "range", "sorted", "reversed", "keys", "values", "items", "split",
+		"map", "filter", "unique", "zip", "enumerate", "push":
+		return TList
+	case "contains", "startswith", "endswith":
+		return TBool
+	case "slice":
+		if n > 0 && at[0] == TStr {
+			return TStr
+		}
+		if n > 0 && at[0] == TList {
+			return TList
+		}
+	}
+	return TAny
+}
+
+func itoa(n int64) string   { return strconv.FormatInt(n, 10) }
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

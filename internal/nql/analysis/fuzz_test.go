@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/nql"
+)
+
+// FuzzAnalyze drives arbitrary source through parse → analyze → name
+// check. The property under test is simply "the analyzer never panics":
+// it runs inside netqueryd's request path on attacker-controlled input,
+// before any sandbox protections apply.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"let x = 1\nreturn x",
+		"func f(a, b) {\n  return a + b\n}\nreturn f(1, 2)",
+		`let p = fn(r) => get(r, "w", 0) == 1` + "\nreturn p",
+		"for k, v in {\"a\": 1} {\n  print(k, v)\n}",
+		"let m = {1: [2, {3: fn(x) => x}]}\nreturn m[1][1][3](4)",
+		"while true {\n  break\n}\nreturn 1 / 0",
+		"x = y\nreturn -\"s\" + len()",
+		"let len = 5\nreturn len(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := nql.Parse(src)
+		if err != nil {
+			return
+		}
+		Analyze(prog, Options{Globals: map[string]Type{"g": TGraph, "rows": TList}})
+		Analyze(prog, Options{})
+		CheckNames(prog, map[string]Type{"db": TObj})
+	})
+}

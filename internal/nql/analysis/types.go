@@ -1,0 +1,76 @@
+package analysis
+
+// Type is one point of the analyzer's lattice. TAny is the top ("could
+// be anything"); there is no bottom — impossible code is reported, not
+// typed. TNum is the join of TInt and TFloat: proven numeric, parity
+// unknown. The host-object types (TFrame, TGraph, TObj) exist so global
+// surfaces can be described precisely enough to flag e.g. graph+1, while
+// staying permissive about interface-driven builtins (len works on any
+// host object implementing Sizer).
+type Type uint8
+
+// Lattice points.
+const (
+	TAny Type = iota
+	TNil
+	TBool
+	TInt
+	TFloat
+	TNum
+	TStr
+	TList
+	TMap
+	TFunc
+	TFrame
+	TGraph
+	TObj
+)
+
+var typeNames = [...]string{
+	TAny: "any", TNil: "nil", TBool: "bool", TInt: "int", TFloat: "float",
+	TNum: "num", TStr: "str", TList: "list", TMap: "map", TFunc: "func",
+	TFrame: "frame", TGraph: "graph", TObj: "object",
+}
+
+// String names the lattice point.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "any"
+}
+
+// isNumeric reports whether values of t are accepted by the runtime's
+// numeric coercion (asNumber): bools count as 0/1.
+func isNumeric(t Type) bool {
+	switch t {
+	case TInt, TFloat, TNum, TBool:
+		return true
+	}
+	return false
+}
+
+// isScalar reports whether t is always hashable as a map key.
+func isScalar(t Type) bool {
+	switch t {
+	case TNil, TBool, TInt, TFloat, TNum, TStr:
+		return true
+	}
+	return false
+}
+
+// isObject reports the host-object types, whose capabilities (Sizer,
+// Indexable, KeysValuer, ...) the analyzer cannot see.
+func isObject(t Type) bool { return t == TFrame || t == TGraph || t == TObj }
+
+// join is the lattice join used where control flow merges value sources
+// (int ⊔ float = num, anything else mismatched = any).
+func join(a, b Type) Type {
+	if a == b {
+		return a
+	}
+	if isNumeric(a) && isNumeric(b) && a != TBool && b != TBool {
+		return TNum
+	}
+	return TAny
+}

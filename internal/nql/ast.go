@@ -1,6 +1,9 @@
 package nql
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Node is any AST node; Line reports the 1-based source line for errors.
 type Node interface{ Pos() int }
@@ -202,11 +205,15 @@ type CallExpr struct {
 	Args []Expr
 }
 
-// LambdaExpr is fn(params) => expr.
+// LambdaExpr is fn(params) => expr. eff carries the semantic analyzer's
+// effect summary (see effect.go); it is atomic because analysis may run
+// on a program already shared through the sandbox cache.
 type LambdaExpr struct {
 	base
 	Params []string
 	Body   Expr
+
+	eff atomic.Uint32
 }
 
 func (*Ident) expr()      {}

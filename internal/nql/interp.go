@@ -565,7 +565,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 		}
 		return memberOf(v, x.Name, x.Line)
 	case *LambdaExpr:
-		return &Closure{Params: x.Params, Expr: x.Body, Env: env}, nil
+		return &Closure{Params: x.Params, Expr: x.Body, Env: env, lambda: x}, nil
 	case *CallExpr:
 		fn, err := in.eval(x.Fn, env)
 		if err != nil {

@@ -26,10 +26,10 @@ func TestPrecedence(t *testing.T) {
 		{"100 / 10 / 2", float64(5)}, // division left assoc
 		{"-2 * 3", int64(-6)},
 		{"-(2 + 3)", int64(-5)},
-		{"1 + 2 < 4", true},            // additive binds tighter than comparison
-		{"1 < 2 and 3 < 2", false},     // comparison binds tighter than and
+		{"1 + 2 < 4", true},               // additive binds tighter than comparison
+		{"1 < 2 and 3 < 2", false},        // comparison binds tighter than and
 		{"false and false or true", true}, // and binds tighter than or
-		{"not 1 == 2", true},           // not applies to the comparison
+		{"not 1 == 2", true},              // not applies to the comparison
 		{"not true or true", true},
 		{"1 + 2 == 3 and 4 < 5", true},
 		{"3 in [1, 2, 3] and true", true},
@@ -130,12 +130,12 @@ return [fns[0](0), fns[1](0), fns[2](0)]`)
 
 func TestFloatLiteralForms(t *testing.T) {
 	cases := map[string]float64{
-		"1.5":    1.5,
-		"0.25":   0.25,
-		"2e3":    2000,
-		"1.5e2":  150,
-		"1e-2":   0.01,
-		"3E+2":   300,
+		"1.5":   1.5,
+		"0.25":  0.25,
+		"2e3":   2000,
+		"1.5e2": 150,
+		"1e-2":  0.01,
+		"3E+2":  300,
 	}
 	for src, want := range cases {
 		if got := evalExprTest(t, src); got != want {

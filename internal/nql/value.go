@@ -197,8 +197,9 @@ type Closure struct {
 	Expr   Expr   // lambda body
 	Env    *Env
 
-	proto *FuncProto
-	free  []*cell
+	proto  *FuncProto
+	free   []*cell
+	lambda *LambdaExpr // source lambda (interp closures; VM closures reach it via proto)
 }
 
 // Builtin is a native function exposed to scripts.

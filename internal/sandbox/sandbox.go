@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/nql"
+	"repro/internal/nql/analysis"
 )
 
 // Policy configures a sandboxed execution.
@@ -57,18 +58,27 @@ type Result struct {
 // OK reports whether the run completed without error.
 func (r *Result) OK() bool { return r.Err == nil }
 
-// progCache memoizes successful parses keyed by source text. The evaluation
-// matrix executes the same golden and generated programs hundreds of times
-// (once per model × backend × trial cell); compiling each distinct source
-// once removes the parser from the per-run cost entirely. Because a
-// Program also caches its bytecode (nql.Program.Compiled, warmed by
-// Compile below), this cache doubles as the bytecode cache: each distinct
-// source is parsed once and compiled once, and every trial executes the
-// shared immutable code on the pooled VM. Parsed programs are immutable,
-// so cached entries are shared freely across goroutines.
+// progEntry is one cached prepare result: the parsed program (bytecode
+// warmed) plus the surface-independent static diagnostics from the
+// semantic analyzer, which also stamps every lambda's effect summary onto
+// the shared AST. Parse, compile, and analyze each happen once per
+// distinct source no matter how Compile/Vet/Run interleave.
+type progEntry struct {
+	prog  *nql.Program
+	diags []analysis.Diagnostic
+}
+
+// progCache memoizes successful prepares keyed by source text. The
+// evaluation matrix executes the same golden and generated programs
+// hundreds of times (once per model × backend × trial cell); preparing
+// each distinct source once removes the parser, the bytecode compiler
+// (nql.Program.Compiled, warmed below) and the analyzer from the per-run
+// cost entirely. Parsed programs are immutable — the analyzer's effect
+// stamp is written atomically and deterministically — so cached entries
+// are shared freely across goroutines.
 var (
 	progMu    sync.Mutex
-	progCache = map[string]*nql.Program{}
+	progCache = map[string]*progEntry{}
 )
 
 // progCacheMax bounds the cache so adversarial or size-swept workloads
@@ -76,15 +86,14 @@ var (
 // cap, new programs still compile — they just are not retained.
 const progCacheMax = 4096
 
-// Compile parses src into an executable program, consulting and populating
-// the shared program cache. The returned program is immutable and may be
-// executed concurrently by any number of RunProgram calls.
-func Compile(src string) (*nql.Program, error) {
+// prepare is the single entry point behind Compile, Vet and CheckSyntax:
+// parse, warm the bytecode, analyze, cache.
+func prepare(src string) (*progEntry, error) {
 	progMu.Lock()
-	prog, ok := progCache[src]
+	e, ok := progCache[src]
 	progMu.Unlock()
 	if ok {
-		return prog, nil
+		return e, nil
 	}
 	prog, err := nql.Parse(src)
 	if err != nil {
@@ -94,12 +103,41 @@ func Compile(src string) (*nql.Program, error) {
 	// compile failure is deferred to execution, which reports it as an
 	// internal-class error.
 	_, _ = prog.Compiled()
+	// The surface-independent analysis: name resolution against concrete
+	// backend globals is the caller's job (analysis.CheckNames); these
+	// diagnostics hold for every surface, and the pass stamps lambda
+	// effects for the federated planner.
+	e = &progEntry{prog: prog, diags: analysis.Analyze(prog, analysis.Options{})}
 	progMu.Lock()
 	if len(progCache) < progCacheMax {
-		progCache[src] = prog
+		progCache[src] = e
 	}
 	progMu.Unlock()
-	return prog, nil
+	return e, nil
+}
+
+// Compile parses src into an executable program, consulting and populating
+// the shared program cache. The returned program is immutable and may be
+// executed concurrently by any number of RunProgram calls.
+func Compile(src string) (*nql.Program, error) {
+	e, err := prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.prog, nil
+}
+
+// Vet parses and statically analyzes src, returning the analyzer's
+// surface-independent diagnostics (cached alongside the compiled
+// program). A parse failure is returned as the error; callers that want
+// it as a diagnostic can wrap it with analysis.SyntaxDiagnostic. A nil
+// error with zero diagnostics means the program is statically clean.
+func Vet(src string) ([]analysis.Diagnostic, error) {
+	e, err := prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.diags, nil
 }
 
 // Run executes src with the given host globals under the policy. The caller

@@ -124,3 +124,65 @@ func TestResultValueTypes(t *testing.T) {
 		t.Fatalf("value = %s", nql.Repr(res.Value))
 	}
 }
+
+func TestVet(t *testing.T) {
+	diags, err := Vet("let x = 1\nreturn x")
+	if err != nil || len(diags) != 0 {
+		t.Fatalf("clean program: diags=%v err=%v", diags, err)
+	}
+	diags, err = Vet("return 1 / 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != "NQ301" {
+		t.Fatalf("diags = %v, want one NQ301", diags)
+	}
+	if _, err := Vet("let x = ("); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
+
+// TestVetSharesCache: Vet and Compile must hit the same cache entry (one
+// parse, one analysis) and Vet must return the identical diagnostics
+// slice on repeat calls.
+func TestVetSharesCache(t *testing.T) {
+	src := "return 2 % 0"
+	d1, err := Vet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Vet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 1 || len(d2) != 1 || d1[0] != d2[0] {
+		t.Fatalf("cached diagnostics diverged: %v vs %v", d1, d2)
+	}
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+}
+
+// TestVetStampsEffects: compiling through the sandbox must leave lambda
+// effect stamps on the shared AST for the federated planner to read.
+func TestVetStampsEffects(t *testing.T) {
+	src := `let p = fn(r) => get(r, "kind", "") == "x"` + "\nreturn p"
+	if _, err := Vet(src); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(src, nil, DefaultPolicy)
+	if !res.OK() {
+		t.Fatal(res.Err)
+	}
+	cl, ok := res.Value.(*nql.Closure)
+	if !ok {
+		t.Fatalf("result %T, want closure", res.Value)
+	}
+	if e := cl.Effect(); !e.Pure() || !e.RowTotal() {
+		t.Errorf("closure effect %b: want pure and row-total", e)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/federate"
 	"repro/internal/nemoeval"
+	"repro/internal/nql/analysis"
 	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/traffic"
@@ -39,10 +40,13 @@ type queryResponse struct {
 	Profile    *QueryProfile `json:"profile,omitempty"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. Diagnostics is populated only for
+// static-analysis rejections (400): one entry per error-severity finding,
+// so clients can fix programs without parsing the flat message.
 type errorResponse struct {
-	Error string `json:"error"`
-	Class string `json:"class,omitempty"`
+	Error       string                `json:"error"`
+	Class       string                `json:"class,omitempty"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // swapRequest is the POST /admin/swap body: a named dataset to load and
@@ -249,6 +253,12 @@ func writeDoError(w http.ResponseWriter, err error) {
 	var unavail *UnavailableError
 	if errors.As(err, &unavail) || errors.Is(err, ErrDraining) {
 		writeError(w, http.StatusServiceUnavailable, "", err)
+		return
+	}
+	var vet *VetError
+	if errors.As(err, &vet) {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Class: "static", Diagnostics: vet.Diags})
 		return
 	}
 	var qe *QueryError

@@ -50,15 +50,19 @@ func TestHTTPBadRequests(t *testing.T) {
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("unknown field: status = %d, want 400", w.Code)
 	}
-	// Bad NQL surfaces as unprocessable with its error class.
+	// Statically-invalid NQL is rejected by the vet pass with structured
+	// diagnostics before it ever reaches a backend.
 	w = postJSON(t, h, "/v1/query", queryRequest{Tenant: "a", Query: "return nonsense_var"})
-	if w.Code != http.StatusUnprocessableEntity {
-		t.Fatalf("bad query: status = %d body %s, want 422", w.Code, w.Body)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad query: status = %d body %s, want 400", w.Code, w.Body)
 	}
 	var er errorResponse
 	_ = json.Unmarshal(w.Body.Bytes(), &er)
-	if er.Class != "name" {
-		t.Fatalf("bad query class = %q, want name", er.Class)
+	if er.Class != "static" {
+		t.Fatalf("bad query class = %q, want static", er.Class)
+	}
+	if len(er.Diagnostics) != 1 || er.Diagnostics[0].Code != "NQ100" {
+		t.Fatalf("bad query diagnostics = %+v, want one NQ100", er.Diagnostics)
 	}
 	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "a"}); w.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("empty query: status = %d, want 422", w.Code)
@@ -135,6 +139,21 @@ func TestHTTPSwapAndHealth(t *testing.T) {
 
 	if w := postJSON(t, h, "/admin/swap", swapRequest{App: "warp-drive"}); w.Code != http.StatusBadRequest {
 		t.Fatalf("bad swap app: status = %d, want 400", w.Code)
+	}
+}
+
+func TestHTTPVetRejectCounterOnMetricsz(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+	w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "a", Query: "return 1 % 0"})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("vet reject: status = %d body %s, want 400", w.Code, w.Body)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metricsz", nil)
+	mw := httptest.NewRecorder()
+	h.ServeHTTP(mw, req)
+	if !bytes.Contains(mw.Body.Bytes(), []byte("netqueryd_vet_rejects_total 1")) {
+		t.Fatalf("/metricsz missing netqueryd_vet_rejects_total 1:\n%s", mw.Body)
 	}
 }
 

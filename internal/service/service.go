@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/limiter"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
+	"repro/internal/nql/analysis"
 	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/queries"
@@ -155,6 +157,23 @@ type QueryError struct {
 func (e *QueryError) Error() string { return e.Err.Error() }
 func (e *QueryError) Unwrap() error { return e.Err }
 
+// VetError reports a raw program rejected by static analysis: it is
+// provably broken (syntax error, undefined names for its backend, or a
+// guaranteed runtime failure), so the service refuses it before admission
+// control spends any tenant budget on it. Diags carries the
+// error-severity findings for the response body.
+type VetError struct {
+	Diags []analysis.Diagnostic
+}
+
+func (e *VetError) Error() string {
+	parts := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		parts[i] = d.String()
+	}
+	return "service: program rejected by static analysis: " + strings.Join(parts, "; ")
+}
+
 // ErrDraining is returned once Drain has begun: the service is shutting
 // down and admits no new work.
 var ErrDraining = errors.New("service: draining, not admitting new queries")
@@ -206,6 +225,7 @@ type Service struct {
 	resTimeout    *obs.Counter // ...{result="timeout"}: our deadline fired
 	resDisconnect *obs.Counter // ...{result="disconnect"}: client went away
 	resError      *obs.Counter // ...{result="error"}: other failures
+	vetRejects    *obs.Counter // netqueryd_vet_rejects_total
 	degraded      *obs.Counter
 	swaps         *obs.Counter
 	inflight      *obs.Gauge
@@ -218,7 +238,22 @@ type Service struct {
 	traceSeq   atomic.Int64
 	traceID    atomic.Int64
 	traces     traceRing
+
+	// Vet verdicts cached per (backend, query) so a repeated raw query
+	// pays one map lookup, not a fresh name-resolution walk. Bounded the
+	// same way as the sandbox program cache; a nil value records "clean".
+	vetMu    sync.Mutex
+	vetCache map[vetKey]*VetError
 }
+
+// vetKey identifies one vet verdict: name resolution depends on the
+// requested backend's binding surface, so the same source can be clean on
+// one backend and rejected on another.
+type vetKey struct{ backend, query string }
+
+// vetCacheMax bounds the verdict cache; past it, verdicts are recomputed
+// rather than retained, so hostile tenants cannot grow the map unboundedly.
+const vetCacheMax = 4096
 
 // traceRing keeps the most recent sampled traces for /tracez.
 type traceRing struct {
@@ -302,11 +337,13 @@ func New(cfg Config) (*Service, error) {
 		resTimeout:    reg.Counter("netqueryd_results_total", "result", "timeout"),
 		resDisconnect: reg.Counter("netqueryd_results_total", "result", "disconnect"),
 		resError:      reg.Counter("netqueryd_results_total", "result", "error"),
+		vetRejects:    reg.Counter("netqueryd_vet_rejects_total"),
 		degraded:      reg.Counter("netqueryd_degraded_total"),
 		swaps:         reg.Counter("netqueryd_swaps_total"),
 		inflight:      reg.Gauge("netqueryd_inflight"),
 		backendCtr:    map[string]*obs.Counter{},
 		backendLat:    map[string]*obs.Histogram{},
+		vetCache:      map[vetKey]*VetError{},
 	}
 	if cfg.TraceSample > 0 {
 		s.traceEvery = int64(1/cfg.TraceSample + 0.5)
@@ -478,6 +515,59 @@ func (s *Service) chooseBackend(req *Request) (backend, src string, degraded boo
 	return "", "", false, &UnavailableError{Backend: preferred}
 }
 
+// vetQuery runs the semantic analyzer over a raw program: the cached
+// surface-independent pass (sandbox.Vet) plus name resolution against the
+// request's backend surface. Error-severity findings reject the request;
+// warnings never do — the analyzer's advisory rules must not change what
+// the service accepts.
+func (s *Service) vetQuery(req *Request) *VetError {
+	key := vetKey{backend: req.Backend, query: req.Query}
+	s.vetMu.Lock()
+	verr, ok := s.vetCache[key]
+	s.vetMu.Unlock()
+	if ok {
+		return verr
+	}
+	verr = s.vetQuerySlow(req)
+	s.vetMu.Lock()
+	if len(s.vetCache) < vetCacheMax {
+		s.vetCache[key] = verr
+	}
+	s.vetMu.Unlock()
+	return verr
+}
+
+// vetQuerySlow computes the verdict vetQuery caches: surface-independent
+// analysis from the sandbox's program cache plus name resolution against
+// the requested backend's binding surface.
+func (s *Service) vetQuerySlow(req *Request) *VetError {
+	diags, err := sandbox.Vet(req.Query)
+	if err != nil {
+		return &VetError{Diags: []analysis.Diagnostic{analysis.SyntaxDiagnostic(err)}}
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = prompt.BackendFederated // chooseBackend's raw-query default
+	}
+	// An unknown backend string yields a nil surface (name rules off);
+	// chooseBackend rejects the backend itself right after admission.
+	if prog, cerr := sandbox.Compile(req.Query); cerr == nil {
+		diags = append(diags[:len(diags):len(diags)],
+			analysis.CheckNames(prog, nemoeval.StaticGlobals(backend))...)
+	}
+	var errs []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Severity == analysis.Error {
+			errs = append(errs, d)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.SliceStable(errs, func(i, j int) bool { return errs[i].Line < errs[j].Line })
+	return &VetError{Diags: errs}
+}
+
 // cheapestHealthy returns the cheapest substrate whose breaker admits
 // requests and which has a golden program for q ("" when none qualifies).
 func (s *Service) cheapestHealthy(q queries.Query) string {
@@ -503,6 +593,19 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	if (req.Query == "") == (req.QueryID == "") {
 		return nil, &QueryError{Class: string(nql.ErrValue),
 			Err: fmt.Errorf("service: request must carry exactly one of query, query_id")}
+	}
+
+	// Static vetting, deliberately ahead of admission: a provably-broken
+	// raw program is rejected without taking a token from the tenant's
+	// bucket or a concurrency slot — the tenant's budget stays for
+	// programs that can actually run. Catalog queries skip this: their
+	// goldens are vetted in CI (nqlvet -registry). The vet itself is
+	// cached per source, so retried garbage costs one map lookup.
+	if req.Query != "" {
+		if verr := s.vetQuery(req); verr != nil {
+			s.vetRejects.Inc()
+			return nil, verr
+		}
 	}
 
 	// Admission: shed over-budget work before paying for anything else.

@@ -68,8 +68,8 @@ func TestRawQueryDefaultsToFederated(t *testing.T) {
 func TestRequestValidation(t *testing.T) {
 	s := newTestService(t, nil)
 	cases := []Request{
-		{QueryID: "ta-e2"},                                // no tenant
-		{Tenant: "a"},                                     // neither query nor id
+		{QueryID: "ta-e2"}, // no tenant
+		{Tenant: "a"},      // neither query nor id
 		{Tenant: "a", Query: "return 1", QueryID: "ta-e2"}, // both
 		{Tenant: "a", QueryID: "no-such-query"},
 		{Tenant: "a", QueryID: "ta-e2", Backend: "quantum"},
@@ -294,4 +294,127 @@ func respResult(r *Response) string {
 		return "<nil>"
 	}
 	return r.Result
+}
+
+// TestVetRejectsBeforeAdmission proves the static-analysis gate runs
+// ahead of admission control: a provably-broken program is rejected with
+// structured diagnostics without spending the tenant's only token, so the
+// very next valid request is still admitted.
+func TestVetRejectsBeforeAdmission(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.TenantRPS = 0.001 // effectively no refill within the test
+		c.TenantBurst = 1   // exactly one token for the whole test
+	})
+
+	_, err := s.Do(context.Background(), &Request{Tenant: "a", Query: "return 1 / 0"})
+	var verr *VetError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error = %v, want VetError", err)
+	}
+	if len(verr.Diags) != 1 || verr.Diags[0].Code != "NQ301" {
+		t.Fatalf("diagnostics = %+v, want one NQ301", verr.Diags)
+	}
+	if got := s.vetRejects.Load(); got != 1 {
+		t.Fatalf("vet_rejects = %d, want 1", got)
+	}
+	if got := s.resShed.Load(); got != 0 {
+		t.Fatalf("shed = %d after vet reject, want 0", got)
+	}
+
+	// The rejected request must not have consumed the single token.
+	if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: "return 1 + 1"}); err != nil {
+		t.Fatalf("valid request after vet reject: %v", err)
+	}
+	// ...and now the budget really is gone.
+	var shed *ShedError
+	if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: "return 2"}); !errors.As(err, &shed) {
+		t.Fatalf("third request: error = %v, want ShedError", err)
+	}
+}
+
+// TestVetVerdictCache proves the per-(backend, query) verdict cache: a
+// retried query is served from the cache (one entry, not one per retry)
+// while the reject counter still advances per request, and the same
+// source vetted under two backends yields two independent verdicts.
+func TestVetVerdictCache(t *testing.T) {
+	s := newTestService(t, nil)
+	for i := 0; i < 3; i++ {
+		var verr *VetError
+		if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: "return 1 % 0"}); !errors.As(err, &verr) {
+			t.Fatalf("retry %d: error = %v, want VetError", i, err)
+		}
+	}
+	if got := s.vetRejects.Load(); got != 3 {
+		t.Fatalf("vet_rejects = %d, want 3 (counter is per request, cache or not)", got)
+	}
+	s.vetMu.Lock()
+	n := len(s.vetCache)
+	s.vetMu.Unlock()
+	if n != 1 {
+		t.Fatalf("vetCache entries = %d after 3 retries of one query, want 1", n)
+	}
+
+	// Same source, different backends: distinct cache keys, distinct verdicts.
+	src := "return db.query(\"SELECT 1\")"
+	if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: src, Backend: "sql"}); err != nil {
+		t.Fatalf("sql backend: %v", err)
+	}
+	var verr *VetError
+	if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: src, Backend: "networkx"}); !errors.As(err, &verr) {
+		t.Fatalf("networkx backend: error = %v, want VetError (db undefined there)", err)
+	}
+}
+
+// TestVetWarningsDoNotReject: advisory findings (here NQ102 unused
+// variable) must never change what the service accepts.
+func TestVetWarningsDoNotReject(t *testing.T) {
+	s := newTestService(t, nil)
+	resp, err := s.Do(context.Background(), &Request{
+		Tenant: "a",
+		Query:  "let unused = 1\nreturn 2",
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Result != "2" {
+		t.Fatalf("result = %q, want 2", resp.Result)
+	}
+	if got := s.vetRejects.Load(); got != 0 {
+		t.Fatalf("vet_rejects = %d, want 0", got)
+	}
+}
+
+// TestVetChecksBackendSurface: the same program is valid against one
+// backend's binding surface and an NQ100 against another.
+func TestVetChecksBackendSurface(t *testing.T) {
+	s := newTestService(t, nil)
+	q := `return db.query("SELECT COUNT(*) AS n FROM nodes").cell(0, "n")`
+	if _, err := s.Do(context.Background(), &Request{Tenant: "a", Query: q, Backend: "sql"}); err != nil {
+		t.Fatalf("sql backend: %v", err)
+	}
+	_, err := s.Do(context.Background(), &Request{Tenant: "a", Query: q, Backend: "networkx"})
+	var verr *VetError
+	if !errors.As(err, &verr) {
+		t.Fatalf("networkx backend: error = %v, want VetError (db unbound)", err)
+	}
+	if verr.Diags[0].Code != "NQ100" {
+		t.Fatalf("diagnostic = %+v, want NQ100", verr.Diags[0])
+	}
+}
+
+// TestVetSyntaxErrorIsNQ001 routes parse failures through the same
+// structured-diagnostic channel as semantic findings.
+func TestVetSyntaxErrorIsNQ001(t *testing.T) {
+	s := newTestService(t, nil)
+	_, err := s.Do(context.Background(), &Request{Tenant: "a", Query: "return (1 +"})
+	var verr *VetError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error = %v, want VetError", err)
+	}
+	if len(verr.Diags) != 1 || verr.Diags[0].Code != "NQ001" {
+		t.Fatalf("diagnostics = %+v, want one NQ001", verr.Diags)
+	}
+	if !strings.Contains(err.Error(), "rejected by static analysis") {
+		t.Fatalf("error text = %q", err)
+	}
 }
