@@ -2,7 +2,7 @@
 # (build + vet + tests); `make lint` adds the NQL registry vet (nqlvet
 # over every golden program x backend) and staticcheck when installed;
 # `make bench` records the benchmark suite as JSON so successive PRs can
-# track the perf trajectory (BENCH_9.json for this PR, bump BENCH_OUT for
+# track the perf trajectory (BENCH_10.json for this PR, bump BENCH_OUT for
 # the next); `make benchdiff` compares the two most recent snapshots and
 # fails on >10% regressions of ns/op, B/op or allocs/op (tail latency is
 # gated at a wider p99 threshold — see cmd/benchdiff) on the ROADMAP
@@ -11,7 +11,7 @@
 # ServiceQuery / FederatedJoin / FederatedGoldenQuery).
 
 GO        ?= go
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 
 # One pinned staticcheck for local lint and CI: an unpinned @latest can
 # start flagging new checks the day a release lands and break CI with no
@@ -49,9 +49,10 @@ install-staticcheck:
 # (includes the stream/shard sweep's parallel aggregation and PageRank,
 # the model-serving gateway's batching/rate-limit/retry scheduler, and the
 # netqueryd service's chaos suite — swap under load, client disconnects,
-# backend stalls, tenant isolation).
+# backend stalls, tenant isolation, and the burn-rate alert full loop
+# against the SLO engine in internal/obs/health).
 race:
-	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/nql/analysis ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service ./internal/obs
+	$(GO) test -race ./internal/nemoeval ./internal/graph ./internal/nql ./internal/nql/analysis ./internal/sandbox ./internal/nqlbind ./internal/traffic ./internal/modelserve ./internal/federate ./internal/limiter ./internal/service ./internal/obs ./internal/obs/health
 
 # Record the benchmark suite as test2json records for tooling: the macro
 # benchmarks (whole tables/figures/ablations) run one iteration, while the

@@ -452,6 +452,18 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+	// flight is the recorder's hot-path tax on an unremarkable request: one
+	// Admit (sampled out) per iteration. The 0 allocs/op figure is the
+	// contract — a healthy fast request must not allocate for the recorder.
+	b.Run("flight", func(b *testing.B) {
+		rec := obs.NewFlightRecorder(256, 1<<40)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rec.Admit() {
+				b.Fatal("sampled in with an astronomically large interval")
+			}
+		}
+	})
 }
 
 // BenchmarkFederatedJoin measures the federated planner's hot path: a

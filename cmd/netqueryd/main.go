@@ -4,7 +4,9 @@
 // fresh clone of the current dataset epoch, under admission control, a
 // propagated deadline, and per-substrate circuit breaking; datasets can be
 // swapped live with zero dropped queries, and SIGINT/SIGTERM drain
-// gracefully.
+// gracefully. A background health tick evaluates per-tenant and
+// per-backend SLOs (multi-window burn rates, surfaced on /sloz) and an
+// always-on flight recorder keeps the recent notable requests (/flightz).
 //
 // Usage:
 //
@@ -14,15 +16,24 @@
 //	          [-default-timeout 2s] [-max-timeout 10s]
 //	          [-breaker-threshold 5] [-breaker-cooldown 1s]
 //	          [-trace-sample 0] [-pprof]
+//	          [-slo-availability 0.999] [-slo-latency-target 0.99]
+//	          [-slo-latency-threshold 250ms] [-slo-tick 10s]
+//	          [-flight-capacity 256] [-flight-sample 64]
+//	          [-flight-slow-factor 4] [-dump-bundle]
 //
-// Endpoints: POST /v1/query, POST /admin/swap, GET /healthz, GET /statsz,
-// GET /metricsz (Prometheus text), GET /tracez (sampled traces), and — with
-// -pprof — GET /debug/pprof/*. See doc.go in internal/service for the
-// runbook.
+// Endpoints: POST /v1/query, POST /admin/swap, GET /healthz (?verbose=1
+// adds SLO and cache detail), GET /statsz, GET /metricsz (Prometheus text
+// with trace-ID exemplars), GET /sloz (burn rates and alert states),
+// GET /tracez (sampled traces, filterable), GET /flightz (flight
+// recorder, filterable), GET /debugz/bundle (diagnostic bundle), and —
+// with -pprof — GET /debug/pprof/*. -dump-bundle builds the service,
+// writes one diagnostic bundle to stdout and exits (a smoke test of the
+// whole health layer). See doc.go in internal/service for the runbook.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,90 +49,154 @@ import (
 	"repro/internal/service"
 )
 
-func main() {
-	addr := flag.String("addr", ":8090", "listen address")
-	app := flag.String("app", "traffic", "initial dataset: traffic, malt or diagnosis")
-	nodes := flag.Int("nodes", 80, "traffic graph nodes")
-	edges := flag.Int("edges", 80, "traffic graph edges")
-	seed := flag.Int64("seed", 42, "traffic workload seed")
-	tenantRPS := flag.Float64("tenant-rps", 50, "per-tenant admitted requests/sec")
-	tenantBurst := flag.Float64("tenant-burst", 16, "per-tenant request burst")
-	tenantConc := flag.Int("tenant-concurrency", 8, "per-tenant in-flight query cap (-1 unlimited)")
-	defTimeout := flag.Duration("default-timeout", 2*time.Second, "deadline for requests without one")
-	maxTimeout := flag.Duration("max-timeout", 10*time.Second, "cap on client-requested deadlines")
-	brThreshold := flag.Int("breaker-threshold", 5, "consecutive timeouts tripping a substrate breaker")
-	brCooldown := flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
-	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace (0 disables, 1 traces all)")
-	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof handlers")
-	flag.Parse()
+// options carries every parsed flag into run.
+type options struct {
+	addr string
+	app  string
 
-	os.Exit(run(*addr, *app, *nodes, *edges, *seed, *tenantRPS, *tenantBurst, *tenantConc,
-		*defTimeout, *maxTimeout, *brThreshold, *brCooldown, *drainTimeout, *traceSample, *pprofOn))
+	nodes int
+	edges int
+	seed  int64
+
+	tenantRPS   float64
+	tenantBurst float64
+	tenantConc  int
+
+	defTimeout   time.Duration
+	maxTimeout   time.Duration
+	brThreshold  int
+	brCooldown   time.Duration
+	drainTimeout time.Duration
+	traceSample  float64
+	pprofOn      bool
+
+	sloAvailability float64
+	sloLatTarget    float64
+	sloLatThreshold time.Duration
+	sloTick         time.Duration
+
+	flightCapacity   int
+	flightSample     int
+	flightSlowFactor float64
+
+	dumpBundle bool
 }
 
-func run(addr, app string, nodes, edges int, seed int64, tenantRPS, tenantBurst float64,
-	tenantConc int, defTimeout, maxTimeout time.Duration, brThreshold int,
-	brCooldown, drainTimeout time.Duration, traceSample float64, pprofOn bool) int {
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8090", "listen address")
+	flag.StringVar(&o.app, "app", "traffic", "initial dataset: traffic, malt or diagnosis")
+	flag.IntVar(&o.nodes, "nodes", 80, "traffic graph nodes")
+	flag.IntVar(&o.edges, "edges", 80, "traffic graph edges")
+	flag.Int64Var(&o.seed, "seed", 42, "traffic workload seed")
+	flag.Float64Var(&o.tenantRPS, "tenant-rps", 50, "per-tenant admitted requests/sec")
+	flag.Float64Var(&o.tenantBurst, "tenant-burst", 16, "per-tenant request burst")
+	flag.IntVar(&o.tenantConc, "tenant-concurrency", 8, "per-tenant in-flight query cap (-1 unlimited)")
+	flag.DurationVar(&o.defTimeout, "default-timeout", 2*time.Second, "deadline for requests without one")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", 10*time.Second, "cap on client-requested deadlines")
+	flag.IntVar(&o.brThreshold, "breaker-threshold", 5, "consecutive timeouts tripping a substrate breaker")
+	flag.DurationVar(&o.brCooldown, "breaker-cooldown", time.Second, "how long a tripped breaker stays open")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "shutdown drain budget")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of requests to trace (0 disables, 1 traces all)")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "mount /debug/pprof handlers")
+	flag.Float64Var(&o.sloAvailability, "slo-availability", 0.999, "availability objective target (-1 disables)")
+	flag.Float64Var(&o.sloLatTarget, "slo-latency-target", 0.99, "latency objective quantile target")
+	flag.DurationVar(&o.sloLatThreshold, "slo-latency-threshold", 250*time.Millisecond, "latency objective per-request budget (-1ns disables)")
+	flag.DurationVar(&o.sloTick, "slo-tick", 10*time.Second, "health tick interval (SLO window sampling)")
+	flag.IntVar(&o.flightCapacity, "flight-capacity", 256, "flight recorder ring size (-1 disables)")
+	flag.IntVar(&o.flightSample, "flight-sample", 64, "record one unremarkable request per this many (-1 disables sampling)")
+	flag.Float64Var(&o.flightSlowFactor, "flight-slow-factor", 4, "dynamic slow threshold = tenant p99 x this factor")
+	flag.BoolVar(&o.dumpBundle, "dump-bundle", false, "write one diagnostic bundle to stdout and exit")
+	flag.Parse()
+
+	os.Exit(run(o))
+}
+
+func run(o options) int {
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
 		return 2
 	}
 	// Fail fast on nonsense flags rather than surfacing them as runtime
 	// misbehaviour deep in the service.
-	if nodes <= 0 || edges < 0 {
-		return fail("-nodes must be > 0 and -edges >= 0 (got %d, %d)", nodes, edges)
+	if o.nodes <= 0 || o.edges < 0 {
+		return fail("-nodes must be > 0 and -edges >= 0 (got %d, %d)", o.nodes, o.edges)
 	}
-	if tenantRPS <= 0 || tenantBurst <= 0 {
-		return fail("-tenant-rps and -tenant-burst must be > 0 (got %g, %g)", tenantRPS, tenantBurst)
+	if o.tenantRPS <= 0 || o.tenantBurst <= 0 {
+		return fail("-tenant-rps and -tenant-burst must be > 0 (got %g, %g)", o.tenantRPS, o.tenantBurst)
 	}
-	if defTimeout <= 0 || maxTimeout <= 0 || defTimeout > maxTimeout {
-		return fail("need 0 < -default-timeout <= -max-timeout (got %v, %v)", defTimeout, maxTimeout)
+	if o.defTimeout <= 0 || o.maxTimeout <= 0 || o.defTimeout > o.maxTimeout {
+		return fail("need 0 < -default-timeout <= -max-timeout (got %v, %v)", o.defTimeout, o.maxTimeout)
 	}
-	if brThreshold <= 0 || brCooldown <= 0 {
-		return fail("-breaker-threshold and -breaker-cooldown must be > 0 (got %d, %v)", brThreshold, brCooldown)
+	if o.brThreshold <= 0 || o.brCooldown <= 0 {
+		return fail("-breaker-threshold and -breaker-cooldown must be > 0 (got %d, %v)", o.brThreshold, o.brCooldown)
 	}
-	if drainTimeout <= 0 {
-		return fail("-drain-timeout must be > 0 (got %v)", drainTimeout)
+	if o.drainTimeout <= 0 {
+		return fail("-drain-timeout must be > 0 (got %v)", o.drainTimeout)
 	}
-	if traceSample < 0 || traceSample > 1 {
-		return fail("-trace-sample must be in [0, 1] (got %g)", traceSample)
+	if o.traceSample < 0 || o.traceSample > 1 {
+		return fail("-trace-sample must be in [0, 1] (got %g)", o.traceSample)
+	}
+	if o.sloAvailability >= 1 {
+		return fail("-slo-availability must be below 1 (got %g)", o.sloAvailability)
+	}
+	if o.sloLatTarget < 0 || o.sloLatTarget >= 1 {
+		return fail("-slo-latency-target must be in (0, 1) (got %g)", o.sloLatTarget)
+	}
+	if o.sloTick <= 0 {
+		return fail("-slo-tick must be > 0 (got %v)", o.sloTick)
 	}
 
 	var (
 		builder nemoeval.InstanceBuilder
 		name    string
 	)
-	switch app {
+	switch o.app {
 	case "traffic":
-		builder, name = service.TrafficBuilder(nodes, edges, seed)
+		builder, name = service.TrafficBuilder(o.nodes, o.edges, o.seed)
 	case "malt":
 		builder, name = nemoeval.MALTDataset(), "malt"
 	case "diagnosis":
 		builder, name = nemoeval.DiagnosisDataset(diagnosis.DefaultConfig), "diagnosis"
 	default:
-		return fail("unknown app %q (have traffic, malt, diagnosis)", app)
+		return fail("unknown app %q (have traffic, malt, diagnosis)", o.app)
 	}
 
 	svc, err := service.New(service.Config{
-		Dataset:           builder,
-		DatasetName:       name,
-		TenantRPS:         tenantRPS,
-		TenantBurst:       tenantBurst,
-		TenantConcurrency: tenantConc,
-		DefaultTimeout:    defTimeout,
-		MaxTimeout:        maxTimeout,
-		BreakerThreshold:  brThreshold,
-		BreakerCooldown:   brCooldown,
-		TraceSample:       traceSample,
+		Dataset:             builder,
+		DatasetName:         name,
+		TenantRPS:           o.tenantRPS,
+		TenantBurst:         o.tenantBurst,
+		TenantConcurrency:   o.tenantConc,
+		DefaultTimeout:      o.defTimeout,
+		MaxTimeout:          o.maxTimeout,
+		BreakerThreshold:    o.brThreshold,
+		BreakerCooldown:     o.brCooldown,
+		TraceSample:         o.traceSample,
+		SLOAvailability:     o.sloAvailability,
+		SLOLatencyTarget:    o.sloLatTarget,
+		SLOLatencyThreshold: o.sloLatThreshold,
+		FlightCapacity:      o.flightCapacity,
+		FlightSampleEvery:   o.flightSample,
+		FlightSlowFactor:    o.flightSlowFactor,
 	})
 	if err != nil {
 		return fail("%v", err)
 	}
 
+	if o.dumpBundle {
+		svc.HealthTick() // give the SLO windows a baseline sample
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(svc.DebugBundle()); err != nil {
+			return fail("dump-bundle: %v", err)
+		}
+		return 0
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(svc))
-	if pprofOn {
+	if o.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -129,9 +204,25 @@ func run(addr, app string, nodes, edges int, seed int64, tenantRPS, tenantBurst 
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	server := &http.Server{Addr: addr, Handler: mux}
+	// The health ticker drives SLO window sampling and slow-threshold
+	// refresh until shutdown.
+	tickDone := make(chan struct{})
 	go func() {
-		log.Printf("netqueryd: serving %s on %s", name, addr)
+		t := time.NewTicker(o.sloTick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				svc.HealthTick()
+			case <-tickDone:
+				return
+			}
+		}
+	}()
+
+	server := &http.Server{Addr: o.addr, Handler: mux}
+	go func() {
+		log.Printf("netqueryd: serving %s on %s", name, o.addr)
 		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
@@ -142,8 +233,9 @@ func run(addr, app string, nodes, edges int, seed int64, tenantRPS, tenantBurst 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
-	log.Printf("netqueryd: draining (up to %s)...", drainTimeout)
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	close(tickDone)
+	log.Printf("netqueryd: draining (up to %s)...", o.drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	go func() {
 		<-sigs

@@ -36,6 +36,9 @@ func RunContext(ctx context.Context, cat *Catalog, plan Node) (*Relation, error)
 // Prepare-time catalog's epoch (any catalog works — decisions re-validate
 // against live state at execution time).
 func (p *Prepared) ExecuteContext(ctx context.Context, cat *Catalog) (*Relation, error) {
+	if n := PlanNotesFrom(ctx); n != nil {
+		n.add(p.Fingerprint())
+	}
 	if p.mode != modePipeline {
 		return ExecContext(ctx, cat, p.plan)
 	}

@@ -1,0 +1,93 @@
+package federate
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+)
+
+// PlanNotes collects the fingerprints of federated plans executed during
+// one request. The service installs a PlanNotes on the request context
+// (WithPlanNotes); every prepared plan that executes under that context
+// notes its fingerprint, and the flight recorder reads them back — the
+// evidence link from a slow request to the exact plan shapes it ran.
+//
+// The fingerprint is the hex FNV-64a hash of the plan's canonical Explain
+// rendering — the same string that keys the shared plan cache — so a
+// fingerprint seen in /flightz can be correlated with plan-cache activity
+// and reproduced by re-running Explain on the same program.
+type PlanNotes struct {
+	mu  sync.Mutex
+	fps []string
+}
+
+// planNotesMax bounds how many distinct fingerprints one request retains;
+// a pathological program looping over thousands of distinct plans keeps
+// the first few rather than growing without bound.
+const planNotesMax = 8
+
+// add notes one executed plan's fingerprint, deduplicating repeats.
+func (n *PlanNotes) add(fp string) {
+	if n == nil || fp == "" {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, have := range n.fps {
+		if have == fp {
+			return
+		}
+	}
+	if len(n.fps) < planNotesMax {
+		n.fps = append(n.fps, fp)
+	}
+}
+
+// Fingerprints returns the distinct plan fingerprints noted so far, in
+// first-execution order.
+func (n *PlanNotes) Fingerprints() []string {
+	if n == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.fps...)
+}
+
+// Joined renders the fingerprints comma-joined ("" when none) — the
+// compact form carried on a flight record.
+func (n *PlanNotes) Joined() string {
+	if n == nil {
+		return ""
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return strings.Join(n.fps, ",")
+}
+
+type planNotesKey struct{}
+
+// WithPlanNotes returns a context carrying the notes; prepared plans
+// executed under it record their fingerprints.
+func WithPlanNotes(ctx context.Context, n *PlanNotes) context.Context {
+	return context.WithValue(ctx, planNotesKey{}, n)
+}
+
+// PlanNotesFrom returns the context's notes, or nil when none installed.
+func PlanNotesFrom(ctx context.Context) *PlanNotes {
+	if ctx == nil {
+		return nil
+	}
+	n, _ := ctx.Value(planNotesKey{}).(*PlanNotes)
+	return n
+}
+
+// fingerprintHash renders the canonical fingerprint hash of an Explain
+// string.
+func fingerprintHash(explain string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(explain))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

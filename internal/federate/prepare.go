@@ -29,6 +29,29 @@ type Prepared struct {
 	plan Node
 	decs []decision
 	mode byte
+
+	// opt is the optimized, pre-decision plan — the identity the shared
+	// plan cache keys on. fphash is the hex FNV-64a of Explain(opt),
+	// computed lazily: only requests that carry PlanNotes (or explicitly
+	// ask) pay for the rendering.
+	opt    Node
+	fpOnce sync.Once
+	fphash string
+}
+
+// Fingerprint returns the stable hex hash of the plan's cache identity
+// (the optimized plan's canonical Explain rendering). Two programs whose
+// plans share planner decisions share a fingerprint; /flightz records
+// carry it so a slow request points at the exact plan shape it executed.
+func (p *Prepared) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		n := p.opt
+		if n == nil {
+			n = p.plan
+		}
+		p.fphash = fingerprintHash(Explain(n))
+	})
+	return p.fphash
 }
 
 // Prepare optimizes the plan and computes (or recalls) the planner
@@ -59,7 +82,7 @@ func Prepare(cat *Catalog, plan Node) *Prepared {
 	if mode == modePipeline && !worthPipelining(decs) {
 		mode = modeLegacy
 	}
-	return &Prepared{plan: resolved, decs: decs, mode: mode}
+	return &Prepared{plan: resolved, decs: decs, mode: mode, opt: opt}
 }
 
 // worthPipelining is the cost model's executor-mode rule: stage goroutines,

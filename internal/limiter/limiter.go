@@ -75,6 +75,34 @@ func (b *Bucket) TryTake(n float64, now time.Time) (ok bool, retryAfter time.Dur
 	return false, time.Duration(deficit / b.rate * float64(time.Second))
 }
 
+// BucketState is a point-in-time view of a Bucket for diagnostic bundles
+// and admin endpoints: the static rate/burst configuration plus the token
+// level after refilling to now.
+type BucketState struct {
+	Rate   float64 `json:"rate"`
+	Burst  float64 `json:"burst"`
+	Tokens float64 `json:"tokens"`
+}
+
+// Snapshot refills to now and reports the bucket's state without debiting.
+func (b *Bucket) Snapshot(now time.Time) BucketState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return BucketState{Rate: b.rate, Burst: b.burst, Tokens: b.tokens}
+}
+
+// GaugeState is a point-in-time view of a Gauge (limit <= 0 = unbounded).
+type GaugeState struct {
+	Limit    int64 `json:"limit"`
+	Inflight int64 `json:"inflight"`
+}
+
+// Snapshot reports the gauge's limit and current holder count.
+func (g *Gauge) Snapshot() GaugeState {
+	return GaugeState{Limit: g.limit, Inflight: g.n.Load()}
+}
+
 // Gauge is a bounded concurrency counter: Acquire admits while the count
 // is below the limit. A zero or negative limit means unbounded.
 type Gauge struct {

@@ -100,3 +100,37 @@ func TestGaugeUnlimited(t *testing.T) {
 		}
 	}
 }
+
+func TestBucketSnapshot(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	b := NewBucket(10, 5, t0)
+	if ok, _ := b.TryTake(2, t0); !ok {
+		t.Fatal("full bucket rejected a take within burst")
+	}
+	st := b.Snapshot(t0)
+	if st.Rate != 10 || st.Burst != 5 || st.Tokens != 3 {
+		t.Fatalf("snapshot = %+v, want rate 10 burst 5 tokens 3", st)
+	}
+	// Snapshot refills to now but never debits: half a second restores the
+	// bucket to its burst cap, and repeated snapshots agree.
+	st = b.Snapshot(t0.Add(500 * time.Millisecond))
+	if st.Tokens != 5 {
+		t.Fatalf("tokens after refill = %g, want capped at burst 5", st.Tokens)
+	}
+	if again := b.Snapshot(t0.Add(500 * time.Millisecond)); again != st {
+		t.Fatalf("snapshot debited state: %+v then %+v", st, again)
+	}
+}
+
+func TestGaugeSnapshot(t *testing.T) {
+	g := NewGauge(3)
+	g.Acquire()
+	g.Acquire()
+	if st := g.Snapshot(); st.Limit != 3 || st.Inflight != 2 {
+		t.Fatalf("snapshot = %+v, want limit 3 inflight 2", st)
+	}
+	g.Release()
+	if st := g.Snapshot(); st.Inflight != 1 {
+		t.Fatalf("snapshot after release = %+v, want inflight 1", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -201,6 +202,54 @@ func (g *Gateway) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// LaneState is a point-in-time view of one model lane for diagnostic
+// bundles: queue depth, dispatcher liveness, and the rate-bucket levels.
+type LaneState struct {
+	Model     string               `json:"model"`
+	Queued    int                  `json:"queued"`
+	Running   bool                 `json:"running"`
+	ReqBucket *limiter.BucketState `json:"req_bucket,omitempty"`
+	TokBucket *limiter.BucketState `json:"tok_bucket,omitempty"`
+}
+
+// GatewayState is the gateway's full diagnostic snapshot: cumulative Stats
+// plus per-lane state, lanes sorted by model name for deterministic
+// bundle output.
+type GatewayState struct {
+	Stats Stats       `json:"stats"`
+	Lanes []LaneState `json:"lanes"`
+}
+
+// StateSnapshot captures the gateway's current state for a diagnostic
+// bundle. It takes the gateway and lane locks briefly; safe to call while
+// dispatchers run.
+func (g *Gateway) StateSnapshot() GatewayState {
+	now := g.now()
+	g.mu.Lock()
+	lanes := make([]*lane, 0, len(g.lanes))
+	for _, l := range g.lanes {
+		lanes = append(lanes, l)
+	}
+	g.mu.Unlock()
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i].model < lanes[j].model })
+	st := GatewayState{Stats: g.Stats(), Lanes: make([]LaneState, 0, len(lanes))}
+	for _, l := range lanes {
+		l.mu.Lock()
+		ls := LaneState{Model: l.model, Queued: len(l.queue), Running: l.running}
+		l.mu.Unlock()
+		if l.reqBucket != nil {
+			b := l.reqBucket.Snapshot(now)
+			ls.ReqBucket = &b
+		}
+		if l.tokBucket != nil {
+			b := l.tokBucket.Snapshot(now)
+			ls.TokBucket = &b
+		}
+		st.Lanes = append(st.Lanes, ls)
+	}
+	return st
 }
 
 // call is one in-flight request parked on a lane queue.

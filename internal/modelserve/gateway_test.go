@@ -282,3 +282,42 @@ func TestChaosTerminalHook(t *testing.T) {
 		t.Fatalf("want terminal KindBadRequest, got %v", err)
 	}
 }
+
+// TestGatewayStateSnapshot checks the diagnostic-bundle view: one entry per
+// model lane, sorted by model name, with rate-bucket levels when limits are
+// configured.
+func TestGatewayStateSnapshot(t *testing.T) {
+	gw := newTestGateway(t, Config{Provider: &echoProvider{}, BatchSize: 1, BatchWindow: -1, RPS: 100, TPM: 60000})
+	for _, model := range []string{"zeta", "alpha"} {
+		if _, err := gw.Generate(model, llm.Request{Prompt: "p"}); err != nil {
+			t.Fatalf("Generate(%s): %v", model, err)
+		}
+	}
+	st := gw.StateSnapshot()
+	if st.Stats.Requests != 2 {
+		t.Fatalf("snapshot stats requests = %d, want 2", st.Stats.Requests)
+	}
+	if len(st.Lanes) != 2 || st.Lanes[0].Model != "alpha" || st.Lanes[1].Model != "zeta" {
+		t.Fatalf("lanes = %+v, want [alpha zeta] sorted", st.Lanes)
+	}
+	for _, l := range st.Lanes {
+		if l.Queued != 0 {
+			t.Fatalf("idle lane %s reports %d queued", l.Model, l.Queued)
+		}
+		if l.ReqBucket == nil || l.ReqBucket.Rate != 100 {
+			t.Fatalf("lane %s request bucket = %+v, want rate 100", l.Model, l.ReqBucket)
+		}
+		if l.TokBucket == nil || l.TokBucket.Tokens >= l.TokBucket.Burst {
+			t.Fatalf("lane %s token bucket undebited: %+v", l.Model, l.TokBucket)
+		}
+	}
+
+	// An unlimited gateway omits the bucket views entirely.
+	bare := newTestGateway(t, Config{Provider: &echoProvider{}, BatchSize: 1, BatchWindow: -1})
+	if _, err := bare.Generate("m", llm.Request{Prompt: "p"}); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if l := bare.StateSnapshot().Lanes[0]; l.ReqBucket != nil || l.TokBucket != nil {
+		t.Fatalf("unlimited lane carries bucket state: %+v", l)
+	}
+}

@@ -1,6 +1,7 @@
 package nql
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -34,9 +35,27 @@ func (b base) Pos() int { return b.Line }
 type Program struct {
 	Stmts []Stmt
 
+	// srcHash is the FNV-64a hash of the source text, stamped by Parse.
+	// It names the program in observability surfaces (flight records,
+	// diagnostic bundles) without carrying tenant source text around.
+	srcHash uint64
+
 	compileOnce sync.Once
 	code        *Code
 	compileErr  error
+}
+
+// Hash returns the FNV-64a hash of the program's source text (0 for a
+// Program built by hand rather than by Parse).
+func (p *Program) Hash() uint64 { return p.srcHash }
+
+// HashString renders Hash as fixed-width hex — the program identity shown
+// in flight records and bundles ("" when the hash is unset).
+func (p *Program) HashString() string {
+	if p.srcHash == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", p.srcHash)
 }
 
 // LetStmt declares a new variable in the current scope.

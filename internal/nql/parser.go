@@ -17,7 +17,7 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	prog := &Program{}
+	prog := &Program{srcHash: fnv64a(src)}
 	for !p.at(TokEOF, "") {
 		st, err := p.parseStmt()
 		if err != nil {
@@ -26,6 +26,17 @@ func Parse(src string) (*Program, error) {
 		prog.Stmts = append(prog.Stmts, st)
 	}
 	return prog, nil
+}
+
+// fnv64a is the 64-bit FNV-1a hash of s (inline to keep the package
+// dependency-free; the constants are the standard FNV offset and prime).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func (p *parser) cur() Token  { return p.toks[p.i] }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarBucketPlacement(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(3, "t1")
+	h.ObserveExemplar(3, "t2") // same bucket: most recent wins
+	h.ObserveExemplar(100, "") // untraced: counts but leaves no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 106 {
+		t.Fatalf("snapshot count/sum = %d/%d, want 3/106", s.Count, s.Sum)
+	}
+	if s.Exemplars == nil {
+		t.Fatalf("snapshot has no exemplar store after traced observations")
+	}
+	e := s.Exemplars[bucketIndex(3)]
+	if e == nil || e.TraceID != "t2" || e.Value != 3 {
+		t.Fatalf("bucket exemplar = %+v, want trace t2 value 3", e)
+	}
+	if s.Exemplars[bucketIndex(100)] != nil {
+		t.Fatalf("untraced observation left an exemplar")
+	}
+
+	// Fully untraced histograms never allocate the store.
+	u := NewHistogram()
+	u.ObserveExemplar(5, "")
+	if u.Snapshot().Exemplars != nil {
+		t.Fatalf("untraced histogram allocated an exemplar store")
+	}
+}
+
+func TestSnapshotMergeExemplarsLaterWins(t *testing.T) {
+	h1, h2 := NewHistogram(), NewHistogram()
+	h1.ObserveExemplar(3, "a")
+	h2.ObserveExemplar(3, "b")
+	h2.ObserveExemplar(5, "c")
+	s1, s2 := h1.Snapshot(), h2.Snapshot()
+
+	m := s1.Merge(s2)
+	if got := m.Exemplars[bucketIndex(3)]; got == nil || got.TraceID != "b" {
+		t.Fatalf("merge bucket 3 exemplar = %+v, want later argument's trace b", got)
+	}
+	if got := m.Exemplars[bucketIndex(5)]; got == nil || got.TraceID != "c" {
+		t.Fatalf("merge bucket 5 exemplar = %+v, want trace c", got)
+	}
+	// Swapping argument order swaps the contested bucket's winner.
+	if got := s2.Merge(s1).Exemplars[bucketIndex(3)]; got == nil || got.TraceID != "a" {
+		t.Fatalf("reverse merge bucket 3 exemplar = %+v, want trace a", got)
+	}
+	// Merging against an exemplar-free side keeps the exemplars.
+	bare := NewHistogram()
+	bare.Observe(3)
+	if got := s1.Merge(bare.Snapshot()).Exemplars[bucketIndex(3)]; got == nil || got.TraceID != "a" {
+		t.Fatalf("merge with bare side lost the exemplar: %+v", got)
+	}
+}
+
+func TestWriteHistPromExemplarAnnotation(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(3, "acme-7")
+	h.ObserveExemplar(100, "")
+
+	var sb strings.Builder
+	writeHistProm(&sb, "lat", `{tenant="a"}`, h.Snapshot())
+	want := `lat_bucket{tenant="a",le="3"} 1 # {trace_id="acme-7"} 3` + "\n" +
+		`lat_bucket{tenant="a",le="101"} 2` + "\n" +
+		`lat_bucket{tenant="a",le="+Inf"} 2` + "\n" +
+		`lat_sum{tenant="a"} 103` + "\n" +
+		`lat_count{tenant="a"} 2` + "\n"
+	if sb.String() != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

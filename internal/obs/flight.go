@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecord is one "notable" request in the always-on flight recorder:
+// the evidence trail an engineer (or a fleet balancer) follows from a
+// burn-rate alert to the queries responsible. Records carry identity
+// (tenant, backend, query), provenance (NQL program hash, federated plan
+// fingerprint, trace ID) and the latency split, so /flightz alone answers
+// "which programs and plans were slow or failing, and where is the deeper
+// evidence".
+type FlightRecord struct {
+	// Seq is the recorder-assigned monotone sequence number.
+	Seq int64 `json:"seq"`
+	// StartUnixNS is the request's start time (UnixNano).
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// Tenant and Backend attribute the request.
+	Tenant  string `json:"tenant"`
+	Backend string `json:"backend,omitempty"`
+	// QueryID names a catalog query; raw programs leave it empty.
+	QueryID string `json:"query_id,omitempty"`
+	// ProgramHash is the NQL program's source hash (hex), shared with the
+	// sandbox bytecode cache's identity.
+	ProgramHash string `json:"program_hash,omitempty"`
+	// PlanFP is the federated plan fingerprint hash (hex of the PR-8
+	// Explain fingerprint) when the request executed a federated plan;
+	// comma-joined when it executed several distinct plans.
+	PlanFP string `json:"plan_fp,omitempty"`
+	// TraceID links to /tracez when the request was traced.
+	TraceID string `json:"trace_id,omitempty"`
+	// Class is why the record is notable: "slow", "sampled", or the error
+	// class ("cancelled", "value", "static", "shed", "unavailable", ...).
+	Class string `json:"class"`
+	// Result is the coarse outcome: "ok", "error", "timeout",
+	// "disconnect", "shed", "static", "unavailable".
+	Result string `json:"result"`
+	// QueueNS is time before execution began (admission, vetting, epoch
+	// acquire, bind); ExecNS is sandbox execution; TotalNS is the whole
+	// request.
+	QueueNS int64 `json:"queue_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// FlightRecorder is a bounded ring of FlightRecords. The request hot path
+// touches it in two ways, both allocation-free: Admit (one atomic add) to
+// decide whether an unremarkable request is sampled in, and Record (a
+// struct copy into a preallocated slot under a short mutex) when a request
+// is notable. Snapshots are cold-path copies.
+type FlightRecorder struct {
+	sampleEvery int64
+	sampleSeq   atomic.Int64
+
+	mu   sync.Mutex
+	buf  []FlightRecord
+	next int
+	n    int
+	seq  int64
+}
+
+// NewFlightRecorder builds a recorder retaining the last capacity records
+// and admitting one unremarkable request per sampleEvery as a sampled
+// normal (sampleEvery <= 0 disables normal sampling entirely).
+func NewFlightRecorder(capacity, sampleEvery int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{
+		sampleEvery: int64(sampleEvery),
+		buf:         make([]FlightRecord, capacity),
+	}
+}
+
+// Admit reports whether an unremarkable (successful, under-threshold)
+// request should still be recorded as a sampled normal. One atomic add,
+// zero allocations — this is the only flight-recorder cost a healthy fast
+// request pays.
+func (r *FlightRecorder) Admit() bool {
+	if r == nil || r.sampleEvery <= 0 {
+		return false
+	}
+	return r.sampleSeq.Add(1)%r.sampleEvery == 0
+}
+
+// Record appends one record, assigning its sequence number. The record is
+// copied by value into a preallocated ring slot: no allocation, one short
+// critical section.
+func (r *FlightRecorder) Record(rec FlightRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	rec.Seq = r.seq
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// FlightFilter selects records in Snapshot. Zero fields match everything.
+type FlightFilter struct {
+	Tenant  string
+	Backend string
+	Class   string
+	MinNS   int64 // keep records with TotalNS >= MinNS
+}
+
+func (f *FlightFilter) match(rec *FlightRecord) bool {
+	if f == nil {
+		return true
+	}
+	if f.Tenant != "" && rec.Tenant != f.Tenant {
+		return false
+	}
+	if f.Backend != "" && rec.Backend != f.Backend {
+		return false
+	}
+	if f.Class != "" && rec.Class != f.Class {
+		return false
+	}
+	return rec.TotalNS >= f.MinNS
+}
+
+// Snapshot returns the retained records matching the filter, oldest first.
+func (r *FlightRecorder) Snapshot(f *FlightFilter) []FlightRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightRecord, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		rec := &r.buf[(start+i)%len(r.buf)]
+		if f.match(rec) {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// Len reports how many records are retained right now.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// WriteText renders records one per line in a fixed field order — the
+// /flightz text format. Durations are raw nanoseconds so lines diff
+// cleanly across captures.
+func WriteFlightText(w io.Writer, recs []FlightRecord) {
+	for i := range recs {
+		rec := &recs[i]
+		fmt.Fprintf(w, "seq=%d start_ns=%d tenant=%s backend=%s class=%s result=%s", rec.Seq, rec.StartUnixNS, rec.Tenant, rec.Backend, rec.Class, rec.Result)
+		if rec.QueryID != "" {
+			fmt.Fprintf(w, " query_id=%s", rec.QueryID)
+		}
+		if rec.ProgramHash != "" {
+			fmt.Fprintf(w, " program=%s", rec.ProgramHash)
+		}
+		if rec.PlanFP != "" {
+			fmt.Fprintf(w, " plan=%s", rec.PlanFP)
+		}
+		if rec.TraceID != "" {
+			fmt.Fprintf(w, " trace=%s", rec.TraceID)
+		}
+		fmt.Fprintf(w, " queue_ns=%s exec_ns=%s total_ns=%s\n",
+			strconv.FormatInt(rec.QueueNS, 10), strconv.FormatInt(rec.ExecNS, 10), strconv.FormatInt(rec.TotalNS, 10))
+	}
+}

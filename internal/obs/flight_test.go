@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	r := NewFlightRecorder(4, 0)
+	for i := 0; i < 6; i++ {
+		r.Record(FlightRecord{Tenant: "acme", Class: "slow", TotalNS: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	recs := r.Snapshot(nil)
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot returned %d records, want 4", len(recs))
+	}
+	// Oldest first, and the recorder assigned monotone sequence numbers;
+	// the first two records (seq 1, 2) were evicted.
+	for i, rec := range recs {
+		if want := int64(i + 3); rec.Seq != want {
+			t.Errorf("record %d: seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestFlightFilter(t *testing.T) {
+	r := NewFlightRecorder(16, 0)
+	r.Record(FlightRecord{Tenant: "acme", Backend: "sql", Class: "slow", TotalNS: 100})
+	r.Record(FlightRecord{Tenant: "acme", Backend: "federated", Class: "timeout", TotalNS: 900})
+	r.Record(FlightRecord{Tenant: "beta", Backend: "sql", Class: "slow", TotalNS: 50})
+
+	if got := len(r.Snapshot(&FlightFilter{Tenant: "acme"})); got != 2 {
+		t.Fatalf("tenant filter matched %d, want 2", got)
+	}
+	if got := len(r.Snapshot(&FlightFilter{Backend: "sql"})); got != 2 {
+		t.Fatalf("backend filter matched %d, want 2", got)
+	}
+	if got := len(r.Snapshot(&FlightFilter{Class: "timeout"})); got != 1 {
+		t.Fatalf("class filter matched %d, want 1", got)
+	}
+	if got := len(r.Snapshot(&FlightFilter{MinNS: 100})); got != 2 {
+		t.Fatalf("min-duration filter matched %d, want 2", got)
+	}
+	if got := len(r.Snapshot(&FlightFilter{Tenant: "beta", Class: "timeout"})); got != 0 {
+		t.Fatalf("conjunctive filter matched %d, want 0", got)
+	}
+}
+
+func TestFlightSampling(t *testing.T) {
+	r := NewFlightRecorder(16, 4)
+	admitted := 0
+	for i := 0; i < 16; i++ {
+		if r.Admit() {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("sampleEvery=4 admitted %d of 16, want 4", admitted)
+	}
+	off := NewFlightRecorder(16, 0)
+	for i := 0; i < 16; i++ {
+		if off.Admit() {
+			t.Fatalf("sampleEvery=0 admitted a request")
+		}
+	}
+	var nilRec *FlightRecorder
+	if nilRec.Admit() {
+		t.Fatalf("nil recorder admitted a request")
+	}
+	nilRec.Record(FlightRecord{}) // must not panic
+	if nilRec.Snapshot(nil) != nil || nilRec.Len() != 0 {
+		t.Fatalf("nil recorder returned records")
+	}
+}
+
+// TestFlightHotPathNoAlloc pins the satellite requirement: neither the
+// sampled-out Admit nor a Record of a notable request allocates.
+func TestFlightHotPathNoAlloc(t *testing.T) {
+	r := NewFlightRecorder(64, 1<<30) // sampleEvery huge: Admit stays false
+	rec := FlightRecord{Tenant: "acme", Backend: "sql", Class: "slow",
+		ProgramHash: "deadbeef", TraceID: "acme-1", TotalNS: 123}
+	if n := testing.AllocsPerRun(100, func() {
+		if r.Admit() {
+			t.Fatal("unexpected admit")
+		}
+	}); n != 0 {
+		t.Fatalf("Admit allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { r.Record(rec) }); n != 0 {
+		t.Fatalf("Record allocates %v/op, want 0", n)
+	}
+}
+
+func TestWriteFlightText(t *testing.T) {
+	var sb strings.Builder
+	WriteFlightText(&sb, []FlightRecord{
+		{Seq: 7, StartUnixNS: 42, Tenant: "acme", Backend: "federated",
+			ProgramHash: "00ff", PlanFP: "aa11", TraceID: "acme-3",
+			Class: "slow", Result: "ok", QueueNS: 10, ExecNS: 90, TotalNS: 100},
+		{Seq: 8, StartUnixNS: 43, Tenant: "beta", Class: "shed", Result: "shed"},
+	})
+	want := "seq=7 start_ns=42 tenant=acme backend=federated class=slow result=ok" +
+		" program=00ff plan=aa11 trace=acme-3 queue_ns=10 exec_ns=90 total_ns=100\n" +
+		"seq=8 start_ns=43 tenant=beta backend= class=shed result=shed queue_ns=0 exec_ns=0 total_ns=0\n"
+	if sb.String() != want {
+		t.Fatalf("text output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}

@@ -1,0 +1,450 @@
+// Package health turns the raw telemetry in internal/obs into actionable
+// per-tenant and per-backend health signals: declarative service-level
+// objectives (SLOs) evaluated over sliding windows, with multi-window
+// error-budget burn rates and hysteresis-stabilized alerts in the style of
+// the Google SRE workbook's multiwindow, multi-burn-rate alerting.
+//
+// An Objective declares a good-event ratio goal: availability ("99.9% of
+// completed requests succeed") or latency ("99% of requests finish under
+// 250ms"). Both reduce to the same arithmetic — a target fraction of good
+// events, an error budget of 1-target, and a burn rate of
+// (observed bad ratio) / (error budget) over a window: burn 1.0 spends the
+// budget exactly at the rate the objective tolerates; burn 14.4 over an
+// hour spends ~2% of a 30-day budget in that hour.
+//
+// The Engine does not observe events itself. Each registered series reads
+// cumulative (total, bad) tallies from a Source closure — typically backed
+// by the existing mergeable obs counters and histograms (total = histogram
+// count, bad = CountAbove(threshold) for latency objectives) — and the
+// engine derives sliding windows by remembering (time, total, bad) samples
+// at each Tick and differencing against them. The window state is plain
+// monotone-counter algebra, so WindowState merges associatively across
+// processes the same way obs.HistSnapshot does: sum totals, sum bads,
+// recompute the ratio.
+//
+// Alerting follows the fast/slow pair convention: a page alert fires when
+// the burn rate exceeds PageBurn over BOTH the 1h long window and the 5m
+// short window (the long window gives significance, the short window makes
+// the alert reset quickly after recovery); a ticket alert does the same at
+// TicketBurn over 6h/30m. Hysteresis keeps a firing alert from flapping:
+// once firing, it stays until the short-window burn drops below
+// ClearRatio x the firing threshold.
+package health
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is the objective family.
+type Kind int
+
+const (
+	// Availability counts failed requests as bad events.
+	Availability Kind = iota
+	// Latency counts requests slower than Objective.ThresholdNS as bad.
+	Latency
+)
+
+// String names the kind for rendering ("availability", "latency").
+func (k Kind) String() string {
+	if k == Latency {
+		return "latency"
+	}
+	return "availability"
+}
+
+// Objective declares one SLO: a target fraction of good events, and for
+// latency objectives the threshold separating good from bad.
+type Objective struct {
+	// Name labels the objective in /sloz output ("availability",
+	// "latency"); with Labels it must uniquely identify the series.
+	Name string
+	// Kind selects the family (documentation only — the engine's math is
+	// identical; the Source closure encodes what "bad" means).
+	Kind Kind
+	// Target is the good-event ratio goal in (0, 1), e.g. 0.999. The error
+	// budget is 1 - Target.
+	Target float64
+	// ThresholdNS is the latency threshold for Latency objectives (ignored
+	// for Availability; carried so /sloz can render it).
+	ThresholdNS int64
+}
+
+// Source reports one series' cumulative event tallies: total completed
+// events and the bad subset. Both must be monotone non-decreasing; the
+// engine differences consecutive readings, so an absolute baseline shift
+// (process restart) resets the windows rather than corrupting them.
+type Source func() (total, bad int64)
+
+// Windows is the fast/slow multi-window layout. The zero value selects the
+// SRE-workbook defaults: page on 5m+1h at burn 14.4, ticket on 30m+6h at
+// burn 6.
+type Windows struct {
+	PageShort, PageLong     time.Duration // default 5m, 1h
+	TicketShort, TicketLong time.Duration // default 30m, 6h
+	PageBurn, TicketBurn    float64       // default 14.4, 6
+	// ClearRatio is the hysteresis factor in (0, 1]: a firing alert clears
+	// only once the short-window burn drops below ClearRatio x the firing
+	// threshold (default 0.9 — a 10% guard band against flapping).
+	ClearRatio float64
+}
+
+func (w *Windows) defaults() {
+	if w.PageShort <= 0 {
+		w.PageShort = 5 * time.Minute
+	}
+	if w.PageLong <= 0 {
+		w.PageLong = time.Hour
+	}
+	if w.TicketShort <= 0 {
+		w.TicketShort = 30 * time.Minute
+	}
+	if w.TicketLong <= 0 {
+		w.TicketLong = 6 * time.Hour
+	}
+	if w.PageBurn <= 0 {
+		w.PageBurn = 14.4
+	}
+	if w.TicketBurn <= 0 {
+		w.TicketBurn = 6
+	}
+	if w.ClearRatio <= 0 || w.ClearRatio > 1 {
+		w.ClearRatio = 0.9
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	Windows Windows
+	// Now is the clock hook (default time.Now); tests drive windows with a
+	// fake clock.
+	Now func() time.Time
+}
+
+// sample is one retained cumulative reading.
+type sample struct {
+	t          time.Time
+	total, bad int64
+}
+
+// series is one registered objective instance.
+type series struct {
+	obj    Objective
+	labels string // canonical rendered {k="v",...} block ("" when none)
+	src    Source
+
+	ring []sample // ascending by time, pruned past the longest window
+
+	pageFiring   bool
+	ticketFiring bool
+}
+
+// maxRing bounds each series' sample ring; past it the oldest samples are
+// dropped even inside the longest window (the windows then under-reach,
+// they never corrupt).
+const maxRing = 4096
+
+// Engine evaluates registered SLO series. All methods are safe for
+// concurrent use.
+type Engine struct {
+	win Windows
+	now func() time.Time
+
+	mu     sync.Mutex
+	series map[string]*series
+	keys   []string // sorted registration keys for deterministic output
+}
+
+// NewEngine builds an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	opts.Windows.defaults()
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Engine{win: opts.Windows, now: opts.Now, series: map[string]*series{}}
+}
+
+// canonLabels renders alternating key/value pairs sorted by key, matching
+// the obs registry's label canonicalization.
+func canonLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("health: odd label key/value count")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(p.v))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Register adds one SLO series reading from src, labelled by alternating
+// key/value pairs (tenant, backend). Registering the same
+// (objective name, labels) twice keeps the first registration. The
+// registration time's reading becomes the window baseline.
+func (e *Engine) Register(obj Objective, src Source, labels ...string) error {
+	if obj.Target <= 0 || obj.Target >= 1 {
+		return fmt.Errorf("health: objective %q target must be in (0, 1), got %g", obj.Name, obj.Target)
+	}
+	if src == nil {
+		return fmt.Errorf("health: objective %q has no source", obj.Name)
+	}
+	lbl := canonLabels(labels)
+	key := obj.Name + lbl
+	total, bad := src()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.series[key]; ok {
+		return nil
+	}
+	e.series[key] = &series{
+		obj:    obj,
+		labels: lbl,
+		src:    src,
+		ring:   []sample{{t: e.now(), total: total, bad: bad}},
+	}
+	e.keys = append(e.keys, key)
+	sort.Strings(e.keys)
+	return nil
+}
+
+// Tick samples every series' cumulative tallies at the current clock
+// reading and prunes samples older than the longest window. Call it on a
+// fixed cadence (netqueryd's -slo-tick loop); window resolution is the
+// tick interval.
+func (e *Engine) Tick() {
+	now := e.now()
+	horizon := now.Add(-e.win.TicketLong - time.Minute)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, key := range e.keys {
+		s := e.series[key]
+		total, bad := s.src()
+		s.ring = append(s.ring, sample{t: now, total: total, bad: bad})
+		// Prune: keep the newest sample at or before the horizon so the
+		// longest window always has a baseline to difference against.
+		cut := 0
+		for cut+1 < len(s.ring) && !s.ring[cut+1].t.After(horizon) {
+			cut++
+		}
+		if over := len(s.ring) - maxRing; over > cut {
+			cut = over
+		}
+		if cut > 0 {
+			s.ring = append(s.ring[:0], s.ring[cut:]...)
+		}
+	}
+}
+
+// WindowState is the event algebra of one objective over one window:
+// monotone counter deltas plus the derived burn rate. States over the same
+// window from different shards merge associatively (sum the counters,
+// recompute the ratios).
+type WindowState struct {
+	Window time.Duration `json:"window"`
+	Total  int64         `json:"total"`
+	Bad    int64         `json:"bad"`
+	// Burn is (Bad/Total) / (1 - target); 0 when the window saw no events.
+	Burn float64 `json:"burn"`
+}
+
+// Merge combines two window states over the same window and target:
+// counters add, the burn rate is recomputed from the merged counters.
+// Associative and commutative by construction.
+func (w WindowState) Merge(o WindowState, target float64) WindowState {
+	out := WindowState{Window: w.Window, Total: w.Total + o.Total, Bad: w.Bad + o.Bad}
+	out.Burn = burnRate(out.Total, out.Bad, target)
+	return out
+}
+
+// burnRate computes the error-budget burn rate of bad/total events against
+// a good-ratio target.
+func burnRate(total, bad int64, target float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// State is one series' full evaluation: the four windows (page short/long,
+// ticket short/long, ascending) and the two alert verdicts.
+type State struct {
+	Objective Objective     `json:"objective"`
+	Labels    string        `json:"labels,omitempty"` // canonical {k="v",...}
+	Windows   []WindowState `json:"windows"`          // sorted ascending by duration
+	// PageFiring: burn exceeded PageBurn on both the page windows and has
+	// not yet cleared below the hysteresis band. TicketFiring: same for
+	// the ticket pair.
+	PageFiring   bool `json:"page_firing"`
+	TicketFiring bool `json:"ticket_firing"`
+}
+
+// windowDelta differences the live reading against the newest retained
+// sample at or before now-window (falling back to the oldest sample when
+// the ring does not yet reach that far — a window still filling up).
+func windowDelta(ring []sample, now time.Time, window time.Duration, total, bad int64) WindowState {
+	cutoff := now.Add(-window)
+	base := ring[0]
+	for _, s := range ring[1:] {
+		if s.t.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	dt, db := total-base.total, bad-base.bad
+	if dt < 0 || db < 0 { // source reset (restart): treat the live reading as the window
+		dt, db = total, bad
+	}
+	return WindowState{Window: window, Total: dt, Bad: db}
+}
+
+// Evaluate computes every series' window states and updates alert state,
+// using the live source readings as the window endpoints — a scrape
+// between ticks sees current data, not tick-old data. Results are sorted
+// by (objective name, labels).
+func (e *Engine) Evaluate() []State {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]State, 0, len(e.keys))
+	for _, key := range e.keys {
+		s := e.series[key]
+		total, bad := s.src()
+		windows := []time.Duration{e.win.PageShort, e.win.TicketShort, e.win.PageLong, e.win.TicketLong}
+		ws := make([]WindowState, len(windows))
+		byWin := map[time.Duration]*WindowState{}
+		for i, w := range windows {
+			ws[i] = windowDelta(s.ring, now, w, total, bad)
+			ws[i].Burn = burnRate(ws[i].Total, ws[i].Bad, s.obj.Target)
+			byWin[w] = &ws[i]
+		}
+		s.pageFiring = alertStep(s.pageFiring, byWin[e.win.PageShort].Burn, byWin[e.win.PageLong].Burn,
+			e.win.PageBurn, e.win.ClearRatio)
+		s.ticketFiring = alertStep(s.ticketFiring, byWin[e.win.TicketShort].Burn, byWin[e.win.TicketLong].Burn,
+			e.win.TicketBurn, e.win.ClearRatio)
+		out = append(out, State{
+			Objective:    s.obj,
+			Labels:       s.labels,
+			Windows:      ws,
+			PageFiring:   s.pageFiring,
+			TicketFiring: s.ticketFiring,
+		})
+	}
+	return out
+}
+
+// alertStep advances one alert's state machine: fire when both windows
+// exceed the threshold; once firing, stay until the short window drops
+// below clearRatio x threshold (the long window is deliberately ignored
+// for clearing — it can stay elevated for hours after recovery, which is
+// exactly the flappiness the short window exists to absorb).
+func alertStep(firing bool, short, long, threshold, clearRatio float64) bool {
+	if firing {
+		return short >= threshold*clearRatio
+	}
+	return short >= threshold && long >= threshold
+}
+
+// WritePrometheus renders every series' evaluation in deterministic
+// Prometheus text: burn-rate gauges per window, window event counters, the
+// objective target, and 0/1 alert gauges. Families are emitted in fixed
+// order; series within a family follow registration-key order.
+func (e *Engine) WritePrometheus(w io.Writer) {
+	states := e.Evaluate()
+	withWin := func(labels string, win time.Duration) string {
+		inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+		if inner == "" {
+			return `{window="` + win.String() + `"}`
+		}
+		return "{" + inner + `,window="` + win.String() + `"}`
+	}
+	sloLabels := func(st State) string {
+		inner := strings.TrimSuffix(strings.TrimPrefix(st.Labels, "{"), "}")
+		slo := `slo=` + strconv.Quote(st.Objective.Name)
+		if inner == "" {
+			return "{" + slo + "}"
+		}
+		return "{" + slo + "," + inner + "}"
+	}
+	fmt.Fprintf(w, "# TYPE netqueryd_slo_target gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "netqueryd_slo_target%s %s\n", sloLabels(st), formatFloat(st.Objective.Target))
+	}
+	fmt.Fprintf(w, "# TYPE netqueryd_slo_window_total counter\n")
+	for _, st := range states {
+		for _, ws := range st.Windows {
+			fmt.Fprintf(w, "netqueryd_slo_window_total%s %d\n",
+				mergeLabels(sloLabels(st), withWin("", ws.Window)), ws.Total)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE netqueryd_slo_window_bad counter\n")
+	for _, st := range states {
+		for _, ws := range st.Windows {
+			fmt.Fprintf(w, "netqueryd_slo_window_bad%s %d\n",
+				mergeLabels(sloLabels(st), withWin("", ws.Window)), ws.Bad)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE netqueryd_slo_burn_rate gauge\n")
+	for _, st := range states {
+		for _, ws := range st.Windows {
+			fmt.Fprintf(w, "netqueryd_slo_burn_rate%s %s\n",
+				mergeLabels(sloLabels(st), withWin("", ws.Window)), formatFloat(ws.Burn))
+		}
+	}
+	fmt.Fprintf(w, "# TYPE netqueryd_slo_alert gauge\n")
+	for _, st := range states {
+		fmt.Fprintf(w, "netqueryd_slo_alert%s %d\n",
+			mergeLabels(sloLabels(st), `{severity="page"}`), b2i(st.PageFiring))
+		fmt.Fprintf(w, "netqueryd_slo_alert%s %d\n",
+			mergeLabels(sloLabels(st), `{severity="ticket"}`), b2i(st.TicketFiring))
+	}
+}
+
+// mergeLabels concatenates two rendered {k="v"} blocks (either may be "").
+func mergeLabels(a, b string) string {
+	ai := strings.TrimSuffix(strings.TrimPrefix(a, "{"), "}")
+	bi := strings.TrimSuffix(strings.TrimPrefix(b, "{"), "}")
+	switch {
+	case ai == "" && bi == "":
+		return ""
+	case ai == "":
+		return "{" + bi + "}"
+	case bi == "":
+		return "{" + ai + "}"
+	}
+	return "{" + ai + "," + bi + "}"
+}
+
+// formatFloat renders a float deterministically (shortest round-trip form,
+// matching strconv's 'g' for the magnitudes burn rates take).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,332 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for driving windows deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// near compares burn rates with a tolerance: the engine computes them in
+// float64 ((bad/total)/(1-target)), so hand values like "exactly 1.0" land
+// within an ulp or two of the ideal.
+func near(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// counterSource is an atomic (total, bad) pair usable as a Source.
+type counterSource struct{ total, bad atomic.Int64 }
+
+func (c *counterSource) Source() Source {
+	return func() (int64, int64) { return c.total.Load(), c.bad.Load() }
+}
+
+func (c *counterSource) Add(total, bad int64) {
+	c.total.Add(total)
+	c.bad.Add(bad)
+}
+
+// TestBurnRateWindowAlgebra drives an engine with a fake clock at a steady
+// 10% bad ratio against a 0.9 target and checks every window's delta and
+// burn rate against hand-computed values.
+func TestBurnRateWindowAlgebra(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(Options{Now: clk.Now})
+	var src counterSource
+	if err := e.Register(Objective{Name: "availability", Target: 0.9}, src.Source(), "tenant", "acme"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	// One tick per minute for 10 minutes; each minute sees 100 events, 10
+	// of them bad. Target 0.9 → error budget 0.1 → a 10% bad ratio burns
+	// at exactly 1.0.
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Minute)
+		src.Add(100, 10)
+		e.Tick()
+	}
+
+	states := e.Evaluate()
+	if len(states) != 1 {
+		t.Fatalf("Evaluate returned %d states, want 1", len(states))
+	}
+	st := states[0]
+	if st.Labels != `{tenant="acme"}` {
+		t.Fatalf("labels = %q", st.Labels)
+	}
+	// Windows ascend: 5m, 30m, 1h, 6h. The 5m window differences against
+	// the sample at t-5m (total 500); the others fall back to the
+	// registration baseline (total 0) because the ring is only 10m deep.
+	want := []struct {
+		window     time.Duration
+		total, bad int64
+		burn       float64
+	}{
+		{5 * time.Minute, 500, 50, 1.0},
+		{30 * time.Minute, 1000, 100, 1.0},
+		{time.Hour, 1000, 100, 1.0},
+		{6 * time.Hour, 1000, 100, 1.0},
+	}
+	if len(st.Windows) != len(want) {
+		t.Fatalf("got %d windows, want %d", len(st.Windows), len(want))
+	}
+	for i, w := range want {
+		g := st.Windows[i]
+		if g.Window != w.window || g.Total != w.total || g.Bad != w.bad || !near(g.Burn, w.burn) {
+			t.Errorf("window %v: got {total %d bad %d burn %g}, want {total %d bad %d burn %g}",
+				w.window, g.Total, g.Bad, g.Burn, w.total, w.bad, w.burn)
+		}
+	}
+
+	// A clean 5 minutes drops the short window's burn to zero while the
+	// long windows still remember the bad era.
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Minute)
+		src.Add(100, 0)
+		e.Tick()
+	}
+	st = e.Evaluate()[0]
+	if got := st.Windows[0]; got.Total != 500 || got.Bad != 0 || got.Burn != 0 {
+		t.Fatalf("5m window after recovery = %+v, want {500 0 0}", got)
+	}
+	if got := st.Windows[2]; got.Total != 1500 || got.Bad != 100 {
+		t.Fatalf("1h window after recovery = %+v, want total 1500 bad 100", got)
+	}
+}
+
+// TestSourceResetTreatsLiveReadingAsWindow checks the restart path: when
+// cumulative counters go backwards, the window falls back to the live
+// reading instead of reporting negative deltas.
+func TestSourceResetTreatsLiveReadingAsWindow(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(Options{Now: clk.Now})
+	var total, bad atomic.Int64
+	_ = e.Register(Objective{Name: "availability", Target: 0.99},
+		func() (int64, int64) { return total.Load(), bad.Load() })
+	total.Store(1000)
+	bad.Store(10)
+	clk.Advance(time.Minute)
+	e.Tick()
+	// Restart: counters reset below the retained baseline.
+	total.Store(50)
+	bad.Store(5)
+	clk.Advance(time.Minute)
+	st := e.Evaluate()[0]
+	for _, w := range st.Windows {
+		if w.Total != 50 || w.Bad != 5 {
+			t.Fatalf("window %v after reset = {total %d bad %d}, want live reading {50 5}", w.Window, w.Total, w.Bad)
+		}
+	}
+}
+
+// TestAlertHysteresis walks the page alert through fire → hold → clear:
+// it fires only when both windows breach, keeps firing inside the
+// hysteresis band, and clears once the short window drops below
+// ClearRatio × threshold.
+func TestAlertHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(Options{
+		Windows: Windows{
+			PageShort: time.Minute, PageLong: 5 * time.Minute,
+			TicketShort: 2 * time.Minute, TicketLong: 10 * time.Minute,
+			PageBurn: 10, TicketBurn: 6, ClearRatio: 0.9,
+		},
+		Now: clk.Now,
+	})
+	var src counterSource
+	// Target 0.9 → burn 10 means 100% bad.
+	_ = e.Register(Objective{Name: "availability", Target: 0.9}, src.Source())
+
+	step := func(total, bad int64) {
+		clk.Advance(10 * time.Second)
+		src.Add(total, bad)
+		e.Tick()
+	}
+
+	// Phase 1 — total outage for 2 minutes: burn 10 on both windows.
+	for i := 0; i < 12; i++ {
+		step(10, 10)
+	}
+	if st := e.Evaluate()[0]; !st.PageFiring {
+		t.Fatalf("page alert did not fire during outage: %+v", st.Windows)
+	}
+
+	// Phase 2 — 90% bad for 2 minutes: short-window burn 9, exactly the
+	// hysteresis band's floor (0.9 × 10). A firing alert must hold.
+	for i := 0; i < 12; i++ {
+		step(10, 9)
+	}
+	if st := e.Evaluate()[0]; !st.PageFiring {
+		t.Fatalf("page alert cleared inside the hysteresis band (burn 9 vs clear < 9)")
+	}
+
+	// Phase 3 — recovery: the short window drains to burn 0 and the alert
+	// clears, even though the 5m long window still covers the outage.
+	for i := 0; i < 12; i++ {
+		step(10, 0)
+	}
+	st := e.Evaluate()[0]
+	if st.PageFiring {
+		t.Fatalf("page alert failed to clear after recovery: %+v", st.Windows)
+	}
+	if st.Windows[2].Burn < 1 { // 5m long window still sees the bad era
+		t.Fatalf("long window burn = %g, expected residual burn from the outage", st.Windows[2].Burn)
+	}
+
+	// Phase 4 — the alert must not re-fire from the long window alone
+	// (short window is clean).
+	if st := e.Evaluate()[0]; st.PageFiring {
+		t.Fatalf("page alert re-fired without a short-window breach")
+	}
+}
+
+// TestWindowStateMergeAssociativity checks the shard-merge algebra:
+// counters add, the burn is recomputed, and any merge tree over the same
+// states yields identical results.
+func TestWindowStateMergeAssociativity(t *testing.T) {
+	const target = 0.99
+	states := []WindowState{
+		{Window: time.Minute, Total: 100, Bad: 3},
+		{Window: time.Minute, Total: 50, Bad: 0},
+		{Window: time.Minute, Total: 900, Bad: 41},
+		{Window: time.Minute, Total: 1, Bad: 1},
+	}
+	for i := range states {
+		states[i].Burn = burnRate(states[i].Total, states[i].Bad, target)
+	}
+	a, b, c, d := states[0], states[1], states[2], states[3]
+
+	left := a.Merge(b, target).Merge(c, target).Merge(d, target)
+	right := a.Merge(b.Merge(c.Merge(d, target), target), target)
+	if left != right {
+		t.Fatalf("merge not associative: %+v vs %+v", left, right)
+	}
+	if got := b.Merge(a, target); got != a.Merge(b, target) {
+		t.Fatalf("merge not commutative: %+v vs %+v", got, a.Merge(b, target))
+	}
+	if left.Total != 1051 || left.Bad != 45 {
+		t.Fatalf("merged counters = {%d %d}, want {1051 45}", left.Total, left.Bad)
+	}
+	wantBurn := burnRate(1051, 45, target)
+	if left.Burn != wantBurn {
+		t.Fatalf("merged burn = %g, want %g", left.Burn, wantBurn)
+	}
+}
+
+// TestEngineConcurrency exercises Register/Tick/Evaluate/WritePrometheus
+// from concurrent goroutines; the -race CI pass is the assertion.
+func TestEngineConcurrency(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(Options{Now: clk.Now})
+	var src counterSource
+	_ = e.Register(Objective{Name: "availability", Target: 0.999}, src.Source())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g {
+				case 0:
+					clk.Advance(time.Second)
+					src.Add(10, 1)
+					e.Tick()
+				case 1:
+					_ = e.Evaluate()
+				case 2:
+					e.WritePrometheus(&strings.Builder{})
+				default:
+					_ = e.Register(Objective{Name: "latency", Target: 0.99, Kind: Latency,
+						ThresholdNS: int64(250 * time.Millisecond)}, src.Source(), "tenant", "t")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWritePrometheusDeterministic pins the exposition format: families in
+// fixed order, series sorted by registration key, and stable label
+// rendering.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(Options{Now: clk.Now})
+	var a, b counterSource
+	_ = e.Register(Objective{Name: "availability", Target: 0.999}, a.Source(), "backend", "sql")
+	_ = e.Register(Objective{Name: "latency", Kind: Latency, Target: 0.99,
+		ThresholdNS: int64(250 * time.Millisecond)}, b.Source(), "tenant", "acme")
+	a.Add(1000, 2)
+	b.Add(500, 20)
+	clk.Advance(time.Minute)
+	e.Tick()
+
+	var sb1, sb2 strings.Builder
+	e.WritePrometheus(&sb1)
+	e.WritePrometheus(&sb2)
+	if sb1.String() != sb2.String() {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", sb1.String(), sb2.String())
+	}
+	out := sb1.String()
+	for _, want := range []string{
+		"# TYPE netqueryd_slo_target gauge\n",
+		`netqueryd_slo_target{slo="availability",backend="sql"} 0.999` + "\n",
+		`netqueryd_slo_target{slo="latency",tenant="acme"} 0.99` + "\n",
+		`netqueryd_slo_burn_rate{slo="availability",backend="sql",window="5m0s"} ` +
+			formatFloat(burnRate(1000, 2, 0.999)) + "\n",
+		`netqueryd_slo_alert{slo="availability",backend="sql",severity="page"} 0` + "\n",
+		`netqueryd_slo_window_bad{slo="latency",tenant="acme",window="6h0m0s"} 20` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestRegisterValidation rejects out-of-range targets and nil sources, and
+// keeps the first registration for a duplicate key.
+func TestRegisterValidation(t *testing.T) {
+	e := NewEngine(Options{Now: newFakeClock().Now})
+	var src counterSource
+	if err := e.Register(Objective{Name: "x", Target: 1.0}, src.Source()); err == nil {
+		t.Fatalf("Register accepted target 1.0")
+	}
+	if err := e.Register(Objective{Name: "x", Target: 0}, src.Source()); err == nil {
+		t.Fatalf("Register accepted target 0")
+	}
+	if err := e.Register(Objective{Name: "x", Target: 0.9}, nil); err == nil {
+		t.Fatalf("Register accepted nil source")
+	}
+	if err := e.Register(Objective{Name: "x", Target: 0.9}, src.Source()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := e.Register(Objective{Name: "x", Target: 0.5}, src.Source()); err != nil {
+		t.Fatalf("duplicate Register: %v", err)
+	}
+	if got := e.Evaluate()[0].Objective.Target; got != 0.9 {
+		t.Fatalf("duplicate registration replaced the objective (target %g)", got)
+	}
+}

@@ -35,7 +35,22 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64 // math.MaxInt64 until the first observation
 	max    atomic.Int64 // -1 until the first observation
+
+	// ex holds per-bucket exemplars (most recent trace ID landing in each
+	// bucket), allocated lazily on the first ObserveExemplar so histograms
+	// that never see a traced request pay nothing for the feature.
+	ex atomic.Pointer[exemplarStore]
 }
+
+// Exemplar links one histogram bucket to the most recent traced
+// observation that landed in it, so a /metricsz consumer can jump from a
+// suspicious bucket straight to /tracez or /flightz evidence.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
+}
+
+type exemplarStore [histBuckets]atomic.Pointer[Exemplar]
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
@@ -92,6 +107,49 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// ObserveExemplar records one value and, when traceID is non-empty, makes
+// it the value's bucket exemplar. The untraced path (traceID == "") is
+// exactly Observe; the traced path allocates one small Exemplar — traced
+// requests are sampled, so this never touches the common case.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	store := h.ex.Load()
+	if store == nil {
+		fresh := new(exemplarStore)
+		if h.ex.CompareAndSwap(nil, fresh) {
+			store = fresh
+		} else {
+			store = h.ex.Load()
+		}
+	}
+	store[bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// Count returns the live observation count (no snapshot allocation).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// CountAbove returns, from the live buckets, how many observations fell in
+// buckets entirely above v — the allocation-free counterpart of
+// HistSnapshot.CountAbove, used by sliding-window SLO sources that read
+// cumulative tallies on every tick.
+func (h *Histogram) CountAbove(v int64) int64 {
+	var n int64
+	for i := histBuckets - 1; i >= 0; i-- {
+		lo, _ := bucketBounds(i)
+		if lo <= v {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // Snapshot returns a point-in-time copy. Concurrent Observes may tear
 // between buckets and the aggregate fields; each field is individually
 // consistent, which is all quantile estimation needs.
@@ -106,6 +164,12 @@ func (h *Histogram) Snapshot() *HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	if store := h.ex.Load(); store != nil {
+		s.Exemplars = make([]*Exemplar, histBuckets)
+		for i := range store {
+			s.Exemplars[i] = store[i].Load()
+		}
+	}
 	return s
 }
 
@@ -118,6 +182,12 @@ type HistSnapshot struct {
 	Sum    int64
 	min    int64 // math.MaxInt64 when empty
 	max    int64 // -1 when empty
+
+	// Exemplars holds the per-bucket exemplar pointers (nil when the
+	// histogram never saw a traced observation). Unlike the counters,
+	// exemplars are evidence links, not measurements: Merge keeps one of
+	// the two sides' exemplars per bucket on a most-recent-wins heuristic.
+	Exemplars []*Exemplar
 }
 
 // Min returns the smallest observed value, 0 when empty.
@@ -161,6 +231,17 @@ func (s *HistSnapshot) Merge(o *HistSnapshot) *HistSnapshot {
 			}
 			if src.max > out.max {
 				out.max = src.max
+			}
+		}
+		if src.Exemplars != nil {
+			if out.Exemplars == nil {
+				out.Exemplars = make([]*Exemplar, histBuckets)
+			}
+			// Later argument wins per bucket: o's exemplars overwrite s's.
+			for i, e := range src.Exemplars {
+				if e != nil {
+					out.Exemplars[i] = e
+				}
 			}
 		}
 	}

@@ -199,7 +199,9 @@ func kindName(kind int) string {
 
 // writeHistProm renders one histogram series. le labels carry the
 // inclusive upper bound of each non-empty bucket (cumulative, per the
-// exposition format).
+// exposition format). Buckets that hold an exemplar append an
+// OpenMetrics-style annotation — `# {trace_id="..."} <value>` — linking
+// the bucket to its most recent traced observation.
 func writeHistProm(w io.Writer, name, labels string, s *HistSnapshot) {
 	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
 	withLE := func(le string) string {
@@ -215,7 +217,12 @@ func writeHistProm(w io.Writer, name, labels string, s *HistSnapshot) {
 		}
 		cum += c
 		_, hi := bucketBounds(i)
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(strconv.FormatInt(hi, 10)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d", name, withLE(strconv.FormatInt(hi, 10)), cum)
+		if s.Exemplars != nil && s.Exemplars[i] != nil {
+			e := s.Exemplars[i]
+			fmt.Fprintf(w, " # {trace_id=%q} %d", e.TraceID, e.Value)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), s.Count)
 	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum)

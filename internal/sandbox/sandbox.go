@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nql"
@@ -79,7 +80,23 @@ type progEntry struct {
 var (
 	progMu    sync.Mutex
 	progCache = map[string]*progEntry{}
+
+	// Cumulative cache outcome counters, read by CacheStats for the service
+	// metrics endpoint and diagnostic bundles. Atomics, not the mutex: the
+	// hit path should stay one map probe plus one add.
+	progHits   atomic.Uint64
+	progMisses atomic.Uint64
 )
+
+// CacheStats reports cumulative program-cache hits and misses and the
+// current entry count — the bytecode-cache analogue of the federated
+// plan cache's Stats, exported on netqueryd's /metricsz.
+func CacheStats() (hits, misses uint64, entries int) {
+	progMu.Lock()
+	n := len(progCache)
+	progMu.Unlock()
+	return progHits.Load(), progMisses.Load(), n
+}
 
 // progCacheMax bounds the cache so adversarial or size-swept workloads
 // (e.g. Figure 4b's graph-scale sweep) cannot grow it without limit; at the
@@ -93,8 +110,10 @@ func prepare(src string) (*progEntry, error) {
 	e, ok := progCache[src]
 	progMu.Unlock()
 	if ok {
+		progHits.Add(1)
 		return e, nil
 	}
+	progMisses.Add(1)
 	prog, err := nql.Parse(src)
 	if err != nil {
 		return nil, err

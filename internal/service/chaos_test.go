@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"regexp"
 	"runtime"
 	"strings"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/health"
 )
 
 // TestChaosSwapUnderLoad drives sustained concurrent load (Zipf-skewed
@@ -175,6 +178,157 @@ return n`
 	}
 	if elapsed > time.Second {
 		t.Fatalf("stalled query took %v to cancel", elapsed)
+	}
+}
+
+// chaosClock is a settable clock for driving SLO windows without waiting
+// out real minutes; execution deadlines still run on the real clock.
+type chaosClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *chaosClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *chaosClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestChaosBurnRateAlertFullLoop walks the whole observability chain the
+// runbook promises: inject substrate faults, watch the availability burn
+// rate page on /sloz, find the offenders (with plan fingerprints and trace
+// IDs) on /flightz, resolve a /metricsz exemplar in /tracez, capture
+// everything in /debugz/bundle, then recover and watch the alert clear.
+func TestChaosBurnRateAlertFullLoop(t *testing.T) {
+	clk := &chaosClock{t: time.Unix(1_700_000_000, 0)}
+	s := newTestService(t, func(c *Config) {
+		c.now = clk.Now
+		c.TraceSample = 1
+		c.FlightSampleEvery = 1   // record every ok request (fake clock: latency reads 0)
+		c.BreakerThreshold = 1000 // keep the faulty substrate executing
+	})
+	h := NewHandler(s)
+
+	availState := func(labels string) *health.State {
+		for _, st := range s.Health().Evaluate() {
+			if st.Objective.Name == "availability" && st.Labels == labels {
+				cp := st
+				return &cp
+			}
+		}
+		t.Fatalf("no availability state with labels %s", labels)
+		return nil
+	}
+
+	// Healthy federated traffic first: its flight records carry plan
+	// fingerprints and trace IDs.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Do(context.Background(), &Request{Tenant: "chaos", Query: fedQuery}); err != nil {
+			t.Fatalf("healthy query %d: %v", i, err)
+		}
+	}
+	// Injected fault: programs that blow their (real-clock) deadline on the
+	// federated substrate. Every one burns availability error budget.
+	for i := 0; i < 20; i++ {
+		_, err := s.Do(context.Background(), &Request{Tenant: "chaos", Query: spinQuery, Timeout: 5 * time.Millisecond})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("fault %d: err = %v, want deadline exceeded", i, err)
+		}
+	}
+
+	clk.Advance(time.Minute)
+	s.HealthTick()
+
+	// 1. The burn-rate page alert fires, per tenant and per backend.
+	if st := availState(`{tenant="chaos"}`); !st.PageFiring {
+		t.Fatalf("tenant availability page alert did not fire: %+v", st.Windows)
+	}
+	if st := availState(`{backend="federated"}`); !st.PageFiring {
+		t.Fatalf("backend availability page alert did not fire: %+v", st.Windows)
+	}
+	sloz := get(t, h, "/sloz").Body.String()
+	if !strings.Contains(sloz, `netqueryd_slo_alert{slo="availability",tenant="chaos",severity="page"} 1`) {
+		t.Fatalf("/sloz does not show the firing page alert:\n%s", sloz)
+	}
+
+	// 2. /flightz names the offenders, with provenance.
+	var timeouts []obs.FlightRecord
+	if err := json.Unmarshal(get(t, h, "/flightz?tenant=chaos&class=timeout&format=json").Body.Bytes(), &timeouts); err != nil {
+		t.Fatalf("decode /flightz: %v", err)
+	}
+	if len(timeouts) != 20 {
+		t.Fatalf("flight recorder holds %d timeout offenders, want 20", len(timeouts))
+	}
+	for _, rec := range timeouts {
+		if rec.TraceID == "" || rec.ProgramHash == "" || rec.Result != "timeout" {
+			t.Fatalf("offender lacks provenance: %+v", rec)
+		}
+	}
+	var sampled []obs.FlightRecord
+	if err := json.Unmarshal(get(t, h, "/flightz?tenant=chaos&class=sampled&format=json").Body.Bytes(), &sampled); err != nil {
+		t.Fatalf("decode /flightz: %v", err)
+	}
+	if len(sampled) == 0 || sampled[0].PlanFP == "" {
+		t.Fatalf("healthy federated records lack plan fingerprints: %+v", sampled)
+	}
+
+	// 3. A /metricsz exemplar resolves to a retained trace.
+	metrics := get(t, h, "/metricsz").Body.String()
+	m := regexp.MustCompile(`# \{trace_id="(chaos-\d+)"\}`).FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("no trace-ID exemplar on /metricsz")
+	}
+	if !strings.Contains(get(t, h, "/tracez").Body.String(), `"id":"`+m[1]+`"`) {
+		t.Fatalf("exemplar trace %q not in /tracez", m[1])
+	}
+
+	// 4. The diagnostic bundle captures the incident.
+	b := s.DebugBundle()
+	var bundledFiring bool
+	for _, st := range b.SLO {
+		if st.Objective.Name == "availability" && st.Labels == `{tenant="chaos"}` && st.PageFiring {
+			bundledFiring = true
+		}
+	}
+	if !bundledFiring {
+		t.Fatalf("bundle does not capture the firing alert")
+	}
+	if len(b.Flight) == 0 || len(b.Traces) == 0 {
+		t.Fatalf("bundle missing evidence: %d flight records, %d traces", len(b.Flight), len(b.Traces))
+	}
+
+	// 5. Recovery: healthy traffic resumes, the windows roll past the bad
+	// era, and the alert clears (the hysteresis band releases at burn 0).
+	for i := 0; i < 5; i++ {
+		if _, err := s.Do(context.Background(), &Request{Tenant: "chaos", Query: fedQuery}); err != nil {
+			t.Fatalf("recovery query %d: %v", i, err)
+		}
+	}
+	for m := 0; m < 7; m++ {
+		clk.Advance(time.Minute)
+		s.HealthTick()
+	}
+	// Seven clean minutes roll the 5m page window past the bad era; the
+	// ticket pair's 30m short window rightly holds its alert longer.
+	if st := availState(`{tenant="chaos"}`); st.PageFiring || !st.TicketFiring {
+		t.Fatalf("after 7 clean minutes want page clear + ticket firing, got page=%v ticket=%v: %+v",
+			st.PageFiring, st.TicketFiring, st.Windows)
+	}
+	for m := 0; m < 31; m++ {
+		clk.Advance(time.Minute)
+		s.HealthTick()
+	}
+	if st := availState(`{tenant="chaos"}`); st.PageFiring || st.TicketFiring {
+		t.Fatalf("availability alert failed to clear after recovery: %+v", st.Windows)
+	}
+	if out := get(t, h, "/sloz").Body.String(); !strings.Contains(out, `netqueryd_slo_alert{slo="availability",tenant="chaos",severity="page"} 0`) {
+		t.Fatalf("/sloz still shows the page alert firing after recovery:\n%s", out)
 	}
 }
 

@@ -39,11 +39,20 @@
 //	-breaker-threshold 5      consecutive timeouts tripping a breaker
 //	-breaker-cooldown 1s      how long a tripped breaker stays open
 //	-drain-timeout 30s        shutdown drain budget
+//	-slo-availability 0.999   availability objective target (-1 disables)
+//	-slo-latency-target 0.99  latency objective quantile target
+//	-slo-latency-threshold 250ms  latency per-request budget (-1ns disables)
+//	-slo-tick 10s             health tick (SLO window sampling) interval
+//	-flight-capacity 256      flight recorder ring size (-1 disables)
+//	-flight-sample 64         sample one normal request per this many
+//	-flight-slow-factor 4     dynamic slow threshold = tenant p99 x factor
 //
 // Endpoints: POST /v1/query runs one query ({"tenant", "query" or
 // "query_id", optional "backend", "timeout_ms"}); POST /admin/swap
 // installs a new dataset; GET /healthz reports the live epoch and breaker
-// states; GET /statsz dumps counters.
+// states (?verbose=1 adds SLO, cache and flight detail); GET /statsz dumps
+// counters; GET /sloz, /flightz, /tracez, /metricsz and /debugz/bundle are
+// the health and evidence surfaces described below.
 //
 // # Runbook: admission tuning
 //
@@ -118,4 +127,61 @@
 // pushdown; wall >> own on a frame means the time is in its children.
 // -pprof additionally mounts Go's /debug/pprof handlers for CPU and heap
 // profiling of the process itself.
+//
+// # Runbook: SLOs and burn-rate alerts (/sloz)
+//
+// The service declares two objectives per tenant and per backend, over the
+// sliding windows internal/obs/health maintains: availability (the
+// -slo-availability fraction of executed requests that must not fail
+// server-side — timeouts and execution errors burn budget; sheds, client
+// disconnects and vet rejects do not, those are the service working as
+// intended) and latency (the -slo-latency-target quantile must finish
+// under -slo-latency-threshold). A background tick (-slo-tick) samples
+// every objective's cumulative tallies; burn rates are computed over
+// Google-SRE multiwindow pairs — page on burn >= 14.4 over both 5m and 1h,
+// ticket on burn >= 6 over both 30m and 6h — and alerts clear with
+// hysteresis once the short window's burn drops below 90% of its
+// threshold. GET /sloz renders targets, per-window totals/bad/burn and
+// alert states in deterministic Prometheus text; /healthz?verbose=1 folds
+// in the same evaluation as JSON plus a firing count.
+//
+// When /sloz pages: a page pair burning means the error budget is going
+// NOW (a 14.4x burn exhausts a 30-day budget in ~2 days); the ticket pair
+// firing alone is slow budget leakage. Go to /flightz for the offenders.
+//
+// # Runbook: flight recorder (/flightz)
+//
+// The flight recorder is an always-on bounded ring (-flight-capacity) of
+// notable requests, recorded with zero allocations on the hot path: every
+// error (classed static, shed, breaker-open, draining, timeout,
+// disconnect, error), every slow success (over the tenant's dynamic
+// threshold: p99 x -flight-slow-factor, floored and capped by the SLO
+// latency budget), and one sampled normal per -flight-sample as workload
+// context. Each record carries tenant, backend, query_id, the NQL
+// program's source hash, the federated plan fingerprint(s) it executed,
+// the trace ID when traced, and the queue/execute/total latency split.
+// GET /flightz renders one record per line (?format=json for the array),
+// filterable by ?tenant=, ?backend=, ?class= and ?min_ns=. The program
+// hash matches the sandbox bytecode cache's identity and the plan
+// fingerprint matches the federated plan cache's Explain identity, so a
+// flight record reproduces as: look up the program, Explain the plan.
+//
+// The evidence chain from an alert: /sloz names the burning series
+// (tenant or backend) → /flightz?tenant=X&class=timeout lists the exact
+// requests with program hashes and plan fingerprints → their trace= IDs
+// resolve in /tracez (?tenant=, ?backend=, ?min_ns= filter; ?format=text
+// renders span trees) → /metricsz histogram buckets carry OpenMetrics
+// trace-ID exemplars linking latency bands back to the same traces.
+//
+// # Runbook: diagnostic bundle (/debugz/bundle)
+//
+// GET /debugz/bundle (or netqueryd -dump-bundle, which builds the service,
+// writes one bundle to stdout and exits) captures the whole story in one
+// deterministically-ordered JSON blob: stats, breaker states in substrate
+// cost order, SLO evaluations, flight records, retained traces, per-tenant
+// admission state (bucket/gauge levels, latency quantiles, slow
+// threshold), plan/program/vet cache hit rates, and a Go runtime summary.
+// Attach it to incident reports; two bundles diff cleanly. Hosts embedding
+// the service add sections via Service.RegisterBundleSection (e.g. a model
+// gateway's StateSnapshot), which land under "extra".
 package service

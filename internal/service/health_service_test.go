@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/modelserve"
+	"repro/internal/obs"
+)
+
+// fedQuery is a raw federated program: it executes a federated plan, so its
+// flight records carry a plan fingerprint.
+const fedQuery = `return fed.scan("sql", "nodes").count()`
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// TestMetricszCacheCounterNames pins the cache metric families the PR adds
+// to /metricsz: renaming any of them breaks dashboards, so the full names
+// are asserted literally.
+func TestMetricszCacheCounterNames(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+	// Same raw program twice: the second request must hit the vet cache.
+	for i := 0; i < 2; i++ {
+		if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", Query: fedQuery}); w.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d body %s", i, w.Code, w.Body)
+		}
+	}
+	// One server-side timeout, so the error counters are non-zero.
+	if _, err := s.Do(context.Background(), &Request{Tenant: "acme", Query: spinQuery, Timeout: 20 * time.Millisecond}); err == nil {
+		t.Fatalf("spin query did not time out")
+	}
+
+	body := get(t, h, "/metricsz").Body.String()
+	for _, want := range []string{
+		"# TYPE netqueryd_plan_cache_hits_total counter",
+		"# TYPE netqueryd_plan_cache_misses_total counter",
+		"# TYPE netqueryd_plan_cache_entries gauge",
+		"# TYPE netqueryd_program_cache_hits_total counter",
+		"# TYPE netqueryd_program_cache_misses_total counter",
+		"# TYPE netqueryd_program_cache_entries gauge",
+		"# TYPE netqueryd_vet_cache_hits_total counter",
+		"# TYPE netqueryd_vet_cache_misses_total counter",
+		"# TYPE netqueryd_vet_cache_entries gauge",
+		`netqueryd_tenant_errors_total{tenant="acme"} 1`,
+		`netqueryd_backend_errors_total{backend="federated"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricsz missing %q", want)
+		}
+	}
+	if hits, misses, entries := s.VetCacheStats(); hits < 1 || misses < 1 || entries < 1 {
+		t.Fatalf("vet cache stats = %d/%d/%d, want hits, misses and entries all >= 1", hits, misses, entries)
+	}
+
+	// Scraping twice without traffic must not change the synced counters:
+	// the delta sync is idempotent.
+	pick := func(body, name string) string {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				return line
+			}
+		}
+		t.Fatalf("no %s sample in /metricsz", name)
+		return ""
+	}
+	again := get(t, h, "/metricsz").Body.String()
+	for _, name := range []string{
+		"netqueryd_vet_cache_hits_total",
+		"netqueryd_vet_cache_misses_total",
+		"netqueryd_plan_cache_entries",
+	} {
+		if a, b := pick(body, name), pick(again, name); a != b {
+			t.Fatalf("rescrape moved %s: %q -> %q", name, a, b)
+		}
+	}
+}
+
+// TestFlightzEndpoint drives slow-classed and sampled requests through the
+// recorder and checks the /flightz text rendering, JSON mode, and filters.
+func TestFlightzEndpoint(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.SLOLatencyThreshold = 1 // 1ns: every completed request is "slow"
+		c.TraceSample = 1
+	})
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", Query: fedQuery}); w.Code != http.StatusOK {
+		t.Fatalf("federated query: %d %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "beta", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("catalog query: %d %s", w.Code, w.Body)
+	}
+
+	text := get(t, h, "/flightz").Body.String()
+	for _, want := range []string{
+		"tenant=acme backend=federated class=slow result=ok",
+		"plan=",        // the federated request noted its plan fingerprint
+		"trace=acme-",  // and its trace ID
+		"tenant=beta ", // the catalog request is there too
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/flightz missing %q:\n%s", want, text)
+		}
+	}
+
+	var recs []obs.FlightRecord
+	if err := json.Unmarshal(get(t, h, "/flightz?tenant=acme&format=json").Body.Bytes(), &recs); err != nil {
+		t.Fatalf("decode /flightz json: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Tenant != "acme" || recs[0].Class != "slow" {
+		t.Fatalf("tenant filter returned %+v, want one slow acme record", recs)
+	}
+	if recs[0].PlanFP == "" || recs[0].TraceID == "" || recs[0].ProgramHash == "" {
+		t.Fatalf("federated record lacks provenance: %+v", recs[0])
+	}
+	if recs[0].TotalNS < recs[0].ExecNS || recs[0].QueueNS != recs[0].TotalNS-recs[0].ExecNS {
+		t.Fatalf("latency split inconsistent: %+v", recs[0])
+	}
+	if err := json.Unmarshal(get(t, h, "/flightz?min_ns=4611686018427387904&format=json").Body.Bytes(), &recs); err != nil {
+		t.Fatalf("decode filtered /flightz: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("absurd min_ns still matched %d records", len(recs))
+	}
+
+	// A disabled recorder serves a comment, and an empty JSON array.
+	off := NewHandler(newTestService(t, func(c *Config) { c.FlightCapacity = -1 }))
+	if got := get(t, off, "/flightz").Body.String(); got != "# flight recorder disabled\n" {
+		t.Fatalf("disabled /flightz = %q", got)
+	}
+	if got := strings.TrimSpace(get(t, off, "/flightz?format=json").Body.String()); got != "[]" {
+		t.Fatalf("disabled /flightz json = %q, want []", got)
+	}
+}
+
+// TestDynamicSlowThreshold checks HealthTick's refresh rule: the threshold
+// starts at the SLO latency budget, drops to p99 x factor for fast tenants
+// once they have enough samples, stays put below the sample floor, and is
+// capped by the SLO budget for slow tenants.
+func TestDynamicSlowThreshold(t *testing.T) {
+	s := newTestService(t, nil) // defaults: 250ms budget, factor 4
+	floor := int64(250 * time.Millisecond)
+
+	fast := s.tenantState("fast")
+	for i := 0; i < 100; i++ {
+		fast.latency.Observe(1000)
+	}
+	sparse := s.tenantState("sparse")
+	for i := 0; i < slowRefreshMinSamples-1; i++ {
+		sparse.latency.Observe(1000)
+	}
+	slow := s.tenantState("slow")
+	for i := 0; i < 100; i++ {
+		slow.latency.Observe(int64(time.Second))
+	}
+
+	if got := fast.slowNS.Load(); got != floor {
+		t.Fatalf("pre-tick threshold = %d, want the SLO budget %d", got, floor)
+	}
+	s.HealthTick()
+	if got := fast.slowNS.Load(); got != 4000 {
+		t.Fatalf("fast tenant threshold = %d, want p99 x 4 = 4000", got)
+	}
+	if got := sparse.slowNS.Load(); got != floor {
+		t.Fatalf("sparse tenant threshold moved to %d with < %d samples", got, slowRefreshMinSamples)
+	}
+	if got := slow.slowNS.Load(); got != floor {
+		t.Fatalf("slow tenant threshold = %d, want capped at the SLO budget %d", got, floor)
+	}
+}
+
+// TestHealthzVerboseAndSloz checks the health surfaces: terse /healthz is
+// unchanged, ?verbose=1 folds in SLO/cache/flight detail, and /sloz serves
+// the burn-rate exposition (or a comment when disabled).
+func TestHealthzVerboseAndSloz(t *testing.T) {
+	s := newTestService(t, nil)
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("query: %d", w.Code)
+	}
+
+	var terse map[string]any
+	if err := json.Unmarshal(get(t, h, "/healthz").Body.Bytes(), &terse); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	for _, forbidden := range []string{"slo", "caches", "flight_records", "tenants"} {
+		if _, ok := terse[forbidden]; ok {
+			t.Fatalf("terse /healthz grew a %q key: %v", forbidden, terse)
+		}
+	}
+
+	var verbose map[string]any
+	if err := json.Unmarshal(get(t, h, "/healthz?verbose=1").Body.Bytes(), &verbose); err != nil {
+		t.Fatalf("decode verbose /healthz: %v", err)
+	}
+	for _, want := range []string{"slo", "slo_alerts_firing", "caches", "flight_records", "tenants"} {
+		if _, ok := verbose[want]; !ok {
+			t.Fatalf("verbose /healthz missing %q: %v", want, verbose)
+		}
+	}
+	caches, _ := verbose["caches"].(map[string]any)
+	for _, want := range []string{"plan", "program", "vet"} {
+		if _, ok := caches[want]; !ok {
+			t.Fatalf("verbose /healthz caches missing %q: %v", want, caches)
+		}
+	}
+
+	sloz := get(t, h, "/sloz").Body.String()
+	for _, want := range []string{
+		"# TYPE netqueryd_slo_target gauge",
+		`slo="availability"`,
+		`slo="latency"`,
+		`tenant="acme"`,
+		`backend="federated"`,
+	} {
+		if !strings.Contains(sloz, want) {
+			t.Errorf("/sloz missing %q", want)
+		}
+	}
+
+	off := NewHandler(newTestService(t, func(c *Config) {
+		c.SLOAvailability = -1
+		c.SLOLatencyThreshold = -1
+	}))
+	if got := get(t, off, "/sloz").Body.String(); got != "# slo engine disabled\n" {
+		t.Fatalf("disabled /sloz = %q", got)
+	}
+}
+
+// TestTracezFiltersAndText checks the new /tracez query parameters and text
+// mode, and that the parameterless response is still the plain JSON array.
+func TestTracezFiltersAndText(t *testing.T) {
+	s := newTestService(t, func(c *Config) { c.TraceSample = 1 })
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("catalog query: %d", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "beta", Query: fedQuery}); w.Code != http.StatusOK {
+		t.Fatalf("federated query: %d", w.Code)
+	}
+
+	type trace struct {
+		ID    string         `json:"id"`
+		Spans []obs.SpanStat `json:"spans"`
+	}
+	decode := func(path string) []trace {
+		var out []trace
+		if err := json.Unmarshal(get(t, h, path).Body.Bytes(), &out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return out
+	}
+
+	if all := decode("/tracez"); len(all) != 2 {
+		t.Fatalf("/tracez has %d traces, want 2", len(all))
+	}
+	if got := decode("/tracez?tenant=acme"); len(got) != 1 || !strings.HasPrefix(got[0].ID, "acme-") {
+		t.Fatalf("tenant filter returned %+v", got)
+	}
+	if got := decode("/tracez?backend=federated"); len(got) != 1 || !strings.HasPrefix(got[0].ID, "beta-") {
+		t.Fatalf("backend filter returned %+v", got)
+	}
+	if got := decode("/tracez?min_ns=4611686018427387904"); len(got) != 0 {
+		t.Fatalf("absurd min_ns still matched %d traces", len(got))
+	}
+	// No parameters and format=json must be byte-identical: the filters and
+	// text mode are purely additive.
+	if a, b := get(t, h, "/tracez").Body.String(), get(t, h, "/tracez?format=json").Body.String(); a != b {
+		t.Fatalf("format=json diverged from the default output:\n%s\n---\n%s", a, b)
+	}
+
+	text := get(t, h, "/tracez?tenant=acme&format=text").Body.String()
+	if !strings.HasPrefix(text, "trace acme-") {
+		t.Fatalf("text mode output does not start with a trace header:\n%s", text)
+	}
+	for _, want := range []string{"  query wall_ns=", "tenant=acme", "    bind wall_ns=", "    execute wall_ns="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text mode missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDebugBundle checks the bundle's shape: deterministic ordering,
+// provenance-bearing flight records, all three cache sections, and
+// host-registered extra sections (a model gateway snapshot here).
+func TestDebugBundle(t *testing.T) {
+	s := newTestService(t, func(c *Config) {
+		c.SLOLatencyThreshold = 1
+		c.TraceSample = 1
+	})
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "zeta", Query: fedQuery}); w.Code != http.StatusOK {
+		t.Fatalf("query: %d", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("query: %d", w.Code)
+	}
+
+	gw, err := modelserve.New(modelserve.Config{Provider: modelserve.NewSimProvider(), RPS: 10})
+	if err != nil {
+		t.Fatalf("modelserve.New: %v", err)
+	}
+	s.RegisterBundleSection("model_gateway", func() any { return gw.StateSnapshot() })
+
+	b := s.DebugBundle()
+	if len(b.Breakers) != len(substrateCost) {
+		t.Fatalf("bundle has %d breakers, want %d", len(b.Breakers), len(substrateCost))
+	}
+	for i, br := range b.Breakers {
+		if br.Backend != substrateCost[i] {
+			t.Fatalf("breaker %d = %q, want substrate-cost order %v", i, br.Backend, substrateCost)
+		}
+	}
+	if len(b.SLO) == 0 {
+		t.Fatalf("bundle has no SLO states")
+	}
+	if len(b.Flight) == 0 {
+		t.Fatalf("bundle has no flight records")
+	}
+	var sawProvenance bool
+	for _, rec := range b.Flight {
+		if rec.Tenant == "zeta" && rec.PlanFP != "" && rec.TraceID != "" {
+			sawProvenance = true
+		}
+	}
+	if !sawProvenance {
+		t.Fatalf("no flight record carries plan fingerprint + trace ID: %+v", b.Flight)
+	}
+	if len(b.Traces) == 0 {
+		t.Fatalf("bundle has no traces")
+	}
+	names := make([]string, len(b.Tenants))
+	for i, ts := range b.Tenants {
+		names[i] = ts.Tenant
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("bundle tenants not sorted: %v", names)
+	}
+	for _, want := range []string{"plan", "program", "vet"} {
+		if _, ok := b.Caches[want]; !ok {
+			t.Fatalf("bundle caches missing %q: %v", want, b.Caches)
+		}
+	}
+	if b.Runtime.Goroutines <= 0 || b.Runtime.HeapAlloc == 0 {
+		t.Fatalf("bundle runtime summary empty: %+v", b.Runtime)
+	}
+	if _, ok := b.Extra["model_gateway"]; !ok {
+		t.Fatalf("registered bundle section missing: %v", b.Extra)
+	}
+	for _, ts := range b.Tenants {
+		if ts.Tenant == "zeta" && (ts.Completed != 1 || ts.Bucket.Rate != s.cfg.TenantRPS) {
+			t.Fatalf("zeta tenant state inconsistent: %+v", ts)
+		}
+	}
+
+	// The HTTP surface serves the same bundle as JSON.
+	var viaHTTP map[string]any
+	if err := json.Unmarshal(get(t, h, "/debugz/bundle").Body.Bytes(), &viaHTTP); err != nil {
+		t.Fatalf("decode /debugz/bundle: %v", err)
+	}
+	for _, want := range []string{"captured_unix_ns", "stats", "breakers", "slo", "flight", "tenants", "caches", "runtime", "extra"} {
+		if _, ok := viaHTTP[want]; !ok {
+			t.Fatalf("/debugz/bundle missing %q", want)
+		}
+	}
+}
+
+// TestMetricszExemplarResolvesInTracez follows the evidence chain the
+// runbook describes: a histogram bucket's exemplar names a trace ID that
+// /tracez can serve.
+func TestMetricszExemplarResolvesInTracez(t *testing.T) {
+	s := newTestService(t, func(c *Config) { c.TraceSample = 1 })
+	h := NewHandler(s)
+	if w := postJSON(t, h, "/v1/query", queryRequest{Tenant: "acme", QueryID: "ta-e2"}); w.Code != http.StatusOK {
+		t.Fatalf("query: %d", w.Code)
+	}
+	body := get(t, h, "/metricsz").Body.String()
+	m := regexp.MustCompile(`# \{trace_id="(acme-\d+)"\}`).FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("/metricsz carries no trace-ID exemplar:\n%s", body)
+	}
+	if !strings.Contains(get(t, h, "/tracez").Body.String(), `"id":"`+m[1]+`"`) {
+		t.Fatalf("exemplar trace %q not resolvable in /tracez", m[1])
+	}
+}

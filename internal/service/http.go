@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/nql/analysis"
 	"repro/internal/obs"
 	"repro/internal/queries"
+	"repro/internal/sandbox"
 	"repro/internal/traffic"
 )
 
@@ -66,13 +68,20 @@ const maxBodyBytes = 1 << 20
 
 // NewHandler exposes the service over HTTP:
 //
-//	POST /v1/query   — execute a query (shed → 429 + Retry-After,
-//	                   timeout → 504, open breaker → 503, bad query → 422)
-//	POST /admin/swap — load a dataset and atomically flip to it
-//	GET  /healthz    — liveness, current dataset, breaker states
-//	GET  /statsz     — counter snapshot
-//	GET  /metricsz   — Prometheus text exposition of the obs registry
-//	GET  /tracez     — recent sampled traces (spans with wall/own time)
+//	POST /v1/query     — execute a query (shed → 429 + Retry-After,
+//	                     timeout → 504, open breaker → 503, bad query → 422)
+//	POST /admin/swap   — load a dataset and atomically flip to it
+//	GET  /healthz      — liveness, current dataset, breaker states;
+//	                     ?verbose=1 adds SLO states, cache and flight summary
+//	GET  /statsz       — counter snapshot
+//	GET  /metricsz     — Prometheus text exposition of the obs registry
+//	                     (histogram buckets carry trace-ID exemplars)
+//	GET  /sloz         — SLO burn rates and alert states (Prometheus text)
+//	GET  /tracez       — recent sampled traces; ?tenant=, ?backend=,
+//	                     ?min_ns= filter, ?format=text renders span trees
+//	GET  /flightz      — flight recorder (notable requests); ?tenant=,
+//	                     ?backend=, ?class=, ?min_ns= filter, ?format=json
+//	GET  /debugz/bundle — full diagnostic bundle (one JSON blob)
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -141,46 +150,193 @@ func NewHandler(s *Service) http.Handler {
 		if s.draining.Load() {
 			status = "draining"
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"status":   status,
 			"dataset":  st.Dataset,
 			"inflight": st.Inflight,
 			"breakers": st.Breakers,
-		})
+		}
+		// verbose=1 folds in the health layer: SLO evaluation (burn rates
+		// and alert states), cache effectiveness, and how much evidence the
+		// flight recorder holds. The terse default stays unchanged — probes
+		// keep their tiny payload.
+		if r.URL.Query().Get("verbose") == "1" {
+			if h := s.Health(); h != nil {
+				states := h.Evaluate()
+				firing := 0
+				for _, hs := range states {
+					if hs.PageFiring || hs.TicketFiring {
+						firing++
+					}
+				}
+				body["slo"] = states
+				body["slo_alerts_firing"] = firing
+			}
+			if f := s.Flight(); f != nil {
+				body["flight_records"] = f.Len()
+			}
+			caches := map[string]CacheStat{}
+			ph, pm, pe := federate.DefaultCache.Stats()
+			caches["plan"] = CacheStat{Hits: ph, Misses: pm, Entries: pe}
+			bh, bm, be := sandbox.CacheStats()
+			caches["program"] = CacheStat{Hits: bh, Misses: bm, Entries: be}
+			vh, vm, ve := s.VetCacheStats()
+			caches["vet"] = CacheStat{Hits: vh, Misses: vm, Entries: ve}
+			body["caches"] = caches
+			body["tenants"] = s.TenantNames()
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	// The federated plan cache keeps its own cumulative tallies; sync them
-	// into the registry at scrape time (gauge for the entry count, delta
-	// adds for the monotonic hit/miss counters). The mutex keeps two
-	// concurrent scrapes from double-applying a delta.
-	var planCacheMu sync.Mutex
-	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
-		planCacheMu.Lock()
-		hits, misses, entries := federate.DefaultCache.Stats()
+	// The caches (federated plan, sandbox program, vet verdict) keep their
+	// own cumulative tallies; sync them into the registry at scrape time
+	// (gauge for the entry count, delta adds for the monotonic hit/miss
+	// counters). The mutex keeps two concurrent scrapes from
+	// double-applying a delta.
+	var cacheSyncMu sync.Mutex
+	syncCache := func(prefix string, hits, misses uint64, entries int) {
 		reg := s.Metrics()
-		reg.Gauge("netqueryd_plan_cache_entries").Set(int64(entries))
-		hc := reg.Counter("netqueryd_plan_cache_hits_total")
+		reg.Gauge(prefix + "_entries").Set(int64(entries))
+		hc := reg.Counter(prefix + "_hits_total")
 		hc.Add(int64(hits) - hc.Load())
-		mc := reg.Counter("netqueryd_plan_cache_misses_total")
+		mc := reg.Counter(prefix + "_misses_total")
 		mc.Add(int64(misses) - mc.Load())
-		planCacheMu.Unlock()
+	}
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		cacheSyncMu.Lock()
+		ph, pm, pe := federate.DefaultCache.Stats()
+		syncCache("netqueryd_plan_cache", ph, pm, pe)
+		bh, bm, be := sandbox.CacheStats()
+		syncCache("netqueryd_program_cache", bh, bm, be)
+		vh, vm, ve := s.VetCacheStats()
+		syncCache("netqueryd_vet_cache", vh, vm, ve)
+		cacheSyncMu.Unlock()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.Metrics().WritePrometheus(w)
 	})
+	mux.HandleFunc("/sloz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h := s.Health()
+		if h == nil {
+			fmt.Fprintf(w, "# slo engine disabled\n")
+			return
+		}
+		h.WritePrometheus(w)
+	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		tenantF, backendF := q.Get("tenant"), q.Get("backend")
+		minNS, _ := strconv.ParseInt(q.Get("min_ns"), 10, 64)
 		type traceJSON struct {
 			ID    string         `json:"id"`
 			Spans []obs.SpanStat `json:"spans"`
 		}
 		out := []traceJSON{}
 		for _, tr := range s.RecentTraces() {
-			out = append(out, traceJSON{ID: tr.ID, Spans: tr.Snapshot()})
+			spans := tr.Snapshot()
+			if !traceMatches(spans, tenantF, backendF, minNS) {
+				continue
+			}
+			out = append(out, traceJSON{ID: tr.ID, Spans: spans})
 		}
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tr := range out {
+				writeTraceText(w, tr.ID, tr.Spans)
+			}
+			return
+		}
+		// Default (and format=json): the same JSON array as ever — with no
+		// query parameters the output is byte-identical to prior releases.
 		writeJSON(w, http.StatusOK, out)
 	})
+	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
+		f := s.Flight()
+		q := r.URL.Query()
+		minNS, _ := strconv.ParseInt(q.Get("min_ns"), 10, 64)
+		filter := &obs.FlightFilter{
+			Tenant:  q.Get("tenant"),
+			Backend: q.Get("backend"),
+			Class:   q.Get("class"),
+			MinNS:   minNS,
+		}
+		recs := f.Snapshot(filter) // nil-safe: disabled recorder yields none
+		if q.Get("format") == "json" {
+			if recs == nil {
+				recs = []obs.FlightRecord{}
+			}
+			writeJSON(w, http.StatusOK, recs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if f == nil {
+			fmt.Fprintf(w, "# flight recorder disabled\n")
+			return
+		}
+		obs.WriteFlightText(w, recs)
+	})
+	mux.HandleFunc("/debugz/bundle", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.DebugBundle())
+	})
 	return mux
+}
+
+// traceMatches reports whether a trace passes the /tracez filters, judged
+// on its root spans: tenant and backend match the root's tags, min_ns the
+// root's wall time. No filters → every trace passes.
+func traceMatches(spans []obs.SpanStat, tenant, backend string, minNS int64) bool {
+	if tenant == "" && backend == "" && minNS <= 0 {
+		return true
+	}
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			continue
+		}
+		var spTenant, spBackend string
+		for _, tg := range sp.Tags {
+			switch tg.Key {
+			case "tenant":
+				spTenant = tg.Value
+			case "backend":
+				spBackend = tg.Value
+			}
+		}
+		if tenant != "" && spTenant != tenant {
+			continue
+		}
+		if backend != "" && spBackend != backend {
+			continue
+		}
+		if minNS > 0 && sp.WallNS < minNS {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// writeTraceText renders one trace as an indented span tree for
+// /tracez?format=text.
+func writeTraceText(w io.Writer, id string, spans []obs.SpanStat) {
+	depth := map[int64]int{}
+	fmt.Fprintf(w, "trace %s\n", id)
+	for _, sp := range spans {
+		d := 1
+		if sp.Parent != 0 {
+			d = depth[sp.Parent] + 1
+		}
+		depth[sp.ID] = d
+		for i := 0; i < d; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%s wall_ns=%d own_ns=%d", sp.Name, sp.WallNS, sp.OwnNS)
+		for _, tg := range sp.Tags {
+			fmt.Fprintf(w, " %s=%s", tg.Key, tg.Value)
+		}
+		fmt.Fprintf(w, "\n")
+	}
 }
 
 // buildDataset resolves a swap request into an instance builder. Datasets

@@ -10,11 +10,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/federate"
 	"repro/internal/limiter"
 	"repro/internal/nemoeval"
 	"repro/internal/nql"
 	"repro/internal/nql/analysis"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
 	"repro/internal/prompt"
 	"repro/internal/queries"
 	"repro/internal/sandbox"
@@ -74,6 +76,33 @@ type Config struct {
 	// share one registry across components to serve a single /metricsz.
 	// Nil creates a private registry (exposed via Service.Metrics).
 	Metrics *obs.Registry
+
+	// SLOAvailability is the availability objective registered for every
+	// backend and tenant: the target fraction of executed requests that
+	// must not fail server-side (timeouts and execution errors count
+	// against it; sheds, client disconnects and vet rejects do not — those
+	// are the service working as intended). Default 0.999; negative
+	// disables the availability objective.
+	SLOAvailability float64
+	// SLOLatencyTarget is the latency objective's quantile target: the
+	// fraction of requests that must finish under SLOLatencyThreshold
+	// (default 0.99).
+	SLOLatencyTarget float64
+	// SLOLatencyThreshold is the latency objective's per-request budget
+	// (default 250ms; negative disables the latency objective).
+	SLOLatencyThreshold time.Duration
+
+	// FlightCapacity bounds the flight recorder's ring (default 256;
+	// negative disables the recorder entirely).
+	FlightCapacity int
+	// FlightSampleEvery admits one unremarkable (fast, successful) request
+	// per this many into the flight recorder as workload context (default
+	// 64; negative records notable requests only).
+	FlightSampleEvery int
+	// FlightSlowFactor scales each tenant's observed p99 into its dynamic
+	// slow-query threshold (default 4; the SLO latency threshold is the
+	// floor until a tenant has enough samples).
+	FlightSlowFactor float64
 
 	// now is the clock hook, swappable in tests.
 	now func() time.Time
@@ -201,7 +230,14 @@ type tenant struct {
 
 	reqCtr  *obs.Counter   // netqueryd_tenant_requests_total{tenant=...}
 	shedCtr *obs.Counter   // netqueryd_tenant_shed_total{tenant=...}
+	badCtr  *obs.Counter   // netqueryd_tenant_errors_total{tenant=...}
 	latency *obs.Histogram // netqueryd_tenant_latency_ns{tenant=...}
+
+	// slowNS is the tenant's dynamic slow-query threshold in nanoseconds:
+	// seeded from the SLO latency budget, refreshed by HealthTick to
+	// p99 × FlightSlowFactor once the tenant has enough samples. Read on
+	// every request completion, hence atomic.
+	slowNS atomic.Int64
 }
 
 // Service is the netqueryd query engine. Safe for concurrent use.
@@ -231,6 +267,13 @@ type Service struct {
 	inflight      *obs.Gauge
 	backendCtr    map[string]*obs.Counter
 	backendLat    map[string]*obs.Histogram
+	backendBad    map[string]*obs.Counter // netqueryd_backend_errors_total{backend=...}
+
+	// health evaluates the declared SLOs over sliding windows sampled by
+	// HealthTick; flight is the always-on recorder of notable requests.
+	// Either may be nil when disabled by config (both are nil-safe).
+	health *health.Engine
+	flight *obs.FlightRecorder
 
 	// Trace sampling state: traceEvery = round(1/TraceSample) arrivals per
 	// trace (0 = off); traceSeq rotates through it; traceID names traces.
@@ -242,8 +285,15 @@ type Service struct {
 	// Vet verdicts cached per (backend, query) so a repeated raw query
 	// pays one map lookup, not a fresh name-resolution walk. Bounded the
 	// same way as the sandbox program cache; a nil value records "clean".
-	vetMu    sync.Mutex
-	vetCache map[vetKey]*VetError
+	vetMu     sync.Mutex
+	vetCache  map[vetKey]*VetError
+	vetHits   atomic.Uint64
+	vetMisses atomic.Uint64
+
+	// bundleMu guards extra diagnostic-bundle sections registered by hosts
+	// (see RegisterBundleSection in bundle.go).
+	bundleMu       sync.Mutex
+	bundleSections map[string]func() any
 }
 
 // vetKey identifies one vet verdict: name resolution depends on the
@@ -322,6 +372,32 @@ func New(cfg Config) (*Service, error) {
 	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
 		return nil, fmt.Errorf("service: TraceSample must be in [0, 1], got %g", cfg.TraceSample)
 	}
+	if cfg.SLOAvailability == 0 {
+		cfg.SLOAvailability = 0.999
+	}
+	if cfg.SLOAvailability >= 1 {
+		return nil, fmt.Errorf("service: SLOAvailability must be below 1, got %g", cfg.SLOAvailability)
+	}
+	if cfg.SLOLatencyTarget == 0 {
+		cfg.SLOLatencyTarget = 0.99
+	}
+	if cfg.SLOLatencyTarget < 0 || cfg.SLOLatencyTarget >= 1 {
+		return nil, fmt.Errorf("service: SLOLatencyTarget must be in (0, 1), got %g", cfg.SLOLatencyTarget)
+	}
+	if cfg.SLOLatencyThreshold == 0 {
+		cfg.SLOLatencyThreshold = 250 * time.Millisecond
+	}
+	if cfg.FlightCapacity == 0 {
+		cfg.FlightCapacity = 256
+	}
+	if cfg.FlightSampleEvery == 0 {
+		cfg.FlightSampleEvery = 64
+	} else if cfg.FlightSampleEvery < 0 {
+		cfg.FlightSampleEvery = 0 // recorder keeps notable requests only
+	}
+	if cfg.FlightSlowFactor <= 0 {
+		cfg.FlightSlowFactor = 4
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -343,6 +419,7 @@ func New(cfg Config) (*Service, error) {
 		inflight:      reg.Gauge("netqueryd_inflight"),
 		backendCtr:    map[string]*obs.Counter{},
 		backendLat:    map[string]*obs.Histogram{},
+		backendBad:    map[string]*obs.Counter{},
 		vetCache:      map[vetKey]*VetError{},
 	}
 	if cfg.TraceSample > 0 {
@@ -351,14 +428,53 @@ func New(cfg Config) (*Service, error) {
 			s.traceEvery = 1
 		}
 	}
+	if cfg.SLOAvailability > 0 || cfg.SLOLatencyThreshold > 0 {
+		s.health = health.NewEngine(health.Options{Now: cfg.now})
+	}
+	if cfg.FlightCapacity > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightCapacity, cfg.FlightSampleEvery)
+	}
 	for _, b := range substrateCost {
 		s.breakers[b] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now)
 		s.backendCtr[b] = reg.Counter("netqueryd_backend_requests_total", "backend", b)
 		s.backendLat[b] = reg.Histogram("netqueryd_backend_latency_ns", "backend", b)
+		s.backendBad[b] = reg.Counter("netqueryd_backend_errors_total", "backend", b)
+		s.registerObjectives(s.backendLat[b], s.backendBad[b], "backend", b)
 	}
 	first := &epoch{name: cfg.DatasetName, builder: cfg.Dataset, drained: make(chan struct{})}
 	s.ep.Store(first)
 	return s, nil
+}
+
+// registerObjectives declares the configured SLOs for one latency
+// histogram + error counter pair (a backend's or a tenant's). Availability
+// counts server-side failures against executed requests; latency counts
+// requests over the threshold against the target quantile. Both read live
+// cumulative tallies — the health engine's tick turns them into sliding
+// windows.
+func (s *Service) registerObjectives(lat *obs.Histogram, bad *obs.Counter, labels ...string) {
+	if s.health == nil {
+		return
+	}
+	if s.cfg.SLOAvailability > 0 {
+		_ = s.health.Register(health.Objective{
+			Name:   "availability",
+			Kind:   health.Availability,
+			Target: s.cfg.SLOAvailability,
+		}, func() (int64, int64) {
+			return lat.Count(), bad.Load()
+		}, labels...)
+	}
+	if thr := int64(s.cfg.SLOLatencyThreshold); thr > 0 {
+		_ = s.health.Register(health.Objective{
+			Name:        "latency",
+			Kind:        health.Latency,
+			Target:      s.cfg.SLOLatencyTarget,
+			ThresholdNS: thr,
+		}, func() (int64, int64) {
+			return lat.Count(), lat.CountAbove(thr)
+		}, labels...)
+	}
 }
 
 // tenantState returns (creating on first use) one tenant's admission state.
@@ -372,11 +488,78 @@ func (s *Service) tenantState(name string) *tenant {
 			gauge:    limiter.NewGauge(s.cfg.TenantConcurrency),
 			reqCtr:   s.reg.Counter("netqueryd_tenant_requests_total", "tenant", name),
 			shedCtr:  s.reg.Counter("netqueryd_tenant_shed_total", "tenant", name),
+			badCtr:   s.reg.Counter("netqueryd_tenant_errors_total", "tenant", name),
 			latency:  s.reg.Histogram("netqueryd_tenant_latency_ns", "tenant", name),
 		}
+		if thr := int64(s.cfg.SLOLatencyThreshold); thr > 0 {
+			t.slowNS.Store(thr)
+		} else {
+			// Latency objective disabled: nothing is "slow" until the
+			// dynamic p99-based threshold has samples to work from.
+			t.slowNS.Store(int64(^uint64(0) >> 1))
+		}
 		s.tenants[name] = t
+		s.registerObjectives(t.latency, t.badCtr, "tenant", name)
 	}
 	return t
+}
+
+// slowRefreshMinSamples is how many latency observations a tenant needs
+// before its dynamic slow threshold trusts the observed p99 over the
+// static SLO budget.
+const slowRefreshMinSamples = 32
+
+// HealthTick advances the health layer one step: the SLO engine samples
+// every registered objective's cumulative tallies (extending the sliding
+// windows burn rates are computed over), and each tenant's dynamic
+// slow-query threshold is refreshed to p99 × FlightSlowFactor (the SLO
+// latency budget until enough samples exist). netqueryd drives this from
+// a ticker goroutine (-slo-tick); tests drive it directly.
+func (s *Service) HealthTick() {
+	if s.health != nil {
+		s.health.Tick()
+	}
+	floor := int64(s.cfg.SLOLatencyThreshold)
+	s.tmu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tmu.Unlock()
+	for _, t := range tenants {
+		if t.latency.Count() < slowRefreshMinSamples {
+			continue
+		}
+		thr := int64(float64(t.latency.Snapshot().Quantile(0.99)) * s.cfg.FlightSlowFactor)
+		if thr < 1 {
+			thr = 1
+		}
+		if floor > 0 && thr > floor {
+			// The observed p99 may exceed the SLO budget; a query slower
+			// than the declared budget is always notable, so the budget
+			// caps the dynamic threshold from above while p99×k lowers it
+			// for tenants whose normal traffic is far faster.
+			thr = floor
+		}
+		t.slowNS.Store(thr)
+	}
+}
+
+// Health exposes the SLO engine (nil when objectives are disabled), for
+// /sloz and the diagnostic bundle.
+func (s *Service) Health() *health.Engine { return s.health }
+
+// Flight exposes the flight recorder (nil when disabled), for /flightz
+// and the diagnostic bundle.
+func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
+
+// VetCacheStats reports the vet-verdict cache's cumulative hits and misses
+// and current entry count (for /metricsz and bundles).
+func (s *Service) VetCacheStats() (hits, misses uint64, entries int) {
+	s.vetMu.Lock()
+	n := len(s.vetCache)
+	s.vetMu.Unlock()
+	return s.vetHits.Load(), s.vetMisses.Load(), n
 }
 
 // acquire pins the current epoch for one request. The retry loop covers
@@ -526,8 +709,10 @@ func (s *Service) vetQuery(req *Request) *VetError {
 	verr, ok := s.vetCache[key]
 	s.vetMu.Unlock()
 	if ok {
+		s.vetHits.Add(1)
 		return verr
 	}
+	s.vetMisses.Add(1)
 	verr = s.vetQuerySlow(req)
 	s.vetMu.Lock()
 	if len(s.vetCache) < vetCacheMax {
@@ -582,11 +767,61 @@ func (s *Service) cheapestHealthy(q queries.Query) string {
 	return ""
 }
 
+// Flight-record classes for requests that never executed; executed
+// requests carry their result class ("timeout", "disconnect", "error") or
+// a notability class ("slow", "sampled") instead.
+const (
+	flightClassStatic      = "static"       // rejected by static analysis
+	flightClassShed        = "shed"         // rejected by admission control
+	flightClassBreakerOpen = "breaker-open" // no admissible substrate
+	flightClassDraining    = "draining"     // service shutting down
+	flightClassSlow        = "slow"         // ok, but over the slow threshold
+	flightClassSampled     = "sampled"      // ok, kept as workload context
+)
+
+// flightDetail carries the execution-side fields of a flight record;
+// zero-valued for requests rejected before execution.
+type flightDetail struct {
+	progHash string
+	planFP   string
+	traceID  string
+	execNS   int64
+}
+
+// recordFlight writes one record into the flight recorder (no-op when the
+// recorder is disabled). Queue time is everything outside sandbox
+// execution: vetting, admission, routing, binding.
+func (s *Service) recordFlight(start time.Time, req *Request, backend, class, result string, det flightDetail) {
+	if s.flight == nil {
+		return
+	}
+	total := s.cfg.now().Sub(start).Nanoseconds()
+	queue := total - det.execNS
+	if queue < 0 {
+		queue = 0
+	}
+	s.flight.Record(obs.FlightRecord{
+		StartUnixNS: start.UnixNano(),
+		Tenant:      req.Tenant,
+		Backend:     backend,
+		QueryID:     req.QueryID,
+		ProgramHash: det.progHash,
+		PlanFP:      det.planFP,
+		TraceID:     det.traceID,
+		Class:       class,
+		Result:      result,
+		QueueNS:     queue,
+		ExecNS:      det.execNS,
+		TotalNS:     total,
+	})
+}
+
 // Do executes one request. It returns a *ShedError when admission rejects
 // it, ErrDraining during shutdown, an *UnavailableError when no substrate
 // can serve it, and a *QueryError when execution fails (class "cancelled"
 // for deadline-exceeded or client-disconnected queries).
 func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
+	reqStart := s.cfg.now()
 	if req.Tenant == "" {
 		return nil, &QueryError{Class: string(nql.ErrValue), Err: fmt.Errorf("service: request has no tenant")}
 	}
@@ -604,6 +839,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	if req.Query != "" {
 		if verr := s.vetQuery(req); verr != nil {
 			s.vetRejects.Inc()
+			s.recordFlight(reqStart, req, "", flightClassStatic, "rejected", flightDetail{})
 			return nil, verr
 		}
 	}
@@ -615,17 +851,23 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	if !ok {
 		s.resShed.Inc()
 		t.shedCtr.Inc()
+		s.recordFlight(reqStart, req, "", flightClassShed, "shed", flightDetail{})
 		return nil, &ShedError{Reason: "request rate", RetryAfter: retryAfter}
 	}
 	if !t.gauge.Acquire() {
 		s.resShed.Inc()
 		t.shedCtr.Inc()
+		s.recordFlight(reqStart, req, "", flightClassShed, "shed", flightDetail{})
 		return nil, &ShedError{Reason: "concurrency", RetryAfter: 10 * time.Millisecond}
 	}
 	defer t.gauge.Release()
 
 	backend, src, degraded, err := s.chooseBackend(req)
 	if err != nil {
+		var unavail *UnavailableError
+		if errors.As(err, &unavail) {
+			s.recordFlight(reqStart, req, unavail.Backend, flightClassBreakerOpen, "unavailable", flightDetail{})
+		}
 		return nil, err
 	}
 
@@ -673,8 +915,19 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		ctx = obs.WithProfile(ctx, prof)
 	}
 
+	// Plan notes: federated plans executed under this request note their
+	// fingerprints, so a flight record for a slow or failed request names
+	// the exact plan shapes it ran (correlatable with the plan cache and
+	// reproducible via Explain).
+	var notes *federate.PlanNotes
+	if s.flight != nil {
+		notes = &federate.PlanNotes{}
+		ctx = federate.WithPlanNotes(ctx, notes)
+	}
+
 	ep, err := s.acquire()
 	if err != nil {
+		s.recordFlight(reqStart, req, backend, flightClassDraining, "unavailable", flightDetail{})
 		return nil, err
 	}
 	defer ep.release()
@@ -689,15 +942,31 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	policy := s.cfg.Policy
 	policy.Context = ctx
 	policy.Profile = vmProf
+
+	// Compile through the shared program cache, then execute: splitting
+	// the two (rather than sandbox.Run) yields the program's source hash
+	// for the flight record. A compile failure takes the same shape
+	// sandbox.Run would give it — an internal-class execution error.
+	var res *sandbox.Result
+	var progHash string
 	start := s.cfg.now()
-	res := sandbox.Run(src, globals, policy)
+	if prog, cerr := sandbox.Compile(src); cerr != nil {
+		res = &sandbox.Result{Err: cerr, ErrClass: nql.ClassOf(cerr)}
+	} else {
+		progHash = prog.HashString()
+		res = sandbox.RunProgram(prog, globals, policy)
+	}
 	d := s.cfg.now().Sub(start)
 	exec.TagInt("steps", int64(res.Steps))
 	exec.End()
 
-	t.latency.ObserveDuration(d)
+	traceID := ""
+	if tr != nil {
+		traceID = tr.ID
+	}
+	t.latency.ObserveExemplar(int64(d), traceID)
 	s.backendCtr[backend].Inc()
-	s.backendLat[backend].ObserveDuration(d)
+	s.backendLat[backend].ObserveExemplar(int64(d), traceID)
 
 	// Feed the breaker: only our own deadline firing counts as a substrate
 	// timeout — a client disconnect says nothing about substrate health.
@@ -709,18 +978,36 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	if degraded {
 		s.degraded.Inc()
 	}
+	detail := flightDetail{progHash: progHash, planFP: notes.Joined(), traceID: traceID, execNS: int64(d)}
 	if res.Err != nil {
+		var result string
 		switch {
 		case timedOut:
 			s.resTimeout.Inc()
+			result = "timeout"
 		case disconnected:
 			s.resDisconnect.Inc()
+			result = "disconnect"
 		default:
 			s.resError.Inc()
+			result = "error"
 		}
+		// Availability SLO accounting: timeouts and execution errors are
+		// the server failing the tenant; a disconnect is the client's own
+		// cancellation and burns no error budget.
+		if !disconnected {
+			t.badCtr.Inc()
+			s.backendBad[backend].Inc()
+		}
+		s.recordFlight(reqStart, req, backend, result, result, detail)
 		return nil, &QueryError{Class: res.ErrClass, Err: res.Err}
 	}
 	s.resOK.Inc()
+	if int64(d) >= t.slowNS.Load() {
+		s.recordFlight(reqStart, req, backend, flightClassSlow, "ok", detail)
+	} else if s.flight.Admit() {
+		s.recordFlight(reqStart, req, backend, flightClassSampled, "ok", detail)
+	}
 	resp := &Response{
 		Value:    res.Value,
 		Result:   nql.Repr(res.Value),
